@@ -1,0 +1,137 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5.
+//! These measure *solution quality* (mean WPR over a fixed workload) as
+//! well as time, using criterion for the time axis and stdout for the
+//! quality axis (printed once per run).
+//!
+//! Ablations:
+//! * rounding of `x*` — continuous vs floor vs cost-compared;
+//! * estimator granularity — oracle vs per-priority vs global;
+//! * storage choice — §4.2.2 auto vs forced ramdisk vs forced DM-NFS;
+//! * adaptivity under priority flips — Algorithm 1 vs static.
+
+use ckpt_sim::metrics::mean_wpr;
+use ckpt_sim::policy::{Estimates, EstimatorKind, PolicyConfig, StorageChoice};
+use ckpt_sim::runner::{run_trace, RunOptions};
+use ckpt_sim::Device;
+use ckpt_trace::gen::generate;
+use ckpt_trace::spec::WorkloadSpec;
+use ckpt_trace::stats::trace_histories;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+struct Fixture {
+    trace: ckpt_trace::gen::Trace,
+    flip_trace: ckpt_trace::gen::Trace,
+    estimates: Estimates,
+    flip_estimates: Estimates,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let trace = generate(&WorkloadSpec::google_like(800), 99);
+        let estimates = Estimates::from_records(&trace_histories(&trace));
+        let flip_trace = generate(&WorkloadSpec::google_like(800).with_priority_flips(), 99);
+        let flip_estimates = Estimates::from_records(&trace_histories(&flip_trace));
+        Fixture { trace, flip_trace, estimates, flip_estimates }
+    })
+}
+
+fn quality(cfg: &PolicyConfig, flip: bool) -> f64 {
+    let fx = fixture();
+    let (trace, est) =
+        if flip { (&fx.flip_trace, &fx.flip_estimates) } else { (&fx.trace, &fx.estimates) };
+    let recs = run_trace(trace, est, cfg, RunOptions::default());
+    mean_wpr(&recs)
+}
+
+fn bench_estimator_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_estimator");
+    let variants = [
+        ("oracle", EstimatorKind::Oracle),
+        ("per_priority", EstimatorKind::PerPriority { limit: f64::INFINITY }),
+        ("global", EstimatorKind::Global { limit: f64::INFINITY }),
+    ];
+    for (name, est) in variants {
+        let cfg = PolicyConfig::formula3().with_estimator(est);
+        println!("[quality] estimator={name}: mean WPR = {:.4}", quality(&cfg, false));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let fx = fixture();
+                run_trace(&fx.trace, &fx.estimates, &cfg, RunOptions::default()).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_storage_choice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_storage");
+    let variants = [
+        ("auto_4_2_2", StorageChoice::Auto),
+        ("force_ramdisk", StorageChoice::Force(Device::Ramdisk)),
+        ("force_dmnfs", StorageChoice::Force(Device::DmNfs)),
+    ];
+    for (name, storage) in variants {
+        let cfg = PolicyConfig::formula3().with_storage(storage);
+        println!("[quality] storage={name}: mean WPR = {:.4}", quality(&cfg, false));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let fx = fixture();
+                run_trace(&fx.trace, &fx.estimates, &cfg, RunOptions::default()).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_adaptivity");
+    for (name, adaptive) in [("static", false), ("adaptive_algorithm1", true)] {
+        let cfg = PolicyConfig::formula3().with_adaptivity(adaptive);
+        println!("[quality] {name} under flips: mean WPR = {:.4}", quality(&cfg, true));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let fx = fixture();
+                run_trace(&fx.flip_trace, &fx.flip_estimates, &cfg, RunOptions::default()).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_policy_quality(c: &mut Criterion) {
+    // Formula (3) vs Young vs Daly vs none on the same workload (the
+    // headline, as an always-printed quality ablation).
+    let mut g = c.benchmark_group("ablation_policy");
+    for (name, cfg) in [
+        ("formula3", PolicyConfig::formula3()),
+        ("young", PolicyConfig::young()),
+        ("daly", PolicyConfig::daly()),
+        ("no_checkpointing", PolicyConfig::none()),
+    ] {
+        println!("[quality] policy={name}: mean WPR = {:.4}", quality(&cfg, false));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let fx = fixture();
+                run_trace(&fx.trace, &fx.estimates, &cfg, RunOptions::default()).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_policy_quality, bench_estimator_granularity, bench_storage_choice, bench_adaptivity
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benches of the policy math: Theorem 1, Young, Daly, the
+//! adaptive controller, and the §4.2.2 storage decision. These are the
+//! per-task planning costs a scheduler would pay at admission time — the
+//! paper's Algorithm 1 runs this once per task plus once per MNOF change.
+
+use ckpt_policy::adaptive::AdaptiveCheckpointer;
+use ckpt_policy::daly::daly_interval_count;
+use ckpt_policy::optimal::{brute_force_optimal, expected_wall_clock, optimal_interval_count};
+use ckpt_policy::storage::{choose_storage, DeviceCosts};
+use ckpt_policy::young::young_interval_count;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+fn bench_formulas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_formulas");
+    g.bench_function("optimal_interval_count", |b| {
+        b.iter(|| optimal_interval_count(black_box(441.0), black_box(1.0), black_box(2.0)))
+    });
+    g.bench_function("young_interval_count", |b| {
+        b.iter(|| young_interval_count(black_box(441.0), black_box(1.0), black_box(179.0)))
+    });
+    g.bench_function("daly_interval_count", |b| {
+        b.iter(|| daly_interval_count(black_box(441.0), black_box(1.0), black_box(179.0)))
+    });
+    g.bench_function("expected_wall_clock", |b| {
+        b.iter(|| {
+            expected_wall_clock(black_box(441.0), black_box(1.0), black_box(1.5), black_box(2.0), black_box(21))
+        })
+    });
+    g.bench_function("brute_force_optimal_500", |b| {
+        b.iter(|| brute_force_optimal(black_box(441.0), black_box(1.0), black_box(2.0), 500))
+    });
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_controller");
+    g.bench_function("construct", |b| {
+        b.iter(|| AdaptiveCheckpointer::new(black_box(441.0), black_box(1.0), black_box(2.0)))
+    });
+    g.bench_function("full_task_walkthrough", |b| {
+        b.iter(|| {
+            let mut ctl = AdaptiveCheckpointer::new(441.0, 1.0, 2.0).unwrap();
+            let mut pos = ctl.segment();
+            while pos < 441.0 {
+                ctl.on_checkpoint_complete(pos);
+                pos += ctl.segment();
+            }
+            ctl.progress()
+        })
+    });
+    g.bench_function("mnof_change_resolve", |b| {
+        let ctl = AdaptiveCheckpointer::new(441.0, 1.0, 2.0).unwrap();
+        b.iter_batched(
+            || ctl.clone(),
+            |mut ctl| {
+                ctl.update_mnof(black_box(8.0));
+                ctl
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_storage_choice(c: &mut Criterion) {
+    let local = DeviceCosts::new(0.632, 3.22).unwrap();
+    let shared = DeviceCosts::new(1.67, 1.45).unwrap();
+    c.benchmark_group("storage_decision").bench_function("choose_storage", |b| {
+        b.iter(|| choose_storage(black_box(200.0), black_box(2.0), local, shared))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_formulas, bench_adaptive, bench_storage_choice
+}
+criterion_main!(benches);

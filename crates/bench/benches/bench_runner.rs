@@ -1,0 +1,54 @@
+//! Criterion benches of the end-to-end machinery: trace generation,
+//! history extraction, and parallel trace replay (1 thread vs all cores —
+//! the runner's crossbeam scaling).
+
+use ckpt_sim::policy::{Estimates, PolicyConfig};
+use ckpt_sim::runner::{run_trace, RunOptions};
+use ckpt_trace::gen::generate;
+use ckpt_trace::spec::WorkloadSpec;
+use ckpt_trace::stats::trace_histories;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::google_like(2000);
+    let mut g = c.benchmark_group("trace_generation");
+    g.bench_function("generate_2k_jobs", |b| b.iter(|| generate(&spec, black_box(7))));
+    let trace = generate(&spec, 7);
+    g.bench_function("histories_2k_jobs", |b| b.iter(|| trace_histories(&trace)));
+    let records = trace_histories(&trace);
+    g.bench_function("estimates_from_records", |b| {
+        b.iter(|| Estimates::from_records(black_box(&records)))
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let spec = WorkloadSpec::google_like(1000);
+    let trace = generate(&spec, 11);
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let cfg = PolicyConfig::formula3();
+    let mut g = c.benchmark_group("trace_replay_1k_jobs");
+    g.bench_function("one_thread", |b| {
+        b.iter(|| run_trace(&trace, &estimates, &cfg, RunOptions { threads: 1 }))
+    });
+    g.bench_function("all_cores", |b| {
+        b.iter(|| run_trace(&trace, &estimates, &cfg, RunOptions { threads: 0 }))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generation, bench_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches of the statistics substrate: sampling, ECDF
+//! construction/query, and the MLE fitters behind Figure 5.
+
+use ckpt_stats::dist::{ContinuousDist, Exponential, Normal, Pareto, Weibull};
+use ckpt_stats::ecdf::Ecdf;
+use ckpt_stats::fit::{fit_all, fit_exponential, fit_pareto, fit_weibull, PAPER_FAMILIES};
+use ckpt_stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+fn samples(n: usize) -> Vec<f64> {
+    let d = Pareto::new(1.0, 1.2).unwrap();
+    let mut rng = Xoshiro256StarStar::new(42);
+    d.sample_n(&mut rng, n)
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("xoshiro_u64_x1000", |b| {
+        let mut rng = Xoshiro256StarStar::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+    g.bench_function("splitmix_f64_x1000", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.next_f64();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distribution_sampling_x1000");
+    let mut rng = Xoshiro256StarStar::new(7);
+    let exp = Exponential::new(0.004).unwrap();
+    let par = Pareto::new(30.0, 1.1).unwrap();
+    let nor = Normal::new(0.0, 1.0).unwrap();
+    let wei = Weibull::new(0.7, 100.0).unwrap();
+    g.bench_function("exponential", |b| {
+        b.iter(|| (0..1000).map(|_| exp.sample(&mut rng)).sum::<f64>())
+    });
+    g.bench_function("pareto", |b| {
+        b.iter(|| (0..1000).map(|_| par.sample(&mut rng)).sum::<f64>())
+    });
+    g.bench_function("normal", |b| {
+        b.iter(|| (0..1000).map(|_| nor.sample(&mut rng)).sum::<f64>())
+    });
+    g.bench_function("weibull", |b| {
+        b.iter(|| (0..1000).map(|_| wei.sample(&mut rng)).sum::<f64>())
+    });
+    g.finish();
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let xs = samples(50_000);
+    let ecdf = Ecdf::new(&xs).unwrap();
+    let mut g = c.benchmark_group("ecdf");
+    g.bench_function("construct_50k", |b| b.iter(|| Ecdf::new(black_box(&xs))));
+    g.bench_function("cdf_query", |b| b.iter(|| ecdf.cdf(black_box(123.4))));
+    g.bench_function("quantile_query", |b| b.iter(|| ecdf.quantile(black_box(0.37))));
+    g.bench_function("points_100", |b| b.iter(|| ecdf.points(100)));
+    g.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let xs = samples(10_000);
+    let mut g = c.benchmark_group("mle_fit_10k");
+    g.bench_function("exponential", |b| b.iter(|| fit_exponential(black_box(&xs))));
+    g.bench_function("pareto", |b| b.iter(|| fit_pareto(black_box(&xs))));
+    g.bench_function("weibull_newton", |b| b.iter(|| fit_weibull(black_box(&xs))));
+    g.bench_function("figure5_panel_all_families", |b| {
+        b.iter(|| fit_all(&PAPER_FAMILIES, black_box(&xs)).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rng, bench_sampling, bench_ecdf, bench_fitting
+}
+criterion_main!(benches);

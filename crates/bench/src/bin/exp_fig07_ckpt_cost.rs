@@ -1,0 +1,55 @@
+//! **Figure 7** — total checkpointing cost vs number of checkpoints for
+//! memory sizes 10–240 MB: (a) over local ramdisk, (b) over NFS.
+//!
+//! Paper: "the task total checkpointing cost increases linearly with its
+//! consumed memory size and with the number of checkpoints"; per-checkpoint
+//! cost is 0.016–0.99 s (ramdisk) and 0.25–2.52 s (NFS) over 10–240 MB.
+
+use ckpt_bench::report::{f, write_series_csv, Table};
+use ckpt_sim::blcr::{BlcrModel, Device};
+
+fn main() {
+    let blcr = BlcrModel;
+    let mem_sizes = [10.0, 20.0, 40.0, 80.0, 160.0, 240.0];
+    let mut csv: Vec<Vec<f64>> = Vec::new();
+
+    for (panel, device) in [("a: local ramdisk", Device::Ramdisk), ("b: NFS", Device::CentralNfs)]
+    {
+        let mut table = Table::new(vec![
+            "memsize(MB)", "n=1", "n=2", "n=3", "n=4", "n=5",
+        ]);
+        for &mem in &mem_sizes {
+            let unit = blcr.checkpoint_cost(device, mem);
+            let mut row = vec![format!("{mem}")];
+            for n in 1..=5u32 {
+                row.push(f(unit * n as f64));
+                csv.push(vec![
+                    if device == Device::Ramdisk { 0.0 } else { 1.0 },
+                    mem,
+                    n as f64,
+                    unit * n as f64,
+                ]);
+            }
+            table.row(row);
+        }
+        table.print(&format!(
+            "Figure 7({panel}): total checkpointing cost (s) vs number of checkpoints"
+        ));
+    }
+    write_series_csv(
+        "fig07_ckpt_cost",
+        &["device(0=ramdisk)", "mem_mb", "n_checkpoints", "total_cost_s"],
+        &csv,
+    )
+    .expect("write CSV");
+
+    println!(
+        "\nendpoints check — ramdisk 10 MB: {} s (paper 0.016), 240 MB: {} s (paper 0.99); \
+         NFS 10 MB: {} s (paper 0.25), 240 MB: {} s (paper 2.52)",
+        f(blcr.checkpoint_cost(Device::Ramdisk, 10.0)),
+        f(blcr.checkpoint_cost(Device::Ramdisk, 240.0)),
+        f(blcr.checkpoint_cost(Device::CentralNfs, 10.0)),
+        f(blcr.checkpoint_cost(Device::CentralNfs, 240.0)),
+    );
+    println!("CSV written to results/fig07_ckpt_cost.csv");
+}

@@ -1,0 +1,101 @@
+//! Shared experiment setup: standard trace scales, estimates, and the
+//! paper's sample-job selection.
+
+use ckpt_sim::policy::Estimates;
+use ckpt_trace::gen::{generate, Trace};
+use ckpt_trace::spec::WorkloadSpec;
+use ckpt_trace::stats::{failure_prone_jobs, trace_histories, TaskRecord};
+use std::collections::HashSet;
+
+/// Default seed used by every experiment (override with `CKPT_SEED`).
+pub const DEFAULT_SEED: u64 = 20130217;
+
+/// Experiment scale, controlling trace sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: quick sanity run (a few hundred jobs).
+    Quick,
+    /// The paper's one-day experiment (~10k jobs).
+    Day,
+    /// The paper's month-scale analysis (large; used by Table 6 / Fig 9-10).
+    Month,
+}
+
+impl Scale {
+    /// Number of jobs at this scale.
+    pub fn jobs(&self) -> usize {
+        match self {
+            Scale::Quick => 800,
+            Scale::Day => 10_000,
+            Scale::Month => 100_000,
+        }
+    }
+
+    /// Resolve from the `CKPT_SCALE` environment variable
+    /// (`quick` / `day` / `month`), defaulting to `default`.
+    pub fn from_env(default: Scale) -> Scale {
+        match std::env::var("CKPT_SCALE").ok().as_deref() {
+            Some("quick") => Scale::Quick,
+            Some("day") => Scale::Day,
+            Some("month") => Scale::Month,
+            _ => default,
+        }
+    }
+}
+
+/// Seed from `CKPT_SEED` or the default.
+pub fn seed_from_env() -> u64 {
+    std::env::var("CKPT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
+
+/// A fully prepared experiment context.
+pub struct Setup {
+    /// The generated trace.
+    pub trace: Trace,
+    /// Per-task failure histories (the "historical trace events").
+    pub records: Vec<TaskRecord>,
+    /// Precomputed estimator state.
+    pub estimates: Estimates,
+    /// The paper's sample jobs: ids where ≥ half the tasks failed.
+    pub sample_jobs: HashSet<u64>,
+}
+
+/// Prepare a standard Google-like workload at the given scale.
+pub fn setup(scale: Scale, seed: u64) -> Setup {
+    setup_with(WorkloadSpec::google_like(scale.jobs()), seed)
+}
+
+/// Prepare with a custom spec (e.g. priority flips for Figure 14).
+pub fn setup_with(spec: WorkloadSpec, seed: u64) -> Setup {
+    let trace = generate(&spec, seed);
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let sample_jobs = failure_prone_jobs(&records, 0.5);
+    Setup { trace, records, estimates, sample_jobs }
+}
+
+impl Setup {
+    /// Restrict job records to the paper's failure-prone sample set.
+    pub fn sample_only(&self, records: &[ckpt_sim::JobRecord]) -> Vec<ckpt_sim::JobRecord> {
+        records.iter().filter(|r| self.sample_jobs.contains(&r.job_id)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_setup_produces_samples() {
+        let s = setup(Scale::Quick, 1);
+        assert_eq!(s.trace.jobs.len(), 800);
+        assert!(!s.sample_jobs.is_empty());
+        assert_eq!(s.records.len(), s.trace.task_count());
+    }
+
+    #[test]
+    fn scale_env_parsing() {
+        assert_eq!(Scale::from_env(Scale::Quick), Scale::Quick);
+        assert_eq!(Scale::Day.jobs(), 10_000);
+    }
+}

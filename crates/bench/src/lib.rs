@@ -1,0 +1,16 @@
+//! # ckpt-bench — experiment harness for the SC'13 reproduction
+//!
+//! This crate contains no library logic of its own; it hosts:
+//!
+//! * `src/bin/exp_*` — one binary per table and figure in the paper's
+//!   evaluation section, each printing paper-reported values next to our
+//!   measured values and writing CSV into `results/`.
+//! * `benches/` — criterion micro/meso benchmarks of the policy math, the
+//!   statistics substrate, the DES engine, and the end-to-end replay, plus
+//!   the ablation benches listed in DESIGN.md §5.
+//!
+//! Shared helpers for the experiment binaries live in [`report`] and
+//! [`harness`].
+
+pub mod harness;
+pub mod report;

@@ -1,0 +1,163 @@
+//! Analytical tooling around Formula (4): expected-cost curves, the penalty
+//! of mis-estimated inputs, and the robustness comparison behind the
+//! paper's §5.2 discussion ("Young's formula is not proper ... due to its
+//! assumption" / "MNOF ... would not change a lot").
+//!
+//! The central quantity is the **penalty factor**: expected fault-tolerance
+//! overhead under a mis-calibrated interval count, relative to the optimal
+//! overhead. Because Formula (4)'s overhead is `C·x + Te·E(Y)/(2x)` (up to
+//! the `x`-independent terms), using `k·x*` instead of `x*` costs a factor
+//! `(k + 1/k)/2` — the square-root-shaped flatness that makes Formula (3)
+//! forgiving of MNOF errors, and the quadratic-in-`sqrt(inflation)` blowup
+//! that punishes Young's inflated MTBF.
+
+use crate::optimal::{expected_wall_clock, optimal_interval_count};
+use crate::{PolicyError, Result};
+
+/// One point of an expected-wall-clock curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Interval count.
+    pub x: u32,
+    /// Expected wall-clock (Formula (4)).
+    pub expected_wall_clock: f64,
+}
+
+/// The expected-wall-clock curve `E(Tw)(x)` for `x ∈ [1, x_max]` — what the
+/// paper's Figure-3-style intuition plots.
+pub fn wall_clock_curve(te: f64, c: f64, r: f64, e_y: f64, x_max: u32) -> Result<Vec<CurvePoint>> {
+    (1..=x_max.max(1))
+        .map(|x| {
+            expected_wall_clock(te, c, r, e_y, x)
+                .map(|w| CurvePoint { x, expected_wall_clock: w })
+        })
+        .collect()
+}
+
+/// The idealized overhead penalty of running at `k · x*` instead of `x*`:
+/// `(k + 1/k) / 2` (continuous approximation; exact as `Te → ∞`).
+///
+/// ```
+/// use ckpt_policy::analysis::penalty_factor;
+/// assert!((penalty_factor(1.0).unwrap() - 1.0).abs() < 1e-12);
+/// // A 4x mis-scaling of the interval count doubles the overhead:
+/// assert!((penalty_factor(4.0).unwrap() - 2.125).abs() < 1e-12);
+/// ```
+pub fn penalty_factor(k: f64) -> Result<f64> {
+    if !(k.is_finite() && k > 0.0) {
+        return Err(PolicyError::BadInput { what: "k", value: k });
+    }
+    Ok(0.5 * (k + 1.0 / k))
+}
+
+/// Exact (discrete) overhead ratio of using `x_used` instead of the optimal
+/// count for `(te, c, e_y)`: `overhead(x_used) / overhead(x*)`.
+pub fn overhead_ratio(te: f64, c: f64, e_y: f64, x_used: u32) -> Result<f64> {
+    let x_opt = optimal_interval_count(te, c, e_y)?.rounded();
+    let w_used = expected_wall_clock(te, c, 0.0, e_y, x_used)? - te;
+    let w_opt = expected_wall_clock(te, c, 0.0, e_y, x_opt)? - te;
+    if w_opt <= 0.0 {
+        // No failures expected: any extra checkpoint is pure overhead.
+        return Ok(if w_used <= 0.0 { 1.0 } else { f64::INFINITY });
+    }
+    Ok(w_used / w_opt)
+}
+
+/// The penalty of driving Formula (3) with a mis-estimated MNOF
+/// `e_y_est = β · e_y_true`: the count scales with `sqrt(β)`, so the
+/// overhead ratio is `(sqrt(β) + 1/sqrt(β))/2` — sub-linear in the
+/// estimation error. This is the paper's robustness argument, quantified.
+pub fn mnof_misestimation_penalty(te: f64, c: f64, e_y_true: f64, beta: f64) -> Result<f64> {
+    if !(beta.is_finite() && beta > 0.0) {
+        return Err(PolicyError::BadInput { what: "beta", value: beta });
+    }
+    let x_est = optimal_interval_count(te, c, e_y_true * beta)?.rounded();
+    overhead_ratio(te, c, e_y_true, x_est)
+}
+
+/// The penalty of driving Young's formula with an MTBF inflated by `γ`
+/// (the Table 7 phenomenon): Young's interval grows by `sqrt(γ)`, the
+/// count shrinks by `sqrt(γ)`, and the overhead ratio grows accordingly.
+pub fn mtbf_inflation_penalty(
+    te: f64,
+    c: f64,
+    e_y_true: f64,
+    honest_mtbf: f64,
+    gamma: f64,
+) -> Result<f64> {
+    if !(gamma.is_finite() && gamma > 0.0) {
+        return Err(PolicyError::BadInput { what: "gamma", value: gamma });
+    }
+    let x_young = crate::young::young_interval_count(te, c, honest_mtbf * gamma)?;
+    overhead_ratio(te, c, e_y_true, x_young)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_convex_with_minimum_at_xstar() {
+        let curve = wall_clock_curve(441.0, 1.0, 0.0, 2.0, 60).unwrap();
+        let min = curve
+            .iter()
+            .min_by(|a, b| a.expected_wall_clock.partial_cmp(&b.expected_wall_clock).unwrap())
+            .unwrap();
+        assert_eq!(min.x, 21); // sqrt(441·2/2) = 21
+        // Discrete convexity: differences change sign exactly once.
+        let mut sign_changes = 0;
+        for w in curve.windows(2) {
+            let d = w[1].expected_wall_clock - w[0].expected_wall_clock;
+            if d > 0.0 && w[0].x >= min.x {
+                // rising after the min: fine
+            } else if d > 0.0 && w[0].x < min.x {
+                sign_changes += 1;
+            }
+        }
+        assert_eq!(sign_changes, 0, "curve must fall then rise");
+    }
+
+    #[test]
+    fn penalty_factor_symmetry() {
+        // Over- and under-estimation by the same factor cost the same.
+        let over = penalty_factor(3.0).unwrap();
+        let under = penalty_factor(1.0 / 3.0).unwrap();
+        assert!((over - under).abs() < 1e-12);
+        assert!(penalty_factor(0.0).is_err());
+    }
+
+    #[test]
+    fn mnof_misestimation_is_forgiving() {
+        // A 2x MNOF error costs < 7 % extra overhead — the robustness that
+        // makes the paper's group-MNOF estimator viable.
+        let p = mnof_misestimation_penalty(600.0, 0.5, 1.2, 2.0).unwrap();
+        assert!(p < 1.07, "penalty {p}");
+        let p_half = mnof_misestimation_penalty(600.0, 0.5, 1.2, 0.5).unwrap();
+        assert!(p_half < 1.07, "penalty {p_half}");
+    }
+
+    #[test]
+    fn mtbf_inflation_is_punishing() {
+        // An 18x MTBF inflation (our Table 7 measurement) costs Young far
+        // more than a 2x MNOF error costs Formula (3).
+        let honest = 150.0;
+        let p_young = mtbf_inflation_penalty(600.0, 0.5, 1.2, honest, 18.0).unwrap();
+        let p_f3 = mnof_misestimation_penalty(600.0, 0.5, 1.2, 2.0).unwrap();
+        assert!(p_young > 1.3, "young penalty {p_young}");
+        assert!(p_young > 3.0 * (p_f3 - 1.0) + 1.0, "young {p_young} vs f3 {p_f3}");
+    }
+
+    #[test]
+    fn overhead_ratio_at_optimum_is_one() {
+        let x_opt = optimal_interval_count(600.0, 0.5, 1.2).unwrap().rounded();
+        let r = overhead_ratio(600.0, 0.5, 1.2, x_opt).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!(overhead_ratio(600.0, 0.5, 1.2, x_opt * 3).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn zero_failures_edge() {
+        assert_eq!(overhead_ratio(100.0, 1.0, 0.0, 1).unwrap(), 1.0);
+        assert_eq!(overhead_ratio(100.0, 1.0, 0.0, 5).unwrap(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,106 @@
+//! Daly's 2006 higher-order estimate of the optimum checkpoint interval —
+//! the second MTBF-based baseline from the paper's related-work section.
+//!
+//! Daly extends Young's first-order model with the restart overhead `R` and
+//! higher-order correction terms (J.T. Daly, "A higher order estimate of the
+//! optimum checkpoint interval for restart dumps", FGCS 22(3), 2006):
+//!
+//! ```text
+//! Topt = sqrt(2·C·M) · [1 + (1/3)·sqrt(C/(2M)) + (1/9)·(C/(2M))] − C   if C < 2M
+//! Topt = M                                                             otherwise
+//! ```
+//!
+//! where `M` is the MTBF. Like Young's formula it presumes exponential
+//! failure intervals and long-running jobs, so it inherits the same
+//! heavy-tail weakness the paper demonstrates on Google traces.
+
+use crate::{PolicyError, Result};
+
+fn check_pos(what: &'static str, v: f64) -> Result<f64> {
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(PolicyError::BadInput { what, value: v })
+    }
+}
+
+/// Daly's higher-order optimal checkpoint interval (seconds of productive
+/// work between checkpoints).
+pub fn daly_interval(c: f64, mtbf: f64) -> Result<f64> {
+    let c = check_pos("c", c)?;
+    let m = check_pos("mtbf", mtbf)?;
+    if c >= 2.0 * m {
+        // Checkpointing is so expensive relative to failures that Daly
+        // recommends an interval of one MTBF.
+        return Ok(m);
+    }
+    let ratio = (c / (2.0 * m)).sqrt();
+    let t = (2.0 * c * m).sqrt() * (1.0 + ratio / 3.0 + (c / (2.0 * m)) / 9.0) - c;
+    Ok(t.max(f64::MIN_POSITIVE))
+}
+
+/// Number of equidistant intervals a task of length `te` gets under Daly's
+/// interval, rounded to the nearest whole segment (≥ 1).
+pub fn daly_interval_count(te: f64, c: f64, mtbf: f64) -> Result<u32> {
+    let te = check_pos("te", te)?;
+    let t = daly_interval(c, mtbf)?;
+    Ok((te / t).round().max(1.0) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::young::young_interval;
+
+    #[test]
+    fn approaches_young_for_cheap_checkpoints() {
+        // As C/M → 0 the correction terms vanish and Topt → Young's Tc − C.
+        let c = 0.01;
+        let m = 10_000.0;
+        let d = daly_interval(c, m).unwrap();
+        let y = young_interval(c, m).unwrap();
+        assert!((d - y).abs() / y < 0.01, "daly {d} vs young {y}");
+    }
+
+    #[test]
+    fn correction_beats_young_for_pricey_checkpoints() {
+        // For non-negligible C, Daly's interval is longer than Young's
+        // before the −C shift; net effect differs from Young.
+        let d = daly_interval(60.0, 3600.0).unwrap();
+        let y = young_interval(60.0, 3600.0).unwrap();
+        assert!(d != y);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn degenerate_regime_returns_mtbf() {
+        let d = daly_interval(100.0, 40.0).unwrap();
+        assert_eq!(d, 40.0);
+    }
+
+    #[test]
+    fn count_rounds_and_clamps() {
+        let x = daly_interval_count(10.0, 1.0, 1e9).unwrap();
+        assert_eq!(x, 1);
+        let x2 = daly_interval_count(1000.0, 1.0, 200.0).unwrap();
+        assert!(x2 >= 40, "x2 = {x2}"); // interval ≈ 19 s ⇒ ≈ 50 segments
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(daly_interval(0.0, 1.0).is_err());
+        assert!(daly_interval(1.0, -1.0).is_err());
+        assert!(daly_interval_count(f64::INFINITY, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn reference_magnitude() {
+        // C = 5 min, M = 24 h (classic HPC numbers): Young ≈ 120 min;
+        // Daly's correction adds ≈ +2.4 % then subtracts C.
+        let c = 300.0;
+        let m = 86_400.0;
+        let d = daly_interval(c, m).unwrap();
+        let y = young_interval(c, m).unwrap();
+        assert!(d > y - c - 1.0 && d < y + 0.05 * y, "d = {d}, y = {y}");
+    }
+}

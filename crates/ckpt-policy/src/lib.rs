@@ -1,0 +1,123 @@
+//! # ckpt-policy — optimal checkpoint-restart policies (Di et al., SC'13)
+//!
+//! This crate is the paper's primary contribution, as a reusable library:
+//!
+//! * [`optimal`] — **Theorem 1**: the distribution-free optimal number of
+//!   equidistant checkpointing intervals `x* = sqrt(Te·E(Y)/(2C))`, plus the
+//!   expected-wall-clock model of Formulas (2)/(4) and cost-aware rounding.
+//! * [`young`] — **Young's 1974 formula** `Tc = sqrt(2·C·Tf)` (the baseline
+//!   the paper beats), and **Corollary 1** showing it is the exponential
+//!   special case of Theorem 1.
+//! * [`daly`] — **Daly's 2006 higher-order formula**, the other classic
+//!   MTBF-based baseline discussed in the related-work section.
+//! * [`adaptive`] — **Algorithm 1**: the runtime controller that re-solves
+//!   the checkpoint placement if and only if the task's mean number of
+//!   failures (MNOF) changes, justified by **Theorem 2**.
+//! * [`storage`] — the §4.2.2 tradeoff: local-ramdisk vs shared-disk
+//!   checkpointing, decided by comparing expected total overheads.
+//! * [`estimator`] — MNOF/MTBF estimation from historical failure records,
+//!   grouped by priority and task-length class (how the paper's evaluation
+//!   feeds the formulas — Table 7).
+//! * [`schedule`] — equidistant checkpoint schedules, the `Λ(t)` rollback
+//!   operator, and exact wall-clock accounting for a concrete failure trace
+//!   (Formula (1)).
+//! * [`analysis`] — expected-cost curves and mis-estimation penalties: the
+//!   quantified version of the paper's robustness argument (MNOF errors are
+//!   forgiven, MTBF inflation is punished).
+//! * [`nonuniform`] — the random-checkpointing baseline from the related
+//!   work, validating that equidistant placement minimizes expected
+//!   rollback.
+//!
+//! ## The headline result, in one example
+//!
+//! ```
+//! use ckpt_policy::optimal::optimal_interval_count;
+//! use ckpt_policy::young::young_interval;
+//!
+//! // Paper §4.1 worked example: Te = 18 s, C = 2 s, Poisson failures with
+//! // λ = 2 ⇒ E(Y) = 2. Theorem 1 gives x* = sqrt(18·2/(2·2)) = 3, i.e. a
+//! // checkpoint every 6 s.
+//! let x = optimal_interval_count(18.0, 2.0, 2.0).unwrap();
+//! assert_eq!(x.rounded(), 3);
+//! assert!((x.interval_length(18.0) - 6.0).abs() < 1e-9);
+//!
+//! // Paper §4.1 trace example: C = 2 s, exponential rate λ = 0.00423445 ⇒
+//! // MTBF = 1/λ, and Young's interval is sqrt(2·C/λ) ≈ 30.7 s.
+//! let tc = young_interval(2.0, 1.0 / 0.00423445).unwrap();
+//! assert!((tc - 30.7).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+// `!(v > 0.0)` deliberately rejects NaN alongside non-positive values; the
+// clippy-suggested `v <= 0.0` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive;
+pub mod analysis;
+pub mod daly;
+pub mod estimator;
+pub mod nonuniform;
+pub mod online;
+pub mod optimal;
+pub mod schedule;
+pub mod storage;
+pub mod young;
+
+pub use adaptive::{AdaptiveCheckpointer, CheckpointDecision};
+pub use optimal::{expected_wall_clock, optimal_interval_count, OptimalX};
+pub use schedule::EquidistantSchedule;
+pub use storage::{choose_storage, DeviceCosts, StoragePick};
+
+/// Errors from policy computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// A model input (cost, length, expectation) was outside its domain.
+    BadInput {
+        /// Which input was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::BadInput { what, value } => {
+                write!(f, "invalid policy input {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PolicyError>;
+
+/// Which formula drives checkpoint placement — the axis of every comparison
+/// in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// The paper's Formula (3) (Theorem 1), driven by MNOF.
+    Formula3,
+    /// Young's formula, driven by MTBF.
+    Young,
+    /// Daly's higher-order formula, driven by MTBF and restart cost.
+    Daly,
+    /// No checkpointing at all (lower-bound baseline).
+    None,
+}
+
+impl PolicyKind {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Formula3 => "Formula(3)",
+            PolicyKind::Young => "Young",
+            PolicyKind::Daly => "Daly",
+            PolicyKind::None => "NoCheckpoint",
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Non-equidistant checkpointing baselines.
+//!
+//! The paper's related-work section cites Wolter's survey of stochastic
+//! checkpointing models ("equidistant checkpointing, random checkpointing,
+//! forked checkpointing, and so on"). This module implements the *random*
+//! placement baseline so the equidistant choice of Theorem 1 can be
+//! validated empirically: with the same number of checkpoints, uniformly
+//! random positions waste expected rollback time relative to equidistant
+//! positions (by Jensen: expected max-gap of a random partition exceeds the
+//! even gap).
+
+use crate::{PolicyError, Result};
+use ckpt_stats::rng::Rng64;
+
+/// A general (not necessarily equidistant) checkpoint schedule over
+/// productive time `[0, te]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralSchedule {
+    te: f64,
+    positions: Vec<f64>, // sorted, in (0, te)
+}
+
+impl GeneralSchedule {
+    /// Build from explicit positions (sorted, deduplicated, clamped into
+    /// `(0, te)` exclusive).
+    pub fn new(te: f64, mut positions: Vec<f64>) -> Result<Self> {
+        if !(te.is_finite() && te > 0.0) {
+            return Err(PolicyError::BadInput { what: "te", value: te });
+        }
+        positions.retain(|p| p.is_finite() && *p > 0.0 && *p < te);
+        positions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        positions.dedup();
+        Ok(Self { te, positions })
+    }
+
+    /// Uniformly random checkpoint positions (`n` of them) — the random
+    /// checkpointing baseline.
+    pub fn random<R: Rng64 + ?Sized>(te: f64, n: u32, rng: &mut R) -> Result<Self> {
+        let positions = (0..n).map(|_| rng.next_f64() * te).collect();
+        Self::new(te, positions)
+    }
+
+    /// Equidistant positions (`x` intervals) — Theorem 1's choice, for
+    /// comparison.
+    pub fn equidistant(te: f64, x: u32) -> Result<Self> {
+        if x == 0 {
+            return Err(PolicyError::BadInput { what: "x", value: 0.0 });
+        }
+        let w = te / x as f64;
+        Self::new(te, (1..x).map(|i| i as f64 * w).collect())
+    }
+
+    /// Total productive length.
+    #[inline]
+    pub fn te(&self) -> f64 {
+        self.te
+    }
+
+    /// The checkpoint positions.
+    #[inline]
+    pub fn positions(&self) -> &[f64] {
+        &self.positions
+    }
+
+    /// `Λ(t)`: latest checkpointed position ≤ `t` (0 if none).
+    pub fn lambda(&self, t: f64) -> f64 {
+        let idx = self.positions.partition_point(|&p| p <= t);
+        if idx == 0 {
+            0.0
+        } else {
+            self.positions[idx - 1]
+        }
+    }
+
+    /// Expected rollback loss for a failure uniform over `[0, te)`:
+    /// `Σ gap_i² / (2·te)` — minimized by equal gaps (Cauchy–Schwarz),
+    /// which is precisely why Theorem 1 places checkpoints evenly.
+    pub fn expected_rollback(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut sum_sq = 0.0;
+        for &p in &self.positions {
+            let gap = p - prev;
+            sum_sq += gap * gap;
+            prev = p;
+        }
+        let last_gap = self.te - prev;
+        sum_sq += last_gap * last_gap;
+        sum_sq / (2.0 * self.te)
+    }
+
+    /// Expected wall-clock under this schedule (Formula (2) generalized):
+    /// `Te + C·n + E(Y)·(R + expected_rollback)`.
+    pub fn expected_wall_clock(&self, c: f64, r: f64, e_y: f64) -> Result<f64> {
+        if !(c.is_finite() && c >= 0.0) {
+            return Err(PolicyError::BadInput { what: "c", value: c });
+        }
+        if !(r.is_finite() && r >= 0.0) {
+            return Err(PolicyError::BadInput { what: "r", value: r });
+        }
+        if !(e_y.is_finite() && e_y >= 0.0) {
+            return Err(PolicyError::BadInput { what: "e_y", value: e_y });
+        }
+        Ok(self.te
+            + c * self.positions.len() as f64
+            + e_y * (r + self.expected_rollback()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_stats::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn equidistant_matches_theorem1_rollback() {
+        // Even spacing: expected rollback = Te/(2x), the Theorem-1 term.
+        let s = GeneralSchedule::equidistant(100.0, 4).unwrap();
+        assert!((s.expected_rollback() - 100.0 / 8.0).abs() < 1e-12);
+        assert_eq!(s.positions(), &[25.0, 50.0, 75.0]);
+    }
+
+    #[test]
+    fn equidistant_beats_random_in_expectation() {
+        // Jensen/Cauchy–Schwarz: for the same checkpoint count, random
+        // placement has (weakly) larger expected rollback; strictly larger
+        // almost surely.
+        let mut rng = Xoshiro256StarStar::new(4);
+        let even = GeneralSchedule::equidistant(1000.0, 10).unwrap();
+        let mut worse = 0;
+        let n = 200;
+        for _ in 0..n {
+            let rand = GeneralSchedule::random(1000.0, 9, &mut rng).unwrap();
+            if rand.expected_rollback() >= even.expected_rollback() - 1e-9 {
+                worse += 1;
+            }
+        }
+        assert_eq!(worse, n, "every random schedule should be no better");
+    }
+
+    #[test]
+    fn expected_wall_clock_composes() {
+        let s = GeneralSchedule::equidistant(18.0, 3).unwrap();
+        // Te + C·2 + E(Y)·(R + Te/6) = 18 + 4 + 2·(0 + 3) = 28 — the
+        // paper's worked example seen through the generalized formula.
+        let w = s.expected_wall_clock(2.0, 0.0, 2.0).unwrap();
+        assert!((w - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_general_positions() {
+        let s = GeneralSchedule::new(100.0, vec![40.0, 10.0, 70.0]).unwrap();
+        assert_eq!(s.positions(), &[10.0, 40.0, 70.0]);
+        assert_eq!(s.lambda(5.0), 0.0);
+        assert_eq!(s.lambda(10.0), 10.0);
+        assert_eq!(s.lambda(69.9), 40.0);
+        assert_eq!(s.lambda(99.0), 70.0);
+    }
+
+    #[test]
+    fn construction_sanitizes() {
+        let s = GeneralSchedule::new(100.0, vec![-5.0, 0.0, 50.0, 50.0, 100.0, 150.0]).unwrap();
+        assert_eq!(s.positions(), &[50.0]);
+        assert!(GeneralSchedule::new(0.0, vec![]).is_err());
+        assert!(GeneralSchedule::equidistant(10.0, 0).is_err());
+    }
+
+    #[test]
+    fn no_checkpoints_full_rollback() {
+        let s = GeneralSchedule::new(100.0, vec![]).unwrap();
+        assert!((s.expected_rollback() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Online MNOF/MTBF tracking — the runtime estimation loop a production
+//! deployment of Algorithm 1 needs.
+//!
+//! The paper computes MNOF/MTBF from a month of history up front; in a live
+//! system the statistics drift (priorities are re-tuned, bids change,
+//! cluster load shifts). [`OnlineTracker`] maintains exponentially-decayed
+//! per-priority failure statistics that can feed
+//! [`crate::adaptive::AdaptiveCheckpointer::update_mnof`] whenever the
+//! tracked MNOF moves by more than a tolerance — turning Algorithm 1's
+//! "MNOF changed" trigger into something observable at runtime.
+
+use crate::{PolicyError, Result};
+
+/// Exponentially-decayed per-group failure statistics.
+///
+/// Each completed task contributes one observation `(failure_count,
+/// intervals)`. Older observations are down-weighted by `decay` per
+/// observation (decay = 1.0 ⇒ plain running mean).
+#[derive(Debug, Clone)]
+pub struct OnlineTracker {
+    decay: f64,
+    groups: Vec<GroupState>, // indexed by priority − 1
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupState {
+    weight: f64,
+    weighted_failures: f64,
+    interval_weight: f64,
+    weighted_interval_sum: f64,
+}
+
+/// A snapshot of one group's tracked statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackedStats {
+    /// Decayed mean number of failures per task.
+    pub mnof: f64,
+    /// Decayed mean uninterrupted interval (∞ if none observed).
+    pub mtbf: f64,
+    /// Effective sample size (decayed observation weight).
+    pub effective_n: f64,
+}
+
+impl OnlineTracker {
+    /// Create a tracker over `n_priorities` groups with the given decay in
+    /// `(0, 1]` (e.g. 0.99 ⇒ an effective window of ~100 tasks).
+    pub fn new(n_priorities: usize, decay: f64) -> Result<Self> {
+        if n_priorities == 0 {
+            return Err(PolicyError::BadInput { what: "n_priorities", value: 0.0 });
+        }
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(PolicyError::BadInput { what: "decay", value: decay });
+        }
+        Ok(Self { decay, groups: vec![GroupState::default(); n_priorities] })
+    }
+
+    fn group_mut(&mut self, priority: u8) -> Result<&mut GroupState> {
+        let idx = priority.checked_sub(1).map(usize::from);
+        match idx.and_then(|i| self.groups.get_mut(i)) {
+            Some(g) => Ok(g),
+            None => Err(PolicyError::BadInput { what: "priority", value: priority as f64 }),
+        }
+    }
+
+    /// Record a completed task's failure history.
+    pub fn observe(
+        &mut self,
+        priority: u8,
+        failure_count: u32,
+        intervals: &[f64],
+    ) -> Result<()> {
+        let decay = self.decay;
+        let g = self.group_mut(priority)?;
+        g.weight = g.weight * decay + 1.0;
+        g.weighted_failures = g.weighted_failures * decay + failure_count as f64;
+        for &iv in intervals {
+            if iv.is_finite() && iv >= 0.0 {
+                g.interval_weight = g.interval_weight * decay + 1.0;
+                g.weighted_interval_sum = g.weighted_interval_sum * decay + iv;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current statistics for a priority; `None` until the group has
+    /// observations.
+    pub fn stats(&self, priority: u8) -> Option<TrackedStats> {
+        let g = self.groups.get(usize::from(priority.checked_sub(1)?))?;
+        if g.weight <= 0.0 {
+            return None;
+        }
+        Some(TrackedStats {
+            mnof: g.weighted_failures / g.weight,
+            mtbf: if g.interval_weight > 0.0 {
+                g.weighted_interval_sum / g.interval_weight
+            } else {
+                f64::INFINITY
+            },
+            effective_n: g.weight,
+        })
+    }
+
+    /// Whether the tracked MNOF for `priority` differs from `current` by
+    /// more than `rel_tol` (relative) — the Algorithm-1 re-solve trigger.
+    pub fn mnof_changed(&self, priority: u8, current: f64, rel_tol: f64) -> bool {
+        match self.stats(priority) {
+            Some(s) if s.effective_n >= 3.0 => {
+                let denom = current.abs().max(1e-12);
+                (s.mnof - current).abs() / denom > rel_tol
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(OnlineTracker::new(0, 0.9).is_err());
+        assert!(OnlineTracker::new(12, 0.0).is_err());
+        assert!(OnlineTracker::new(12, 1.5).is_err());
+    }
+
+    #[test]
+    fn plain_mean_with_decay_one() {
+        let mut t = OnlineTracker::new(12, 1.0).unwrap();
+        t.observe(2, 1, &[100.0]).unwrap();
+        t.observe(2, 3, &[50.0, 150.0]).unwrap();
+        let s = t.stats(2).unwrap();
+        assert!((s.mnof - 2.0).abs() < 1e-12);
+        assert!((s.mtbf - 100.0).abs() < 1e-12);
+        assert!((s.effective_n - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_tracks_regime_change() {
+        let mut t = OnlineTracker::new(12, 0.8).unwrap();
+        // Old regime: ~1 failure per task.
+        for _ in 0..50 {
+            t.observe(1, 1, &[200.0]).unwrap();
+        }
+        assert!((t.stats(1).unwrap().mnof - 1.0).abs() < 0.01);
+        // New regime: ~10 failures per task; after 20 observations the
+        // decayed mean has mostly converged.
+        for _ in 0..20 {
+            t.observe(1, 10, &[20.0; 10]).unwrap();
+        }
+        let s = t.stats(1).unwrap();
+        assert!(s.mnof > 8.5, "mnof = {}", s.mnof);
+        assert!(s.mtbf < 40.0, "mtbf = {}", s.mtbf);
+    }
+
+    #[test]
+    fn change_trigger_fires_appropriately() {
+        let mut t = OnlineTracker::new(12, 1.0).unwrap();
+        // Too few observations: never trigger.
+        t.observe(4, 8, &[]).unwrap();
+        assert!(!t.mnof_changed(4, 1.0, 0.5));
+        t.observe(4, 8, &[]).unwrap();
+        t.observe(4, 8, &[]).unwrap();
+        // Now tracked MNOF ≈ 8 vs current belief 1.0: trigger.
+        assert!(t.mnof_changed(4, 1.0, 0.5));
+        // Belief already correct: no trigger.
+        assert!(!t.mnof_changed(4, 8.0, 0.5));
+    }
+
+    #[test]
+    fn empty_group_is_none() {
+        let t = OnlineTracker::new(12, 0.9).unwrap();
+        assert!(t.stats(7).is_none());
+        assert!(!t.mnof_changed(7, 1.0, 0.1));
+    }
+
+    #[test]
+    fn rejects_priority_zero_or_out_of_range() {
+        let mut t = OnlineTracker::new(12, 0.9).unwrap();
+        assert!(t.observe(0, 1, &[]).is_err());
+        assert!(t.observe(13, 1, &[]).is_err());
+        assert!(t.stats(0).is_none());
+    }
+
+    #[test]
+    fn mtbf_infinite_without_intervals() {
+        let mut t = OnlineTracker::new(12, 0.9).unwrap();
+        t.observe(3, 0, &[]).unwrap();
+        assert!(t.stats(3).unwrap().mtbf.is_infinite());
+    }
+}

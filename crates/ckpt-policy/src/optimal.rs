@@ -1,0 +1,296 @@
+//! Theorem 1 — the distribution-free optimal number of checkpointing
+//! intervals — and the expected-wall-clock model it minimizes.
+//!
+//! With equidistant checkpoints, a task of productive length `Te`,
+//! per-checkpoint cost `C`, per-restart cost `R` and an expected `E(Y)`
+//! failures during execution has expected wall-clock (paper Formula (4)):
+//!
+//! ```text
+//! E(Tw) = Te + C·(x − 1) + R·E(Y) + Te·E(Y) / (2x)
+//! ```
+//!
+//! The `Te·E(Y)/(2x)` term is the expected rollback loss: failures strike
+//! uniformly within a segment of length `Te/x`, losing `Te/(2x)` on average.
+//! Setting `∂E(Tw)/∂x = C − Te·E(Y)/(2x²) = 0` gives **Formula (3)**:
+//!
+//! ```text
+//! x* = sqrt( Te · E(Y) / (2C) )
+//! ```
+//!
+//! No assumption is made about the failure-interval distribution — only the
+//! *mean number of failures* (MNOF) enters. This is the paper's key
+//! advantage over Young's and Daly's MTBF-based formulas when intervals are
+//! heavy-tailed (Google's are; see Figure 5).
+
+use crate::{PolicyError, Result};
+
+/// The optimal interval count: the continuous optimizer of Formula (4) plus
+/// a cost-aware integer rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalX {
+    continuous: f64,
+    rounded: u32,
+}
+
+impl OptimalX {
+    /// The continuous optimizer `sqrt(Te·E(Y)/(2C))` (≥ 0).
+    #[inline]
+    pub fn continuous(&self) -> f64 {
+        self.continuous
+    }
+
+    /// The integer interval count actually used (≥ 1): whichever of
+    /// `floor(x*)`, `ceil(x*)` has lower expected wall-clock.
+    #[inline]
+    pub fn rounded(&self) -> u32 {
+        self.rounded
+    }
+
+    /// Number of checkpoints taken (`x − 1`; the final segment ends with
+    /// task completion, not a checkpoint).
+    #[inline]
+    pub fn checkpoint_count(&self) -> u32 {
+        self.rounded.saturating_sub(1)
+    }
+
+    /// Length of one checkpointing interval, `Te / x`.
+    #[inline]
+    pub fn interval_length(&self, te: f64) -> f64 {
+        te / self.rounded as f64
+    }
+}
+
+fn check(what: &'static str, v: f64, nonneg_ok: bool) -> Result<f64> {
+    let ok = v.is_finite() && if nonneg_ok { v >= 0.0 } else { v > 0.0 };
+    if ok {
+        Ok(v)
+    } else {
+        Err(PolicyError::BadInput { what, value: v })
+    }
+}
+
+/// Expected wall-clock time of a task under equidistant checkpointing —
+/// paper Formula (4).
+///
+/// * `te` — productive execution length (s), > 0
+/// * `c` — per-checkpoint cost (s), ≥ 0
+/// * `r` — per-restart cost (s), ≥ 0
+/// * `e_y` — expected number of failures during execution (MNOF), ≥ 0
+/// * `x` — number of equidistant intervals, ≥ 1
+///
+/// ```
+/// use ckpt_policy::optimal::expected_wall_clock;
+/// // Te=18, C=2, R=0, E(Y)=2 at the optimum x=3:
+/// // 18 + 2·2 + 0 + 18·2/6 = 28.
+/// let e = expected_wall_clock(18.0, 2.0, 0.0, 2.0, 3).unwrap();
+/// assert!((e - 28.0).abs() < 1e-12);
+/// ```
+pub fn expected_wall_clock(te: f64, c: f64, r: f64, e_y: f64, x: u32) -> Result<f64> {
+    let te = check("te", te, false)?;
+    let c = check("c", c, true)?;
+    let r = check("r", r, true)?;
+    let e_y = check("e_y", e_y, true)?;
+    if x == 0 {
+        return Err(PolicyError::BadInput { what: "x", value: 0.0 });
+    }
+    let x = x as f64;
+    Ok(te + c * (x - 1.0) + r * e_y + te * e_y / (2.0 * x))
+}
+
+/// The overhead part of Formula (4) (everything except `Te` and the
+/// `R·E(Y)` term that does not depend on `x`):
+/// `C·(x−1) + Te·E(Y)/(2x)`.
+pub fn overhead(te: f64, c: f64, e_y: f64, x: u32) -> Result<f64> {
+    expected_wall_clock(te, c, 0.0, e_y, x).map(|w| w - te)
+}
+
+/// **Formula (3)** — the optimal number of equidistant checkpointing
+/// intervals, `x* = sqrt(Te·E(Y)/(2C))`, with cost-aware rounding to an
+/// integer ≥ 1.
+///
+/// * `te` — productive execution length (s), > 0
+/// * `c` — per-checkpoint cost (s), > 0
+/// * `e_y` — expected number of failures during the execution (MNOF), ≥ 0
+///
+/// Rounding compares `floor(x*)` and `ceil(x*)` under Formula (4) — for a
+/// convex objective the integer optimum is one of the two neighbours.
+///
+/// ```
+/// use ckpt_policy::optimal::optimal_interval_count;
+/// // Paper example: Te=18, C=2, E(Y)=2 => exactly 3 intervals of 6 s.
+/// let x = optimal_interval_count(18.0, 2.0, 2.0).unwrap();
+/// assert_eq!(x.rounded(), 3);
+/// assert_eq!(x.checkpoint_count(), 2);
+/// ```
+pub fn optimal_interval_count(te: f64, c: f64, e_y: f64) -> Result<OptimalX> {
+    let te = check("te", te, false)?;
+    let c = check("c", c, false)?;
+    let e_y = check("e_y", e_y, true)?;
+    let cont = (te * e_y / (2.0 * c)).sqrt();
+    let lo = cont.floor().max(1.0) as u32;
+    let hi = cont.ceil().max(1.0) as u32;
+    let rounded = if lo == hi {
+        lo
+    } else {
+        // Convexity of Formula (4) in x makes this comparison sufficient.
+        let w_lo = expected_wall_clock(te, c, 0.0, e_y, lo)?;
+        let w_hi = expected_wall_clock(te, c, 0.0, e_y, hi)?;
+        if w_lo <= w_hi {
+            lo
+        } else {
+            hi
+        }
+    };
+    Ok(OptimalX { continuous: cont, rounded })
+}
+
+/// Scale an MNOF measured over a full task of length `te_total` down to the
+/// expectation for a remaining length `te_remaining` — the proportionality
+/// `E_k(Y) = (Tr(k)/Tr(0))·E_0(Y)` used in the proof of Theorem 2.
+pub fn scale_mnof(mnof: f64, te_total: f64, te_remaining: f64) -> Result<f64> {
+    let mnof = check("mnof", mnof, true)?;
+    let te_total = check("te_total", te_total, false)?;
+    let te_remaining = check("te_remaining", te_remaining, true)?;
+    Ok(mnof * te_remaining / te_total)
+}
+
+/// Exhaustive integer minimizer of Formula (4), for validation: scans
+/// `x ∈ [1, x_max]` and returns the best. Used by tests and ablation benches
+/// to confirm [`optimal_interval_count`]'s rounding is exact.
+pub fn brute_force_optimal(te: f64, c: f64, e_y: f64, x_max: u32) -> Result<u32> {
+    check("te", te, false)?;
+    check("c", c, false)?;
+    check("e_y", e_y, true)?;
+    let mut best_x = 1;
+    let mut best_w = f64::INFINITY;
+    for x in 1..=x_max.max(1) {
+        let w = expected_wall_clock(te, c, 0.0, e_y, x)?;
+        if w < best_w {
+            best_w = w;
+            best_x = x;
+        }
+    }
+    Ok(best_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Te = 18 s, C = 2 s, Poisson λ = 2 ⇒ x* = 3, checkpoint every 6 s.
+        let x = optimal_interval_count(18.0, 2.0, 2.0).unwrap();
+        assert!((x.continuous() - 3.0).abs() < 1e-12);
+        assert_eq!(x.rounded(), 3);
+        assert!((x.interval_length(18.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_precopy_example() {
+        // §4.2.2: "task length 441 s, checkpointing cost 1 s, expected number
+        // of failures 2 ⇒ sqrt(441·2/(2·1)) − 1 = 20 checkpoints".
+        let x = optimal_interval_count(441.0, 1.0, 2.0).unwrap();
+        assert_eq!(x.rounded(), 21);
+        assert_eq!(x.checkpoint_count(), 20);
+    }
+
+    #[test]
+    fn paper_storage_example_continuous_values() {
+        // §4.2.2 example: Te=200, E(Y)=2; C_l=0.632 ⇒ x ≈ 17.79,
+        // C_s=1.67 ⇒ x ≈ 10.94.
+        let xl = optimal_interval_count(200.0, 0.632, 2.0).unwrap();
+        let xs = optimal_interval_count(200.0, 1.67, 2.0).unwrap();
+        assert!((xl.continuous() - 17.79).abs() < 0.01, "{}", xl.continuous());
+        assert!((xs.continuous() - 10.94).abs() < 0.01, "{}", xs.continuous());
+    }
+
+    #[test]
+    fn zero_failures_means_no_checkpoints() {
+        let x = optimal_interval_count(1000.0, 1.0, 0.0).unwrap();
+        assert_eq!(x.rounded(), 1);
+        assert_eq!(x.checkpoint_count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(optimal_interval_count(0.0, 1.0, 1.0).is_err());
+        assert!(optimal_interval_count(10.0, 0.0, 1.0).is_err());
+        assert!(optimal_interval_count(10.0, 1.0, -1.0).is_err());
+        assert!(optimal_interval_count(f64::NAN, 1.0, 1.0).is_err());
+        assert!(expected_wall_clock(10.0, 1.0, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn expected_wall_clock_components() {
+        // Te=100, C=1, R=5, E(Y)=3, x=10:
+        // 100 + 9 + 15 + 100·3/20 = 139.
+        let w = expected_wall_clock(100.0, 1.0, 5.0, 3.0, 10).unwrap();
+        assert!((w - 139.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_matches_brute_force() {
+        // Sweep a grid of parameters; rounded x* must equal the exhaustive
+        // integer minimizer.
+        for &te in &[10.0, 50.0, 200.0, 441.0, 1000.0, 3600.0] {
+            for &c in &[0.1, 0.5, 1.0, 2.0, 6.83] {
+                for &ey in &[0.2, 0.5, 1.0, 2.0, 5.0, 11.9] {
+                    let x = optimal_interval_count(te, c, ey).unwrap();
+                    let bf = brute_force_optimal(te, c, ey, 500).unwrap();
+                    assert_eq!(
+                        x.rounded(),
+                        bf,
+                        "te={te} c={c} ey={ey}: rounded {} vs brute {bf}",
+                        x.rounded()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_neighbours() {
+        let (te, c, ey) = (500.0, 1.5, 4.0);
+        let x = optimal_interval_count(te, c, ey).unwrap().rounded();
+        let w_opt = expected_wall_clock(te, c, 0.0, ey, x).unwrap();
+        if x > 1 {
+            assert!(w_opt <= expected_wall_clock(te, c, 0.0, ey, x - 1).unwrap());
+        }
+        assert!(w_opt <= expected_wall_clock(te, c, 0.0, ey, x + 1).unwrap());
+    }
+
+    #[test]
+    fn scale_mnof_proportionality() {
+        // Half the work remaining ⇒ half the expected failures.
+        let e = scale_mnof(4.0, 100.0, 50.0).unwrap();
+        assert!((e - 2.0).abs() < 1e-12);
+        assert_eq!(scale_mnof(4.0, 100.0, 0.0).unwrap(), 0.0);
+        assert!(scale_mnof(-1.0, 100.0, 50.0).is_err());
+    }
+
+    #[test]
+    fn overhead_excludes_te_and_restart() {
+        let o = overhead(100.0, 1.0, 2.0, 10).unwrap();
+        // C(x−1) + Te·E(Y)/(2x) = 9 + 10 = 19.
+        assert!((o - 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_failures_more_checkpoints() {
+        let x1 = optimal_interval_count(1000.0, 1.0, 1.0).unwrap().rounded();
+        let x2 = optimal_interval_count(1000.0, 1.0, 4.0).unwrap().rounded();
+        assert!(x2 > x1);
+        // Quadrupling E(Y) doubles x* (square root law).
+        let c1 = optimal_interval_count(1000.0, 1.0, 1.0).unwrap().continuous();
+        let c2 = optimal_interval_count(1000.0, 1.0, 4.0).unwrap().continuous();
+        assert!((c2 / c1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costlier_checkpoints_mean_fewer() {
+        let cheap = optimal_interval_count(1000.0, 0.5, 2.0).unwrap().rounded();
+        let pricey = optimal_interval_count(1000.0, 8.0, 2.0).unwrap().rounded();
+        assert!(pricey < cheap);
+    }
+}

@@ -1,0 +1,207 @@
+//! Equidistant checkpoint schedules, the rollback operator `Λ(t)`, and exact
+//! wall-clock accounting for a concrete failure history (paper Formula (1)).
+//!
+//! Positions are expressed in *productive time* (progress through `Te`),
+//! which is the clock Theorem 1's analysis uses: a checkpoint is taken "once
+//! the execution of the task has progressed for a duration `Te/x` without
+//! encountering any failure event".
+
+use crate::{PolicyError, Result};
+
+/// An equidistant checkpoint schedule for a task of productive length `te`
+/// split into `x` intervals: checkpoints at `i·te/x` for `i = 1..x-1`.
+///
+/// (No checkpoint at `te` itself — completing the task supersedes it.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquidistantSchedule {
+    te: f64,
+    x: u32,
+}
+
+impl EquidistantSchedule {
+    /// Create a schedule over productive length `te > 0` with `x ≥ 1`
+    /// intervals.
+    pub fn new(te: f64, x: u32) -> Result<Self> {
+        if !(te.is_finite() && te > 0.0) {
+            return Err(PolicyError::BadInput { what: "te", value: te });
+        }
+        if x == 0 {
+            return Err(PolicyError::BadInput { what: "x", value: 0.0 });
+        }
+        Ok(Self { te, x })
+    }
+
+    /// Total productive length `Te`.
+    #[inline]
+    pub fn te(&self) -> f64 {
+        self.te
+    }
+
+    /// Number of intervals `x`.
+    #[inline]
+    pub fn intervals(&self) -> u32 {
+        self.x
+    }
+
+    /// Interval (segment) length `Te/x`.
+    #[inline]
+    pub fn segment_len(&self) -> f64 {
+        self.te / self.x as f64
+    }
+
+    /// Number of checkpoints actually taken (`x − 1`).
+    #[inline]
+    pub fn checkpoint_count(&self) -> u32 {
+        self.x - 1
+    }
+
+    /// The checkpoint positions in productive time, ascending.
+    pub fn positions(&self) -> Vec<f64> {
+        let w = self.segment_len();
+        (1..self.x).map(|i| i as f64 * w).collect()
+    }
+
+    /// `Λ(t)`: the checkpointed progress position closest before productive
+    /// time `t` — i.e. where a failure at progress `t` rolls back to.
+    /// Position 0 (task start) counts as an implicit checkpoint.
+    pub fn lambda(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let w = self.segment_len();
+        let k = (t / w).floor().min((self.x - 1) as f64);
+        k * w
+    }
+
+    /// Rollback loss for a failure at productive position `t`:
+    /// `t − Λ(t)` (paper Formula (1)'s per-failure term, excluding `R`).
+    pub fn rollback_loss(&self, t: f64) -> f64 {
+        (t - self.lambda(t)).max(0.0)
+    }
+}
+
+/// Exact wall-clock length for a concrete failure history — paper
+/// Formula (1):
+///
+/// ```text
+/// Tw = Te + C·(x−1) + Σ_h ( T_h − Λ(T_h) + R )
+/// ```
+///
+/// `failure_positions` are the productive-time positions at which each
+/// failure strikes (each must be in `[0, te]`).
+///
+/// ```
+/// use ckpt_policy::schedule::{wall_clock_formula1, EquidistantSchedule};
+/// let s = EquidistantSchedule::new(18.0, 3).unwrap(); // checkpoints at 6, 12
+/// // One failure at progress 8 ⇒ rollback to 6, losing 2 s, restart 1 s:
+/// // Tw = 18 + 2·2 + (2 + 1) = 25.
+/// let tw = wall_clock_formula1(&s, 2.0, 1.0, &[8.0]).unwrap();
+/// assert!((tw - 25.0).abs() < 1e-12);
+/// ```
+pub fn wall_clock_formula1(
+    schedule: &EquidistantSchedule,
+    c: f64,
+    r: f64,
+    failure_positions: &[f64],
+) -> Result<f64> {
+    if !(c.is_finite() && c >= 0.0) {
+        return Err(PolicyError::BadInput { what: "c", value: c });
+    }
+    if !(r.is_finite() && r >= 0.0) {
+        return Err(PolicyError::BadInput { what: "r", value: r });
+    }
+    let mut tw = schedule.te() + c * schedule.checkpoint_count() as f64;
+    for &t in failure_positions {
+        if !(0.0..=schedule.te()).contains(&t) {
+            return Err(PolicyError::BadInput { what: "failure position", value: t });
+        }
+        tw += schedule.rollback_loss(t) + r;
+    }
+    Ok(tw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_paper_figure3() {
+        // Figure 3: Te split into 4 segments ⇒ checkpoints at Te/4, Te/2, 3Te/4.
+        let s = EquidistantSchedule::new(100.0, 4).unwrap();
+        assert_eq!(s.positions(), vec![25.0, 50.0, 75.0]);
+        assert_eq!(s.checkpoint_count(), 3);
+        assert!((s.segment_len() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_interval_has_no_checkpoints() {
+        let s = EquidistantSchedule::new(10.0, 1).unwrap();
+        assert!(s.positions().is_empty());
+        assert_eq!(s.checkpoint_count(), 0);
+        assert_eq!(s.lambda(7.0), 0.0); // any failure rolls back to start
+    }
+
+    #[test]
+    fn lambda_is_floor_to_checkpoint() {
+        let s = EquidistantSchedule::new(100.0, 4).unwrap();
+        assert_eq!(s.lambda(0.0), 0.0);
+        assert_eq!(s.lambda(24.9), 0.0);
+        assert_eq!(s.lambda(25.0), 25.0);
+        assert_eq!(s.lambda(60.0), 50.0);
+        assert_eq!(s.lambda(99.9), 75.0);
+        // Position te maps to the last checkpoint, not te.
+        assert_eq!(s.lambda(100.0), 75.0);
+    }
+
+    #[test]
+    fn rollback_loss_bounded_by_segment() {
+        let s = EquidistantSchedule::new(100.0, 4).unwrap();
+        for i in 0..=1000 {
+            let t = i as f64 * 0.1;
+            let loss = s.rollback_loss(t);
+            assert!(loss >= 0.0);
+            assert!(loss <= s.segment_len() + 1e-12, "t={t}, loss={loss}");
+        }
+    }
+
+    #[test]
+    fn formula1_no_failures() {
+        let s = EquidistantSchedule::new(18.0, 3).unwrap();
+        let tw = wall_clock_formula1(&s, 2.0, 1.0, &[]).unwrap();
+        assert!((tw - 22.0).abs() < 1e-12); // 18 + 2·2
+    }
+
+    #[test]
+    fn formula1_multiple_failures() {
+        let s = EquidistantSchedule::new(18.0, 3).unwrap();
+        // Failures at 3 (loss 3), 8 (loss 2), 17 (loss 5); R = 1 each.
+        let tw = wall_clock_formula1(&s, 2.0, 1.0, &[3.0, 8.0, 17.0]).unwrap();
+        assert!((tw - (18.0 + 4.0 + (3.0 + 2.0 + 5.0) + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula1_rejects_out_of_range_failure() {
+        let s = EquidistantSchedule::new(18.0, 3).unwrap();
+        assert!(wall_clock_formula1(&s, 2.0, 1.0, &[19.0]).is_err());
+        assert!(wall_clock_formula1(&s, 2.0, 1.0, &[-0.5]).is_err());
+    }
+
+    #[test]
+    fn construction_rejects_bad_inputs() {
+        assert!(EquidistantSchedule::new(0.0, 3).is_err());
+        assert!(EquidistantSchedule::new(10.0, 0).is_err());
+        assert!(EquidistantSchedule::new(f64::NAN, 3).is_err());
+    }
+
+    #[test]
+    fn mean_rollback_is_half_segment() {
+        // Empirical check of the Te/(2x) argument in Theorem 1's proof:
+        // failures uniform over [0, Te) lose half a segment on average.
+        let s = EquidistantSchedule::new(100.0, 5).unwrap();
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|i| s.rollback_loss((i as f64 + 0.5) * 100.0 / n as f64)).sum::<f64>()
+                / n as f64;
+        assert!((mean - 10.0).abs() < 0.01, "mean rollback = {mean}");
+    }
+}

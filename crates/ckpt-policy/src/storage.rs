@@ -1,0 +1,167 @@
+//! §4.2.2 — the local-disk vs shared-disk checkpointing tradeoff.
+//!
+//! Checkpointing to a **local ramdisk** is cheap per checkpoint (`C_l`) but
+//! makes restarting on *another* host expensive (migration type A: the
+//! memory image must first be moved off the failed host's disk). Checkpointing
+//! to a **shared disk** (NFS/DM-NFS) costs more per checkpoint (`C_s`) but
+//! restarts are cheap anywhere (migration type B).
+//!
+//! The paper decides by comparing expected total overheads under Formula (4):
+//!
+//! ```text
+//! total(C, R) = C·(X − 1) + R·E(Y) + Te·E(Y) / (2X)
+//! ```
+//!
+//! with `X` the (continuous) optimal interval count for that device's `C`.
+
+use crate::optimal::optimal_interval_count;
+use crate::{PolicyError, Result};
+
+/// The `(C, R)` cost pair of one checkpoint storage device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCosts {
+    /// Per-checkpoint cost `C` (seconds).
+    pub checkpoint_cost: f64,
+    /// Per-restart cost `R` (seconds) when recovering from this device.
+    pub restart_cost: f64,
+}
+
+impl DeviceCosts {
+    /// Create a cost pair, validating both entries.
+    pub fn new(checkpoint_cost: f64, restart_cost: f64) -> Result<Self> {
+        if !(checkpoint_cost.is_finite() && checkpoint_cost > 0.0) {
+            return Err(PolicyError::BadInput { what: "checkpoint_cost", value: checkpoint_cost });
+        }
+        if !(restart_cost.is_finite() && restart_cost >= 0.0) {
+            return Err(PolicyError::BadInput { what: "restart_cost", value: restart_cost });
+        }
+        Ok(Self { checkpoint_cost, restart_cost })
+    }
+}
+
+/// Which device a task should checkpoint to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoragePick {
+    /// Local ramdisk (migration type A on restart).
+    Local,
+    /// Shared disk — NFS or DM-NFS (migration type B on restart).
+    Shared,
+}
+
+impl StoragePick {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoragePick::Local => "local-ramdisk",
+            StoragePick::Shared => "shared-disk",
+        }
+    }
+}
+
+/// Expected total fault-tolerance overhead for a device, with `X` chosen
+/// continuously as in the paper's worked example:
+/// `C·(X−1) + R·E(Y) + Te·E(Y)/(2X)` where `X = sqrt(Te·E(Y)/(2C))`.
+///
+/// ```
+/// use ckpt_policy::storage::{expected_total_cost, DeviceCosts};
+/// // Paper's example: Te=200 s, 160 MB, E(Y)=2.
+/// // Local ramdisk: C=0.632, R=3.22 ⇒ ≈ 28.29 s.
+/// let local = DeviceCosts::new(0.632, 3.22).unwrap();
+/// let cost = expected_total_cost(200.0, 2.0, local).unwrap();
+/// assert!((cost - 28.29).abs() < 0.01);
+/// // Shared disk: C=1.67, R=1.45 ⇒ ≈ 37.78 s.
+/// let shared = DeviceCosts::new(1.67, 1.45).unwrap();
+/// let cost_s = expected_total_cost(200.0, 2.0, shared).unwrap();
+/// assert!((cost_s - 37.78).abs() < 0.01);
+/// ```
+pub fn expected_total_cost(te: f64, e_y: f64, device: DeviceCosts) -> Result<f64> {
+    if !(te.is_finite() && te > 0.0) {
+        return Err(PolicyError::BadInput { what: "te", value: te });
+    }
+    if !(e_y.is_finite() && e_y >= 0.0) {
+        return Err(PolicyError::BadInput { what: "e_y", value: e_y });
+    }
+    if e_y == 0.0 {
+        // No failures expected: no checkpoints, no restarts.
+        return Ok(0.0);
+    }
+    let x = optimal_interval_count(te, device.checkpoint_cost, e_y)?.continuous().max(1.0);
+    Ok(device.checkpoint_cost * (x - 1.0)
+        + device.restart_cost * e_y
+        + te * e_y / (2.0 * x))
+}
+
+/// Decide between local-ramdisk and shared-disk checkpointing by expected
+/// total overhead. Returns the pick and both costs `(local, shared)`.
+///
+/// ```
+/// use ckpt_policy::storage::{choose_storage, DeviceCosts, StoragePick};
+/// let local = DeviceCosts::new(0.632, 3.22).unwrap();
+/// let shared = DeviceCosts::new(1.67, 1.45).unwrap();
+/// let (pick, cl, cs) = choose_storage(200.0, 2.0, local, shared).unwrap();
+/// assert_eq!(pick, StoragePick::Local); // the paper's conclusion
+/// assert!(cl < cs);
+/// ```
+pub fn choose_storage(
+    te: f64,
+    e_y: f64,
+    local: DeviceCosts,
+    shared: DeviceCosts,
+) -> Result<(StoragePick, f64, f64)> {
+    let cost_local = expected_total_cost(te, e_y, local)?;
+    let cost_shared = expected_total_cost(te, e_y, shared)?;
+    let pick = if cost_local < cost_shared { StoragePick::Local } else { StoragePick::Shared };
+    Ok((pick, cost_local, cost_shared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Te=200, memsize=160MB, E(Y)=2; measured costs from Tables 2 & 5:
+        // local: C=0.632 (ramdisk avg), R=3.22 (migration A);
+        // shared: C=1.67 (NFS avg), R=1.45 (migration B).
+        let local = DeviceCosts::new(0.632, 3.22).unwrap();
+        let shared = DeviceCosts::new(1.67, 1.45).unwrap();
+        let cl = expected_total_cost(200.0, 2.0, local).unwrap();
+        let cs = expected_total_cost(200.0, 2.0, shared).unwrap();
+        assert!((cl - 28.29).abs() < 0.01, "local = {cl}");
+        assert!((cs - 37.78).abs() < 0.01, "shared = {cs}");
+        let (pick, ..) = choose_storage(200.0, 2.0, local, shared).unwrap();
+        assert_eq!(pick, StoragePick::Local);
+    }
+
+    #[test]
+    fn cheap_restart_wins_for_failure_heavy_tasks() {
+        // With many expected failures the R·E(Y) term dominates: shared
+        // disk (cheap restart) becomes the right pick even though its
+        // per-checkpoint cost is higher.
+        let local = DeviceCosts::new(0.632, 3.22).unwrap();
+        let shared = DeviceCosts::new(1.67, 1.45).unwrap();
+        let (pick, ..) = choose_storage(200.0, 40.0, local, shared).unwrap();
+        assert_eq!(pick, StoragePick::Shared);
+    }
+
+    #[test]
+    fn zero_failures_zero_cost() {
+        let d = DeviceCosts::new(1.0, 1.0).unwrap();
+        assert_eq!(expected_total_cost(500.0, 0.0, d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(DeviceCosts::new(0.0, 1.0).is_err());
+        assert!(DeviceCosts::new(1.0, -1.0).is_err());
+        let d = DeviceCosts::new(1.0, 1.0).unwrap();
+        assert!(expected_total_cost(0.0, 1.0, d).is_err());
+        assert!(expected_total_cost(10.0, -1.0, d).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(StoragePick::Local.label(), "local-ramdisk");
+        assert_eq!(StoragePick::Shared.label(), "shared-disk");
+    }
+}

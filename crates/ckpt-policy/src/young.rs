@@ -1,0 +1,118 @@
+//! Young's 1974 first-order checkpointing formula — the paper's baseline —
+//! and Corollary 1, which derives it from Theorem 1 under exponential
+//! failure intervals.
+//!
+//! Young's formula gives the optimal checkpoint *interval* (not count):
+//!
+//! ```text
+//! Tc = sqrt(2 · C · Tf)
+//! ```
+//!
+//! where `C` is the checkpoint cost and `Tf` the mean time between failures
+//! (MTBF). The paper's critique (§5.2): with heavy-tailed (Pareto-like)
+//! failure intervals "a majority of failure intervals are short while a
+//! minority are extremely long, leading to the large MTBF on average thus
+//! large prediction errors" — Young then checkpoints far too rarely.
+
+use crate::{PolicyError, Result};
+
+fn check_pos(what: &'static str, v: f64) -> Result<f64> {
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(PolicyError::BadInput { what, value: v })
+    }
+}
+
+/// Young's optimal checkpointing interval `Tc = sqrt(2·C·Tf)` (seconds).
+///
+/// ```
+/// use ckpt_policy::young::young_interval;
+/// // Paper §4.1: C = 2 s, λ = 0.00423445 ⇒ Tc ≈ 30.7 s.
+/// let tc = young_interval(2.0, 1.0 / 0.00423445).unwrap();
+/// assert!((tc - 30.7).abs() < 0.1);
+/// ```
+pub fn young_interval(c: f64, mtbf: f64) -> Result<f64> {
+    let c = check_pos("c", c)?;
+    let mtbf = check_pos("mtbf", mtbf)?;
+    Ok((2.0 * c * mtbf).sqrt())
+}
+
+/// Number of equidistant intervals a task of length `te` gets under Young's
+/// formula: `x = round(te / Tc)`, at least 1.
+///
+/// Young's model is interval-based (it assumes effectively infinite jobs);
+/// for a finite task the nearest whole number of segments is used, which is
+/// how the paper applies it in the evaluation.
+pub fn young_interval_count(te: f64, c: f64, mtbf: f64) -> Result<u32> {
+    let te = check_pos("te", te)?;
+    let tc = young_interval(c, mtbf)?;
+    Ok((te / tc).round().max(1.0) as u32)
+}
+
+/// Corollary 1, numerically: the interval implied by Theorem 1 when failures
+/// are Poisson (`E(Y) = Te/Tf`), i.e. `Te / x*`. As `Te → ∞` this converges
+/// to Young's `sqrt(2·C·Tf)`; the function exists so tests and benches can
+/// exhibit the equivalence (and quantify the finite-task deviation).
+pub fn corollary1_interval(te: f64, c: f64, mtbf: f64) -> Result<f64> {
+    let te = check_pos("te", te)?;
+    let c = check_pos("c", c)?;
+    let mtbf = check_pos("mtbf", mtbf)?;
+    let e_y = te / mtbf;
+    let x_star = (te * e_y / (2.0 * c)).sqrt();
+    Ok(te / x_star)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_value() {
+        let tc = young_interval(2.0, 1.0 / 0.00423445).unwrap();
+        assert!((tc - 30.73).abs() < 0.05, "tc = {tc}");
+    }
+
+    #[test]
+    fn corollary1_exact_equivalence() {
+        // With E(Y) = Te/Tf, Te/x* algebraically equals sqrt(2·C·Tf) for
+        // EVERY finite Te — the cancellation in the paper's derivation.
+        for &te in &[50.0, 300.0, 1e4] {
+            let a = corollary1_interval(te, 2.0, 236.0).unwrap();
+            let b = young_interval(2.0, 236.0).unwrap();
+            assert!((a - b).abs() < 1e-9, "te={te}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn interval_count_rounds() {
+        // Tc = sqrt(2·2·200) ≈ 28.28; te = 100 ⇒ 100/28.28 ≈ 3.54 ⇒ 4.
+        let x = young_interval_count(100.0, 2.0, 200.0).unwrap();
+        assert_eq!(x, 4);
+    }
+
+    #[test]
+    fn never_less_than_one_interval() {
+        // MTBF enormous vs task length ⇒ interval longer than the task ⇒
+        // one segment, zero checkpoints.
+        let x = young_interval_count(10.0, 2.0, 1e9).unwrap();
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(young_interval(0.0, 100.0).is_err());
+        assert!(young_interval(1.0, 0.0).is_err());
+        assert!(young_interval(f64::NAN, 1.0).is_err());
+        assert!(young_interval_count(0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mtbf_inflation_lengthens_interval() {
+        // The failure mode the paper exploits: an inflated MTBF (heavy tail)
+        // stretches Young's interval by sqrt(inflation).
+        let honest = young_interval(2.0, 179.0).unwrap(); // short-task MTBF, Table 7
+        let inflated = young_interval(2.0, 4199.0).unwrap(); // full-range MTBF, Table 7
+        assert!(inflated / honest > 4.0, "{inflated} / {honest}");
+    }
+}

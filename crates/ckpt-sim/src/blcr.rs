@@ -1,0 +1,269 @@
+//! BLCR-like checkpoint/restart cost model, calibrated to the paper's
+//! measurements on the Gideon-II cluster:
+//!
+//! * **Figure 7** — per-checkpoint cost is linear in task memory size:
+//!   `[0.016, 0.99] s` over 10–240 MB on local ramdisk, `[0.25, 2.52] s`
+//!   over NFS.
+//! * **Table 4** — single checkpoint *operation* time over shared disk,
+//!   0.33 s at 10.3 MB up to 6.83 s at 240 MB (used as the service demand
+//!   the storage servers process).
+//! * **Table 5** — restart cost by migration type: type A (checkpoint in
+//!   local ramdisk, must be moved before restarting elsewhere) 0.71–5.69 s;
+//!   type B (checkpoint on shared disk) 0.37–2.4 s over 10–240 MB.
+//!
+//! Cost tables are piecewise-linear interpolated in memory size and
+//! extrapolated beyond the measured range; an optional multiplicative jitter
+//! reproduces the min/avg/max spreads of Tables 2–3.
+
+use ckpt_stats::rng::Rng64;
+
+/// Where a task's checkpoints are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// The VM's local ramdisk: cheapest checkpoints, no cross-host access.
+    Ramdisk,
+    /// A single central NFS server shared by the whole cluster.
+    CentralNfs,
+    /// The paper's distributively-managed NFS: one NFS server per host,
+    /// selected uniformly at random per checkpoint.
+    DmNfs,
+}
+
+impl Device {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Device::Ramdisk => "ramdisk",
+            Device::CentralNfs => "NFS",
+            Device::DmNfs => "DM-NFS",
+        }
+    }
+
+    /// The migration type a restart from this device implies (paper §4.2.2):
+    /// ramdisk checkpoints restart via migration type A, shared-disk
+    /// checkpoints via type B.
+    pub fn migration(&self) -> Migration {
+        match self {
+            Device::Ramdisk => Migration::TypeA,
+            Device::CentralNfs | Device::DmNfs => Migration::TypeB,
+        }
+    }
+}
+
+/// Restart migration type (paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Migration {
+    /// Checkpoint lives in the failed host's ramdisk: move it first.
+    TypeA,
+    /// Checkpoint lives on shared disk: restart anywhere directly.
+    TypeB,
+}
+
+/// Piecewise-linear interpolation through `(x, y)` points sorted by `x`,
+/// linear extrapolation outside.
+fn interp(points: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(points.len() >= 2);
+    let (first, last) = (points[0], points[points.len() - 1]);
+    let seg = if x <= first.0 {
+        (points[0], points[1])
+    } else if x >= last.0 {
+        (points[points.len() - 2], last)
+    } else {
+        let idx = points.partition_point(|p| p.0 < x);
+        (points[idx - 1], points[idx])
+    };
+    let ((x0, y0), (x1, y1)) = seg;
+    let t = (x - x0) / (x1 - x0);
+    (y0 + t * (y1 - y0)).max(0.0)
+}
+
+/// Figure 7(a): per-checkpoint wall-clock cost on local ramdisk (seconds).
+const RAMDISK_COST: [(f64, f64); 2] = [(10.0, 0.016), (240.0, 0.99)];
+
+/// Figure 7(b) / Table 2 X=1: per-checkpoint wall-clock cost on NFS
+/// (uncontended; contention is the storage server's job).
+const NFS_COST: [(f64, f64); 2] = [(10.0, 0.25), (240.0, 2.52)];
+
+/// Table 4: single checkpoint operation time over shared disk (seconds) —
+/// the storage service demand.
+const SHARED_OP_TIME: [(f64, f64); 12] = [
+    (10.3, 0.33),
+    (22.3, 0.42),
+    (42.3, 0.60),
+    (46.3, 0.66),
+    (82.4, 1.46),
+    (86.4, 1.75),
+    (90.4, 2.09),
+    (94.4, 2.34),
+    (162.0, 3.68),
+    (174.0, 4.95),
+    (212.0, 5.47),
+    (240.0, 6.83),
+];
+
+/// Table 5: restart cost for migration type A (seconds).
+const RESTART_A: [(f64, f64); 6] =
+    [(10.0, 0.71), (20.0, 0.84), (40.0, 1.23), (80.0, 1.87), (160.0, 3.22), (240.0, 5.69)];
+
+/// Table 5: restart cost for migration type B (seconds).
+const RESTART_B: [(f64, f64); 6] =
+    [(10.0, 0.37), (20.0, 0.49), (40.0, 0.54), (80.0, 0.86), (160.0, 1.45), (240.0, 2.4)];
+
+/// The BLCR cost model. Stateless; all methods are pure except the jittered
+/// variants, which consume randomness from the caller's stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlcrModel;
+
+impl BlcrModel {
+    /// Uncontended per-checkpoint wall-clock cost `C` (seconds) for a task
+    /// of `mem_mb` on `device`. DM-NFS has the same single-stream cost as
+    /// central NFS (same class of server; its advantage is load spreading).
+    pub fn checkpoint_cost(&self, device: Device, mem_mb: f64) -> f64 {
+        match device {
+            Device::Ramdisk => interp(&RAMDISK_COST, mem_mb).max(0.005),
+            Device::CentralNfs | Device::DmNfs => interp(&NFS_COST, mem_mb).max(0.01),
+        }
+    }
+
+    /// Table 4's checkpoint *operation* time (seconds) — the service demand
+    /// a shared-disk checkpoint places on a storage server.
+    pub fn shared_op_time(&self, mem_mb: f64) -> f64 {
+        interp(&SHARED_OP_TIME, mem_mb).max(0.01)
+    }
+
+    /// Restart cost `R` (seconds) by migration type (Table 5).
+    pub fn restart_cost(&self, migration: Migration, mem_mb: f64) -> f64 {
+        match migration {
+            Migration::TypeA => interp(&RESTART_A, mem_mb).max(0.01),
+            Migration::TypeB => interp(&RESTART_B, mem_mb).max(0.01),
+        }
+    }
+
+    /// Restart cost for a task checkpointing to `device`.
+    pub fn restart_cost_for_device(&self, device: Device, mem_mb: f64) -> f64 {
+        self.restart_cost(device.migration(), mem_mb)
+    }
+
+    /// Multiplicative jitter factor reproducing the measured min/avg/max
+    /// spreads (Tables 2–3 show roughly ±10–15 % around the mean). Uniform
+    /// on [0.88, 1.12]; mean ≈ 1.
+    pub fn jitter<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.next_in(0.88, 1.12)
+    }
+
+    /// Jittered checkpoint cost (for contention experiments).
+    pub fn checkpoint_cost_jittered<R: Rng64 + ?Sized>(
+        &self,
+        device: Device,
+        mem_mb: f64,
+        rng: &mut R,
+    ) -> f64 {
+        self.checkpoint_cost(device, mem_mb) * self.jitter(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_stats::rng::Xoshiro256StarStar;
+
+    const M: BlcrModel = BlcrModel;
+
+    #[test]
+    fn ramdisk_endpoints_match_paper() {
+        assert!((M.checkpoint_cost(Device::Ramdisk, 10.0) - 0.016).abs() < 1e-9);
+        assert!((M.checkpoint_cost(Device::Ramdisk, 240.0) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nfs_endpoints_match_paper() {
+        assert!((M.checkpoint_cost(Device::CentralNfs, 10.0) - 0.25).abs() < 1e-9);
+        assert!((M.checkpoint_cost(Device::CentralNfs, 240.0) - 2.52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nfs_dmnfs_same_uncontended_cost() {
+        for &m in &[10.0, 80.0, 240.0] {
+            assert_eq!(
+                M.checkpoint_cost(Device::CentralNfs, m),
+                M.checkpoint_cost(Device::DmNfs, m)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_disk_cost_above_ramdisk() {
+        for mem in [10.0, 55.0, 160.0, 240.0] {
+            assert!(
+                M.checkpoint_cost(Device::CentralNfs, mem) > M.checkpoint_cost(Device::Ramdisk, mem)
+            );
+        }
+    }
+
+    #[test]
+    fn table4_op_times_reproduced() {
+        for &(mem, t) in &SHARED_OP_TIME {
+            assert!((M.shared_op_time(mem) - t).abs() < 1e-9, "mem = {mem}");
+        }
+        // Interpolation between table rows is monotone here.
+        assert!(M.shared_op_time(100.0) > M.shared_op_time(50.0));
+    }
+
+    #[test]
+    fn table5_restart_costs_reproduced() {
+        for &(mem, t) in &RESTART_A {
+            assert!((M.restart_cost(Migration::TypeA, mem) - t).abs() < 1e-9);
+        }
+        for &(mem, t) in &RESTART_B {
+            assert!((M.restart_cost(Migration::TypeB, mem) - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn migration_a_dearer_than_b() {
+        // "task restarting cost with migration type A is much higher than
+        // with migration type B" (paper §4.2.2).
+        for mem in [10.0, 40.0, 160.0, 240.0, 500.0] {
+            assert!(
+                M.restart_cost(Migration::TypeA, mem) > M.restart_cost(Migration::TypeB, mem),
+                "mem = {mem}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_migration_mapping() {
+        assert_eq!(Device::Ramdisk.migration(), Migration::TypeA);
+        assert_eq!(Device::CentralNfs.migration(), Migration::TypeB);
+        assert_eq!(Device::DmNfs.migration(), Migration::TypeB);
+    }
+
+    #[test]
+    fn extrapolation_stays_positive() {
+        assert!(M.checkpoint_cost(Device::Ramdisk, 1.0) > 0.0);
+        assert!(M.checkpoint_cost(Device::Ramdisk, 960.0) > 0.99);
+        assert!(M.restart_cost(Migration::TypeB, 960.0) > 2.4);
+    }
+
+    #[test]
+    fn jitter_centred_and_bounded() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let j = M.jitter(&mut rng);
+            assert!((0.88..1.12).contains(&j));
+            sum += j;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn interp_midpoint() {
+        let pts = [(0.0, 0.0), (10.0, 10.0)];
+        assert!((interp(&pts, 5.0) - 5.0).abs() < 1e-12);
+        assert!((interp(&pts, -5.0) - 0.0).abs() < 1e-12); // clamped at 0 by max
+        assert!((interp(&pts, 20.0) - 20.0).abs() < 1e-12);
+    }
+}

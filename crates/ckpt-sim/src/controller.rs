@@ -1,0 +1,161 @@
+//! Checkpoint controllers: the bridge between a *policy* (which formula,
+//! static or adaptive) and the *executor* (the task simulation), expressed
+//! entirely in productive-progress positions.
+
+use ckpt_policy::adaptive::{AdaptiveCheckpointer, CheckpointDecision};
+use ckpt_policy::schedule::EquidistantSchedule;
+
+/// A fixed equidistant schedule: positions computed once at task start
+/// (Young, Daly, and the static Formula (3) variant all use this).
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    positions: Vec<f64>,
+    durable: f64,
+}
+
+impl FixedSchedule {
+    /// Build from an equidistant schedule.
+    pub fn new(schedule: &EquidistantSchedule) -> Self {
+        Self { positions: schedule.positions(), durable: 0.0 }
+    }
+
+    /// Build with no checkpoints at all.
+    pub fn none() -> Self {
+        Self { positions: Vec::new(), durable: 0.0 }
+    }
+
+    fn next_after(&self, p: f64) -> Option<f64> {
+        let idx = self.positions.partition_point(|&q| q <= p);
+        self.positions.get(idx).copied()
+    }
+}
+
+/// The controller driving one task's checkpoints.
+#[derive(Debug, Clone)]
+pub enum Controller {
+    /// Positions fixed at task start.
+    Fixed(FixedSchedule),
+    /// The paper's Algorithm 1 (re-solves on MNOF change).
+    Adaptive(AdaptiveCheckpointer),
+}
+
+impl Controller {
+    /// Absolute productive position of the next checkpoint, strictly after
+    /// the durable progress; `None` ⇒ run to completion.
+    pub fn next_checkpoint(&self) -> Option<f64> {
+        match self {
+            Controller::Fixed(f) => f.next_after(f.durable),
+            Controller::Adaptive(a) => match a.decision() {
+                CheckpointDecision::RunUntil { at_progress } => Some(at_progress),
+                CheckpointDecision::RunToCompletion => None,
+            },
+        }
+    }
+
+    /// A checkpoint completed: durable progress is now `pos`.
+    pub fn on_checkpoint_complete(&mut self, pos: f64) {
+        match self {
+            Controller::Fixed(f) => f.durable = pos,
+            Controller::Adaptive(a) => a.on_checkpoint_complete(pos),
+        }
+    }
+
+    /// A failure rolled the task back to durable progress `pos`.
+    pub fn on_rollback(&mut self, pos: f64) {
+        match self {
+            Controller::Fixed(f) => f.durable = pos,
+            Controller::Adaptive(a) => a.on_rollback(pos),
+        }
+    }
+
+    /// The task's full-task MNOF belief changed (priority flip). Fixed
+    /// controllers ignore it (the paper's "static algorithm"); adaptive
+    /// controllers re-solve (Algorithm 1). Returns whether a re-solve
+    /// happened.
+    pub fn on_mnof_change(&mut self, mnof_full: f64) -> bool {
+        match self {
+            Controller::Fixed(_) => false,
+            Controller::Adaptive(a) => a.update_mnof(mnof_full),
+        }
+    }
+
+    /// Number of planned checkpoints remaining from the current durable
+    /// position (diagnostic).
+    pub fn planned_remaining(&self) -> Option<usize> {
+        match self {
+            Controller::Fixed(f) => {
+                let idx = f.positions.partition_point(|&q| q <= f.durable);
+                Some(f.positions.len() - idx)
+            }
+            Controller::Adaptive(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(te: f64, x: u32) -> Controller {
+        Controller::Fixed(FixedSchedule::new(&EquidistantSchedule::new(te, x).unwrap()))
+    }
+
+    #[test]
+    fn fixed_walks_positions() {
+        let mut c = fixed(100.0, 4); // 25, 50, 75
+        assert_eq!(c.next_checkpoint(), Some(25.0));
+        c.on_checkpoint_complete(25.0);
+        assert_eq!(c.next_checkpoint(), Some(50.0));
+        c.on_checkpoint_complete(50.0);
+        c.on_checkpoint_complete(75.0);
+        assert_eq!(c.next_checkpoint(), None);
+    }
+
+    #[test]
+    fn fixed_rollback_repeats_position() {
+        let mut c = fixed(100.0, 4);
+        c.on_checkpoint_complete(25.0);
+        assert_eq!(c.next_checkpoint(), Some(50.0));
+        // Failure between 25 and 50: still aiming for 50 after rollback.
+        c.on_rollback(25.0);
+        assert_eq!(c.next_checkpoint(), Some(50.0));
+        // Failure before the first checkpoint ever completes:
+        let mut c2 = fixed(100.0, 4);
+        c2.on_rollback(0.0);
+        assert_eq!(c2.next_checkpoint(), Some(25.0));
+    }
+
+    #[test]
+    fn none_never_checkpoints() {
+        let mut c = Controller::Fixed(FixedSchedule::none());
+        assert_eq!(c.next_checkpoint(), None);
+        c.on_rollback(0.0);
+        assert_eq!(c.next_checkpoint(), None);
+        assert_eq!(c.planned_remaining(), Some(0));
+    }
+
+    #[test]
+    fn fixed_ignores_mnof_changes() {
+        let mut c = fixed(100.0, 4);
+        assert!(!c.on_mnof_change(50.0));
+        assert_eq!(c.next_checkpoint(), Some(25.0));
+    }
+
+    #[test]
+    fn adaptive_resolves_on_mnof_change() {
+        let a = AdaptiveCheckpointer::new(400.0, 1.0, 2.0).unwrap();
+        let mut c = Controller::Adaptive(a);
+        let first = c.next_checkpoint().unwrap();
+        assert!(c.on_mnof_change(32.0)); // 16× failures ⇒ 4× checkpoints
+        let new_first = c.next_checkpoint().unwrap();
+        assert!(new_first < first, "{new_first} vs {first}");
+    }
+
+    #[test]
+    fn planned_remaining_counts_down() {
+        let mut c = fixed(100.0, 4);
+        assert_eq!(c.planned_remaining(), Some(3));
+        c.on_checkpoint_complete(25.0);
+        assert_eq!(c.planned_remaining(), Some(2));
+    }
+}

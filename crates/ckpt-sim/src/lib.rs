@@ -1,0 +1,45 @@
+//! # ckpt-sim — discrete-event cloud simulator for checkpoint/restart research
+//!
+//! The substrate standing in for the paper's physical testbed (32 hosts ×
+//! 7 XEN VMs, BLCR, NFS/DM-NFS, Google trace replay):
+//!
+//! * [`time`], [`event`] — deterministic DES foundations (integer
+//!   microseconds, `(time, seq)`-ordered queue with lazy cancellation).
+//! * [`blcr`] — the BLCR cost model calibrated to the paper's Figure 7 and
+//!   Tables 4–5 (checkpoint cost linear in memory; restart cost by
+//!   migration type).
+//! * [`storage`] — processor-sharing storage servers: one central NFS
+//!   server (Table 2's contention) vs per-host DM-NFS (Table 3's flatness).
+//! * [`controller`], [`task_sim`] — per-task execution under a checkpoint
+//!   policy: failures, rollbacks, restarts, aborted checkpoints,
+//!   mid-run priority flips.
+//! * [`policy`] — policy drivers: estimator kinds (oracle / per-priority /
+//!   global), storage choice (§4.2.2), and interval counts from
+//!   Formula (3) / Young / Daly.
+//! * [`metrics`] — WPR (Formula (9)) and figure-ready aggregations.
+//! * [`runner`] — parallel trace replay (crossbeam scoped threads,
+//!   deterministic via per-task RNG streams).
+//! * [`cluster`] — the full-cluster DES: memory-constrained greedy
+//!   scheduling, VM placement, checkpoint storage contention, restart
+//!   migration — used for the contention experiments and end-to-end
+//!   validation of the fast path.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blcr;
+pub mod cluster;
+pub mod controller;
+pub mod event;
+pub mod metrics;
+pub mod policy;
+pub mod runner;
+pub mod storage;
+pub mod task_sim;
+pub mod time;
+
+pub use blcr::{BlcrModel, Device, Migration};
+pub use metrics::JobRecord;
+pub use policy::{Estimates, EstimatorKind, PolicyConfig, StorageChoice};
+pub use runner::{run_trace, RunOptions};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,238 @@
+//! The experiment runner: replay a trace under a policy configuration and
+//! collect per-job records.
+//!
+//! Replay is embarrassingly parallel across jobs — every task draws its
+//! failures from its own RNG stream ([`ckpt_trace::Trace::failure_stream`]),
+//! so the result is a pure function of `(trace, estimates, config)` no
+//! matter how many worker threads run it. Parallelism uses `crossbeam`
+//! scoped threads pulling job indices from an atomic counter (guide-idiom
+//! work stealing without a pool dependency).
+
+use crate::blcr::BlcrModel;
+use crate::metrics::JobRecord;
+use crate::policy::{plan_task, Estimates, PolicyConfig};
+use crate::task_sim::{simulate_task, ExecFlip, TaskOutcome, TaskSimSpec};
+use ckpt_trace::gen::{JobSpec, Trace};
+use ckpt_trace::spec::FailureModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run configuration beyond the policy itself.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct RunOptions {
+    /// Worker threads; 0 ⇒ one per available core.
+    pub threads: usize,
+}
+
+
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, jobs.max(1))
+}
+
+/// Simulate one job under a policy; returns its record.
+pub fn run_job(
+    trace: &Trace,
+    job: &JobSpec,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    blcr: &BlcrModel,
+) -> JobRecord {
+    let mut outcomes: Vec<TaskOutcome> = Vec::with_capacity(job.tasks.len());
+    let lengths: Vec<f64> = job.tasks.iter().map(|t| t.length_s).collect();
+    for task in &job.tasks {
+        let mut plan = plan_task(cfg, blcr, estimates, task, job.priority);
+        // Mid-run priority flip (Figure 14 scenario): translate the job-level
+        // plan to this task (each task flips at the same fraction of its own
+        // work, approximating "in the middle of the job's execution").
+        let flip = job.flip.map(|f| {
+            let new_model = FailureModel::for_priority(f.new_priority);
+            // The controller's new belief comes from the same estimator,
+            // evaluated at the new priority. The executor re-draws a full
+            // dose of the new priority's failures over the remaining work
+            // (MNOF is per-task, not per-second), so the equivalent
+            // full-task MNOF is the group MNOF divided by the remaining
+            // fraction — this keeps the adaptive re-solve calibrated to
+            // the kills that will actually strike.
+            let (new_mnof, _) = estimates.predict(cfg.estimator, task, f.new_priority);
+            let remaining_fraction = (1.0 - f.at_fraction).max(0.05);
+            ExecFlip {
+                at_progress: f.at_fraction * task.length_s,
+                new_model,
+                new_mnof_full: Some(new_mnof / remaining_fraction),
+            }
+        });
+        let spec = TaskSimSpec {
+            te: task.length_s,
+            ckpt_cost: plan.ckpt_cost,
+            restart_cost: plan.restart_cost,
+        };
+        let model = FailureModel::for_priority(job.priority);
+        let mut rng = trace.failure_stream(task.id);
+        let outcome = simulate_task(&spec, model, flip, &mut plan.controller, &mut rng);
+        outcomes.push(outcome);
+    }
+    JobRecord::from_outcomes(job.id, job.structure, job.priority, &outcomes, &lengths)
+}
+
+/// Replay the whole trace under a policy, in parallel. Records are returned
+/// in job order (deterministic regardless of thread count).
+pub fn run_trace(
+    trace: &Trace,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    options: RunOptions,
+) -> Vec<JobRecord> {
+    let blcr = BlcrModel;
+    let n = trace.jobs.len();
+    let threads = effective_threads(options.threads, n);
+    if threads == 1 {
+        return trace
+            .jobs
+            .iter()
+            .map(|job| run_job(trace, job, estimates, cfg, &blcr))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<JobRecord>> = vec![None; n];
+    {
+        // Hand each worker a disjoint view of the result vector.
+        let slot_refs: Vec<&mut Option<JobRecord>> = slots.iter_mut().collect();
+        let slot_cells: Vec<parking_lot::Mutex<&mut Option<JobRecord>>> =
+            slot_refs.into_iter().map(parking_lot::Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let rec = run_job(trace, &trace.jobs[i], estimates, cfg, &blcr);
+                    **slot_cells[i].lock() = Some(rec);
+                });
+            }
+        })
+        .expect("runner worker panicked");
+    }
+    slots.into_iter().map(|s| s.expect("every job simulated")).collect()
+}
+
+/// Convenience: run the same trace under several policies, reusing the
+/// estimates (the shape of every multi-line figure in the paper).
+pub fn run_policies(
+    trace: &Trace,
+    estimates: &Estimates,
+    configs: &[PolicyConfig],
+    options: RunOptions,
+) -> Vec<Vec<JobRecord>> {
+    configs.iter().map(|cfg| run_trace(trace, estimates, cfg, options)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use ckpt_trace::gen::generate;
+    use ckpt_trace::spec::WorkloadSpec;
+    use ckpt_trace::stats::trace_histories;
+
+    fn setup(n: usize, seed: u64) -> (Trace, Estimates) {
+        let trace = generate(&WorkloadSpec::google_like(n), seed);
+        let records = trace_histories(&trace);
+        (trace, Estimates::from_records(&records))
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (trace, est) = setup(120, 9);
+        let cfg = PolicyConfig::formula3();
+        let seq = run_trace(&trace, &est, &cfg, RunOptions { threads: 1 });
+        let par = run_trace(&trace, &est, &cfg, RunOptions { threads: 4 });
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn all_jobs_simulated_in_order() {
+        let (trace, est) = setup(80, 10);
+        let recs = run_trace(&trace, &est, &PolicyConfig::formula3(), RunOptions::default());
+        assert_eq!(recs.len(), trace.jobs.len());
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.job_id, i as u64);
+        }
+    }
+
+    #[test]
+    fn wpr_in_unit_interval() {
+        let (trace, est) = setup(150, 11);
+        for cfg in [PolicyConfig::formula3(), PolicyConfig::young(), PolicyConfig::none()] {
+            let recs = run_trace(&trace, &est, &cfg, RunOptions::default());
+            for r in &recs {
+                let w = r.wpr();
+                assert!(w > 0.0 && w <= 1.0, "wpr = {w} under {:?}", cfg.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn formula3_beats_no_checkpointing_on_failure_prone_jobs() {
+        let (trace, est) = setup(300, 12);
+        let f3 = run_trace(&trace, &est, &PolicyConfig::formula3(), RunOptions::default());
+        let none = run_trace(&trace, &est, &PolicyConfig::none(), RunOptions::default());
+        // Restrict to jobs that actually failed (checkpointing costs a
+        // little on failure-free jobs).
+        let failed_ids: Vec<usize> = none
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.failures >= 2)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(failed_ids.len() > 10, "need failure-prone jobs in the sample");
+        let mean = |recs: &[JobRecord]| {
+            failed_ids.iter().map(|&i| recs[i].wpr()).sum::<f64>() / failed_ids.len() as f64
+        };
+        let m_f3 = mean(&f3);
+        let m_none = mean(&none);
+        assert!(m_f3 > m_none, "formula3 {m_f3} vs none {m_none}");
+    }
+
+    #[test]
+    fn run_policies_matches_individual_runs() {
+        let (trace, est) = setup(60, 13);
+        let cfgs = [PolicyConfig::formula3(), PolicyConfig::young()];
+        let both = run_policies(&trace, &est, &cfgs, RunOptions::default());
+        let f3 = run_trace(&trace, &est, &cfgs[0], RunOptions::default());
+        assert_eq!(both[0], f3);
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn flipped_trace_marks_outcomes() {
+        let trace = generate(&WorkloadSpec::google_like(60).with_priority_flips(), 14);
+        let records = trace_histories(&trace);
+        let est = Estimates::from_records(&records);
+        let cfg = PolicyConfig::formula3().with_adaptivity(true);
+        let recs = run_trace(&trace, &est, &cfg, RunOptions::default());
+        assert_eq!(recs.len(), 60);
+        // WPRs remain valid under flips.
+        for r in &recs {
+            assert!(r.wpr() > 0.0 && r.wpr() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn headline_formula3_vs_young_direction() {
+        // The paper's headline: with per-priority estimation, Formula (3)
+        // achieves higher average WPR than Young's formula.
+        let (trace, est) = setup(400, 15);
+        let f3 = run_trace(&trace, &est, &PolicyConfig::formula3(), RunOptions::default());
+        let yg = run_trace(&trace, &est, &PolicyConfig::young(), RunOptions::default());
+        let m_f3 = metrics::mean_wpr(&f3);
+        let m_yg = metrics::mean_wpr(&yg);
+        assert!(
+            m_f3 > m_yg,
+            "Formula(3) mean WPR {m_f3} should beat Young {m_yg}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulation time: integer microseconds.
+//!
+//! The engine orders events on a `(time, sequence)` key; using integer
+//! microseconds (instead of `f64` seconds) makes that ordering total and
+//! platform-independent, which is what keeps whole-cluster replays
+//! bit-for-bit reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A duration in simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Convert from seconds (rounds to the nearest microsecond; negative
+    /// values clamp to zero).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Convert to fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference as a duration.
+    #[inline]
+    pub fn saturating_sub(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Convert from seconds (rounds to the nearest microsecond; negative
+    /// values clamp to zero).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Convert to fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs_f64(1234.567891);
+        assert!((t.as_secs_f64() - 1234.567891).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_clamps_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-5.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs_f64(10.0) + SimDuration::from_secs_f64(2.5);
+        assert!((t.as_secs_f64() - 12.5).abs() < 1e-9);
+        let d = t - SimTime::from_secs_f64(10.0);
+        assert!((d.as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_secs_f64(1.0) - SimTime::from_secs_f64(2.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let d = SimTime::from_secs_f64(1.0).saturating_sub(SimTime::from_secs_f64(2.0));
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs_f64(1.0);
+        let b = SimTime::from_secs_f64(1.000001);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(1.5)), "1.500000s");
+    }
+}

@@ -1,0 +1,136 @@
+//! Bootstrap resampling: confidence intervals for the WPR comparisons in
+//! EXPERIMENTS.md (the paper reports point estimates; we add uncertainty).
+
+use crate::rng::{Rng64, Xoshiro256StarStar};
+use crate::{Result, StatsError};
+
+/// A two-sided bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (statistic on the full sample).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+    /// Number of bootstrap resamples used.
+    pub resamples: usize,
+}
+
+/// Percentile-bootstrap CI of an arbitrary statistic.
+///
+/// * `samples` — the data,
+/// * `level` — confidence level in (0, 1),
+/// * `resamples` — number of bootstrap draws (≥ 100 recommended),
+/// * `stat` — the statistic (e.g. the mean),
+/// * `seed` — determinism.
+pub fn bootstrap_ci<F: Fn(&[f64]) -> f64>(
+    samples: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+    stat: F,
+) -> Result<BootstrapCi> {
+    if samples.is_empty() {
+        return Err(StatsError::BadInput("bootstrap: empty sample"));
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::BadParam { what: "bootstrap level", value: level });
+    }
+    if resamples < 10 {
+        return Err(StatsError::BadInput("bootstrap: too few resamples"));
+    }
+    let estimate = stat(samples);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let n = samples.len();
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = samples[rng.next_range(n as u64) as usize];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> f64 {
+        let i = ((q * resamples as f64).floor() as usize).min(resamples - 1);
+        stats[i]
+    };
+    Ok(BootstrapCi { estimate, lo: idx(alpha), hi: idx(1.0 - alpha), level, resamples })
+}
+
+/// Bootstrap CI of the mean.
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<BootstrapCi> {
+    bootstrap_ci(samples, level, resamples, seed, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+/// Bootstrap CI of the difference of means between paired samples
+/// (`a[i] − b[i]`): resamples job indices, preserving the pairing — the
+/// right uncertainty for the paper's common-random-number comparisons.
+pub fn bootstrap_paired_diff_ci(
+    a: &[f64],
+    b: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<BootstrapCi> {
+    if a.len() != b.len() {
+        return Err(StatsError::BadInput("bootstrap: paired samples must align"));
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    bootstrap_mean_ci(&diffs, level, resamples, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDist, Normal};
+
+    #[test]
+    fn ci_covers_true_mean() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = Xoshiro256StarStar::new(1);
+        let xs = d.sample_n(&mut rng, 2000);
+        let ci = bootstrap_mean_ci(&xs, 0.95, 500, 2).unwrap();
+        assert!(ci.lo < 10.0 && 10.0 < ci.hi, "{ci:?}");
+        assert!(ci.lo < ci.estimate && ci.estimate < ci.hi);
+        // Width should be roughly 4·σ/sqrt(n) ≈ 0.18.
+        assert!(ci.hi - ci.lo < 0.4, "{ci:?}");
+    }
+
+    #[test]
+    fn paired_diff_detects_shift() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let base: Vec<f64> = d.sample_n(&mut rng, 1000);
+        let shifted: Vec<f64> = base.iter().map(|x| x + 0.5).collect();
+        let ci = bootstrap_paired_diff_ci(&shifted, &base, 0.95, 300, 4).unwrap();
+        assert!(ci.lo > 0.49 && ci.hi < 0.51, "{ci:?}"); // exact pairing: diff is constant
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin()).collect();
+        let a = bootstrap_mean_ci(&xs, 0.9, 200, 7).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.9, 200, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 1.5, 100, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 5, 1).is_err());
+        assert!(bootstrap_paired_diff_ci(&[1.0], &[1.0, 2.0], 0.95, 100, 1).is_err());
+    }
+}

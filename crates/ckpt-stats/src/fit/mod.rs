@@ -1,0 +1,505 @@
+//! Maximum-likelihood fitting with goodness-of-fit diagnostics.
+//!
+//! Figure 5 of the paper fits five families — exponential, geometric,
+//! Laplace, normal, Pareto — to Google task failure intervals with MLE and
+//! compares their CDFs against the sample distribution, concluding that
+//! *"a Pareto distribution fits the sample distribution best in general"*
+//! while *"if we just consider failure intervals within 1000 seconds, the
+//! best-fit distribution is an exponential"* with rate λ = 0.00423445.
+//! [`fit_all`] + [`rank_by_ks`] reproduce exactly that analysis.
+
+use crate::dist::{
+    ContinuousDist, DynContinuousDist, Exponential, Gamma, Geometric, Laplace, LogNormal,
+    Normal, Pareto, Uniform, Weibull,
+};
+use crate::ecdf::Ecdf;
+use crate::solve::{bisect, digamma, newton_bisect};
+use crate::{Result, StatsError};
+
+/// The distribution families this module can fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Exponential(λ).
+    Exponential,
+    /// Geometric(p) on {1, 2, ...}.
+    Geometric,
+    /// Laplace(μ, b).
+    Laplace,
+    /// Normal(μ, σ).
+    Normal,
+    /// Pareto(x_m, α).
+    Pareto,
+    /// Weibull(k, λ).
+    Weibull,
+    /// LogNormal(μ, σ).
+    LogNormal,
+    /// Uniform(a, b).
+    Uniform,
+    /// Gamma(k, θ).
+    Gamma,
+}
+
+impl Family {
+    /// Human-readable family name, matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Exponential => "Exponential",
+            Family::Geometric => "Geometric",
+            Family::Laplace => "Laplace",
+            Family::Normal => "Normal",
+            Family::Pareto => "Pareto",
+            Family::Weibull => "Weibull",
+            Family::LogNormal => "LogNormal",
+            Family::Uniform => "Uniform",
+            Family::Gamma => "Gamma",
+        }
+    }
+
+    /// Number of free parameters (for AIC).
+    pub fn k(&self) -> usize {
+        match self {
+            Family::Exponential | Family::Geometric => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// Result of fitting one family to a sample set.
+pub struct FitReport {
+    /// Which family was fitted.
+    pub family: Family,
+    /// `(name, value)` pairs of the fitted parameters.
+    pub params: Vec<(&'static str, f64)>,
+    /// Log-likelihood of the sample under the fitted parameters.
+    pub loglik: f64,
+    /// Akaike information criterion `2k − 2·loglik` (lower is better).
+    pub aic: f64,
+    /// Two-sided Kolmogorov–Smirnov statistic vs the sample ECDF
+    /// (lower is better; this is the paper's visual-CDF-closeness criterion
+    /// made quantitative).
+    pub ks: f64,
+    /// Sample size.
+    pub n: usize,
+    dist: Box<dyn DynContinuousDist>,
+}
+
+impl FitReport {
+    /// CDF of the fitted distribution (for plotting against the ECDF, as in
+    /// Figure 5).
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.dist.cdf_dyn(x)
+    }
+
+    /// Mean of the fitted distribution (may be infinite for heavy tails).
+    pub fn mean(&self) -> f64 {
+        self.dist.mean_dyn()
+    }
+
+    /// Look up a fitted parameter by name.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+}
+
+impl std::fmt::Debug for FitReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitReport")
+            .field("family", &self.family)
+            .field("params", &self.params)
+            .field("loglik", &self.loglik)
+            .field("aic", &self.aic)
+            .field("ks", &self.ks)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for FitReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:<12}", self.family.name())?;
+        for (name, value) in &self.params {
+            write!(f, " {name}={value:.6}")?;
+        }
+        write!(f, "  loglik={:.2} aic={:.2} ks={:.4}", self.loglik, self.aic, self.ks)
+    }
+}
+
+fn validate_positive(samples: &[f64], what: &'static str) -> Result<()> {
+    if samples.is_empty() {
+        return Err(StatsError::BadInput(what));
+    }
+    if samples.iter().any(|&x| !x.is_finite() || x <= 0.0) {
+        return Err(StatsError::BadInput(what));
+    }
+    Ok(())
+}
+
+fn validate_finite(samples: &[f64], what: &'static str) -> Result<()> {
+    if samples.is_empty() {
+        return Err(StatsError::BadInput(what));
+    }
+    if samples.iter().any(|&x| !x.is_finite()) {
+        return Err(StatsError::BadInput(what));
+    }
+    Ok(())
+}
+
+/// MLE for the exponential: `λ̂ = n / Σx`.
+pub fn fit_exponential(samples: &[f64]) -> Result<Exponential> {
+    validate_positive(samples, "fit_exponential: need positive samples")?;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Exponential::from_mean(mean)
+}
+
+/// MLE for the normal: `μ̂ = mean`, `σ̂² = (1/n)Σ(x−μ̂)²`.
+pub fn fit_normal(samples: &[f64]) -> Result<Normal> {
+    validate_finite(samples, "fit_normal: need finite samples")?;
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(StatsError::BadInput("fit_normal: zero variance"));
+    }
+    Normal::new(mean, var.sqrt())
+}
+
+/// MLE for the Laplace: `μ̂ = median`, `b̂ = (1/n)Σ|x−μ̂|`.
+pub fn fit_laplace(samples: &[f64]) -> Result<Laplace> {
+    validate_finite(samples, "fit_laplace: need finite samples")?;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    let b = samples.iter().map(|x| (x - median).abs()).sum::<f64>() / samples.len() as f64;
+    if b <= 0.0 {
+        return Err(StatsError::BadInput("fit_laplace: zero dispersion"));
+    }
+    Laplace::new(median, b)
+}
+
+/// MLE for Pareto Type I: `x̂_m = min(x)`, `α̂ = n / Σ ln(x/x̂_m)`.
+pub fn fit_pareto(samples: &[f64]) -> Result<Pareto> {
+    validate_positive(samples, "fit_pareto: need positive samples")?;
+    let xm = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let log_sum: f64 = samples.iter().map(|&x| (x / xm).ln()).sum();
+    if log_sum <= 0.0 {
+        return Err(StatsError::BadInput("fit_pareto: degenerate samples (all equal)"));
+    }
+    let alpha = samples.len() as f64 / log_sum;
+    Pareto::new(xm, alpha)
+}
+
+/// MLE for the geometric on `{1, 2, ...}` after rounding samples to integers
+/// (≥ 1): `p̂ = n / Σk`.
+pub fn fit_geometric(samples: &[f64]) -> Result<Geometric> {
+    validate_positive(samples, "fit_geometric: need positive samples")?;
+    let sum: f64 = samples.iter().map(|&x| x.round().max(1.0)).sum();
+    let p = samples.len() as f64 / sum;
+    Geometric::new(p.min(1.0))
+}
+
+/// MLE for the log-normal: fit a normal to `ln x`.
+pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormal> {
+    validate_positive(samples, "fit_lognormal: need positive samples")?;
+    let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+    let n = logs.len() as f64;
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(StatsError::BadInput("fit_lognormal: zero log-variance"));
+    }
+    LogNormal::new(mu, var.sqrt())
+}
+
+/// MLE for the uniform: `â = min`, `b̂ = max` (widened infinitesimally so all
+/// samples lie strictly inside).
+pub fn fit_uniform(samples: &[f64]) -> Result<Uniform> {
+    validate_finite(samples, "fit_uniform: need finite samples")?;
+    let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if lo >= hi {
+        return Err(StatsError::BadInput("fit_uniform: degenerate samples"));
+    }
+    // Nudge hi so that max(x) has positive density under the half-open pdf.
+    Uniform::new(lo, hi + (hi - lo) * 1e-12 + f64::MIN_POSITIVE)
+}
+
+/// MLE for the gamma: the shape solves `ln k − ψ(k) = ln(mean) − mean(ln x)`
+/// (strictly decreasing left side ⇒ bisection), then `θ̂ = mean / k̂`.
+pub fn fit_gamma(samples: &[f64]) -> Result<Gamma> {
+    validate_positive(samples, "fit_gamma: need positive samples")?;
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let mean_ln = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let s = mean.ln() - mean_ln;
+    if s <= 0.0 {
+        return Err(StatsError::BadInput("fit_gamma: degenerate samples (all equal)"));
+    }
+    let k = bisect(|k| k.ln() - digamma(k) - s, 1e-4, 1e6, 1e-10, 300)
+        .map_err(|_| StatsError::NoConvergence("fit_gamma shape"))?;
+    Gamma::new(k, mean / k)
+}
+
+/// MLE for the Weibull via safe Newton on the shape's profile-likelihood
+/// equation, then closed-form scale.
+pub fn fit_weibull(samples: &[f64]) -> Result<Weibull> {
+    validate_positive(samples, "fit_weibull: need positive samples")?;
+    let n = samples.len() as f64;
+    let mean_ln: f64 = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    // Profile equation: f(k) = Σ x^k ln x / Σ x^k − 1/k − mean_ln = 0.
+    let g = |k: f64| -> (f64, f64) {
+        let mut s0 = 0.0; // Σ x^k
+        let mut s1 = 0.0; // Σ x^k ln x
+        let mut s2 = 0.0; // Σ x^k (ln x)^2
+        for &x in samples {
+            let lx = x.ln();
+            let xk = (k * lx).exp();
+            s0 += xk;
+            s1 += xk * lx;
+            s2 += xk * lx * lx;
+        }
+        let f = s1 / s0 - 1.0 / k - mean_ln;
+        let df = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        (f, df)
+    };
+    // Bracket the shape generously; k=1 (exponential) is a good start.
+    let k = newton_bisect(g, 1e-3, 1e3, 1.0, 1e-10, 200)
+        .map_err(|_| StatsError::NoConvergence("fit_weibull shape"))?;
+    let s0: f64 = samples.iter().map(|&x| (k * x.ln()).exp()).sum();
+    let scale = (s0 / n).powf(1.0 / k);
+    Weibull::new(k, scale)
+}
+
+fn loglik<D: ContinuousDist>(d: &D, samples: &[f64]) -> f64 {
+    samples.iter().map(|&x| d.ln_pdf(x)).sum()
+}
+
+fn report<D: ContinuousDist + Send + Sync + 'static>(
+    family: Family,
+    params: Vec<(&'static str, f64)>,
+    d: D,
+    samples: &[f64],
+    ecdf: &Ecdf,
+) -> FitReport {
+    let ll = loglik(&d, samples);
+    let aic = 2.0 * family.k() as f64 - 2.0 * ll;
+    let ks = ecdf.ks_statistic(|x| d.cdf(x));
+    FitReport { family, params, loglik: ll, aic, ks, n: samples.len(), dist: Box::new(d) }
+}
+
+/// Fit one family to `samples`, returning a full report.
+pub fn fit_family(family: Family, samples: &[f64]) -> Result<FitReport> {
+    let ecdf = Ecdf::new(samples)?;
+    Ok(match family {
+        Family::Exponential => {
+            let d = fit_exponential(samples)?;
+            report(family, vec![("rate", d.rate())], d, samples, &ecdf)
+        }
+        Family::Geometric => {
+            let d = fit_geometric(samples)?;
+            report(family, vec![("p", d.p())], d, samples, &ecdf)
+        }
+        Family::Laplace => {
+            let d = fit_laplace(samples)?;
+            report(family, vec![("mu", d.mu()), ("b", d.b())], d, samples, &ecdf)
+        }
+        Family::Normal => {
+            let d = fit_normal(samples)?;
+            report(family, vec![("mu", d.mu()), ("sigma", d.sigma())], d, samples, &ecdf)
+        }
+        Family::Pareto => {
+            let d = fit_pareto(samples)?;
+            report(family, vec![("scale", d.scale()), ("shape", d.shape())], d, samples, &ecdf)
+        }
+        Family::Weibull => {
+            let d = fit_weibull(samples)?;
+            report(family, vec![("shape", d.shape()), ("scale", d.scale())], d, samples, &ecdf)
+        }
+        Family::LogNormal => {
+            let d = fit_lognormal(samples)?;
+            report(family, vec![("mu", d.mu()), ("sigma", d.sigma())], d, samples, &ecdf)
+        }
+        Family::Uniform => {
+            let d = fit_uniform(samples)?;
+            report(family, vec![("a", d.a()), ("b", d.b())], d, samples, &ecdf)
+        }
+        Family::Gamma => {
+            let d = fit_gamma(samples)?;
+            report(family, vec![("shape", d.shape()), ("scale", d.scale())], d, samples, &ecdf)
+        }
+    })
+}
+
+/// The five families the paper compares in Figure 5.
+pub const PAPER_FAMILIES: [Family; 5] = [
+    Family::Exponential,
+    Family::Geometric,
+    Family::Laplace,
+    Family::Normal,
+    Family::Pareto,
+];
+
+/// Fit all requested families, skipping any that fail on the given sample set.
+pub fn fit_all(families: &[Family], samples: &[f64]) -> Vec<FitReport> {
+    families.iter().filter_map(|&f| fit_family(f, samples).ok()).collect()
+}
+
+/// Rank fit reports by KS statistic ascending (best CDF match first), the
+/// quantitative version of the paper's visual comparison.
+pub fn rank_by_ks(mut reports: Vec<FitReport>) -> Vec<FitReport> {
+    reports.sort_by(|a, b| a.ks.partial_cmp(&b.ks).unwrap());
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    fn samples_from<D: ContinuousDist>(d: &D, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        d.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn exponential_recovery() {
+        let d = Exponential::new(0.00423445).unwrap();
+        let xs = samples_from(&d, 1, 50_000);
+        let f = fit_exponential(&xs).unwrap();
+        assert!((f.rate() - d.rate()).abs() / d.rate() < 0.03);
+    }
+
+    #[test]
+    fn normal_recovery() {
+        let d = Normal::new(42.0, 7.0).unwrap();
+        let xs = samples_from(&d, 2, 50_000);
+        let f = fit_normal(&xs).unwrap();
+        assert!((f.mu() - 42.0).abs() < 0.2);
+        assert!((f.sigma() - 7.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn laplace_recovery() {
+        let d = Laplace::new(10.0, 3.0).unwrap();
+        let xs = samples_from(&d, 3, 50_000);
+        let f = fit_laplace(&xs).unwrap();
+        assert!((f.mu() - 10.0).abs() < 0.2);
+        assert!((f.b() - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn pareto_recovery() {
+        let d = Pareto::new(30.0, 1.3).unwrap();
+        let xs = samples_from(&d, 4, 50_000);
+        let f = fit_pareto(&xs).unwrap();
+        assert!((f.scale() - 30.0).abs() < 0.5);
+        assert!((f.shape() - 1.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn weibull_recovery() {
+        let d = Weibull::new(0.8, 120.0).unwrap();
+        let xs = samples_from(&d, 5, 50_000);
+        let f = fit_weibull(&xs).unwrap();
+        assert!((f.shape() - 0.8).abs() < 0.03, "shape = {}", f.shape());
+        assert!((f.scale() - 120.0).abs() < 5.0, "scale = {}", f.scale());
+    }
+
+    #[test]
+    fn gamma_recovery() {
+        use crate::dist::Gamma;
+        let d = Gamma::new(2.3, 40.0).unwrap();
+        let xs = samples_from(&d, 55, 50_000);
+        let f = fit_gamma(&xs).unwrap();
+        assert!((f.shape() - 2.3).abs() < 0.1, "shape = {}", f.shape());
+        assert!((f.scale() - 40.0).abs() < 2.0, "scale = {}", f.scale());
+    }
+
+    #[test]
+    fn gamma_fit_rejects_degenerate() {
+        assert!(fit_gamma(&[2.0, 2.0, 2.0]).is_err());
+        assert!(fit_gamma(&[]).is_err());
+    }
+
+    #[test]
+    fn lognormal_recovery() {
+        let d = LogNormal::new(3.0, 0.9).unwrap();
+        let xs = samples_from(&d, 6, 50_000);
+        let f = fit_lognormal(&xs).unwrap();
+        assert!((f.mu() - 3.0).abs() < 0.05);
+        assert!((f.sigma() - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn geometric_recovery() {
+        use crate::dist::DiscreteDist;
+        let d = Geometric::new(0.02).unwrap();
+        let mut rng = Xoshiro256StarStar::new(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| DiscreteDist::sample(&d, &mut rng) as f64).collect();
+        let f = fit_geometric(&xs).unwrap();
+        assert!((f.p() - 0.02).abs() < 0.002);
+    }
+
+    #[test]
+    fn uniform_recovery() {
+        let d = Uniform::new(5.0, 9.0).unwrap();
+        let xs = samples_from(&d, 8, 10_000);
+        let f = fit_uniform(&xs).unwrap();
+        assert!((f.a() - 5.0).abs() < 0.01);
+        assert!((f.b() - 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fitters_reject_empty_and_bad() {
+        assert!(fit_exponential(&[]).is_err());
+        assert!(fit_exponential(&[-1.0]).is_err());
+        assert!(fit_pareto(&[2.0, 2.0, 2.0]).is_err());
+        assert!(fit_normal(&[3.0, 3.0, 3.0]).is_err());
+        assert!(fit_uniform(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn ks_ranking_identifies_true_family() {
+        // Pareto data: Pareto should rank above normal/laplace/exponential —
+        // the Figure 5(a) conclusion.
+        let d = Pareto::new(25.0, 1.1).unwrap();
+        let xs = samples_from(&d, 9, 20_000);
+        let ranked = rank_by_ks(fit_all(&PAPER_FAMILIES, &xs));
+        assert_eq!(ranked[0].family, Family::Pareto, "ranking: {:?}", ranked);
+    }
+
+    #[test]
+    fn ks_ranking_short_intervals_prefer_exponential_over_normal() {
+        // Exponential body: exponential should beat normal and laplace —
+        // the Figure 5(b) conclusion.
+        let d = Exponential::new(0.004).unwrap();
+        let xs = samples_from(&d, 10, 20_000);
+        let ranked = rank_by_ks(fit_all(&PAPER_FAMILIES, &xs));
+        let exp_rank = ranked.iter().position(|r| r.family == Family::Exponential).unwrap();
+        let norm_rank = ranked.iter().position(|r| r.family == Family::Normal).unwrap();
+        assert!(exp_rank < norm_rank);
+    }
+
+    #[test]
+    fn aic_consistent_with_loglik() {
+        let d = Exponential::new(1.0).unwrap();
+        let xs = samples_from(&d, 11, 1000);
+        let r = fit_family(Family::Exponential, &xs).unwrap();
+        assert!((r.aic - (2.0 - 2.0 * r.loglik)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_param_lookup_and_display() {
+        let d = Exponential::new(2.0).unwrap();
+        let xs = samples_from(&d, 12, 1000);
+        let r = fit_family(Family::Exponential, &xs).unwrap();
+        assert!(r.param("rate").is_some());
+        assert!(r.param("nope").is_none());
+        let text = format!("{r}");
+        assert!(text.contains("Exponential"));
+        assert!(text.contains("ks="));
+    }
+}

@@ -1,0 +1,154 @@
+//! Fixed-width histograms, used for distribution sanity checks and for the
+//! textual "figure" renderings the experiment binaries emit.
+
+use crate::{Result, StatsError};
+
+/// A fixed-bin-width histogram over `[lo, hi)` with an overflow/underflow
+/// count, built incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Result<Self> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::BadInput("histogram: invalid range"));
+        }
+        if nbins == 0 {
+            return Err(StatsError::BadInput("histogram: zero bins"));
+        }
+        Ok(Self { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 })
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Add many observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    #[inline]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `lo`.
+    #[inline]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above `hi`.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added (including under/overflow).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Normalized densities (bin fraction / bin width); integrates to the
+    /// in-range fraction of mass.
+    pub fn densities(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let n = self.count.max(1) as f64;
+        self.bins.iter().map(|&c| c as f64 / n / w).collect()
+    }
+
+    /// Render a compact ASCII bar chart (one line per bin), for the textual
+    /// experiment reports.
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>12.2} | {:<width$} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar_len),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.extend(&[-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 55.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_integrate_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        for i in 0..1000 {
+            h.add(i as f64 / 1000.0);
+        }
+        let total: f64 = h.densities().iter().sum::<f64>() * 0.1;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_renders() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend(&[0.5, 1.5, 1.6, 3.9]);
+        let s = h.ascii(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,262 @@
+//! Summary statistics: numerically stable online moments (Welford) and
+//! batch percentile summaries — the min/avg/max triples of the paper's
+//! Tables 2–3 and Figure 10 come from these.
+
+use crate::{Result, StatsError};
+
+/// Welford-style online accumulator for count/mean/variance/min/max.
+///
+/// Merging two accumulators is supported (parallel reduction in the
+/// experiment runner uses it).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (Chan's parallel algorithm).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (`NaN` when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`inf` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Batch summary with percentiles, for report tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `samples`. Errors on empty input or NaNs.
+    pub fn from_slice(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(StatsError::BadInput("summary: empty sample set"));
+        }
+        if samples.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::BadInput("summary: NaN in samples"));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut acc = OnlineStats::new();
+        for &x in samples {
+            acc.add(x);
+        }
+        let pct = |q: f64| -> f64 {
+            let n = sorted.len();
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[idx]
+        };
+        Ok(Self {
+            count: samples.len(),
+            min: sorted[0],
+            p25: pct(0.25),
+            median: pct(0.5),
+            mean: acc.mean(),
+            p75: pct(0.75),
+            p95: pct(0.95),
+            max: *sorted.last().unwrap(),
+            std_dev: if samples.len() > 1 { acc.std_dev() } else { 0.0 },
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.4} p25={:.4} med={:.4} mean={:.4} p75={:.4} p95={:.4} max={:.4} sd={:.4}",
+            self.count, self.min, self.p25, self.median, self.mean, self.p75, self.p95, self.max, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_matches_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.variance() - var).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 9.0);
+        assert_eq!(acc.count(), 10);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let acc = OnlineStats::new();
+        assert!(acc.mean().is_nan());
+        assert!(acc.variance().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.add(1.0);
+        a.add(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_slice(&xs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::from_slice(&[]).is_err());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_slice(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        let text = format!("{s}");
+        assert!(text.contains("n=3"));
+        assert!(text.contains("med="));
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace export/import: a flat CSV format so generated workloads can be
+//! inspected, archived, or consumed by external tools, and external traces
+//! (e.g. parsed from the real Google cluster data) can be replayed through
+//! the simulator.
+//!
+//! Format: one row per task, job attributes repeated —
+//! `job_id,arrival_s,priority,structure,flip_fraction,flip_priority,task_id,task_idx,length_s,mem_mb`
+//! with a `# seed=<seed>` comment line carrying the RNG seed (so failure
+//! streams reproduce).
+
+use crate::gen::{JobSpec, JobStructure, PriorityFlip, TaskSpec, Trace};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or numeric parse failure, with the offending line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "trace I/O error: {e}"),
+            ExportError::Parse { line, what } => write!(f, "trace parse error at line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+const HEADER: &str = "job_id,arrival_s,priority,structure,flip_fraction,flip_priority,task_id,task_idx,length_s,mem_mb";
+
+/// Write a trace as CSV.
+pub fn write_csv<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), ExportError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "# seed={}", trace.seed)?;
+    writeln!(f, "{HEADER}")?;
+    for job in &trace.jobs {
+        let (ff, fp) = match job.flip {
+            Some(flip) => (flip.at_fraction.to_string(), flip.new_priority.to_string()),
+            None => (String::new(), String::new()),
+        };
+        for t in &job.tasks {
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{},{},{},{}",
+                job.id,
+                job.arrival_s,
+                job.priority,
+                job.structure.label(),
+                ff,
+                fp,
+                t.id,
+                t.idx,
+                t.length_s,
+                t.mem_mb
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, ExportError> {
+    s.parse().map_err(|_| ExportError::Parse { line, what: format!("bad {what}: {s:?}") })
+}
+
+/// Read a trace back from CSV. Tasks of a job must be contiguous rows (the
+/// format [`write_csv`] produces).
+pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<Trace, ExportError> {
+    let f = BufReader::new(std::fs::File::open(path)?);
+    let mut seed = 0u64;
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed == HEADER {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("# seed=") {
+            seed = parse(rest, lineno, "seed")?;
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = trimmed.split(',').collect();
+        if cols.len() != 10 {
+            return Err(ExportError::Parse {
+                line: lineno,
+                what: format!("expected 10 columns, found {}", cols.len()),
+            });
+        }
+        let job_id: u64 = parse(cols[0], lineno, "job_id")?;
+        let arrival_s: f64 = parse(cols[1], lineno, "arrival_s")?;
+        let priority: u8 = parse(cols[2], lineno, "priority")?;
+        let structure = match cols[3] {
+            "ST" => JobStructure::Sequential,
+            "BoT" => JobStructure::BagOfTasks,
+            other => {
+                return Err(ExportError::Parse {
+                    line: lineno,
+                    what: format!("unknown structure {other:?}"),
+                })
+            }
+        };
+        let flip = if cols[4].is_empty() {
+            None
+        } else {
+            Some(PriorityFlip {
+                at_fraction: parse(cols[4], lineno, "flip_fraction")?,
+                new_priority: parse(cols[5], lineno, "flip_priority")?,
+            })
+        };
+        let task = TaskSpec {
+            id: parse(cols[6], lineno, "task_id")?,
+            job: job_id,
+            idx: parse(cols[7], lineno, "task_idx")?,
+            length_s: parse(cols[8], lineno, "length_s")?,
+            mem_mb: parse(cols[9], lineno, "mem_mb")?,
+        };
+        match jobs.last_mut() {
+            Some(last) if last.id == job_id => last.tasks.push(task),
+            _ => jobs.push(JobSpec {
+                id: job_id,
+                arrival_s,
+                priority,
+                structure,
+                tasks: vec![task],
+                flip,
+            }),
+        }
+    }
+    Ok(Trace { jobs, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::spec::WorkloadSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ckpt_trace_test_{}_{name}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = generate(&WorkloadSpec::google_like(120), 777);
+        let path = tmp("roundtrip");
+        write_csv(&trace, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.seed, trace.seed);
+        assert_eq!(back.jobs, trace.jobs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_preserves_flips() {
+        let trace = generate(&WorkloadSpec::google_like(40).with_priority_flips(), 778);
+        let path = tmp("flips");
+        write_csv(&trace, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.jobs, trace.jobs);
+        assert!(back.jobs.iter().all(|j| j.flip.is_some()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_preserves_failure_streams() {
+        use ckpt_stats::rng::Rng64;
+        let trace = generate(&WorkloadSpec::google_like(10), 779);
+        let path = tmp("streams");
+        write_csv(&trace, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        let mut a = trace.failure_stream(3);
+        let mut b = back.failure_stream(3);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let path = tmp("bad");
+        std::fs::write(&path, "# seed=1\nnot,enough,columns\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert!(matches!(err, ExportError::Parse { line: 2, .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        let path2 = tmp("badnum");
+        std::fs::write(
+            &path2,
+            format!("{HEADER}\n0,abc,1,ST,,,0,0,100.0,50.0\n"),
+        )
+        .unwrap();
+        let err2 = read_csv(&path2).unwrap_err();
+        assert!(matches!(err2, ExportError::Parse { .. }), "{err2}");
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_csv("/nonexistent/definitely/not/here.csv").unwrap_err();
+        assert!(matches!(err, ExportError::Io(_)));
+    }
+}

@@ -1,0 +1,333 @@
+//! The trace generator: jobs, tasks, arrivals, priorities, and optional
+//! mid-run priority flips, all drawn deterministically from a seed.
+
+use crate::spec::{WorkloadSpec, NUM_PRIORITIES};
+use ckpt_stats::dist::{ContinuousDist, Exponential, LogNormal};
+use ckpt_stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+
+/// Job structure, per the paper's §5.1: "there are two types of job
+/// structures, either sequential tasks (ST) or bag-of-tasks (BoT)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobStructure {
+    /// Tasks run one after another (a chain).
+    Sequential,
+    /// Tasks run in parallel (MapReduce-style).
+    BagOfTasks,
+}
+
+impl JobStructure {
+    /// Short label for reports ("ST" / "BoT").
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStructure::Sequential => "ST",
+            JobStructure::BagOfTasks => "BoT",
+        }
+    }
+}
+
+/// One task of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Globally unique task id.
+    pub id: u64,
+    /// Owning job id.
+    pub job: u64,
+    /// Index within the job (execution order for ST jobs).
+    pub idx: u32,
+    /// Productive length `Te` (seconds) — execution time absent failures and
+    /// checkpointing.
+    pub length_s: f64,
+    /// Memory footprint (MB) — drives checkpoint/restart costs.
+    pub mem_mb: f64,
+}
+
+/// A planned mid-run priority change (the Figure 14 scenario).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityFlip {
+    /// Fraction of the job's total productive work after which the flip
+    /// occurs (the paper flips "in the middle of its execution": 0.5).
+    pub at_fraction: f64,
+    /// The new priority.
+    pub new_priority: u8,
+}
+
+/// One job: an arrival time, a priority, a structure, and its tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Globally unique job id.
+    pub id: u64,
+    /// Submission time (seconds since trace start).
+    pub arrival_s: f64,
+    /// Google-style priority 1..=12.
+    pub priority: u8,
+    /// ST or BoT.
+    pub structure: JobStructure,
+    /// The job's tasks (ST jobs execute them in `idx` order).
+    pub tasks: Vec<TaskSpec>,
+    /// Optional planned priority flip (Figure 14's experiment).
+    pub flip: Option<PriorityFlip>,
+}
+
+impl JobSpec {
+    /// Total productive work across tasks (seconds).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.length_s).sum()
+    }
+
+    /// Largest single-task memory footprint (MB).
+    pub fn max_mem(&self) -> f64 {
+        self.tasks.iter().fold(0.0, |m, t| m.max(t.mem_mb))
+    }
+}
+
+/// A generated trace: the deterministic product of `(spec, seed)`.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The jobs, sorted by arrival time.
+    pub jobs: Vec<JobSpec>,
+    /// The seed the trace was generated from (recorded for reproducibility).
+    pub seed: u64,
+}
+
+impl Trace {
+    /// Total number of tasks across all jobs.
+    pub fn task_count(&self) -> usize {
+        self.jobs.iter().map(|j| j.tasks.len()).sum()
+    }
+
+    /// Iterate all tasks with their owning job.
+    pub fn tasks(&self) -> impl Iterator<Item = (&JobSpec, &TaskSpec)> {
+        self.jobs.iter().flat_map(|j| j.tasks.iter().map(move |t| (j, t)))
+    }
+
+    /// Jobs of one structure.
+    pub fn jobs_with_structure(&self, s: JobStructure) -> impl Iterator<Item = &JobSpec> {
+        self.jobs.iter().filter(move |j| j.structure == s)
+    }
+
+    /// The RNG stream that governs task `task_id`'s failure process. Both
+    /// the history sampler and the simulator use this, so a task sees the
+    /// *same* failure-interval sequence under every policy — the common
+    /// random numbers that make the paper's paired comparisons (Figure 13)
+    /// meaningful.
+    pub fn failure_stream(&self, task_id: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::stream(SplitMix64::mix(self.seed ^ 0xFA11_57EE), task_id)
+    }
+}
+
+fn pick_weighted<R: Rng64>(rng: &mut R, weights: &[f64; NUM_PRIORITIES]) -> u8 {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return (i + 1) as u8;
+        }
+    }
+    NUM_PRIORITIES as u8
+}
+
+fn sample_clamped<R: Rng64>(rng: &mut R, d: &LogNormal, clamp: (f64, f64)) -> f64 {
+    d.sample(rng).clamp(clamp.0, clamp.1)
+}
+
+/// Generate a trace from a workload spec and a seed. Deterministic:
+/// identical `(spec, seed)` pairs produce identical traces.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
+    let mut rng = Xoshiro256StarStar::stream(seed, 0x7ACE);
+    let interarrival = Exponential::from_mean(spec.mean_interarrival_s)
+        .expect("spec.mean_interarrival_s must be positive");
+    let length_dist = LogNormal::from_median_spread(spec.length_median_s, spec.length_spread)
+        .expect("spec length distribution invalid");
+    let long_dist = LogNormal::from_median_spread(spec.long_task_median_s, spec.long_task_spread)
+        .expect("spec long-task distribution invalid");
+    let mem_dist = LogNormal::from_median_spread(spec.mem_median_mb, spec.mem_spread)
+        .expect("spec memory distribution invalid");
+
+    let mut jobs = Vec::with_capacity(spec.n_jobs);
+    let mut clock = 0.0;
+    let mut next_task_id = 0u64;
+    for job_id in 0..spec.n_jobs as u64 {
+        clock += interarrival.sample(&mut rng);
+        let structure = if rng.next_bool(spec.bot_fraction) {
+            JobStructure::BagOfTasks
+        } else {
+            JobStructure::Sequential
+        };
+        let (lo, hi) = match structure {
+            JobStructure::Sequential => spec.st_task_range,
+            JobStructure::BagOfTasks => spec.bot_task_range,
+        };
+        let n_tasks = lo + rng.next_range((hi - lo + 1) as u64) as u32;
+        let priority = pick_weighted(&mut rng, &spec.priority_weights);
+        // Long-running service jobs: the whole job draws from the long
+        // component (services are jobs, not stray tasks inside batch jobs).
+        let is_long = rng.next_bool(spec.long_task_fraction);
+        let tasks: Vec<TaskSpec> = (0..n_tasks)
+            .map(|idx| {
+                let length_s = if is_long {
+                    sample_clamped(&mut rng, &long_dist, spec.long_task_clamp)
+                } else {
+                    sample_clamped(&mut rng, &length_dist, spec.length_clamp)
+                };
+                let t = TaskSpec {
+                    id: next_task_id,
+                    job: job_id,
+                    idx,
+                    length_s,
+                    mem_mb: sample_clamped(&mut rng, &mem_dist, spec.mem_clamp),
+                };
+                next_task_id += 1;
+                t
+            })
+            .collect();
+        let flip = if rng.next_bool(spec.priority_flip_prob) {
+            // Flip to a uniformly random *different* priority at half the
+            // job's work, as in the paper's Figure 14 setup.
+            let mut new_p = priority;
+            while new_p == priority {
+                new_p = 1 + rng.next_range(NUM_PRIORITIES as u64) as u8;
+            }
+            Some(PriorityFlip { at_fraction: 0.5, new_priority: new_p })
+        } else {
+            None
+        };
+        jobs.push(JobSpec { id: job_id, arrival_s: clock, priority, structure, tasks, flip });
+    }
+    Trace { jobs, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::google_like(500)
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = small_spec();
+        let a = generate(&spec, 42);
+        let b = generate(&spec, 42);
+        assert_eq!(a.jobs, b.jobs);
+        let c = generate(&spec, 43);
+        assert_ne!(a.jobs, c.jobs);
+    }
+
+    #[test]
+    fn job_count_and_sorted_arrivals() {
+        let t = generate(&small_spec(), 7);
+        assert_eq!(t.jobs.len(), 500);
+        for w in t.jobs.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+    }
+
+    #[test]
+    fn task_ids_unique_and_dense() {
+        let t = generate(&small_spec(), 7);
+        let mut ids: Vec<u64> = t.tasks().map(|(_, task)| task.id).collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+        }
+    }
+
+    #[test]
+    fn lengths_and_memory_clamped() {
+        let spec = small_spec();
+        let t = generate(&spec, 11);
+        let mut long_tasks = 0usize;
+        let mut total = 0usize;
+        for (_, task) in t.tasks() {
+            let in_batch =
+                task.length_s >= spec.length_clamp.0 && task.length_s <= spec.length_clamp.1;
+            let in_long = task.length_s >= spec.long_task_clamp.0
+                && task.length_s <= spec.long_task_clamp.1;
+            assert!(in_batch || in_long, "length {} outside both clamps", task.length_s);
+            if task.length_s > spec.length_clamp.1 {
+                long_tasks += 1;
+            }
+            total += 1;
+            assert!(task.mem_mb >= spec.mem_clamp.0 && task.mem_mb <= spec.mem_clamp.1);
+        }
+        // The long-service component exists but stays a small minority.
+        assert!(long_tasks > 0);
+        assert!((long_tasks as f64) < 0.15 * total as f64);
+    }
+
+    #[test]
+    fn structure_mix_matches_fraction() {
+        let t = generate(&WorkloadSpec::google_like(4000), 3);
+        let bot = t.jobs_with_structure(JobStructure::BagOfTasks).count();
+        let frac = bot as f64 / t.jobs.len() as f64;
+        assert!((frac - 0.4).abs() < 0.03, "bot fraction = {frac}");
+    }
+
+    #[test]
+    fn priorities_cover_range_weighted_low() {
+        let t = generate(&WorkloadSpec::google_like(8000), 5);
+        let mut counts = [0usize; NUM_PRIORITIES];
+        for j in &t.jobs {
+            assert!((1..=12).contains(&j.priority));
+            counts[(j.priority - 1) as usize] += 1;
+        }
+        // Low priorities dominate (weights 0.21, 0.17 for p1, p2).
+        assert!(counts[0] > counts[7], "counts = {counts:?}");
+        // Every priority appears at this scale.
+        assert!(counts.iter().all(|&c| c > 0), "counts = {counts:?}");
+    }
+
+    #[test]
+    fn task_counts_respect_ranges() {
+        let spec = small_spec();
+        let t = generate(&spec, 13);
+        for j in &t.jobs {
+            let (lo, hi) = match j.structure {
+                JobStructure::Sequential => spec.st_task_range,
+                JobStructure::BagOfTasks => spec.bot_task_range,
+            };
+            assert!(j.tasks.len() as u32 >= lo && j.tasks.len() as u32 <= hi);
+        }
+    }
+
+    #[test]
+    fn no_flips_by_default_all_flips_when_asked() {
+        let t = generate(&small_spec(), 17);
+        assert!(t.jobs.iter().all(|j| j.flip.is_none()));
+        let t2 = generate(&small_spec().with_priority_flips(), 17);
+        assert!(t2.jobs.iter().all(|j| j.flip.is_some()));
+        for j in &t2.jobs {
+            let f = j.flip.unwrap();
+            assert_eq!(f.at_fraction, 0.5);
+            assert_ne!(f.new_priority, j.priority);
+            assert!((1..=12).contains(&f.new_priority));
+        }
+    }
+
+    #[test]
+    fn failure_stream_is_per_task_deterministic() {
+        use ckpt_stats::rng::Rng64;
+        let t = generate(&small_spec(), 19);
+        let mut s1 = t.failure_stream(5);
+        let mut s1b = t.failure_stream(5);
+        let mut s2 = t.failure_stream(6);
+        let a: Vec<u64> = (0..4).map(|_| s1.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| s1b.next_u64()).collect();
+        let c: Vec<u64> = (0..4).map(|_| s2.next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn job_helpers() {
+        let t = generate(&small_spec(), 23);
+        let j = &t.jobs[0];
+        let total: f64 = j.tasks.iter().map(|t| t.length_s).sum();
+        assert!((j.total_work() - total).abs() < 1e-9);
+        assert!(j.max_mem() >= j.tasks[0].mem_mb.min(j.max_mem()));
+        assert_eq!(JobStructure::Sequential.label(), "ST");
+        assert_eq!(JobStructure::BagOfTasks.label(), "BoT");
+    }
+}

@@ -1,0 +1,59 @@
+//! The Figure 14 scenario as a runnable demo: every job's priority flips
+//! mid-execution, and the adaptive Algorithm 1 (which re-solves the
+//! checkpoint schedule when MNOF changes — justified by Theorem 2) is
+//! compared against the static schedule computed at task start.
+//!
+//! Run with: `cargo run --release --example adaptive_priority`
+
+use cloud_ckpt::sim::metrics::{mean_wpr, paired_wall_clock, wpr_ecdf};
+use cloud_ckpt::sim::policy::{Estimates, PolicyConfig};
+use cloud_ckpt::sim::runner::{run_trace, RunOptions};
+use cloud_ckpt::trace::gen::generate;
+use cloud_ckpt::trace::spec::WorkloadSpec;
+use cloud_ckpt::trace::stats::{failure_prone_jobs, trace_histories};
+
+fn main() {
+    let spec = WorkloadSpec::google_like(2500).with_priority_flips();
+    let trace = generate(&spec, 1402);
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let sample = failure_prone_jobs(&records, 0.5);
+
+    let dynamic_cfg = PolicyConfig::formula3().with_adaptivity(true);
+    let static_cfg = PolicyConfig::formula3();
+
+    let keep = |recs: Vec<cloud_ckpt::sim::JobRecord>| -> Vec<_> {
+        recs.into_iter().filter(|r| sample.contains(&r.job_id)).collect()
+    };
+    let dynamic = keep(run_trace(&trace, &estimates, &dynamic_cfg, RunOptions::default()));
+    let fixed = keep(run_trace(&trace, &estimates, &static_cfg, RunOptions::default()));
+
+    let e_dyn = wpr_ecdf(&dynamic).expect("non-empty");
+    let e_sta = wpr_ecdf(&fixed).expect("non-empty");
+    println!("every job flips priority at 50 % of its work ({} sample jobs)\n", dynamic.len());
+    println!("{:<22} {:>9} {:>9} {:>11}", "algorithm", "avg WPR", "p5 WPR", "P(WPR<0.8)");
+    println!(
+        "{:<22} {:>9.4} {:>9.4} {:>11.3}",
+        "dynamic (Algorithm 1)",
+        mean_wpr(&dynamic),
+        e_dyn.quantile(0.05),
+        e_dyn.cdf(0.8)
+    );
+    println!(
+        "{:<22} {:>9.4} {:>9.4} {:>11.3}",
+        "static",
+        mean_wpr(&fixed),
+        e_sta.quantile(0.05),
+        e_sta.cdf(0.8)
+    );
+
+    let pairs = paired_wall_clock(&dynamic, &fixed);
+    let similar = pairs.iter().filter(|(_, r, _)| (*r - 1.0).abs() <= 0.02).count();
+    let faster = pairs.iter().filter(|(_, r, _)| *r < 0.98).count();
+    println!(
+        "\nwall-clock: {:.0} % of jobs within ±2 % of each other; {:.0} % meaningfully faster under dynamic",
+        100.0 * similar as f64 / pairs.len() as f64,
+        100.0 * faster as f64 / pairs.len() as f64,
+    );
+    println!("(paper: 67 % similar; dynamic's worst WPR ≈ 0.8 vs static ≈ 0.5)");
+}

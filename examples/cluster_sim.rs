@@ -1,0 +1,66 @@
+//! Full-cluster simulation demo: the paper's 32-host × 7-VM testbed with
+//! memory-constrained greedy scheduling, restart migration, and
+//! processor-sharing checkpoint storage — comparing central NFS against
+//! the paper's DM-NFS under real workload-driven contention.
+//!
+//! Run with: `cargo run --release --example cluster_sim`
+
+use cloud_ckpt::sim::cluster::{ClusterConfig, ClusterSim};
+use cloud_ckpt::sim::metrics::mean_wpr;
+use cloud_ckpt::sim::policy::{Estimates, PolicyConfig, StorageChoice};
+use cloud_ckpt::sim::Device;
+use cloud_ckpt::stats::Summary;
+use cloud_ckpt::trace::gen::generate;
+use cloud_ckpt::trace::spec::WorkloadSpec;
+use cloud_ckpt::trace::stats::trace_histories;
+
+fn main() {
+    // A cluster-sized slice: enough load to create contention without
+    // saturating the 224 VM slots.
+    let mut spec = WorkloadSpec::google_like(600);
+    spec.mean_interarrival_s = 25.0;
+    spec.long_task_fraction = 0.0;
+    let trace = generate(&spec, 31415);
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let cfg = ClusterConfig::default();
+    println!(
+        "cluster: {} hosts x {} VMs, storage rate {:.1}; {} jobs / {} tasks\n",
+        cfg.n_hosts,
+        cfg.vms_per_host,
+        cfg.storage_rate,
+        trace.jobs.len(),
+        trace.task_count()
+    );
+
+    println!(
+        "{:<22} {:>9} {:>14} {:>14} {:>10} {:>12}",
+        "storage", "avg WPR", "mean ckpt(s)", "p95 ckpt(s)", "max conc", "makespan(h)"
+    );
+    for (label, storage) in [
+        ("auto (§4.2.2)", StorageChoice::Auto),
+        ("central NFS", StorageChoice::Force(Device::CentralNfs)),
+        ("DM-NFS", StorageChoice::Force(Device::DmNfs)),
+        ("local ramdisk", StorageChoice::Force(Device::Ramdisk)),
+    ] {
+        let policy = PolicyConfig::formula3().with_storage(storage);
+        let result = ClusterSim::new(cfg, &trace, &estimates, policy).run();
+        let jobs: Vec<_> = result.jobs.iter().map(|j| j.base.clone()).collect();
+        let dur = Summary::from_slice(&result.checkpoint_durations);
+        let (mean_d, p95_d) = dur.map(|s| (s.mean, s.p95)).unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{:<22} {:>9.4} {:>14.3} {:>14.3} {:>10} {:>12.2}",
+            label,
+            mean_wpr(&jobs),
+            mean_d,
+            p95_d,
+            result.max_concurrent_checkpoints,
+            result.makespan.as_secs_f64() / 3600.0
+        );
+    }
+    println!(
+        "\nthe central NFS server serializes concurrent checkpoints (the paper's Table 2\n\
+         bottleneck); DM-NFS spreads them across per-host servers (Table 3), keeping\n\
+         costs near the uncontended level."
+    );
+}

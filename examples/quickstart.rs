@@ -1,0 +1,55 @@
+//! Quickstart: the paper's core results in a dozen lines each.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cloud_ckpt::policy::adaptive::AdaptiveCheckpointer;
+use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
+use cloud_ckpt::policy::schedule::{wall_clock_formula1, EquidistantSchedule};
+use cloud_ckpt::policy::young::{young_interval, young_interval_count};
+
+fn main() {
+    // ----------------------------------------------------------------
+    // Theorem 1 (Formula 3): the paper's worked example.
+    // A task of Te = 18 s, checkpoint cost C = 2 s, Poisson failures with
+    // λ = 2 ⇒ E(Y) = 2 expected failures.
+    // ----------------------------------------------------------------
+    let x = optimal_interval_count(18.0, 2.0, 2.0).expect("valid inputs");
+    println!("Theorem 1: x* = {:.2} -> {} intervals of {:.1} s each ({} checkpoints)",
+        x.continuous(), x.rounded(), x.interval_length(18.0), x.checkpoint_count());
+    assert_eq!(x.rounded(), 3);
+
+    // Expected wall-clock at the optimum (Formula (4)), with restart R = 0:
+    let e_opt = expected_wall_clock(18.0, 2.0, 0.0, 2.0, 3).unwrap();
+    let e_none = expected_wall_clock(18.0, 2.0, 0.0, 2.0, 1).unwrap();
+    println!("          E(Tw) at x*=3: {e_opt:.1} s vs x=1 (no checkpoints): {e_none:.1} s");
+
+    // ----------------------------------------------------------------
+    // Corollary 1 / Young's formula: the paper's Google-trace example.
+    // C = 2 s, exponential short-interval fit λ = 0.00423445.
+    // ----------------------------------------------------------------
+    let tc = young_interval(2.0, 1.0 / 0.00423445).unwrap();
+    println!("Young:     optimal interval sqrt(2·C/λ) = {tc:.1} s (paper: ≈ 30.7 s)");
+    let xy = young_interval_count(441.0, 2.0, 1.0 / 0.00423445).unwrap();
+    println!("          a 441 s task gets {xy} intervals under Young");
+
+    // ----------------------------------------------------------------
+    // Formula (1): exact wall-clock for a concrete failure history.
+    // ----------------------------------------------------------------
+    let schedule = EquidistantSchedule::new(18.0, 3).unwrap();
+    let tw = wall_clock_formula1(&schedule, 2.0, 1.0, &[8.0]).unwrap();
+    println!("Formula 1: Te=18, checkpoints at {:?}, one failure at progress 8 s,\n          R=1 -> wall-clock {tw:.1} s (rollback to 6, losing 2 s)",
+        schedule.positions());
+
+    // ----------------------------------------------------------------
+    // Algorithm 1 / Theorem 2: the adaptive controller. While MNOF is
+    // unchanged the spacing is kept (X decrements); when the task's
+    // priority (and so its MNOF) changes, the controller re-solves.
+    // ----------------------------------------------------------------
+    let mut ctl = AdaptiveCheckpointer::new(441.0, 1.0, 2.0).unwrap();
+    println!("Algorithm 1: initial segment {:.1} s", ctl.segment());
+    ctl.on_checkpoint_complete(ctl.segment());
+    println!("          after 1 checkpoint, segment still {:.1} s (Theorem 2 fast path)", ctl.segment());
+    ctl.update_mnof(8.0); // priority dropped: 4× the failures expected
+    println!("          after MNOF 2 -> 8, segment re-solved to {:.1} s ({} re-solves)",
+        ctl.segment(), ctl.resolve_count());
+}

@@ -1,0 +1,65 @@
+//! §4.2.2 — deciding between local-ramdisk and shared-disk checkpointing.
+//!
+//! Reproduces the paper's worked example (Te = 200 s, 160 MB, E(Y) = 2 →
+//! local ramdisk wins) and then sweeps the failure expectation to find the
+//! crossover where cheap restarts (shared disk, migration type B) start to
+//! pay for their costlier checkpoints.
+//!
+//! Run with: `cargo run --release --example storage_tradeoff`
+
+use cloud_ckpt::policy::storage::{choose_storage, expected_total_cost, DeviceCosts};
+use cloud_ckpt::sim::blcr::{BlcrModel, Device};
+
+fn main() {
+    let blcr = BlcrModel;
+
+    // The paper's measured costs for a 160 MB task.
+    let local = DeviceCosts::new(
+        blcr.checkpoint_cost(Device::Ramdisk, 160.0),
+        blcr.restart_cost_for_device(Device::Ramdisk, 160.0),
+    )
+    .unwrap();
+    let shared = DeviceCosts::new(
+        blcr.checkpoint_cost(Device::DmNfs, 160.0),
+        blcr.restart_cost_for_device(Device::DmNfs, 160.0),
+    )
+    .unwrap();
+    println!(
+        "cost model @160 MB: local C={:.3} R={:.2} | shared C={:.3} R={:.2}",
+        local.checkpoint_cost, local.restart_cost, shared.checkpoint_cost, shared.restart_cost
+    );
+
+    // Paper's example with its own measured numbers:
+    let paper_local = DeviceCosts::new(0.632, 3.22).unwrap();
+    let paper_shared = DeviceCosts::new(1.67, 1.45).unwrap();
+    let (pick, cl, cs) = choose_storage(200.0, 2.0, paper_local, paper_shared).unwrap();
+    println!(
+        "paper example (Te=200, E(Y)=2): local {cl:.2} s vs shared {cs:.2} s -> {}",
+        pick.label()
+    );
+
+    // Sweep E(Y): where does the decision flip?
+    println!("\nE(Y) sweep at Te = 200 s (paper-measured costs):");
+    println!("{:>6} {:>12} {:>12} {:>10}", "E(Y)", "local(s)", "shared(s)", "pick");
+    let mut crossover = None;
+    for i in 1..=60 {
+        let e_y = i as f64 * 0.5;
+        let l = expected_total_cost(200.0, e_y, paper_local).unwrap();
+        let s = expected_total_cost(200.0, e_y, paper_shared).unwrap();
+        let (pick, ..) = choose_storage(200.0, e_y, paper_local, paper_shared).unwrap();
+        if i % 6 == 0 {
+            println!("{e_y:>6.1} {l:>12.2} {s:>12.2} {:>10}", pick.label());
+        }
+        if crossover.is_none() && l > s {
+            crossover = Some(e_y);
+        }
+    }
+    match crossover {
+        Some(e) => println!(
+            "\ncrossover at E(Y) ≈ {e:.1}: beyond this, migration-type-B restarts ({:.2} s each\n\
+             vs {:.2} s) outweigh the cheaper local checkpoints",
+            paper_shared.restart_cost, paper_local.restart_cost
+        ),
+        None => println!("\nno crossover in range — local wins throughout"),
+    }
+}

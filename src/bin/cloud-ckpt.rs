@@ -1,0 +1,217 @@
+//! `cloud-ckpt` — command-line front end for the SC'13 checkpoint-restart
+//! reproduction.
+//!
+//! ```text
+//! cloud-ckpt plan     --te 441 --ckpt-cost 1 --mnof 2 [--mtbf 179]
+//! cloud-ckpt generate --jobs 2000 --seed 7 --out trace.csv [--flips]
+//! cloud-ckpt replay   --trace trace.csv --policy formula3 [...]
+//! cloud-ckpt replay   --jobs 2000 --seed 7 --policy young  (generate inline)
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every subcommand
+//! prints `--help`-style usage on bad input.
+
+use cloud_ckpt::policy::daly::daly_interval_count;
+use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
+use cloud_ckpt::policy::young::{young_interval, young_interval_count};
+use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
+use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
+use cloud_ckpt::sim::runner::{run_trace, RunOptions};
+use cloud_ckpt::trace::export;
+use cloud_ckpt::trace::gen::{generate, JobStructure, Trace};
+use cloud_ckpt::trace::spec::WorkloadSpec;
+use cloud_ckpt::trace::stats::{failure_prone_jobs, trace_histories};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cloud-ckpt — optimal cloud checkpointing (Di et al., SC'13) toolkit
+
+USAGE:
+  cloud-ckpt plan --te <s> --ckpt-cost <s> --mnof <n> [--mtbf <s>] [--restart-cost <s>]
+      Compute checkpoint plans for one task under Formula (3), Young and Daly.
+
+  cloud-ckpt generate --jobs <n> [--seed <u64>] [--flips] --out <file.csv>
+      Generate a Google-like synthetic trace and write it as CSV.
+
+  cloud-ckpt replay (--trace <file.csv> | --jobs <n> [--seed <u64>]) \\
+                    [--policy formula3|young|daly|none] [--adaptive] \\
+                    [--estimator oracle|priority|global] [--limit <s>] [--threads <n>]
+      Replay a trace under a policy and print WPR statistics.
+
+  cloud-ckpt help
+      Show this message.
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        // Boolean flags take no value.
+        if matches!(key, "flips" | "adaptive") {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn need<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Result<T, String> {
+    flags
+        .get(key)
+        .ok_or(format!("missing required flag --{key}"))?
+        .parse()
+        .map_err(|_| format!("flag --{key}: cannot parse {:?}", flags[key]))
+}
+
+fn opt<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_plan(flags: HashMap<String, String>) -> Result<(), String> {
+    let te: f64 = need(&flags, "te")?;
+    let c: f64 = need(&flags, "ckpt-cost")?;
+    let mnof: f64 = need(&flags, "mnof")?;
+    let r: f64 = opt(&flags, "restart-cost", 0.0)?;
+
+    let x = optimal_interval_count(te, c, mnof).map_err(|e| e.to_string())?;
+    let e_tw = expected_wall_clock(te, c, r, mnof, x.rounded()).map_err(|e| e.to_string())?;
+    println!("Formula (3) [paper]:");
+    println!("  x* = {:.3} -> {} intervals of {:.2} s ({} checkpoints)",
+        x.continuous(), x.rounded(), x.interval_length(te), x.checkpoint_count());
+    println!("  E(Tw) = {e_tw:.2} s (vs {te} s productive)");
+
+    if let Some(mtbf_s) = flags.get("mtbf") {
+        let mtbf: f64 = mtbf_s.parse().map_err(|_| "bad --mtbf".to_string())?;
+        let tc = young_interval(c, mtbf).map_err(|e| e.to_string())?;
+        let xy = young_interval_count(te, c, mtbf).map_err(|e| e.to_string())?;
+        let xd = daly_interval_count(te, c, mtbf).map_err(|e| e.to_string())?;
+        println!("Young:   Tc = {tc:.2} s -> {xy} intervals");
+        println!("Daly:    {xd} intervals");
+        let e_young = expected_wall_clock(te, c, r, mnof, xy).map_err(|e| e.to_string())?;
+        println!("  E(Tw) under Young's count (true E(Y) = {mnof}): {e_young:.2} s");
+    }
+    Ok(())
+}
+
+fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
+    let jobs: usize = need(&flags, "jobs")?;
+    let seed: u64 = opt(&flags, "seed", 20130217)?;
+    let out: String = need(&flags, "out")?;
+    let mut spec = WorkloadSpec::google_like(jobs);
+    if flags.contains_key("flips") {
+        spec = spec.with_priority_flips();
+    }
+    let trace = generate(&spec, seed);
+    export::write_csv(&trace, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} jobs / {} tasks (seed {seed}) to {out}",
+        trace.jobs.len(),
+        trace.task_count()
+    );
+    Ok(())
+}
+
+fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
+    if let Some(path) = flags.get("trace") {
+        export::read_csv(path).map_err(|e| e.to_string())
+    } else {
+        let jobs: usize = need(flags, "jobs")?;
+        let seed: u64 = opt(flags, "seed", 20130217)?;
+        Ok(generate(&WorkloadSpec::google_like(jobs), seed))
+    }
+}
+
+fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(&flags)?;
+    let limit: f64 = opt(&flags, "limit", f64::INFINITY)?;
+    let estimator = match flags.get("estimator").map(String::as_str) {
+        None | Some("priority") => EstimatorKind::PerPriority { limit },
+        Some("oracle") => EstimatorKind::Oracle,
+        Some("global") => EstimatorKind::Global { limit },
+        Some(other) => return Err(format!("unknown estimator {other:?}")),
+    };
+    let base = match flags.get("policy").map(String::as_str) {
+        None | Some("formula3") => PolicyConfig::formula3(),
+        Some("young") => PolicyConfig::young(),
+        Some("daly") => PolicyConfig::daly(),
+        Some("none") => PolicyConfig::none(),
+        Some(other) => return Err(format!("unknown policy {other:?}")),
+    };
+    let cfg = base
+        .with_estimator(estimator)
+        .with_adaptivity(flags.contains_key("adaptive"));
+    let threads: usize = opt(&flags, "threads", 0)?;
+
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let sample = failure_prone_jobs(&records, 0.5);
+    let recs: Vec<_> = run_trace(&trace, &estimates, &cfg, RunOptions { threads })
+        .into_iter()
+        .filter(|r| sample.contains(&r.job_id))
+        .collect();
+    if recs.is_empty() {
+        return Err("no failure-prone sample jobs in this trace".into());
+    }
+    let e = wpr_ecdf(&recs).expect("non-empty");
+    println!(
+        "policy {} | estimator {:?} | {} sample jobs of {}",
+        cfg.kind.label(),
+        cfg.estimator,
+        recs.len(),
+        trace.jobs.len()
+    );
+    println!("  avg WPR        {:.4}", mean_wpr(&recs));
+    println!(
+        "  ST / BoT WPR   {:.4} / {:.4}",
+        mean_wpr(&with_structure(&recs, JobStructure::Sequential)),
+        mean_wpr(&with_structure(&recs, JobStructure::BagOfTasks))
+    );
+    println!("  P(WPR < 0.88)  {:.3}", e.cdf(0.88));
+    println!("  P(WPR > 0.95)  {:.3}", 1.0 - e.cdf(0.95));
+    println!("  min / med      {:.4} / {:.4}", e.min(), e.quantile(0.5));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd {
+        "plan" => parse_flags(&args[1..]).and_then(cmd_plan),
+        "generate" => parse_flags(&args[1..]).and_then(cmd_generate),
+        "replay" => parse_flags(&args[1..]).and_then(cmd_replay),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

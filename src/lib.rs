@@ -1,0 +1,29 @@
+//! # cloud-ckpt — facade crate for the SC'13 checkpoint-restart reproduction
+//!
+//! Reproduction of *"Optimization of Cloud Task Processing with
+//! Checkpoint-Restart Mechanism"* (Di, Robert, Vivien, Kondo, Wang, Cappello —
+//! SC'13). This crate re-exports the four sub-crates so applications can
+//! depend on a single entry point:
+//!
+//! * [`stats`] — distributions, MLE fitting, ECDF machinery.
+//! * [`policy`] — Theorem 1 optimal checkpointing, Young/Daly baselines,
+//!   adaptive Algorithm 1, storage-device tradeoff.
+//! * [`trace`] — Google-trace-like synthetic workload generator.
+//! * [`sim`] — discrete-event cloud simulator (hosts, VMs, scheduler,
+//!   checkpoint storage, failures) and the experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cloud_ckpt::policy::optimal::optimal_interval_count;
+//!
+//! // The paper's worked example: Te = 18 s, C = 2 s, E(Y) = 2 failures
+//! // expected => x* = sqrt(18·2 / (2·2)) = 3 checkpointing intervals.
+//! let x = optimal_interval_count(18.0, 2.0, 2.0).unwrap();
+//! assert_eq!(x.rounded(), 3);
+//! ```
+
+pub use ckpt_policy as policy;
+pub use ckpt_sim as sim;
+pub use ckpt_stats as stats;
+pub use ckpt_trace as trace;

@@ -1,0 +1,98 @@
+//! Integration tests of the `cloud-ckpt` CLI binary: plan, generate,
+//! replay, and error handling, driven through the real executable.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cloud-ckpt"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cloud_ckpt_cli_{}_{name}.csv", std::process::id()))
+}
+
+#[test]
+fn plan_reports_paper_example() {
+    let out = cli()
+        .args(["plan", "--te", "441", "--ckpt-cost", "1", "--mnof", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("21 intervals"), "{text}");
+    assert!(text.contains("20 checkpoints"), "{text}");
+}
+
+#[test]
+fn plan_with_mtbf_adds_baselines() {
+    let out = cli()
+        .args(["plan", "--te", "441", "--ckpt-cost", "1", "--mnof", "2", "--mtbf", "179"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Young:"), "{text}");
+    assert!(text.contains("Daly:"), "{text}");
+}
+
+#[test]
+fn generate_then_replay_roundtrip() {
+    let path = tmp("roundtrip");
+    let gen = cli()
+        .args(["generate", "--jobs", "200", "--seed", "9", "--out"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let replay = cli()
+        .args(["replay", "--policy", "young", "--trace"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(replay.status.success(), "{}", String::from_utf8_lossy(&replay.stderr));
+    let text = String::from_utf8_lossy(&replay.stdout);
+    assert!(text.contains("avg WPR"), "{text}");
+    assert!(text.contains("Young"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_inline_generation() {
+    let out = cli()
+        .args(["replay", "--jobs", "150", "--seed", "3", "--policy", "formula3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Formula(3)"));
+}
+
+#[test]
+fn bad_inputs_fail_with_usage() {
+    for args in [
+        vec!["frobnicate"],
+        vec!["plan", "--te", "441"],                      // missing flags
+        vec!["plan", "--te", "nan?", "--ckpt-cost", "1", "--mnof", "2"],
+        vec!["replay", "--policy", "quantum"],
+        vec!["generate", "--jobs", "10"],                 // missing --out
+    ] {
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("USAGE") || err.contains("error"), "{err}");
+    }
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = cli().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = cli().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cloud-ckpt"));
+}

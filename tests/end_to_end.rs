@@ -1,0 +1,174 @@
+//! End-to-end integration: generate a workload, extract history, build
+//! estimators, replay under every policy, and assert the paper's headline
+//! orderings — across crate boundaries, the way a downstream user would
+//! drive the library.
+
+use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_by_priority};
+use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
+use cloud_ckpt::sim::runner::{run_trace, RunOptions};
+use cloud_ckpt::trace::gen::{generate, JobStructure};
+use cloud_ckpt::trace::spec::WorkloadSpec;
+use cloud_ckpt::trace::stats::{failure_prone_jobs, trace_histories};
+use std::collections::HashSet;
+
+struct World {
+    trace: cloud_ckpt::trace::gen::Trace,
+    estimates: Estimates,
+    sample: HashSet<u64>,
+}
+
+fn world(n: usize, seed: u64) -> World {
+    let trace = generate(&WorkloadSpec::google_like(n), seed);
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let sample = failure_prone_jobs(&records, 0.5);
+    World { trace, estimates, sample }
+}
+
+fn sample_records(
+    w: &World,
+    cfg: &PolicyConfig,
+) -> Vec<cloud_ckpt::sim::JobRecord> {
+    run_trace(&w.trace, &w.estimates, cfg, RunOptions::default())
+        .into_iter()
+        .filter(|r| w.sample.contains(&r.job_id))
+        .collect()
+}
+
+#[test]
+fn headline_policy_ordering() {
+    // Formula (3) > Young > no-checkpointing on failure-prone jobs —
+    // the paper's Figure 9 plus the obvious sanity bound.
+    let w = world(1500, 42);
+    let f3 = mean_wpr(&sample_records(&w, &PolicyConfig::formula3()));
+    let yg = mean_wpr(&sample_records(&w, &PolicyConfig::young()));
+    let none = mean_wpr(&sample_records(&w, &PolicyConfig::none()));
+    assert!(f3 > yg, "Formula(3) {f3} must beat Young {yg}");
+    assert!(yg > none, "Young {yg} must beat no checkpointing {none}");
+    // The paper's magnitude: a 1-10 percentage-point gap.
+    assert!(f3 - yg > 0.005, "gap too small: {f3} vs {yg}");
+    assert!(f3 - yg < 0.15, "gap implausibly large: {f3} vs {yg}");
+}
+
+#[test]
+fn oracle_estimation_near_ties_the_formulas() {
+    // Table 6: with precise per-task prediction the two formulas nearly
+    // coincide.
+    let w = world(1500, 43);
+    let f3 = mean_wpr(&sample_records(
+        &w,
+        &PolicyConfig::formula3().with_estimator(EstimatorKind::Oracle),
+    ));
+    let yg = mean_wpr(&sample_records(
+        &w,
+        &PolicyConfig::young().with_estimator(EstimatorKind::Oracle),
+    ));
+    assert!((f3 - yg).abs() < 0.02, "oracle runs should nearly tie: {f3} vs {yg}");
+}
+
+#[test]
+fn both_structures_improve() {
+    let w = world(1500, 44);
+    let f3 = sample_records(&w, &PolicyConfig::formula3());
+    let yg = sample_records(&w, &PolicyConfig::young());
+    for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
+        let a = mean_wpr(&with_structure(&f3, structure));
+        let b = mean_wpr(&with_structure(&yg, structure));
+        assert!(a > b, "{}: {a} vs {b}", structure.label());
+    }
+}
+
+#[test]
+fn per_priority_gains_mostly_positive() {
+    // Figure 10: Formula (3) ahead for (almost) all priorities.
+    let w = world(3000, 45);
+    let f3 = wpr_by_priority(&sample_records(&w, &PolicyConfig::formula3()));
+    let yg = wpr_by_priority(&sample_records(&w, &PolicyConfig::young()));
+    let mut ahead = 0;
+    let mut total = 0;
+    for p in 1..=12u8 {
+        if let (Some(a), Some(b)) = (f3.get(&p), yg.get(&p)) {
+            if a.count() >= 20 {
+                total += 1;
+                if a.mean() > b.mean() {
+                    ahead += 1;
+                }
+            }
+        }
+    }
+    assert!(total >= 6, "need enough priorities with data, got {total}");
+    assert!(ahead * 10 >= total * 9, "Formula (3) ahead for {ahead}/{total} priorities");
+}
+
+#[test]
+fn determinism_across_threads_and_runs() {
+    let w = world(400, 46);
+    let cfg = PolicyConfig::formula3();
+    let a = run_trace(&w.trace, &w.estimates, &cfg, RunOptions { threads: 1 });
+    let b = run_trace(&w.trace, &w.estimates, &cfg, RunOptions { threads: 3 });
+    let c = run_trace(&w.trace, &w.estimates, &cfg, RunOptions { threads: 0 });
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
+
+#[test]
+fn wprs_always_valid() {
+    let w = world(600, 47);
+    for cfg in [
+        PolicyConfig::formula3(),
+        PolicyConfig::young(),
+        PolicyConfig::daly(),
+        PolicyConfig::none(),
+        PolicyConfig::formula3().with_adaptivity(true),
+    ] {
+        for r in run_trace(&w.trace, &w.estimates, &cfg, RunOptions::default()) {
+            let wpr = r.wpr();
+            assert!(wpr > 0.0 && wpr <= 1.0, "invalid WPR {wpr} under {:?}", cfg.kind);
+            assert!(r.total_wall >= r.total_work - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn dynamic_beats_static_under_flips() {
+    // Figure 14's ordering.
+    let trace = generate(&WorkloadSpec::google_like(1200).with_priority_flips(), 48);
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    let sample = failure_prone_jobs(&records, 0.5);
+    let keep = |v: Vec<cloud_ckpt::sim::JobRecord>| -> Vec<_> {
+        v.into_iter().filter(|r| sample.contains(&r.job_id)).collect()
+    };
+    let dynamic = keep(run_trace(
+        &trace,
+        &estimates,
+        &PolicyConfig::formula3().with_adaptivity(true),
+        RunOptions::default(),
+    ));
+    let fixed =
+        keep(run_trace(&trace, &estimates, &PolicyConfig::formula3(), RunOptions::default()));
+    let m_dyn = mean_wpr(&dynamic);
+    let m_sta = mean_wpr(&fixed);
+    assert!(m_dyn > m_sta, "dynamic {m_dyn} must beat static {m_sta}");
+    // The static algorithm's low tail is fatter (the paper's 0.5-vs-0.8
+    // worst-case contrast).
+    let low_dyn = dynamic.iter().filter(|r| r.wpr() < 0.8).count() as f64 / dynamic.len() as f64;
+    let low_sta = fixed.iter().filter(|r| r.wpr() < 0.8).count() as f64 / fixed.len() as f64;
+    assert!(low_sta > low_dyn, "static low-tail {low_sta} vs dynamic {low_dyn}");
+}
+
+#[test]
+fn common_random_numbers_make_comparisons_paired() {
+    // The same job under two policies experiences the same kill count —
+    // the property that makes Figure 13's per-job comparison meaningful.
+    let w = world(300, 49);
+    let f3 = sample_records(&w, &PolicyConfig::formula3());
+    let yg = sample_records(&w, &PolicyConfig::young());
+    let by_id: std::collections::HashMap<u64, &cloud_ckpt::sim::JobRecord> =
+        yg.iter().map(|r| (r.job_id, r)).collect();
+    for a in &f3 {
+        let b = by_id[&a.job_id];
+        assert_eq!(a.failures, b.failures, "job {} kill counts differ", a.job_id);
+        assert_eq!(a.total_work, b.total_work);
+    }
+}

@@ -1,0 +1,126 @@
+//! Every concrete number the paper states, asserted against the library.
+//! These are the ground-truth anchors of the reproduction: if any of these
+//! fail, the implementation has diverged from the paper's math.
+
+use cloud_ckpt::policy::daly::daly_interval;
+use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count, scale_mnof};
+use cloud_ckpt::policy::schedule::{wall_clock_formula1, EquidistantSchedule};
+use cloud_ckpt::policy::storage::{choose_storage, DeviceCosts, StoragePick};
+use cloud_ckpt::policy::young::{corollary1_interval, young_interval};
+use cloud_ckpt::sim::blcr::{BlcrModel, Device, Migration};
+
+#[test]
+fn theorem1_worked_example() {
+    // §4.1: Te=18 s, C=2 s, Poisson λ=2 ⇒ x* = sqrt(18·2/(2·2)) = 3,
+    // "the optimal solution is to take a checkpoint every 18/3 = 6 seconds".
+    let x = optimal_interval_count(18.0, 2.0, 2.0).unwrap();
+    assert_eq!(x.rounded(), 3);
+    assert!((x.continuous() - 3.0).abs() < 1e-12);
+    assert!((x.interval_length(18.0) - 6.0).abs() < 1e-12);
+}
+
+#[test]
+fn young_formula_trace_example() {
+    // §4.1: C=2 s, λ=0.00423445 ⇒ Tc = sqrt(2·2/0.00423445) ≈ 30.7 s.
+    let tc = young_interval(2.0, 1.0 / 0.00423445).unwrap();
+    assert!((tc - 30.7).abs() < 0.1, "tc = {tc}");
+}
+
+#[test]
+fn corollary1_equivalence() {
+    // Corollary 1: with E(Y) = Te/Tf the Theorem-1 interval equals Young's
+    // for every task length (the derivation's cancellation is exact).
+    for te in [50.0, 441.0, 10_000.0] {
+        let a = corollary1_interval(te, 2.0, 236.16).unwrap();
+        let b = young_interval(2.0, 236.16).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn precopy_example_checkpoint_count() {
+    // §4.2.2: "if a task length, checkpointing cost and expected number of
+    // failures are 441 seconds, 1 second, and 2 respectively, then the
+    // number of optimal checkpoints is sqrt(441·2/(2·1)) − 1 = 20".
+    let x = optimal_interval_count(441.0, 1.0, 2.0).unwrap();
+    assert_eq!(x.checkpoint_count(), 20);
+}
+
+#[test]
+fn storage_tradeoff_worked_example() {
+    // §4.2.2: Te=200 s, 160 MB, E(Y)=2: local 0.632/3.22 ⇒ X≈17.79, total
+    // 28.29 s; shared 1.67/1.45 ⇒ X≈10.94, total 37.78 s ⇒ local wins.
+    let local = DeviceCosts::new(0.632, 3.22).unwrap();
+    let shared = DeviceCosts::new(1.67, 1.45).unwrap();
+    let (pick, cl, cs) = choose_storage(200.0, 2.0, local, shared).unwrap();
+    assert_eq!(pick, StoragePick::Local);
+    assert!((cl - 28.29).abs() < 0.01, "local = {cl}");
+    assert!((cs - 37.78).abs() < 0.01, "shared = {cs}");
+
+    let xl = optimal_interval_count(200.0, 0.632, 2.0).unwrap().continuous();
+    let xs = optimal_interval_count(200.0, 1.67, 2.0).unwrap().continuous();
+    assert!((xl - 17.79).abs() < 0.01);
+    assert!((xs - 10.94).abs() < 0.01);
+}
+
+#[test]
+fn formula4_expected_wall_clock_components() {
+    // Formula (4): E(Tw) = Te + C(x−1) + R·E(Y) + Te·E(Y)/(2x).
+    let w = expected_wall_clock(18.0, 2.0, 1.0, 2.0, 3).unwrap();
+    assert!((w - (18.0 + 4.0 + 2.0 + 6.0)).abs() < 1e-12);
+}
+
+#[test]
+fn formula1_wall_clock_accounting() {
+    // Formula (1) on a concrete history.
+    let s = EquidistantSchedule::new(18.0, 3).unwrap();
+    assert_eq!(s.positions(), vec![6.0, 12.0]);
+    let tw = wall_clock_formula1(&s, 2.0, 1.0, &[8.0, 17.0]).unwrap();
+    // 18 + 2·2 + (2 + 1) + (5 + 1) = 31.
+    assert!((tw - 31.0).abs() < 1e-12);
+}
+
+#[test]
+fn theorem2_mnof_scaling() {
+    // E_k(Y) = Tr(k)/Tr(0) · E_0(Y) — the proportionality in Theorem 2's
+    // proof.
+    assert!((scale_mnof(2.0, 441.0, 220.5).unwrap() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn figure7_cost_endpoints() {
+    // "the checkpointing cost is [0.016, 0.99] seconds when using local
+    // ramdisk, while it ranges in [0.25, 2.52] seconds when adopting NFS"
+    // for memory in [10, 240] MB.
+    let blcr = BlcrModel;
+    assert!((blcr.checkpoint_cost(Device::Ramdisk, 10.0) - 0.016).abs() < 1e-9);
+    assert!((blcr.checkpoint_cost(Device::Ramdisk, 240.0) - 0.99).abs() < 1e-9);
+    assert!((blcr.checkpoint_cost(Device::CentralNfs, 10.0) - 0.25).abs() < 1e-9);
+    assert!((blcr.checkpoint_cost(Device::CentralNfs, 240.0) - 2.52).abs() < 1e-9);
+}
+
+#[test]
+fn table4_operation_times() {
+    // "Each checkpointing operation (over shared-disk) takes 0.33-6.83
+    // seconds when the memory size of a task is 10-240MB".
+    let blcr = BlcrModel;
+    assert!((blcr.shared_op_time(10.3) - 0.33).abs() < 1e-9);
+    assert!((blcr.shared_op_time(240.0) - 6.83).abs() < 1e-9);
+}
+
+#[test]
+fn table5_restart_costs() {
+    let blcr = BlcrModel;
+    assert!((blcr.restart_cost(Migration::TypeA, 160.0) - 3.22).abs() < 1e-9);
+    assert!((blcr.restart_cost(Migration::TypeB, 160.0) - 1.45).abs() < 1e-9);
+    assert!((blcr.restart_cost(Migration::TypeA, 10.0) - 0.71).abs() < 1e-9);
+    assert!((blcr.restart_cost(Migration::TypeB, 240.0) - 2.4).abs() < 1e-9);
+}
+
+#[test]
+fn daly_baseline_sane() {
+    // Daly's interval with negligible checkpoint cost approaches Young's.
+    let d = daly_interval(0.001, 10_000.0).unwrap();
+    let y = young_interval(0.001, 10_000.0).unwrap();
+    assert!((d - y).abs() / y < 0.01);
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the policy layer: Theorem 1's optimality, the
+//! rounding rule, Theorem 2's invariant, and Formula (1)'s accounting, over
+//! randomized parameter ranges.
+
+use cloud_ckpt::policy::adaptive::theorem2_check;
+use cloud_ckpt::policy::optimal::{
+    brute_force_optimal, expected_wall_clock, optimal_interval_count,
+};
+use cloud_ckpt::policy::schedule::{wall_clock_formula1, EquidistantSchedule};
+use cloud_ckpt::policy::storage::{choose_storage, expected_total_cost, DeviceCosts};
+use cloud_ckpt::policy::young::{corollary1_interval, young_interval};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The cost-compared rounding of x* is the exact integer optimizer of
+    /// Formula (4) — for any (Te, C, E(Y)) in realistic cloud ranges.
+    #[test]
+    fn rounding_is_exact_integer_optimum(
+        te in 10.0..20_000.0f64,
+        c in 0.05..10.0f64,
+        e_y in 0.01..30.0f64,
+    ) {
+        let x = optimal_interval_count(te, c, e_y).unwrap().rounded();
+        let brute = brute_force_optimal(te, c, e_y, 2_000).unwrap();
+        // Guard: only compare when the brute-force scan covers the optimum.
+        prop_assume!(brute < 2_000);
+        prop_assert_eq!(x, brute);
+    }
+
+    /// The optimum never loses to its integer neighbours.
+    #[test]
+    fn optimum_beats_neighbours(
+        te in 10.0..20_000.0f64,
+        c in 0.05..10.0f64,
+        e_y in 0.01..30.0f64,
+    ) {
+        let x = optimal_interval_count(te, c, e_y).unwrap().rounded();
+        let w = expected_wall_clock(te, c, 0.0, e_y, x).unwrap();
+        if x > 1 {
+            prop_assert!(w <= expected_wall_clock(te, c, 0.0, e_y, x - 1).unwrap() + 1e-9);
+        }
+        prop_assert!(w <= expected_wall_clock(te, c, 0.0, e_y, x + 1).unwrap() + 1e-9);
+    }
+
+    /// Theorem 2: with unchanged MNOF, the re-solved count at the next
+    /// checkpoint is exactly the previous count minus one.
+    #[test]
+    fn theorem2_decrement(
+        te in 100.0..50_000.0f64,
+        c in 0.1..5.0f64,
+        mnof in 0.5..40.0f64,
+        k in 0u32..6,
+    ) {
+        let (xk, xk1) = theorem2_check(te, c, mnof, k).unwrap();
+        // Only meaningful while at least one checkpoint remains.
+        prop_assume!(xk > 1.5);
+        prop_assert!((xk1 - (xk - 1.0)).abs() < 1e-6, "xk={xk}, xk1={xk1}");
+    }
+
+    /// Corollary 1 holds exactly for all parameters.
+    #[test]
+    fn corollary1_exact(
+        te in 10.0..100_000.0f64,
+        c in 0.01..20.0f64,
+        mtbf in 1.0..100_000.0f64,
+    ) {
+        let a = corollary1_interval(te, c, mtbf).unwrap();
+        let b = young_interval(c, mtbf).unwrap();
+        prop_assert!((a - b).abs() / b < 1e-9);
+    }
+
+    /// Formula (1): wall-clock ≥ Te + C(x−1), with equality iff no failures;
+    /// each failure adds at most one segment plus R.
+    #[test]
+    fn formula1_bounds(
+        te in 10.0..5_000.0f64,
+        x in 1u32..50,
+        c in 0.0..5.0f64,
+        r in 0.0..5.0f64,
+        fail_fracs in proptest::collection::vec(0.0..1.0f64, 0..8),
+    ) {
+        let s = EquidistantSchedule::new(te, x).unwrap();
+        let fails: Vec<f64> = fail_fracs.iter().map(|f| f * te).collect();
+        let tw = wall_clock_formula1(&s, c, r, &fails).unwrap();
+        let base = te + c * (x - 1) as f64;
+        prop_assert!(tw >= base - 1e-9);
+        let worst = base + fails.len() as f64 * (s.segment_len() + r);
+        prop_assert!(tw <= worst + 1e-9);
+    }
+
+    /// Λ(t) is the largest checkpoint position not exceeding t.
+    #[test]
+    fn lambda_is_floor(
+        te in 10.0..5_000.0f64,
+        x in 1u32..60,
+        frac in 0.0..1.0f64,
+    ) {
+        let s = EquidistantSchedule::new(te, x).unwrap();
+        let t = frac * te;
+        let lambda = s.lambda(t);
+        prop_assert!(lambda <= t + 1e-9);
+        // lambda is either 0 or an actual checkpoint position.
+        if lambda > 0.0 {
+            let k = (lambda / s.segment_len()).round();
+            prop_assert!((lambda - k * s.segment_len()).abs() < 1e-6);
+            prop_assert!(k >= 1.0 && k <= (x - 1) as f64);
+        }
+        // No checkpoint position lies in (lambda, t].
+        let next = lambda + s.segment_len();
+        prop_assert!(next > t - 1e-9 || (next - te).abs() < 1e-9 || next >= te);
+    }
+
+    /// The storage decision is consistent with the two expected costs.
+    #[test]
+    fn storage_choice_consistent(
+        te in 10.0..10_000.0f64,
+        e_y in 0.01..40.0f64,
+        cl in 0.05..3.0f64,
+        rl in 0.1..10.0f64,
+        cs in 0.05..3.0f64,
+        rs in 0.1..10.0f64,
+    ) {
+        let local = DeviceCosts::new(cl, rl).unwrap();
+        let shared = DeviceCosts::new(cs, rs).unwrap();
+        let (pick, a, b) = choose_storage(te, e_y, local, shared).unwrap();
+        prop_assert!((a - expected_total_cost(te, e_y, local).unwrap()).abs() < 1e-9);
+        prop_assert!((b - expected_total_cost(te, e_y, shared).unwrap()).abs() < 1e-9);
+        match pick {
+            cloud_ckpt::policy::storage::StoragePick::Local => prop_assert!(a <= b),
+            cloud_ckpt::policy::storage::StoragePick::Shared => prop_assert!(b <= a),
+        }
+    }
+
+    /// Young's and Theorem-1 interval counts are monotone in their inputs
+    /// in the expected directions.
+    #[test]
+    fn monotonicity(
+        te in 50.0..5_000.0f64,
+        c in 0.1..5.0f64,
+        e_y in 0.1..20.0f64,
+    ) {
+        let base = optimal_interval_count(te, c, e_y).unwrap().continuous();
+        let more_failures = optimal_interval_count(te, c, e_y * 2.0).unwrap().continuous();
+        let pricier = optimal_interval_count(te, c * 2.0, e_y).unwrap().continuous();
+        prop_assert!(more_failures >= base);
+        prop_assert!(pricier <= base);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the execution model: the wall-clock accounting
+//! identity, WPR bounds, kill-plan replay exactness, and the benefit of
+//! checkpointing under heavy failure plans — over randomized tasks.
+
+use cloud_ckpt::policy::schedule::EquidistantSchedule;
+use cloud_ckpt::sim::controller::{Controller, FixedSchedule};
+use cloud_ckpt::sim::task_sim::{simulate_task_with_plan, TaskSimSpec};
+use cloud_ckpt::stats::rng::Xoshiro256StarStar;
+use cloud_ckpt::trace::spec::FailurePlan;
+use proptest::prelude::*;
+
+/// Strategy: a sorted kill plan inside (0, te) with ≥ 1 s gaps.
+fn kill_plan(te: f64, max_kills: usize) -> impl Strategy<Value = FailurePlan> {
+    proptest::collection::vec(0.001..0.999f64, 0..max_kills).prop_map(move |fracs| {
+        let mut pos: Vec<f64> = fracs.into_iter().map(|f| f * te).collect();
+        pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pos.dedup_by(|a, b| *a - *b < 1.0);
+        // dedup_by keeps the FIRST of a run when the closure mutates in
+        // reverse order; enforce the ≥1 s gap explicitly to be safe.
+        let mut cleaned: Vec<f64> = Vec::new();
+        for p in pos {
+            if cleaned.last().map(|&q| p - q >= 1.0).unwrap_or(true) && p < te {
+                cleaned.push(p);
+            }
+        }
+        FailurePlan { positions: cleaned }
+    })
+}
+
+fn fixed_ctl(te: f64, x: u32) -> Controller {
+    Controller::Fixed(FixedSchedule::new(&EquidistantSchedule::new(te, x).unwrap()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// wall = productive + checkpoint_time + rollback_loss + restart_time,
+    /// exactly, for every plan and schedule.
+    #[test]
+    fn accounting_identity(
+        te in 50.0..3_000.0f64,
+        x in 1u32..40,
+        c in 0.0..4.0f64,
+        r in 0.0..4.0f64,
+        seed in 0u64..1000,
+    ) {
+        let spec = TaskSimSpec { te, ckpt_cost: c, restart_cost: r };
+        let plan = {
+            let model = cloud_ckpt::trace::spec::FailureModel::for_priority(2);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            model.sample_plan(te, &mut rng)
+        };
+        let mut ctl = fixed_ctl(te, x);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let out = simulate_task_with_plan(&spec, plan, None, &mut ctl, &mut rng);
+        let parts = out.productive + out.checkpoint_time + out.rollback_loss + out.restart_time;
+        prop_assert!((out.wall - parts).abs() < 1e-6, "wall {} vs parts {}", out.wall, parts);
+        prop_assert!(out.wpr() > 0.0 && out.wpr() <= 1.0);
+        prop_assert_eq!(out.productive, te);
+    }
+
+    /// Every planned kill strikes exactly once (kills live in busy time
+    /// inside (0, te), and total busy time always exceeds te).
+    #[test]
+    fn kill_plan_replayed_exactly(
+        te in 50.0..2_000.0f64,
+        x in 1u32..30,
+        plan in (100.0..2_000.0f64).prop_flat_map(|te| kill_plan(te, 10).prop_map(move |p| (te, p))),
+    ) {
+        let (plan_te, plan) = plan;
+        let te = te.max(plan_te); // ensure kills fit within this task
+        let expected = plan.positions.len() as u32;
+        let spec = TaskSimSpec { te, ckpt_cost: 0.5, restart_cost: 0.5 };
+        let mut ctl = fixed_ctl(te, x);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let out = simulate_task_with_plan(&spec, plan, None, &mut ctl, &mut rng);
+        prop_assert_eq!(out.failures, expected);
+        prop_assert_eq!(out.aborted_checkpoints <= out.failures, true);
+    }
+
+    /// Rollback loss per failure is bounded by one segment plus the
+    /// checkpoint write time (with durable checkpoints in place).
+    #[test]
+    fn rollback_bounded_by_segment(
+        te in 100.0..2_000.0f64,
+        x in 2u32..40,
+        seed in 0u64..500,
+    ) {
+        let spec = TaskSimSpec { te, ckpt_cost: 0.3, restart_cost: 0.2 };
+        let model = cloud_ckpt::trace::spec::FailureModel::for_priority(10);
+        let mut ctl = fixed_ctl(te, x);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let plan = model.sample_plan(te, &mut rng);
+        let failures = plan.count();
+        let mut rng2 = Xoshiro256StarStar::new(seed);
+        let out = simulate_task_with_plan(&spec, plan, None, &mut ctl, &mut rng2);
+        let seg = te / x as f64;
+        let bound = failures as f64 * (seg + spec.ckpt_cost) + 1e-6;
+        prop_assert!(out.rollback_loss <= bound, "loss {} > bound {bound}", out.rollback_loss);
+    }
+
+    /// More checkpoints can only reduce the total rollback loss (weakly)
+    /// for the same kill plan when checkpoints are free.
+    #[test]
+    fn free_checkpoints_weakly_reduce_rollback(
+        te in 100.0..2_000.0f64,
+        seed in 0u64..500,
+    ) {
+        let model = cloud_ckpt::trace::spec::FailureModel::for_priority(10);
+        let run = |x: u32| {
+            let spec = TaskSimSpec { te, ckpt_cost: 0.0, restart_cost: 0.0 };
+            let mut ctl = fixed_ctl(te, x);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            simulate_task(&spec, model, &mut ctl, &mut rng)
+        };
+        fn simulate_task(
+            spec: &TaskSimSpec,
+            model: cloud_ckpt::trace::spec::FailureModel,
+            ctl: &mut Controller,
+            rng: &mut Xoshiro256StarStar,
+        ) -> cloud_ckpt::sim::task_sim::TaskOutcome {
+            let plan = model.sample_plan(spec.te, rng);
+            let mut rng2 = Xoshiro256StarStar::new(7);
+            simulate_task_with_plan(spec, plan, None, ctl, &mut rng2)
+        }
+        let sparse = run(2);
+        let dense = run(16);
+        // With C = 0 the fine schedule can only lose less work per kill.
+        prop_assert!(dense.rollback_loss <= sparse.rollback_loss + 1e-6,
+            "dense {} vs sparse {}", dense.rollback_loss, sparse.rollback_loss);
+    }
+
+    /// Same stream ⇒ identical outcome (full determinism of the executor).
+    #[test]
+    fn executor_deterministic(
+        te in 50.0..1_000.0f64,
+        x in 1u32..20,
+        seed in 0u64..300,
+    ) {
+        let spec = TaskSimSpec { te, ckpt_cost: 0.4, restart_cost: 0.7 };
+        let model = cloud_ckpt::trace::spec::FailureModel::for_priority(1);
+        let run = || {
+            let mut ctl = fixed_ctl(te, x);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let plan = model.sample_plan(te, &mut rng);
+            simulate_task_with_plan(&spec, plan, None, &mut ctl, &mut rng)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

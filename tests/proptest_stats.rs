@@ -1,0 +1,178 @@
+//! Property-based tests of the statistics substrate: distribution laws,
+//! ECDF/quantile duality, fitting recovery, and processor-sharing
+//! conservation, over randomized parameters.
+
+use cloud_ckpt::sim::storage::{OpId, PsResource};
+use cloud_ckpt::sim::time::SimTime;
+use cloud_ckpt::stats::dist::{ContinuousDist, Exponential, LogNormal, Normal, Pareto, Weibull};
+use cloud_ckpt::stats::ecdf::Ecdf;
+use cloud_ckpt::stats::fit::{fit_exponential, fit_normal, fit_pareto};
+use cloud_ckpt::stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use cloud_ckpt::stats::summary::OnlineStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// CDFs are monotone and bounded for every family and parameterization.
+    #[test]
+    fn cdfs_monotone_bounded(
+        rate in 0.0001..10.0f64,
+        shape in 0.2..5.0f64,
+        scale in 0.1..1_000.0f64,
+        xs in proptest::collection::vec(-100.0..100_000.0f64, 2..20),
+    ) {
+        let exp = Exponential::new(rate).unwrap();
+        let par = Pareto::new(scale, shape).unwrap();
+        let wei = Weibull::new(shape, scale).unwrap();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in sorted.windows(2) {
+            for cdf in [exp.cdf(w[0]) - exp.cdf(w[1]),
+                        par.cdf(w[0]) - par.cdf(w[1]),
+                        wei.cdf(w[0]) - wei.cdf(w[1])] {
+                prop_assert!(cdf <= 1e-12);
+            }
+        }
+        for &x in &sorted {
+            for c in [exp.cdf(x), par.cdf(x), wei.cdf(x)] {
+                prop_assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    /// quantile(cdf(x)) round-trips within tolerance for continuous families.
+    #[test]
+    fn quantile_cdf_duality(
+        mu in -100.0..100.0f64,
+        sigma in 0.1..50.0f64,
+        p in 0.01..0.99f64,
+    ) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let x = n.quantile(p);
+        prop_assert!((n.cdf(x) - p).abs() < 1e-6);
+        let ln = LogNormal::new(mu.clamp(-5.0, 5.0), sigma.min(3.0)).unwrap();
+        let y = ln.quantile(p);
+        prop_assert!((ln.cdf(y) - p).abs() < 1e-6);
+    }
+
+    /// ECDF quantile/cdf form a Galois connection on every sample set.
+    #[test]
+    fn ecdf_galois(
+        samples in proptest::collection::vec(-1e6..1e6f64, 1..200),
+        q in 0.01..1.0f64,
+    ) {
+        let e = Ecdf::new(&samples).unwrap();
+        let x = e.quantile(q);
+        prop_assert!(e.cdf(x) >= q - 1e-12);
+        // x is achieved: some sample equals it.
+        prop_assert!(samples.contains(&x));
+    }
+
+    /// Exponential fitting recovers the rate within sampling error.
+    #[test]
+    fn exponential_fit_recovery(rate in 0.001..10.0f64, seed in 0u64..1000) {
+        let d = Exponential::new(rate).unwrap();
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let xs = d.sample_n(&mut rng, 4000);
+        let fitted = fit_exponential(&xs).unwrap();
+        prop_assert!((fitted.rate() - rate).abs() / rate < 0.15,
+            "rate {rate} fitted {}", fitted.rate());
+    }
+
+    /// Pareto fitting recovers shape within sampling error.
+    #[test]
+    fn pareto_fit_recovery(shape in 0.5..4.0f64, seed in 0u64..1000) {
+        let d = Pareto::new(10.0, shape).unwrap();
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let xs = d.sample_n(&mut rng, 4000);
+        let fitted = fit_pareto(&xs).unwrap();
+        prop_assert!((fitted.shape() - shape).abs() / shape < 0.15);
+        prop_assert!(fitted.scale() >= 10.0);
+    }
+
+    /// Normal fitting recovers both parameters.
+    #[test]
+    fn normal_fit_recovery(mu in -50.0..50.0f64, sigma in 0.5..20.0f64, seed in 0u64..1000) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let xs = d.sample_n(&mut rng, 4000);
+        let fitted = fit_normal(&xs).unwrap();
+        prop_assert!((fitted.mu() - mu).abs() < 5.0 * sigma / 63.0);
+        prop_assert!((fitted.sigma() - sigma).abs() / sigma < 0.15);
+    }
+
+    /// Welford merge is order-independent (parallel reduction safety).
+    #[test]
+    fn online_stats_merge_associative(
+        xs in proptest::collection::vec(-1e3..1e3f64, 2..60),
+        at in 1usize..59,
+    ) {
+        let split = at.min(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.add(x); }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..split] { left.add(x); }
+        for &x in &xs[split..] { right.add(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!(left.min() == whole.min() && left.max() == whole.max());
+    }
+
+    /// Processor sharing conserves work: total service delivered equals
+    /// total demand, regardless of arrival pattern.
+    #[test]
+    fn ps_server_conserves_work(
+        demands in proptest::collection::vec(0.1..10.0f64, 1..12),
+        stagger in 0.0..5.0f64,
+    ) {
+        let mut ps = PsResource::new(1.0);
+        let mut now = SimTime::ZERO;
+        for (i, &d) in demands.iter().enumerate() {
+            let t = SimTime::from_secs_f64(i as f64 * stagger);
+            now = now.max(t);
+            ps.add(t.max(now), OpId(i as u64), d);
+        }
+        // Drain, recording the last completion.
+        let mut last = now;
+        while let Some((op, when)) = ps.next_completion(last) {
+            ps.remove(when, op);
+            last = when;
+        }
+        // The server is busy from first arrival to last completion with at
+        // least one op whenever demand remains, so the makespan is at least
+        // total_demand (rate 1) and at most total_demand + total stagger.
+        let total: f64 = demands.iter().sum();
+        let span = last.as_secs_f64();
+        prop_assert!(span >= total - 1e-6, "span {span} < total {total}");
+        let max_span = total + stagger * demands.len() as f64 + 1e-6;
+        prop_assert!(span <= max_span, "span {span} > bound {max_span}");
+    }
+
+    /// RNG streams: distinct ids give distinct outputs; same id reproduces.
+    #[test]
+    fn rng_streams_distinct(seed in 0u64..10_000, id1 in 0u64..1000, id2 in 0u64..1000) {
+        prop_assume!(id1 != id2);
+        let mut a = Xoshiro256StarStar::stream(seed, id1);
+        let mut b = Xoshiro256StarStar::stream(seed, id2);
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(va, vb);
+        let mut a2 = Xoshiro256StarStar::stream(seed, id1);
+        let va2: Vec<u64> = (0..4).map(|_| a2.next_u64()).collect();
+        let va_again: Vec<u64> = {
+            let mut a3 = Xoshiro256StarStar::stream(seed, id1);
+            (0..4).map(|_| a3.next_u64()).collect()
+        };
+        prop_assert_eq!(va2, va_again);
+    }
+
+    /// SplitMix64::mix is a bijection-ish scrambler: no fixed trivial
+    /// collisions on consecutive inputs.
+    #[test]
+    fn splitmix_mix_scrambles(x in 0u64..u64::MAX - 1) {
+        prop_assert_ne!(SplitMix64::mix(x), SplitMix64::mix(x + 1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the synthetic trace's statistical shapes against
+//! the paper's characterization (Figures 4, 5, 8; Table 7). These are the
+//! calibration guarantees DESIGN.md promises.
+
+use cloud_ckpt::stats::ecdf::Ecdf;
+use cloud_ckpt::stats::fit::{fit_all, rank_by_ks, Family, PAPER_FAMILIES};
+use cloud_ckpt::trace::gen::{generate, JobStructure};
+use cloud_ckpt::trace::spec::WorkloadSpec;
+use cloud_ckpt::trace::stats::{
+    estimator_from_records, interval_samples_by_priority, pooled_intervals, trace_histories,
+};
+
+fn records(n: usize, seed: u64) -> Vec<cloud_ckpt::trace::stats::TaskRecord> {
+    let trace = generate(&WorkloadSpec::google_like(n), seed);
+    trace_histories(&trace)
+}
+
+#[test]
+fn table7_mnof_stable_mtbf_inflates() {
+    let recs = records(5000, 101);
+    let est = estimator_from_records(&recs);
+    let short = est.estimate_pooled(1000.0).unwrap();
+    let full = est.estimate_pooled(f64::INFINITY).unwrap();
+    // MNOF: the paper sees 1.06 → 1.21 for p2 (≈ 1.1×); ours must stay
+    // within a similar band.
+    let mnof_ratio = full.mnof / short.mnof;
+    assert!(mnof_ratio > 0.8 && mnof_ratio < 1.5, "MNOF ratio {mnof_ratio}");
+    // MTBF: the paper sees 179 → 4199 (≈ 23×); ours must inflate by ≥ 5×.
+    let mtbf_ratio = full.mtbf / short.mtbf;
+    assert!(mtbf_ratio > 5.0, "MTBF ratio {mtbf_ratio}");
+}
+
+#[test]
+fn table7_priority10_is_failure_heavy() {
+    let recs = records(5000, 102);
+    let est = estimator_from_records(&recs);
+    let p10 = est.estimate(10, 1000.0).expect("p10 short tasks exist");
+    // Paper: MNOF ≈ 11.9, MTBF ≈ 37 s for priority-10 tasks ≤ 1000 s.
+    assert!(p10.mnof > 5.0, "p10 MNOF = {}", p10.mnof);
+    assert!(p10.mtbf < 100.0, "p10 MTBF = {}", p10.mtbf);
+}
+
+#[test]
+fn figure4_priority_interval_ordering() {
+    let recs = records(5000, 103);
+    let by_p = interval_samples_by_priority(&recs);
+    let median = |p: u8| -> Option<f64> {
+        by_p.get(&p).filter(|v| v.len() >= 50).and_then(|v| Ecdf::new(v).ok()).map(|e| e.quantile(0.5))
+    };
+    // Low priorities fail more often than high (1 vs 9), and priority 10 is
+    // the shortest-interval tier of all.
+    let (m2, m9, m10) = (median(2), median(9), median(10));
+    if let (Some(m2), Some(m9)) = (m2, m9) {
+        assert!(m2 < m9, "p2 median {m2} should be below p9 {m9}");
+    }
+    if let (Some(m10), Some(m2)) = (m10, m2) {
+        assert!(m10 < m2, "p10 median {m10} should be the smallest");
+    }
+}
+
+#[test]
+fn figure5_interval_mass_and_pareto_fit() {
+    let recs = records(5000, 104);
+    let pooled = pooled_intervals(&recs);
+    let below = pooled.iter().filter(|&&x| x <= 1000.0).count() as f64 / pooled.len() as f64;
+    // Paper: "over 63 %" below 1000 s.
+    assert!(below > 0.63, "short-interval mass {below}");
+
+    // Figure 5(a): Pareto ranks first among the paper's five families.
+    let ranked = rank_by_ks(fit_all(&PAPER_FAMILIES, &pooled));
+    assert_eq!(ranked[0].family, Family::Pareto, "ranking: {ranked:?}");
+
+    // Figure 5(b): exponential ranks first on the ≤ 1000 s body.
+    let short: Vec<f64> = pooled.into_iter().filter(|&x| x <= 1000.0).collect();
+    let ranked_short = rank_by_ks(fit_all(&PAPER_FAMILIES, &short));
+    assert!(
+        matches!(ranked_short[0].family, Family::Exponential | Family::Geometric),
+        "short-body best fit: {ranked_short:?}"
+    );
+}
+
+#[test]
+fn figure8_most_jobs_short_with_small_memory() {
+    let trace = generate(&WorkloadSpec::google_like(4000), 105);
+    let lens: Vec<f64> = trace.jobs.iter().map(|j| j.total_work()).collect();
+    let mems: Vec<f64> = trace.jobs.iter().map(|j| j.max_mem()).collect();
+    let el = Ecdf::new(&lens).unwrap();
+    let em = Ecdf::new(&mems).unwrap();
+    // Most jobs are short: the majority complete within 2 h of work.
+    assert!(el.cdf(7200.0) > 0.6, "P(len <= 2h) = {}", el.cdf(7200.0));
+    // Most jobs have small memory: the majority below 400 MB.
+    assert!(em.cdf(400.0) > 0.6, "P(mem <= 400MB) = {}", em.cdf(400.0));
+    // But both distributions have real tails (the long-service component).
+    assert!(el.max() > 20_000.0);
+}
+
+#[test]
+fn structure_mix_and_task_counts() {
+    let trace = generate(&WorkloadSpec::google_like(4000), 106);
+    let bot = trace.jobs_with_structure(JobStructure::BagOfTasks).count();
+    let st = trace.jobs_with_structure(JobStructure::Sequential).count();
+    assert_eq!(bot + st, trace.jobs.len());
+    let frac = bot as f64 / trace.jobs.len() as f64;
+    assert!((frac - 0.4).abs() < 0.05, "BoT fraction {frac}");
+    // BoT jobs carry more tasks on average (parallel fan-out).
+    let avg_tasks = |s: JobStructure| {
+        let js: Vec<_> = trace.jobs_with_structure(s).collect();
+        js.iter().map(|j| j.tasks.len()).sum::<usize>() as f64 / js.len() as f64
+    };
+    assert!(avg_tasks(JobStructure::BagOfTasks) > avg_tasks(JobStructure::Sequential));
+}
+
+#[test]
+fn histories_are_pure_functions_of_trace() {
+    let trace = generate(&WorkloadSpec::google_like(500), 107);
+    let a = trace_histories(&trace);
+    let b = trace_histories(&trace);
+    assert_eq!(a, b);
+    // And different seeds give different histories.
+    let trace2 = generate(&WorkloadSpec::google_like(500), 108);
+    let c = trace_histories(&trace2);
+    assert_ne!(
+        a.iter().map(|r| r.history.failure_count).collect::<Vec<_>>(),
+        c.iter().map(|r| r.history.failure_count).collect::<Vec<_>>()
+    );
+}
