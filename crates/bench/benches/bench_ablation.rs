@@ -41,14 +41,22 @@ fn fixture() -> &'static Fixture {
         let estimates = Estimates::from_records(&trace_histories(&trace));
         let flip_trace = generate(&WorkloadSpec::google_like(800).with_priority_flips(), 99);
         let flip_estimates = Estimates::from_records(&trace_histories(&flip_trace));
-        Fixture { trace, flip_trace, estimates, flip_estimates }
+        Fixture {
+            trace,
+            flip_trace,
+            estimates,
+            flip_estimates,
+        }
     })
 }
 
 fn quality(cfg: &PolicyConfig, flip: bool) -> f64 {
     let fx = fixture();
-    let (trace, est) =
-        if flip { (&fx.flip_trace, &fx.flip_estimates) } else { (&fx.trace, &fx.estimates) };
+    let (trace, est) = if flip {
+        (&fx.flip_trace, &fx.flip_estimates)
+    } else {
+        (&fx.trace, &fx.estimates)
+    };
     let recs = run_trace(trace, est, cfg, RunOptions::default());
     mean_wpr(&recs)
 }
@@ -57,12 +65,25 @@ fn bench_estimator_granularity(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_estimator");
     let variants = [
         ("oracle", EstimatorKind::Oracle),
-        ("per_priority", EstimatorKind::PerPriority { limit: f64::INFINITY }),
-        ("global", EstimatorKind::Global { limit: f64::INFINITY }),
+        (
+            "per_priority",
+            EstimatorKind::PerPriority {
+                limit: f64::INFINITY,
+            },
+        ),
+        (
+            "global",
+            EstimatorKind::Global {
+                limit: f64::INFINITY,
+            },
+        ),
     ];
     for (name, est) in variants {
         let cfg = PolicyConfig::formula3().with_estimator(est);
-        println!("[quality] estimator={name}: mean WPR = {:.4}", quality(&cfg, false));
+        println!(
+            "[quality] estimator={name}: mean WPR = {:.4}",
+            quality(&cfg, false)
+        );
         g.bench_function(name, |b| {
             b.iter(|| {
                 let fx = fixture();
@@ -82,7 +103,10 @@ fn bench_storage_choice(c: &mut Criterion) {
     ];
     for (name, storage) in variants {
         let cfg = PolicyConfig::formula3().with_storage(storage);
-        println!("[quality] storage={name}: mean WPR = {:.4}", quality(&cfg, false));
+        println!(
+            "[quality] storage={name}: mean WPR = {:.4}",
+            quality(&cfg, false)
+        );
         g.bench_function(name, |b| {
             b.iter(|| {
                 let fx = fixture();
@@ -97,11 +121,20 @@ fn bench_adaptivity(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_adaptivity");
     for (name, adaptive) in [("static", false), ("adaptive_algorithm1", true)] {
         let cfg = PolicyConfig::formula3().with_adaptivity(adaptive);
-        println!("[quality] {name} under flips: mean WPR = {:.4}", quality(&cfg, true));
+        println!(
+            "[quality] {name} under flips: mean WPR = {:.4}",
+            quality(&cfg, true)
+        );
         g.bench_function(name, |b| {
             b.iter(|| {
                 let fx = fixture();
-                run_trace(&fx.flip_trace, &fx.flip_estimates, &cfg, RunOptions::default()).len()
+                run_trace(
+                    &fx.flip_trace,
+                    &fx.flip_estimates,
+                    &cfg,
+                    RunOptions::default(),
+                )
+                .len()
             })
         });
     }
@@ -118,7 +151,10 @@ fn bench_policy_quality(c: &mut Criterion) {
         ("daly", PolicyConfig::daly()),
         ("no_checkpointing", PolicyConfig::none()),
     ] {
-        println!("[quality] policy={name}: mean WPR = {:.4}", quality(&cfg, false));
+        println!(
+            "[quality] policy={name}: mean WPR = {:.4}",
+            quality(&cfg, false)
+        );
         g.bench_function(name, |b| {
             b.iter(|| {
                 let fx = fixture();

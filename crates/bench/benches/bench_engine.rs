@@ -1,12 +1,12 @@
 //! Criterion benches of the DES substrate: event-queue throughput,
 //! processor-sharing server churn, and single-task execution.
 
+use ckpt_policy::schedule::EquidistantSchedule;
 use ckpt_sim::controller::{Controller, FixedSchedule};
 use ckpt_sim::event::EventQueue;
 use ckpt_sim::storage::{OpId, PsResource};
 use ckpt_sim::task_sim::{simulate_task, TaskSimSpec};
 use ckpt_sim::time::SimTime;
-use ckpt_policy::schedule::EquidistantSchedule;
 use ckpt_stats::rng::Xoshiro256StarStar;
 use ckpt_trace::spec::FailureModel;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -37,8 +37,9 @@ fn bench_event_queue(c: &mut Criterion) {
     g.bench_function("schedule_cancel_half_10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
-            let ids: Vec<_> =
-                (0..10_000u64).map(|i| q.schedule(SimTime(i % 997), i)).collect();
+            let ids: Vec<_> = (0..10_000u64)
+                .map(|i| q.schedule(SimTime(i % 997), i))
+                .collect();
             for id in ids.iter().step_by(2) {
                 q.cancel(*id);
             }
@@ -53,29 +54,34 @@ fn bench_event_queue(c: &mut Criterion) {
 }
 
 fn bench_ps_server(c: &mut Criterion) {
-    c.benchmark_group("ps_server").bench_function("churn_1000_ops", |b| {
-        b.iter(|| {
-            let mut ps = PsResource::new(1.0);
-            let mut now = SimTime::ZERO;
-            let mut next_op = 0u64;
-            // Keep ~8 ops in flight, completing the earliest each round.
-            for _ in 0..1000 {
-                while ps.active() < 8 {
-                    ps.add(now, OpId(next_op), 1.0 + (next_op % 5) as f64 * 0.3);
-                    next_op += 1;
+    c.benchmark_group("ps_server")
+        .bench_function("churn_1000_ops", |b| {
+            b.iter(|| {
+                let mut ps = PsResource::new(1.0);
+                let mut now = SimTime::ZERO;
+                let mut next_op = 0u64;
+                // Keep ~8 ops in flight, completing the earliest each round.
+                for _ in 0..1000 {
+                    while ps.active() < 8 {
+                        ps.add(now, OpId(next_op), 1.0 + (next_op % 5) as f64 * 0.3);
+                        next_op += 1;
+                    }
+                    let (op, when) = ps.next_completion(now).unwrap();
+                    ps.remove(when, op);
+                    now = when;
                 }
-                let (op, when) = ps.next_completion(now).unwrap();
-                ps.remove(when, op);
-                now = when;
-            }
-            now
-        })
-    });
+                now
+            })
+        });
 }
 
 fn bench_task_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("task_sim");
-    let spec = TaskSimSpec { te: 600.0, ckpt_cost: 0.5, restart_cost: 1.0 };
+    let spec = TaskSimSpec {
+        te: 600.0,
+        ckpt_cost: 0.5,
+        restart_cost: 1.0,
+    };
     g.bench_function("quiet_priority12_task", |b| {
         let model = FailureModel::for_priority(12);
         b.iter(|| {

@@ -31,7 +31,13 @@ fn bench_formulas(c: &mut Criterion) {
     });
     g.bench_function("expected_wall_clock", |b| {
         b.iter(|| {
-            expected_wall_clock(black_box(441.0), black_box(1.0), black_box(1.5), black_box(2.0), black_box(21))
+            expected_wall_clock(
+                black_box(441.0),
+                black_box(1.0),
+                black_box(1.5),
+                black_box(2.0),
+                black_box(21),
+            )
         })
     });
     g.bench_function("brute_force_optimal_500", |b| {
@@ -73,9 +79,10 @@ fn bench_adaptive(c: &mut Criterion) {
 fn bench_storage_choice(c: &mut Criterion) {
     let local = DeviceCosts::new(0.632, 3.22).unwrap();
     let shared = DeviceCosts::new(1.67, 1.45).unwrap();
-    c.benchmark_group("storage_decision").bench_function("choose_storage", |b| {
-        b.iter(|| choose_storage(black_box(200.0), black_box(2.0), local, shared))
-    });
+    c.benchmark_group("storage_decision")
+        .bench_function("choose_storage", |b| {
+            b.iter(|| choose_storage(black_box(200.0), black_box(2.0), local, shared))
+        });
 }
 
 criterion_group! {

@@ -20,7 +20,9 @@ fn config() -> Criterion {
 fn bench_generation(c: &mut Criterion) {
     let spec = WorkloadSpec::google_like(2000);
     let mut g = c.benchmark_group("trace_generation");
-    g.bench_function("generate_2k_jobs", |b| b.iter(|| generate(&spec, black_box(7))));
+    g.bench_function("generate_2k_jobs", |b| {
+        b.iter(|| generate(&spec, black_box(7)))
+    });
     let trace = generate(&spec, 7);
     g.bench_function("histories_2k_jobs", |b| b.iter(|| trace_histories(&trace)));
     let records = trace_histories(&trace);

@@ -74,7 +74,9 @@ fn bench_ecdf(c: &mut Criterion) {
     let mut g = c.benchmark_group("ecdf");
     g.bench_function("construct_50k", |b| b.iter(|| Ecdf::new(black_box(&xs))));
     g.bench_function("cdf_query", |b| b.iter(|| ecdf.cdf(black_box(123.4))));
-    g.bench_function("quantile_query", |b| b.iter(|| ecdf.quantile(black_box(0.37))));
+    g.bench_function("quantile_query", |b| {
+        b.iter(|| ecdf.quantile(black_box(0.37)))
+    });
     g.bench_function("points_100", |b| b.iter(|| ecdf.points(100)));
     g.finish();
 }
@@ -82,7 +84,9 @@ fn bench_ecdf(c: &mut Criterion) {
 fn bench_fitting(c: &mut Criterion) {
     let xs = samples(10_000);
     let mut g = c.benchmark_group("mle_fit_10k");
-    g.bench_function("exponential", |b| b.iter(|| fit_exponential(black_box(&xs))));
+    g.bench_function("exponential", |b| {
+        b.iter(|| fit_exponential(black_box(&xs)))
+    });
     g.bench_function("pareto", |b| b.iter(|| fit_pareto(black_box(&xs))));
     g.bench_function("weibull_newton", |b| b.iter(|| fit_weibull(black_box(&xs))));
     g.bench_function("figure5_panel_all_families", |b| {

@@ -1,0 +1,109 @@
+//! Criterion benches of the sweep engine: grid expansion, cell evaluation
+//! throughput (cells/sec) for the replay and analytic engines, and the
+//! run-key cache's amortization of filter-only grids — the hot path later
+//! PRs will track.
+
+use ckpt_scenario::{run_sweep, SweepOptions, SweepSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+const REPLAY_GRID: &str = r#"
+    [sweep]
+    name = "bench_replay"
+    engine = "fast"
+    seed = 7
+    jobs = 200
+
+    [axes]
+    policy = ["formula3", "young", "daly", "none"]
+    ckpt_cost_scale = [0.5, 1.0, 2.0]
+"#;
+
+const FILTER_GRID: &str = r#"
+    [sweep]
+    name = "bench_filters"
+    engine = "fast"
+    seed = 7
+    jobs = 200
+    sample = "all"
+
+    [axes]
+    structure = ["ST", "BoT"]
+    priority = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]
+"#;
+
+const ANALYTIC_GRID: &str = r#"
+    [sweep]
+    name = "bench_analytic"
+    engine = "ckpt-cost"
+
+    [axes]
+    device = ["ramdisk", "nfs", "dmnfs"]
+    mem_mb = [10, 20, 40, 80, 160, 240]
+    n_checkpoints = { from = 1, to = 10, steps = 10 }
+"#;
+
+const CONTENTION_GRID: &str = r#"
+    [sweep]
+    name = "bench_contention"
+    engine = "contention"
+    seed = 7
+    mem_mb = 160
+    reps = 25
+
+    [axes]
+    device = ["ramdisk", "nfs"]
+    degree = { from = 1, to = 5, steps = 5 }
+"#;
+
+fn bench_expansion(c: &mut Criterion) {
+    let sweep = SweepSpec::from_str(ANALYTIC_GRID).expect("spec parses");
+    let mut g = c.benchmark_group("sweep_expansion");
+    g.bench_function("parse_spec", |b| {
+        b.iter(|| SweepSpec::from_str(black_box(ANALYTIC_GRID)).unwrap())
+    });
+    g.bench_function("expand_180_cells", |b| b.iter(|| sweep.cells().unwrap()));
+    g.finish();
+}
+
+fn bench_cells_per_sec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_cells_per_sec");
+    for (label, spec_text) in [
+        ("replay_12cells_200jobs", REPLAY_GRID),
+        ("filter_24cells_one_replay", FILTER_GRID),
+        ("analytic_180cells", ANALYTIC_GRID),
+        ("contention_10cells", CONTENTION_GRID),
+    ] {
+        let sweep = SweepSpec::from_str(spec_text).expect("spec parses");
+        g.bench_function(label, |b| {
+            b.iter(|| run_sweep(black_box(&sweep), SweepOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let sweep = SweepSpec::from_str(REPLAY_GRID).expect("spec parses");
+    let mut g = c.benchmark_group("sweep_thread_scaling");
+    g.bench_function("one_thread", |b| {
+        b.iter(|| run_sweep(&sweep, SweepOptions { threads: 1 }).unwrap())
+    });
+    g.bench_function("all_cores", |b| {
+        b.iter(|| run_sweep(&sweep, SweepOptions { threads: 0 }).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_expansion, bench_cells_per_sec, bench_scaling
+}
+criterion_main!(benches);

@@ -27,14 +27,25 @@ fn main() {
     let cfg = ClusterConfig::default();
 
     let mut table = Table::new(vec![
-        "mode", "policy", "storage", "avg WPR", "mean ckpt dur(s)", "max conc ckpts",
+        "mode",
+        "policy",
+        "storage",
+        "avg WPR",
+        "mean ckpt dur(s)",
+        "max conc ckpts",
     ]);
 
-    for (policy, label) in
-        [(PolicyConfig::formula3(), "Formula(3)"), (PolicyConfig::young(), "Young")]
-    {
+    for (policy, label) in [
+        (PolicyConfig::formula3(), "Formula(3)"),
+        (PolicyConfig::young(), "Young"),
+    ] {
         // Fast path (no cluster effects).
-        let fast = s.sample_only(&run_trace(&s.trace, &s.estimates, &policy, RunOptions::default()));
+        let fast = s.sample_only(&run_trace(
+            &s.trace,
+            &s.estimates,
+            &policy,
+            RunOptions::default(),
+        ));
         table.row(vec![
             "fast".to_string(),
             label.to_string(),
@@ -65,7 +76,10 @@ fn main() {
     }
 
     // Storage architecture comparison inside the cluster.
-    for (device, label) in [(Device::CentralNfs, "central NFS"), (Device::DmNfs, "DM-NFS")] {
+    for (device, label) in [
+        (Device::CentralNfs, "central NFS"),
+        (Device::DmNfs, "DM-NFS"),
+    ] {
         let policy = PolicyConfig::formula3().with_storage(StorageChoice::Force(device));
         let result = ClusterSim::new(cfg, &s.trace, &s.estimates, policy).run();
         let sm = Summary::from_slice(&result.checkpoint_durations).expect("checkpoints happened");

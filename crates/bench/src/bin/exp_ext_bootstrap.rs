@@ -14,8 +14,18 @@ fn main() {
     let s = setup(scale, seed_from_env());
     let opts = RunOptions::default();
 
-    let f3 = s.sample_only(&run_trace(&s.trace, &s.estimates, &PolicyConfig::formula3(), opts));
-    let yg = s.sample_only(&run_trace(&s.trace, &s.estimates, &PolicyConfig::young(), opts));
+    let f3 = s.sample_only(&run_trace(
+        &s.trace,
+        &s.estimates,
+        &PolicyConfig::formula3(),
+        opts,
+    ));
+    let yg = s.sample_only(&run_trace(
+        &s.trace,
+        &s.estimates,
+        &PolicyConfig::young(),
+        opts,
+    ));
     let w_f3 = wprs(&f3);
     let w_yg = wprs(&yg);
 
@@ -24,8 +34,18 @@ fn main() {
     let ci_diff = bootstrap_paired_diff_ci(&w_f3, &w_yg, 0.95, 2000, 13).expect("bootstrap");
 
     let mut table = Table::new(vec!["quantity", "estimate", "95% CI low", "95% CI high"]);
-    table.row(vec!["mean WPR Formula(3)".to_string(), f(ci_f3.estimate), f(ci_f3.lo), f(ci_f3.hi)]);
-    table.row(vec!["mean WPR Young".to_string(), f(ci_yg.estimate), f(ci_yg.lo), f(ci_yg.hi)]);
+    table.row(vec![
+        "mean WPR Formula(3)".to_string(),
+        f(ci_f3.estimate),
+        f(ci_f3.lo),
+        f(ci_f3.hi),
+    ]);
+    table.row(vec![
+        "mean WPR Young".to_string(),
+        f(ci_yg.estimate),
+        f(ci_yg.lo),
+        f(ci_yg.hi),
+    ]);
     table.row(vec![
         "paired diff (F3 - Young)".to_string(),
         f(ci_diff.estimate),

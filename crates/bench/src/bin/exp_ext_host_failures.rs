@@ -20,17 +20,26 @@ fn main() {
     let s = setup_with(spec, seed_from_env());
 
     let mut table = Table::new(vec![
-        "host MTBF", "policy", "avg WPR", "host failures", "makespan(h)",
+        "host MTBF",
+        "policy",
+        "avg WPR",
+        "host failures",
+        "makespan(h)",
     ]);
     for mtbf in [None, Some(14_400.0), Some(3_600.0), Some(1_200.0)] {
-        let cfg = ClusterConfig { host_mtbf_s: mtbf, ..ClusterConfig::default() };
-        for (label, policy) in
-            [("Formula(3)", PolicyConfig::formula3()), ("none", PolicyConfig::none())]
-        {
+        let cfg = ClusterConfig {
+            host_mtbf_s: mtbf,
+            ..ClusterConfig::default()
+        };
+        for (label, policy) in [
+            ("Formula(3)", PolicyConfig::formula3()),
+            ("none", PolicyConfig::none()),
+        ] {
             let result = ClusterSim::new(cfg, &s.trace, &s.estimates, policy).run();
             let jobs: Vec<_> = result.jobs.iter().map(|j| j.base.clone()).collect();
             table.row(vec![
-                mtbf.map(|m| format!("{:.0} min", m / 60.0)).unwrap_or_else(|| "off".into()),
+                mtbf.map(|m| format!("{:.0} min", m / 60.0))
+                    .unwrap_or_else(|| "off".into()),
                 label.to_string(),
                 f(mean_wpr(&jobs)),
                 result.host_failures.to_string(),

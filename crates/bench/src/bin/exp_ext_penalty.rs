@@ -14,7 +14,10 @@ fn main() {
     let honest_mtbf = 150.0;
 
     let mut table = Table::new(vec![
-        "error factor", "ideal penalty", "Formula(3) w/ MNOF err", "Young w/ MTBF inflation",
+        "error factor",
+        "ideal penalty",
+        "Formula(3) w/ MNOF err",
+        "Young w/ MTBF inflation",
     ]);
     let mut csv: Vec<Vec<f64>> = Vec::new();
     for &factor in &[1.0f64, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 18.0, 25.0] {
@@ -29,7 +32,12 @@ fn main() {
     ));
     write_series_csv(
         "ext_penalty_curves",
-        &["error_factor", "ideal_sqrt_penalty", "mnof_penalty", "mtbf_penalty"],
+        &[
+            "error_factor",
+            "ideal_sqrt_penalty",
+            "mnof_penalty",
+            "mtbf_penalty",
+        ],
         &csv,
     )
     .expect("write CSV");

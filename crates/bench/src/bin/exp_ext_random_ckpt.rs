@@ -17,7 +17,10 @@ fn main() {
     let mut rng = Xoshiro256StarStar::new(seed_from_env() ^ 0x4A2D);
 
     let mut table = Table::new(vec![
-        "checkpoints", "equidistant E(Tw)", "random E(Tw) avg", "random E(Tw) p95-ish(max of 200)",
+        "checkpoints",
+        "equidistant E(Tw)",
+        "random E(Tw) avg",
+        "random E(Tw) p95-ish(max of 200)",
         "random excess",
     ]);
     for &n in &[1u32, 3, 7, 15, 31] {
@@ -37,7 +40,9 @@ fn main() {
         ]);
     }
     table.print("Extension: equidistant (Theorem 1) vs uniformly random checkpoint placement (Te=1000, C=1, R=1, E(Y)=2)");
-    table.write_csv("ext_random_vs_equidistant").expect("write CSV");
+    table
+        .write_csv("ext_random_vs_equidistant")
+        .expect("write CSV");
     println!("\nequidistant placement minimizes expected rollback (Cauchy-Schwarz on Σ gap²);");
     println!("random placement pays a persistent premium that grows with checkpoint count.");
     println!("CSV written to results/ext_random_vs_equidistant.csv");

@@ -19,11 +19,19 @@ fn main() {
     let by_priority = interval_samples_by_priority(&s.records);
 
     let mut table = Table::new(vec![
-        "priority", "n_intervals", "p25(s)", "median(s)", "p75(s)", "p95(s)", "mean(s)",
+        "priority",
+        "n_intervals",
+        "p25(s)",
+        "median(s)",
+        "p75(s)",
+        "p95(s)",
+        "mean(s)",
     ]);
     let mut csv: Vec<Vec<f64>> = Vec::new();
     for p in 1..=12u8 {
-        let Some(samples) = by_priority.get(&p) else { continue };
+        let Some(samples) = by_priority.get(&p) else {
+            continue;
+        };
         if samples.is_empty() {
             continue;
         }
@@ -42,12 +50,23 @@ fn main() {
         }
     }
     table.print("Figure 4: uninterrupted task intervals by priority (paper: higher priority => longer; p10 the exception)");
-    table.write_csv("fig04_interval_quantiles").expect("write CSV");
-    write_series_csv("fig04_interval_cdf", &["priority", "interval_s", "cdf"], &csv)
+    table
+        .write_csv("fig04_interval_quantiles")
         .expect("write CSV");
+    write_series_csv(
+        "fig04_interval_cdf",
+        &["priority", "interval_s", "cdf"],
+        &csv,
+    )
+    .expect("write CSV");
 
     // Echo the ordering check the paper's figure makes visually.
-    let med = |p: u8| by_priority.get(&p).and_then(|s| Ecdf::new(s).ok()).map(|e| e.quantile(0.5));
+    let med = |p: u8| {
+        by_priority
+            .get(&p)
+            .and_then(|s| Ecdf::new(s).ok())
+            .map(|e| e.quantile(0.5))
+    };
     if let (Some(m2), Some(m9), Some(m10)) = (med(2), med(9), med(10)) {
         println!(
             "\nordering check: median p2 = {} s < median p9 = {} s; p10 = {} s (failure-heavy monitoring tier)",

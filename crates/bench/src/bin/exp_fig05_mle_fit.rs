@@ -32,8 +32,11 @@ fn run_panel(name: &str, samples: &[f64]) -> Table {
     write_series_csv(&format!("fig05_{name}"), &header_refs, &csv).expect("write CSV");
 
     for (i, r) in ranked.iter().enumerate() {
-        let params: Vec<String> =
-            r.params.iter().map(|(n, v)| format!("{n}={}", f(*v))).collect();
+        let params: Vec<String> = r
+            .params
+            .iter()
+            .map(|(n, v)| format!("{n}={}", f(*v)))
+            .collect();
         table.row(vec![
             (i + 1).to_string(),
             r.family.name().to_string(),
@@ -66,5 +69,7 @@ fn main() {
     let t_short = run_panel("short_intervals", &below_1000);
     t_short.print("Figure 5(b): MLE fits over intervals <= 1000 s (paper: exponential best, lambda = 0.00423445)");
 
-    println!("\nCSV written to results/fig05_all_intervals.csv and results/fig05_short_intervals.csv");
+    println!(
+        "\nCSV written to results/fig05_all_intervals.csv and results/fig05_short_intervals.csv"
+    );
 }

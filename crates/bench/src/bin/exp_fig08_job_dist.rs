@@ -22,7 +22,12 @@ fn main() {
     ];
 
     let mut table = Table::new(vec![
-        "class", "jobs", "med mem(MB)", "p95 mem(MB)", "med len(h)", "p95 len(h)",
+        "class",
+        "jobs",
+        "med mem(MB)",
+        "p95 mem(MB)",
+        "med len(h)",
+        "p95 len(h)",
     ]);
     let mut csv: Vec<Vec<f64>> = Vec::new();
     for (ci, (label, structure)) in classes.iter().enumerate() {
@@ -55,11 +60,19 @@ fn main() {
             csv.push(vec![ci as f64, 1.0, x, q]);
         }
         if *label == "mixture" {
-            println!("{}", ascii_cdf(&em.points(64), 64, 10, "job memory size CDF (MB, mixture)"));
-            println!("{}", ascii_cdf(&el.points(64), 64, 10, "job length CDF (s, mixture)"));
+            println!(
+                "{}",
+                ascii_cdf(&em.points(64), 64, 10, "job memory size CDF (MB, mixture)")
+            );
+            println!(
+                "{}",
+                ascii_cdf(&el.points(64), 64, 10, "job length CDF (s, mixture)")
+            );
         }
     }
-    table.print("Figure 8: sample-job memory sizes and lengths (paper: most jobs short with small memory)");
+    table.print(
+        "Figure 8: sample-job memory sizes and lengths (paper: most jobs short with small memory)",
+    );
     table.write_csv("fig08_summary").expect("write CSV");
     write_series_csv(
         "fig08_job_dist",

@@ -23,7 +23,14 @@ fn main() {
     let f3 = s.sample_only(&f3);
     let yg = s.sample_only(&yg);
 
-    let mut summary = Table::new(vec!["structure", "policy", "jobs", "avg WPR", "P(WPR<0.88)", "P(WPR>0.95)"]);
+    let mut summary = Table::new(vec![
+        "structure",
+        "policy",
+        "jobs",
+        "avg WPR",
+        "P(WPR<0.88)",
+        "P(WPR>0.95)",
+    ]);
     let mut csv_rows: Vec<Vec<f64>> = Vec::new();
     for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
         for (label, recs) in [("Formula(3)", &f3), ("Young", &yg)] {
@@ -40,11 +47,20 @@ fn main() {
             let pts = ecdf.points(100);
             println!(
                 "\n{}",
-                ascii_cdf(&pts, 64, 12, &format!("WPR CDF — {} jobs, {label}", structure.label()))
+                ascii_cdf(
+                    &pts,
+                    64,
+                    12,
+                    &format!("WPR CDF — {} jobs, {label}", structure.label())
+                )
             );
             for (x, p) in pts {
                 csv_rows.push(vec![
-                    if structure == JobStructure::Sequential { 0.0 } else { 1.0 },
+                    if structure == JobStructure::Sequential {
+                        0.0
+                    } else {
+                        1.0
+                    },
                     if label == "Formula(3)" { 0.0 } else { 1.0 },
                     x,
                     p,
@@ -52,9 +68,15 @@ fn main() {
             }
         }
     }
-    summary.print("Figure 9: WPR under Formula (3) vs Young (paper: ST 0.945 vs 0.916, BoT 0.955 vs 0.915)");
+    summary.print(
+        "Figure 9: WPR under Formula (3) vs Young (paper: ST 0.945 vs 0.916, BoT 0.955 vs 0.915)",
+    );
     summary.write_csv("fig09_summary").expect("write CSV");
-    write_series_csv("fig09_wpr_cdf", &["structure(0=ST)", "policy(0=F3)", "wpr", "cdf"], &csv_rows)
-        .expect("write CSV");
+    write_series_csv(
+        "fig09_wpr_cdf",
+        &["structure(0=ST)", "policy(0=F3)", "wpr", "cdf"],
+        &csv_rows,
+    )
+    .expect("write CSV");
     println!("\nCSV written to results/fig09_summary.csv and results/fig09_wpr_cdf.csv");
 }

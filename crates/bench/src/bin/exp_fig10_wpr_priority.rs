@@ -6,42 +6,75 @@
 //! 3-10 % on average". (Some priorities are missing in the paper because
 //! no job failed or completed there; ours appear when the sample contains
 //! them.)
+//!
+//! Re-expressed through `ckpt-scenario`: the figure is the 48-cell grid in
+//! `specs/exp_fig10_wpr_priority.toml` (policy × structure × priority).
+//! Structure and priority are pure aggregation filters, so the engine's
+//! run-key cache evaluates exactly two replays — one per policy — and the
+//! numbers are identical to calling `run_trace` directly with the same
+//! trace, estimator and failure-prone sample.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::metrics::{with_structure, wpr_by_priority};
-use ckpt_sim::{run_trace, PolicyConfig, RunOptions};
+use ckpt_bench::harness::{seed_from_env, Scale};
+use ckpt_bench::report::{f, results_dir, Table};
+use ckpt_policy::PolicyKind;
+use ckpt_scenario::{run_sweep, write_outputs, MetricSummary, SweepOptions, SweepSpec};
 use ckpt_trace::gen::JobStructure;
+use std::collections::HashMap;
+
+const SPEC: &str = include_str!("../../../../specs/exp_fig10_wpr_priority.toml");
 
 fn main() {
     let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
+    let mut sweep = SweepSpec::from_str(SPEC).expect("bundled spec parses");
+    sweep.base.jobs = scale.jobs();
+    sweep.base.seed = seed_from_env();
 
-    let f3 = s.sample_only(&run_trace(&s.trace, &s.estimates, &PolicyConfig::formula3(), opts));
-    let yg = s.sample_only(&run_trace(&s.trace, &s.estimates, &PolicyConfig::young(), opts));
+    let result = run_sweep(&sweep, SweepOptions::default()).expect("sweep runs");
+
+    // wpr summary keyed by (policy, structure, priority).
+    let mut wpr: HashMap<(PolicyKind, JobStructure, u8), MetricSummary> = HashMap::new();
+    for cell in &result.cells {
+        let scen = sweep.cell(cell.index).expect("cell in grid");
+        let s = cell
+            .metrics
+            .iter()
+            .find(|(n, _)| *n == "wpr")
+            .expect("wpr metric")
+            .1;
+        wpr.insert(
+            (
+                scen.policy,
+                scen.structure.expect("axis sets structure"),
+                scen.priority.expect("axis sets priority"),
+            ),
+            s,
+        );
+    }
 
     for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
-        let by_f3 = wpr_by_priority(&with_structure(&f3, structure));
-        let by_yg = wpr_by_priority(&with_structure(&yg, structure));
         let mut table = Table::new(vec![
             "priority", "jobs", "F3 min", "F3 avg", "F3 max", "Y min", "Y avg", "Y max", "avg gain",
         ]);
         for p in 1..=12u8 {
-            let (Some(a), Some(b)) = (by_f3.get(&p), by_yg.get(&p)) else { continue };
-            if a.count() == 0 {
+            let (Some(a), Some(b)) = (
+                wpr.get(&(PolicyKind::Formula3, structure, p)),
+                wpr.get(&(PolicyKind::Young, structure, p)),
+            ) else {
+                continue;
+            };
+            if a.count == 0 {
                 continue;
             }
             table.row(vec![
                 p.to_string(),
-                a.count().to_string(),
-                f(a.min()),
-                f(a.mean()),
-                f(a.max()),
-                f(b.min()),
-                f(b.mean()),
-                f(b.max()),
-                format!("{:+.1}%", 100.0 * (a.mean() - b.mean())),
+                a.count.to_string(),
+                f(a.min),
+                f(a.mean),
+                f(a.max),
+                f(b.min),
+                f(b.mean),
+                f(b.max),
+                format!("{:+.1}%", 100.0 * (a.mean - b.mean)),
             ]);
         }
         table.print(&format!(
@@ -49,8 +82,14 @@ fn main() {
             structure.label()
         ));
         table
-            .write_csv(&format!("fig10_wpr_priority_{}", structure.label().to_lowercase()))
+            .write_csv(&format!(
+                "fig10_wpr_priority_{}",
+                structure.label().to_lowercase()
+            ))
             .expect("write CSV");
     }
+
+    write_outputs(&sweep, &result, results_dir()).expect("write sweep outputs");
     println!("\nCSV written to results/fig10_wpr_priority_{{st,bot}}.csv");
+    println!("sweep grid written to results/fig10_wpr_priority_cells.csv (+ JSON summary)");
 }

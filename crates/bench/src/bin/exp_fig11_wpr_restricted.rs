@@ -19,7 +19,12 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut table = Table::new(vec![
-        "structure", "RL(s)", "policy", "jobs", "avg WPR", "P(WPR>0.9)",
+        "structure",
+        "RL(s)",
+        "policy",
+        "jobs",
+        "avg WPR",
+        "P(WPR>0.9)",
     ]);
     let mut csv: Vec<Vec<f64>> = Vec::new();
     for rl in [1000.0, 2000.0, 4000.0] {
@@ -30,8 +35,9 @@ fn main() {
         let recs_f3 = s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts));
         let recs_yg = s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts));
         for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
-            for (pi, (label, recs)) in
-                [("Formula(3)", &recs_f3), ("Young", &recs_yg)].iter().enumerate()
+            for (pi, (label, recs)) in [("Formula(3)", &recs_f3), ("Young", &recs_yg)]
+                .iter()
+                .enumerate()
             {
                 let sub = with_max_length(&with_structure(recs, structure), rl);
                 if sub.is_empty() {
@@ -48,7 +54,11 @@ fn main() {
                 ]);
                 for (x, q) in e.points(64) {
                     csv.push(vec![
-                        if structure == JobStructure::Sequential { 0.0 } else { 1.0 },
+                        if structure == JobStructure::Sequential {
+                            0.0
+                        } else {
+                            1.0
+                        },
                         rl,
                         pi as f64,
                         x,

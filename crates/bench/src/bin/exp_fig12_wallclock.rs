@@ -17,20 +17,30 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut table = Table::new(vec![
-        "RL(s)", "jobs", "med wall F3(s)", "med wall Young(s)", "med extra under Young(s)",
+        "RL(s)",
+        "jobs",
+        "med wall F3(s)",
+        "med wall Young(s)",
+        "med extra under Young(s)",
         "p75 extra(s)",
     ]);
     let mut csv: Vec<Vec<f64>> = Vec::new();
     // Deployment estimator (full-range per-priority statistics, as in the
     // Figure 9 runs); the RL value only filters which jobs are plotted.
-    let est = EstimatorKind::PerPriority { limit: f64::INFINITY };
+    let est = EstimatorKind::PerPriority {
+        limit: f64::INFINITY,
+    };
     for rl in [1000.0, 4000.0] {
         let f3 = PolicyConfig::formula3().with_estimator(est);
         let yg = PolicyConfig::young().with_estimator(est);
-        let recs_f3 =
-            with_max_length(&s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts)), rl);
-        let recs_yg =
-            with_max_length(&s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts)), rl);
+        let recs_f3 = with_max_length(
+            &s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts)),
+            rl,
+        );
+        let recs_yg = with_max_length(
+            &s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts)),
+            rl,
+        );
         // Paired per job: Young − Formula(3) wall-clock difference.
         let pairs = paired_wall_clock(&recs_yg, &recs_f3);
         if pairs.is_empty() {
@@ -59,7 +69,11 @@ fn main() {
     }
     table.print("Figure 12: wall-clock lengths (paper: most jobs +50-100 s under Young)");
     table.write_csv("fig12_summary").expect("write CSV");
-    write_series_csv("fig12_wallclock", &["RL_s", "job_id", "young_minus_f3_s"], &csv)
-        .expect("write CSV");
+    write_series_csv(
+        "fig12_wallclock",
+        &["RL_s", "job_id", "young_minus_f3_s"],
+        &csv,
+    )
+    .expect("write CSV");
     println!("\nCSV written to results/fig12_wallclock.csv");
 }

@@ -21,13 +21,19 @@ fn main() {
 
     // Deployment estimator (full-range per-priority statistics, as in the
     // Figure 9 runs); RL only filters which jobs are compared.
-    let est = EstimatorKind::PerPriority { limit: f64::INFINITY };
+    let est = EstimatorKind::PerPriority {
+        limit: f64::INFINITY,
+    };
     let f3 = PolicyConfig::formula3().with_estimator(est);
     let yg = PolicyConfig::young().with_estimator(est);
-    let recs_f3 =
-        with_max_length(&s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts)), RL);
-    let recs_yg =
-        with_max_length(&s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts)), RL);
+    let recs_f3 = with_max_length(
+        &s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts)),
+        RL,
+    );
+    let recs_yg = with_max_length(
+        &s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts)),
+        RL,
+    );
 
     // ratio = wall(F3) / wall(Young): < 1 means Formula (3) is faster.
     let pairs = paired_wall_clock(&recs_f3, &recs_yg);
@@ -62,9 +68,15 @@ fn main() {
     table.print("Figure 13: paired per-job comparison, RL = 1000 s (paper: ~70 % faster by ~15 %, ~30 % slower by ~5 %)");
     table.write_csv("fig13_summary").expect("write CSV");
 
-    let csv: Vec<Vec<f64>> =
-        pairs.iter().map(|&(job, ratio, diff)| vec![job as f64, ratio, diff]).collect();
-    write_series_csv("fig13_paired", &["job_id", "wall_ratio_f3_over_young", "wall_diff_s"], &csv)
-        .expect("write CSV");
+    let csv: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|&(job, ratio, diff)| vec![job as f64, ratio, diff])
+        .collect();
+    write_series_csv(
+        "fig13_paired",
+        &["job_id", "wall_ratio_f3_over_young", "wall_diff_s"],
+        &csv,
+    )
+    .expect("write CSV");
     println!("\nCSV written to results/fig13_paired.csv");
 }

@@ -27,7 +27,12 @@ fn main() {
     let e_dyn = wpr_ecdf(&dynamic).expect("non-empty");
     let e_sta = wpr_ecdf(&fixed).expect("non-empty");
     let mut table = Table::new(vec![
-        "algorithm", "jobs", "avg WPR", "worst WPR", "p5 WPR", "P(WPR<0.8)",
+        "algorithm",
+        "jobs",
+        "avg WPR",
+        "worst WPR",
+        "p5 WPR",
+        "P(WPR<0.8)",
     ]);
     table.row(vec![
         "dynamic (Algorithm 1)".to_string(),
@@ -48,12 +53,21 @@ fn main() {
     table.print("Figure 14(a): dynamic vs static WPR under mid-run priority flips (paper: worst ~0.8 vs ~0.5)");
     table.write_csv("fig14_summary").expect("write CSV");
 
-    println!("\n{}", ascii_cdf(&e_dyn.points(80), 64, 12, "WPR CDF — dynamic"));
-    println!("{}", ascii_cdf(&e_sta.points(80), 64, 12, "WPR CDF — static"));
+    println!(
+        "\n{}",
+        ascii_cdf(&e_dyn.points(80), 64, 12, "WPR CDF — dynamic")
+    );
+    println!(
+        "{}",
+        ascii_cdf(&e_sta.points(80), 64, 12, "WPR CDF — static")
+    );
 
     // (b) per-job wall-clock ratio dynamic/static.
     let pairs = paired_wall_clock(&dynamic, &fixed);
-    let similar = pairs.iter().filter(|(_, r, _)| (*r - 1.0).abs() <= 0.02).count();
+    let similar = pairs
+        .iter()
+        .filter(|(_, r, _)| (*r - 1.0).abs() <= 0.02)
+        .count();
     let faster10 = pairs.iter().filter(|(_, r, _)| *r <= 0.90).count();
     println!(
         "wall-clock ratio (dynamic/static): {:.1} % of jobs within ±2 %, {:.1} % faster by ≥10 % under dynamic \

@@ -5,79 +5,83 @@
 //! Paper values (avg): ramdisk stays ≈ 0.58–0.81 s at all degrees; NFS
 //! climbs 1.67 → 2.67 → 5.38 → 6.25 → 8.95 s — "the increased checkpointing
 //! cost over NFS is due to the network congestion on NFS servers".
+//!
+//! Re-expressed through `ckpt-scenario`: the table is the 10-cell grid in
+//! `specs/exp_table2_simultaneous.toml` (device × degree) evaluated by the
+//! `contention` engine — jittered checkpoint demands on a processor-sharing
+//! NFS server, with each cell's jitter drawn from an RNG stream derived
+//! from `(seed, cell index)` so the table is identical at any thread count.
 
 use ckpt_bench::harness::seed_from_env;
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::blcr::{BlcrModel, Device};
-use ckpt_sim::storage::{OpId, PsResource};
-use ckpt_sim::time::SimTime;
-use ckpt_stats::rng::Xoshiro256StarStar;
-use ckpt_stats::summary::OnlineStats;
+use ckpt_bench::report::{f, results_dir, Table};
+use ckpt_scenario::{run_sweep, write_outputs, MetricSummary, SweepOptions, SweepSpec};
+use ckpt_sim::blcr::Device;
+use std::collections::HashMap;
 
-const MEM_MB: f64 = 160.0;
-const REPS: usize = 25;
-
-/// Durations of `x` simultaneous ops on one PS server with per-op demand
-/// drawn with jitter.
-fn nfs_round(x: usize, blcr: &BlcrModel, rng: &mut Xoshiro256StarStar) -> Vec<f64> {
-    let mut server = PsResource::new(1.0);
-    let t0 = SimTime::ZERO;
-    for i in 0..x {
-        let demand = blcr.checkpoint_cost_jittered(Device::CentralNfs, MEM_MB, rng);
-        server.add(t0, OpId(i as u64), demand);
-    }
-    // Drain the server, recording each completion time (= duration, since
-    // all ops start at t 0).
-    let mut now = t0;
-    let mut durations = Vec::with_capacity(x);
-    while let Some((op, when)) = server.next_completion(now) {
-        server.remove(when, op);
-        durations.push(when.as_secs_f64());
-        now = when;
-    }
-    durations
-}
+const SPEC: &str = include_str!("../../../../specs/exp_table2_simultaneous.toml");
 
 fn main() {
-    let blcr = BlcrModel;
-    let mut rng = Xoshiro256StarStar::new(seed_from_env() ^ 0x7AB1E2);
+    let mut sweep = SweepSpec::from_str(SPEC).expect("bundled spec parses");
+    sweep.base.seed = seed_from_env();
+
+    let result = run_sweep(&sweep, SweepOptions::default()).expect("sweep runs");
+
+    // duration_s summary keyed by (device, degree).
+    let mut dur: HashMap<(Device, usize), MetricSummary> = HashMap::new();
+    for cell in &result.cells {
+        let scen = sweep.cell(cell.index).expect("cell in grid");
+        let s = cell
+            .metrics
+            .iter()
+            .find(|(n, _)| *n == "duration_s")
+            .expect("duration metric")
+            .1;
+        dur.insert((scen.device, scen.degree), s);
+    }
 
     let mut table = Table::new(vec!["type", "stat", "X=1", "X=2", "X=3", "X=4", "X=5"]);
     for device in [Device::Ramdisk, Device::CentralNfs] {
-        let mut mins = Vec::new();
-        let mut avgs = Vec::new();
-        let mut maxs = Vec::new();
-        for x in 1..=5usize {
-            let mut stats = OnlineStats::new();
-            for _ in 0..REPS {
-                match device {
-                    Device::Ramdisk => {
-                        // No contention: each op takes its own (jittered)
-                        // nominal time regardless of the parallel degree.
-                        for _ in 0..x {
-                            stats.add(blcr.checkpoint_cost_jittered(device, MEM_MB, &mut rng));
-                        }
-                    }
-                    _ => {
-                        for d in nfs_round(x, &blcr, &mut rng) {
-                            stats.add(d);
-                        }
-                    }
-                }
-            }
-            mins.push(f(stats.min()));
-            avgs.push(f(stats.mean()));
-            maxs.push(f(stats.max()));
-        }
         let label = match device {
             Device::Ramdisk => "ramdisk",
             _ => "NFS",
         };
-        table.row(vec![label.to_string(), "min".into(), mins[0].clone(), mins[1].clone(), mins[2].clone(), mins[3].clone(), mins[4].clone()]);
-        table.row(vec![label.to_string(), "avg".into(), avgs[0].clone(), avgs[1].clone(), avgs[2].clone(), avgs[3].clone(), avgs[4].clone()]);
-        table.row(vec![label.to_string(), "max".into(), maxs[0].clone(), maxs[1].clone(), maxs[2].clone(), maxs[3].clone(), maxs[4].clone()]);
+        let col = |pick: &dyn Fn(&MetricSummary) -> f64| -> Vec<String> {
+            (1..=5usize)
+                .map(|x| {
+                    let s = dur.get(&(device, x)).unwrap_or_else(|| {
+                        panic!(
+                            "specs/exp_table2_simultaneous.toml no longer covers \
+                             device {device:?} degree {x}"
+                        )
+                    });
+                    f(pick(s))
+                })
+                .collect()
+        };
+        for (stat, pick) in [
+            (
+                "min",
+                &(|s: &MetricSummary| s.min) as &dyn Fn(&MetricSummary) -> f64,
+            ),
+            ("avg", &|s: &MetricSummary| s.mean),
+            ("max", &|s: &MetricSummary| s.max),
+        ] {
+            let cells = col(pick);
+            table.row(vec![
+                label.to_string(),
+                stat.into(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+                cells[4].clone(),
+            ]);
+        }
     }
     table.print("Table 2: simultaneous checkpointing cost, 160 MB (paper avg: ramdisk 0.58-0.81 s flat; NFS 1.67 -> 8.95 s)");
     table.write_csv("table2_simultaneous").expect("write CSV");
+
+    write_outputs(&sweep, &result, results_dir()).expect("write sweep outputs");
     println!("\nCSV written to results/table2_simultaneous.csv");
+    println!("sweep grid written to results/table2_simultaneous_cells.csv (+ JSON summary)");
 }

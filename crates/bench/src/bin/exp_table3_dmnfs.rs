@@ -33,8 +33,9 @@ fn main() {
             let mut bank = StorageBank::dm_nfs(N_HOSTS, 1.0);
             let t0 = SimTime::ZERO;
             // Random server per op — the paper's DM-NFS policy.
-            let picks: Vec<usize> =
-                (0..x).map(|_| rng.next_range(N_HOSTS as u64) as usize).collect();
+            let picks: Vec<usize> = (0..x)
+                .map(|_| rng.next_range(N_HOSTS as u64) as usize)
+                .collect();
             for (i, &srv) in picks.iter().enumerate() {
                 let demand = blcr.checkpoint_cost_jittered(Device::DmNfs, MEM_MB, &mut rng);
                 bank.server_mut(srv).add(t0, OpId(i as u64), demand);

@@ -26,11 +26,19 @@ fn main() {
     ];
     let mut table = Table::new(vec!["memory(MB)", "paper op time(s)", "model op time(s)"]);
     for (mem, t_paper) in paper {
-        table.row(vec![format!("{mem}"), f(t_paper), f(blcr.shared_op_time(mem))]);
+        table.row(vec![
+            format!("{mem}"),
+            f(t_paper),
+            f(blcr.shared_op_time(mem)),
+        ]);
     }
     // Interpolated midpoints (not in the paper's table).
     for mem in [60.0, 120.0, 200.0] {
-        table.row(vec![format!("{mem}"), "-".into(), f(blcr.shared_op_time(mem))]);
+        table.row(vec![
+            format!("{mem}"),
+            "-".into(),
+            f(blcr.shared_op_time(mem)),
+        ]);
     }
     table.print("Table 4: single checkpoint operation time over shared disk");
     table.write_csv("table4_op_cost").expect("write CSV");

@@ -17,7 +17,11 @@ fn main() {
     let paper_b = [0.37, 0.49, 0.54, 0.86, 1.45, 2.4];
 
     let mut table = Table::new(vec![
-        "memory(MB)", "paper A(s)", "model A(s)", "paper B(s)", "model B(s)",
+        "memory(MB)",
+        "paper A(s)",
+        "model A(s)",
+        "paper B(s)",
+        "model B(s)",
     ]);
     for (i, &mem) in mems.iter().enumerate() {
         table.row(vec![

@@ -23,10 +23,19 @@ fn main() {
     let recs_yg = s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts));
 
     let mut table = Table::new(vec![
-        "structure", "avg WPR F3", "lowest F3", "avg WPR Young", "lowest Young",
-        "paper avg F3", "paper avg Young",
+        "structure",
+        "avg WPR F3",
+        "lowest F3",
+        "avg WPR Young",
+        "lowest Young",
+        "paper avg F3",
+        "paper avg Young",
     ]);
-    let paper = [("BoT", 0.960, 0.954), ("ST", 0.937, 0.938), ("Mix", 0.949, 0.939)];
+    let paper = [
+        ("BoT", 0.960, 0.954),
+        ("ST", 0.937, 0.938),
+        ("Mix", 0.949, 0.939),
+    ];
     for (label, p_f3, p_yg) in paper {
         let (a, b): (Vec<_>, Vec<_>) = match label {
             "BoT" => (

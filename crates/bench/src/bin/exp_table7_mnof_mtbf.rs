@@ -15,10 +15,12 @@ fn main() {
     let s = setup(scale, seed_from_env());
     let est = estimator_from_records(&s.records);
 
-    let limits = [(1000.0, "<=1000s"), (3600.0, "<=3600s"), (f64::INFINITY, "unlimited")];
-    let mut table = Table::new(vec![
-        "limit", "priority", "n_tasks", "MNOF", "MTBF(s)",
-    ]);
+    let limits = [
+        (1000.0, "<=1000s"),
+        (3600.0, "<=3600s"),
+        (f64::INFINITY, "unlimited"),
+    ];
+    let mut table = Table::new(vec!["limit", "priority", "n_tasks", "MNOF", "MTBF(s)"]);
     for (limit, label) in limits {
         for p in est.priorities() {
             if let Some(e) = est.estimate(p, limit) {

@@ -45,7 +45,10 @@ impl Scale {
 
 /// Seed from `CKPT_SEED` or the default.
 pub fn seed_from_env() -> u64 {
-    std::env::var("CKPT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+    std::env::var("CKPT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
 }
 
 /// A fully prepared experiment context.
@@ -71,13 +74,22 @@ pub fn setup_with(spec: WorkloadSpec, seed: u64) -> Setup {
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample_jobs = failure_prone_jobs(&records, 0.5);
-    Setup { trace, records, estimates, sample_jobs }
+    Setup {
+        trace,
+        records,
+        estimates,
+        sample_jobs,
+    }
 }
 
 impl Setup {
     /// Restrict job records to the paper's failure-prone sample set.
     pub fn sample_only(&self, records: &[ckpt_sim::JobRecord]) -> Vec<ckpt_sim::JobRecord> {
-        records.iter().filter(|r| self.sample_jobs.contains(&r.job_id)).cloned().collect()
+        records
+            .iter()
+            .filter(|r| self.sample_jobs.contains(&r.job_id))
+            .cloned()
+            .collect()
     }
 }
 

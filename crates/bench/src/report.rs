@@ -11,7 +11,10 @@ use std::path::{Path, PathBuf};
 pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = <workspace>/crates/bench at compile time.
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let root = manifest.parent().and_then(Path::parent).unwrap_or(Path::new("."));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(Path::new("."));
     root.join("results")
 }
 
@@ -25,7 +28,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (must match the header arity; checked at print time).

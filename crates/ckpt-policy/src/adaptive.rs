@@ -68,13 +68,22 @@ impl AdaptiveCheckpointer {
 
     fn with_adaptivity(te: f64, c: f64, mnof: f64, adaptive: bool) -> Result<Self> {
         if !(te.is_finite() && te > 0.0) {
-            return Err(PolicyError::BadInput { what: "te", value: te });
+            return Err(PolicyError::BadInput {
+                what: "te",
+                value: te,
+            });
         }
         if !(c.is_finite() && c > 0.0) {
-            return Err(PolicyError::BadInput { what: "c", value: c });
+            return Err(PolicyError::BadInput {
+                what: "c",
+                value: c,
+            });
         }
         if !(mnof.is_finite() && mnof >= 0.0) {
-            return Err(PolicyError::BadInput { what: "mnof", value: mnof });
+            return Err(PolicyError::BadInput {
+                what: "mnof",
+                value: mnof,
+            });
         }
         let mut s = Self {
             c,
@@ -106,7 +115,11 @@ impl AdaptiveCheckpointer {
             Err(_) => 1,
         };
         self.segment = remaining / x as f64;
-        self.next_ckpt = if x <= 1 { None } else { Some(self.progress + self.segment) };
+        self.next_ckpt = if x <= 1 {
+            None
+        } else {
+            Some(self.progress + self.segment)
+        };
     }
 
     /// Current checkpoint decision.
@@ -202,13 +215,22 @@ impl AdaptiveCheckpointer {
 /// minus one. Returns `(x_k, x_k_plus_1_recomputed)` for inspection.
 pub fn theorem2_check(te: f64, c: f64, mnof: f64, k: u32) -> Result<(f64, f64)> {
     if !(te.is_finite() && te > 0.0) {
-        return Err(PolicyError::BadInput { what: "te", value: te });
+        return Err(PolicyError::BadInput {
+            what: "te",
+            value: te,
+        });
     }
     if !(c.is_finite() && c > 0.0) {
-        return Err(PolicyError::BadInput { what: "c", value: c });
+        return Err(PolicyError::BadInput {
+            what: "c",
+            value: c,
+        });
     }
     if !(mnof.is_finite() && mnof > 0.0) {
-        return Err(PolicyError::BadInput { what: "mnof", value: mnof });
+        return Err(PolicyError::BadInput {
+            what: "mnof",
+            value: mnof,
+        });
     }
     // Continuous X* at the k-th checkpoint, with Tr(k) the remaining length.
     let x0 = (te * mnof / (2.0 * c)).sqrt();
@@ -286,7 +308,10 @@ mod tests {
         // x* = sqrt(100/4) = 5 ⇒ segment 20; checkpoints at 20,40,60,80.
         for p in [20.0, 40.0, 60.0] {
             ctl.on_checkpoint_complete(p);
-            assert!(matches!(ctl.decision(), CheckpointDecision::RunUntil { .. }));
+            assert!(matches!(
+                ctl.decision(),
+                CheckpointDecision::RunUntil { .. }
+            ));
         }
         ctl.on_checkpoint_complete(80.0);
         assert_eq!(ctl.decision(), CheckpointDecision::RunToCompletion);
@@ -324,7 +349,11 @@ mod tests {
         assert_eq!(adaptive.resolve_count(), 1);
         assert_eq!(fixed.resolve_count(), 0);
         // 4× MNOF ⇒ roughly half the segment length for remaining work.
-        assert!(adaptive.segment() < seg_before * 0.7, "{}", adaptive.segment());
+        assert!(
+            adaptive.segment() < seg_before * 0.7,
+            "{}",
+            adaptive.segment()
+        );
         assert_eq!(fixed.segment(), seg_before);
     }
 

@@ -28,8 +28,10 @@ pub struct CurvePoint {
 pub fn wall_clock_curve(te: f64, c: f64, r: f64, e_y: f64, x_max: u32) -> Result<Vec<CurvePoint>> {
     (1..=x_max.max(1))
         .map(|x| {
-            expected_wall_clock(te, c, r, e_y, x)
-                .map(|w| CurvePoint { x, expected_wall_clock: w })
+            expected_wall_clock(te, c, r, e_y, x).map(|w| CurvePoint {
+                x,
+                expected_wall_clock: w,
+            })
         })
         .collect()
 }
@@ -45,7 +47,10 @@ pub fn wall_clock_curve(te: f64, c: f64, r: f64, e_y: f64, x_max: u32) -> Result
 /// ```
 pub fn penalty_factor(k: f64) -> Result<f64> {
     if !(k.is_finite() && k > 0.0) {
-        return Err(PolicyError::BadInput { what: "k", value: k });
+        return Err(PolicyError::BadInput {
+            what: "k",
+            value: k,
+        });
     }
     Ok(0.5 * (k + 1.0 / k))
 }
@@ -69,7 +74,10 @@ pub fn overhead_ratio(te: f64, c: f64, e_y: f64, x_used: u32) -> Result<f64> {
 /// estimation error. This is the paper's robustness argument, quantified.
 pub fn mnof_misestimation_penalty(te: f64, c: f64, e_y_true: f64, beta: f64) -> Result<f64> {
     if !(beta.is_finite() && beta > 0.0) {
-        return Err(PolicyError::BadInput { what: "beta", value: beta });
+        return Err(PolicyError::BadInput {
+            what: "beta",
+            value: beta,
+        });
     }
     let x_est = optimal_interval_count(te, c, e_y_true * beta)?.rounded();
     overhead_ratio(te, c, e_y_true, x_est)
@@ -86,7 +94,10 @@ pub fn mtbf_inflation_penalty(
     gamma: f64,
 ) -> Result<f64> {
     if !(gamma.is_finite() && gamma > 0.0) {
-        return Err(PolicyError::BadInput { what: "gamma", value: gamma });
+        return Err(PolicyError::BadInput {
+            what: "gamma",
+            value: gamma,
+        });
     }
     let x_young = crate::young::young_interval_count(te, c, honest_mtbf * gamma)?;
     overhead_ratio(te, c, e_y_true, x_young)
@@ -101,10 +112,14 @@ mod tests {
         let curve = wall_clock_curve(441.0, 1.0, 0.0, 2.0, 60).unwrap();
         let min = curve
             .iter()
-            .min_by(|a, b| a.expected_wall_clock.partial_cmp(&b.expected_wall_clock).unwrap())
+            .min_by(|a, b| {
+                a.expected_wall_clock
+                    .partial_cmp(&b.expected_wall_clock)
+                    .unwrap()
+            })
             .unwrap();
         assert_eq!(min.x, 21); // sqrt(441·2/2) = 21
-        // Discrete convexity: differences change sign exactly once.
+                               // Discrete convexity: differences change sign exactly once.
         let mut sign_changes = 0;
         for w in curve.windows(2) {
             let d = w[1].expected_wall_clock - w[0].expected_wall_clock;
@@ -144,7 +159,10 @@ mod tests {
         let p_young = mtbf_inflation_penalty(600.0, 0.5, 1.2, honest, 18.0).unwrap();
         let p_f3 = mnof_misestimation_penalty(600.0, 0.5, 1.2, 2.0).unwrap();
         assert!(p_young > 1.3, "young penalty {p_young}");
-        assert!(p_young > 3.0 * (p_f3 - 1.0) + 1.0, "young {p_young} vs f3 {p_f3}");
+        assert!(
+            p_young > 3.0 * (p_f3 - 1.0) + 1.0,
+            "young {p_young} vs f3 {p_f3}"
+        );
     }
 
     #[test]

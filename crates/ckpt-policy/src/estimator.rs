@@ -75,7 +75,10 @@ impl GroupedEstimator {
 
     /// Ingest one task history.
     pub fn add(&mut self, history: TaskHistory) {
-        self.groups.entry(history.priority).or_default().push(history);
+        self.groups
+            .entry(history.priority)
+            .or_default()
+            .push(history);
     }
 
     /// Ingest many task histories.
@@ -97,8 +100,7 @@ impl GroupedEstimator {
     /// group qualifies.
     pub fn estimate(&self, priority: u8, limit: f64) -> Option<Estimate> {
         let tasks = self.groups.get(&priority)?;
-        let selected: Vec<&TaskHistory> =
-            tasks.iter().filter(|t| t.task_length <= limit).collect();
+        let selected: Vec<&TaskHistory> = tasks.iter().filter(|t| t.task_length <= limit).collect();
         if selected.is_empty() {
             return None;
         }
@@ -115,10 +117,19 @@ impl GroupedEstimator {
                 }
             }
         }
-        let mtbf = if n_intervals > 0 { interval_sum / n_intervals as f64 } else { f64::INFINITY };
-        let mean_length =
-            selected.iter().map(|t| t.task_length).sum::<f64>() / n_tasks as f64;
-        Some(Estimate { mnof, mtbf, n_tasks, n_intervals, mean_length })
+        let mtbf = if n_intervals > 0 {
+            interval_sum / n_intervals as f64
+        } else {
+            f64::INFINITY
+        };
+        let mean_length = selected.iter().map(|t| t.task_length).sum::<f64>() / n_tasks as f64;
+        Some(Estimate {
+            mnof,
+            mtbf,
+            n_tasks,
+            n_intervals,
+            mean_length,
+        })
     }
 
     /// Estimate pooled over *all* priorities (for the global-estimator
@@ -145,7 +156,11 @@ impl GroupedEstimator {
         }
         Some(Estimate {
             mnof: total_failures as f64 / n_tasks as f64,
-            mtbf: if n_intervals > 0 { interval_sum / n_intervals as f64 } else { f64::INFINITY },
+            mtbf: if n_intervals > 0 {
+                interval_sum / n_intervals as f64
+            } else {
+                f64::INFINITY
+            },
             n_tasks,
             n_intervals,
             mean_length: all.iter().map(|t| t.task_length).sum::<f64>() / n_tasks as f64,
@@ -172,7 +187,12 @@ mod tests {
     use super::*;
 
     fn hist(priority: u8, len: f64, failures: u32, intervals: &[f64]) -> TaskHistory {
-        TaskHistory { priority, task_length: len, failure_count: failures, intervals: intervals.to_vec() }
+        TaskHistory {
+            priority,
+            task_length: len,
+            failure_count: failures,
+            intervals: intervals.to_vec(),
+        }
     }
 
     #[test]
@@ -244,7 +264,13 @@ mod tests {
 
     #[test]
     fn mnof_length_scaling() {
-        let e = Estimate { mnof: 2.0, mtbf: 100.0, n_tasks: 10, n_intervals: 20, mean_length: 400.0 };
+        let e = Estimate {
+            mnof: 2.0,
+            mtbf: 100.0,
+            n_tasks: 10,
+            n_intervals: 20,
+            mean_length: 400.0,
+        };
         assert!((e.mnof_for_length(200.0) - 1.0).abs() < 1e-12);
         assert!((e.mnof_for_length(800.0) - 4.0).abs() < 1e-12);
     }

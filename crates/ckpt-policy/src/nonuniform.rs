@@ -25,7 +25,10 @@ impl GeneralSchedule {
     /// `(0, te)` exclusive).
     pub fn new(te: f64, mut positions: Vec<f64>) -> Result<Self> {
         if !(te.is_finite() && te > 0.0) {
-            return Err(PolicyError::BadInput { what: "te", value: te });
+            return Err(PolicyError::BadInput {
+                what: "te",
+                value: te,
+            });
         }
         positions.retain(|p| p.is_finite() && *p > 0.0 && *p < te);
         positions.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -44,7 +47,10 @@ impl GeneralSchedule {
     /// comparison.
     pub fn equidistant(te: f64, x: u32) -> Result<Self> {
         if x == 0 {
-            return Err(PolicyError::BadInput { what: "x", value: 0.0 });
+            return Err(PolicyError::BadInput {
+                what: "x",
+                value: 0.0,
+            });
         }
         let w = te / x as f64;
         Self::new(te, (1..x).map(|i| i as f64 * w).collect())
@@ -92,17 +98,24 @@ impl GeneralSchedule {
     /// `Te + C·n + E(Y)·(R + expected_rollback)`.
     pub fn expected_wall_clock(&self, c: f64, r: f64, e_y: f64) -> Result<f64> {
         if !(c.is_finite() && c >= 0.0) {
-            return Err(PolicyError::BadInput { what: "c", value: c });
+            return Err(PolicyError::BadInput {
+                what: "c",
+                value: c,
+            });
         }
         if !(r.is_finite() && r >= 0.0) {
-            return Err(PolicyError::BadInput { what: "r", value: r });
+            return Err(PolicyError::BadInput {
+                what: "r",
+                value: r,
+            });
         }
         if !(e_y.is_finite() && e_y >= 0.0) {
-            return Err(PolicyError::BadInput { what: "e_y", value: e_y });
+            return Err(PolicyError::BadInput {
+                what: "e_y",
+                value: e_y,
+            });
         }
-        Ok(self.te
-            + c * self.positions.len() as f64
-            + e_y * (r + self.expected_rollback()))
+        Ok(self.te + c * self.positions.len() as f64 + e_y * (r + self.expected_rollback()))
     }
 }
 

@@ -46,29 +46,36 @@ impl OnlineTracker {
     /// `(0, 1]` (e.g. 0.99 ⇒ an effective window of ~100 tasks).
     pub fn new(n_priorities: usize, decay: f64) -> Result<Self> {
         if n_priorities == 0 {
-            return Err(PolicyError::BadInput { what: "n_priorities", value: 0.0 });
+            return Err(PolicyError::BadInput {
+                what: "n_priorities",
+                value: 0.0,
+            });
         }
         if !(decay > 0.0 && decay <= 1.0) {
-            return Err(PolicyError::BadInput { what: "decay", value: decay });
+            return Err(PolicyError::BadInput {
+                what: "decay",
+                value: decay,
+            });
         }
-        Ok(Self { decay, groups: vec![GroupState::default(); n_priorities] })
+        Ok(Self {
+            decay,
+            groups: vec![GroupState::default(); n_priorities],
+        })
     }
 
     fn group_mut(&mut self, priority: u8) -> Result<&mut GroupState> {
         let idx = priority.checked_sub(1).map(usize::from);
         match idx.and_then(|i| self.groups.get_mut(i)) {
             Some(g) => Ok(g),
-            None => Err(PolicyError::BadInput { what: "priority", value: priority as f64 }),
+            None => Err(PolicyError::BadInput {
+                what: "priority",
+                value: priority as f64,
+            }),
         }
     }
 
     /// Record a completed task's failure history.
-    pub fn observe(
-        &mut self,
-        priority: u8,
-        failure_count: u32,
-        intervals: &[f64],
-    ) -> Result<()> {
+    pub fn observe(&mut self, priority: u8, failure_count: u32, intervals: &[f64]) -> Result<()> {
         let decay = self.decay;
         let g = self.group_mut(priority)?;
         g.weight = g.weight * decay + 1.0;

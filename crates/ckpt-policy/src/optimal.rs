@@ -91,7 +91,10 @@ pub fn expected_wall_clock(te: f64, c: f64, r: f64, e_y: f64, x: u32) -> Result<
     let r = check("r", r, true)?;
     let e_y = check("e_y", e_y, true)?;
     if x == 0 {
-        return Err(PolicyError::BadInput { what: "x", value: 0.0 });
+        return Err(PolicyError::BadInput {
+            what: "x",
+            value: 0.0,
+        });
     }
     let x = x as f64;
     Ok(te + c * (x - 1.0) + r * e_y + te * e_y / (2.0 * x))
@@ -141,7 +144,10 @@ pub fn optimal_interval_count(te: f64, c: f64, e_y: f64) -> Result<OptimalX> {
             hi
         }
     };
-    Ok(OptimalX { continuous: cont, rounded })
+    Ok(OptimalX {
+        continuous: cont,
+        rounded,
+    })
 }
 
 /// Scale an MNOF measured over a full task of length `te_total` down to the
@@ -201,8 +207,16 @@ mod tests {
         // C_s=1.67 ⇒ x ≈ 10.94.
         let xl = optimal_interval_count(200.0, 0.632, 2.0).unwrap();
         let xs = optimal_interval_count(200.0, 1.67, 2.0).unwrap();
-        assert!((xl.continuous() - 17.79).abs() < 0.01, "{}", xl.continuous());
-        assert!((xs.continuous() - 10.94).abs() < 0.01, "{}", xs.continuous());
+        assert!(
+            (xl.continuous() - 17.79).abs() < 0.01,
+            "{}",
+            xl.continuous()
+        );
+        assert!(
+            (xs.continuous() - 10.94).abs() < 0.01,
+            "{}",
+            xs.continuous()
+        );
     }
 
     #[test]
@@ -282,8 +296,12 @@ mod tests {
         let x2 = optimal_interval_count(1000.0, 1.0, 4.0).unwrap().rounded();
         assert!(x2 > x1);
         // Quadrupling E(Y) doubles x* (square root law).
-        let c1 = optimal_interval_count(1000.0, 1.0, 1.0).unwrap().continuous();
-        let c2 = optimal_interval_count(1000.0, 1.0, 4.0).unwrap().continuous();
+        let c1 = optimal_interval_count(1000.0, 1.0, 1.0)
+            .unwrap()
+            .continuous();
+        let c2 = optimal_interval_count(1000.0, 1.0, 4.0)
+            .unwrap()
+            .continuous();
         assert!((c2 / c1 - 2.0).abs() < 1e-12);
     }
 

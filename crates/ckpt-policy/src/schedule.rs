@@ -23,10 +23,16 @@ impl EquidistantSchedule {
     /// intervals.
     pub fn new(te: f64, x: u32) -> Result<Self> {
         if !(te.is_finite() && te > 0.0) {
-            return Err(PolicyError::BadInput { what: "te", value: te });
+            return Err(PolicyError::BadInput {
+                what: "te",
+                value: te,
+            });
         }
         if x == 0 {
-            return Err(PolicyError::BadInput { what: "x", value: 0.0 });
+            return Err(PolicyError::BadInput {
+                what: "x",
+                value: 0.0,
+            });
         }
         Ok(Self { te, x })
     }
@@ -105,15 +111,24 @@ pub fn wall_clock_formula1(
     failure_positions: &[f64],
 ) -> Result<f64> {
     if !(c.is_finite() && c >= 0.0) {
-        return Err(PolicyError::BadInput { what: "c", value: c });
+        return Err(PolicyError::BadInput {
+            what: "c",
+            value: c,
+        });
     }
     if !(r.is_finite() && r >= 0.0) {
-        return Err(PolicyError::BadInput { what: "r", value: r });
+        return Err(PolicyError::BadInput {
+            what: "r",
+            value: r,
+        });
     }
     let mut tw = schedule.te() + c * schedule.checkpoint_count() as f64;
     for &t in failure_positions {
         if !(0.0..=schedule.te()).contains(&t) {
-            return Err(PolicyError::BadInput { what: "failure position", value: t });
+            return Err(PolicyError::BadInput {
+                what: "failure position",
+                value: t,
+            });
         }
         tw += schedule.rollback_loss(t) + r;
     }
@@ -199,9 +214,10 @@ mod tests {
         // failures uniform over [0, Te) lose half a segment on average.
         let s = EquidistantSchedule::new(100.0, 5).unwrap();
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|i| s.rollback_loss((i as f64 + 0.5) * 100.0 / n as f64)).sum::<f64>()
-                / n as f64;
+        let mean: f64 = (0..n)
+            .map(|i| s.rollback_loss((i as f64 + 0.5) * 100.0 / n as f64))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 10.0).abs() < 0.01, "mean rollback = {mean}");
     }
 }

@@ -30,12 +30,21 @@ impl DeviceCosts {
     /// Create a cost pair, validating both entries.
     pub fn new(checkpoint_cost: f64, restart_cost: f64) -> Result<Self> {
         if !(checkpoint_cost.is_finite() && checkpoint_cost > 0.0) {
-            return Err(PolicyError::BadInput { what: "checkpoint_cost", value: checkpoint_cost });
+            return Err(PolicyError::BadInput {
+                what: "checkpoint_cost",
+                value: checkpoint_cost,
+            });
         }
         if !(restart_cost.is_finite() && restart_cost >= 0.0) {
-            return Err(PolicyError::BadInput { what: "restart_cost", value: restart_cost });
+            return Err(PolicyError::BadInput {
+                what: "restart_cost",
+                value: restart_cost,
+            });
         }
-        Ok(Self { checkpoint_cost, restart_cost })
+        Ok(Self {
+            checkpoint_cost,
+            restart_cost,
+        })
     }
 }
 
@@ -76,19 +85,25 @@ impl StoragePick {
 /// ```
 pub fn expected_total_cost(te: f64, e_y: f64, device: DeviceCosts) -> Result<f64> {
     if !(te.is_finite() && te > 0.0) {
-        return Err(PolicyError::BadInput { what: "te", value: te });
+        return Err(PolicyError::BadInput {
+            what: "te",
+            value: te,
+        });
     }
     if !(e_y.is_finite() && e_y >= 0.0) {
-        return Err(PolicyError::BadInput { what: "e_y", value: e_y });
+        return Err(PolicyError::BadInput {
+            what: "e_y",
+            value: e_y,
+        });
     }
     if e_y == 0.0 {
         // No failures expected: no checkpoints, no restarts.
         return Ok(0.0);
     }
-    let x = optimal_interval_count(te, device.checkpoint_cost, e_y)?.continuous().max(1.0);
-    Ok(device.checkpoint_cost * (x - 1.0)
-        + device.restart_cost * e_y
-        + te * e_y / (2.0 * x))
+    let x = optimal_interval_count(te, device.checkpoint_cost, e_y)?
+        .continuous()
+        .max(1.0);
+    Ok(device.checkpoint_cost * (x - 1.0) + device.restart_cost * e_y + te * e_y / (2.0 * x))
 }
 
 /// Decide between local-ramdisk and shared-disk checkpointing by expected
@@ -110,7 +125,11 @@ pub fn choose_storage(
 ) -> Result<(StoragePick, f64, f64)> {
     let cost_local = expected_total_cost(te, e_y, local)?;
     let cost_shared = expected_total_cost(te, e_y, shared)?;
-    let pick = if cost_local < cost_shared { StoragePick::Local } else { StoragePick::Shared };
+    let pick = if cost_local < cost_shared {
+        StoragePick::Local
+    } else {
+        StoragePick::Shared
+    };
     Ok((pick, cost_local, cost_shared))
 }
 

@@ -1,0 +1,99 @@
+//! Streaming per-cell aggregation: each metric is reduced to a compact
+//! [`MetricSummary`] (count, mean, p50, p99, min, max) as its cell
+//! completes — raw metric vectors are transient, only summaries reach the
+//! results. (Shared replays do stay cached for the sweep's lifetime so
+//! filter-only cells can reuse them; see the executor's run cache.)
+
+/// Order-statistics summary of one metric over one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarize a batch of values. Empty input yields `count = 0` and NaN
+    /// statistics (exported as nulls).
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                count: 0,
+                mean: f64::NAN,
+                p50: f64::NAN,
+                p99: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+        let n = sorted.len();
+        let rank = |q: f64| -> f64 {
+            // Nearest-rank percentile: smallest value with cumulative
+            // probability ≥ q.
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[idx]
+        };
+        Self {
+            count: n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            min: sorted[0],
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Summarize a single value (degenerate but common for analytic cells).
+    pub fn from_value(v: f64) -> Self {
+        Self::from_values(&[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_batch() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = MetricSummary::from_values(&values);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = MetricSummary::from_values(&[3.0, 1.0, 2.0]);
+        let b = MetricSummary::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 2.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = MetricSummary::from_values(&[]);
+        assert_eq!(e.count, 0);
+        assert!(e.mean.is_nan());
+        let s = MetricSummary::from_value(7.5);
+        assert_eq!(s.count, 1);
+        assert_eq!(
+            (s.mean, s.p50, s.p99, s.min, s.max),
+            (7.5, 7.5, 7.5, 7.5, 7.5)
+        );
+    }
+}

@@ -1,0 +1,551 @@
+//! The parallel sweep executor.
+//!
+//! Worker threads pull cell indices from an atomic counter (the
+//! [`ckpt_sim::runner::parallel_indexed`] work-stealing substrate, shared
+//! with trace replay). Determinism guarantees:
+//!
+//! * every cell's extra randomness (contention jitter, cluster tie-breaks)
+//!   comes from an RNG stream derived from `(cell seed, cell index)`, never
+//!   from a shared generator — so results are invariant to thread count and
+//!   completion order;
+//! * cells that share a *run key* (identical simulation inputs, differing
+//!   only in aggregation filters) share one replay through a once-per-key
+//!   cache, computed by whichever worker gets there first and reused by the
+//!   rest. A second cache level shares trace preparation (generation,
+//!   failure histories, estimator state) across run keys that differ only
+//!   in policy/cost configuration — the common shape of a policy sweep.
+
+use crate::agg::MetricSummary;
+use crate::spec::{EngineKind, SampleFilter, ScenarioSpec};
+use crate::sweep::{SweepError, SweepSpec};
+use ckpt_sim::blcr::{BlcrModel, Device};
+use ckpt_sim::cluster::ClusterSim;
+use ckpt_sim::metrics::JobRecord;
+use ckpt_sim::policy::Estimates;
+use ckpt_sim::runner::{parallel_indexed, run_trace, RunOptions};
+use ckpt_sim::storage::{OpId, PsResource};
+use ckpt_sim::time::SimTime;
+use ckpt_stats::rng::{Rng64, Xoshiro256StarStar};
+use ckpt_trace::export;
+use ckpt_trace::gen::{generate, Trace};
+use ckpt_trace::stats::{failure_prone_jobs, trace_histories, TaskRecord};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Executor options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 ⇒ one per available core.
+    pub threads: usize,
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Cell index in row-major grid order.
+    pub index: usize,
+    /// The axis assignments that define this cell, rendered as strings.
+    pub params: Vec<(String, String)>,
+    /// Named metric summaries.
+    pub metrics: Vec<(&'static str, MetricSummary)>,
+}
+
+/// A completed sweep: every cell, in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// Evaluated cells, index-ordered.
+    pub cells: Vec<CellResult>,
+}
+
+/// Prepared simulation inputs, shared by every run key over the same
+/// workload: the trace, its failure histories, and the estimator state.
+struct PrepData {
+    trace: Trace,
+    records: Vec<TaskRecord>,
+    estimates: Estimates,
+}
+
+/// One shared replay: produced once per run key, reused by every cell that
+/// only differs in aggregation filters.
+struct RunData {
+    jobs: Vec<JobRecord>,
+    /// Per-job queue wait (cluster engine only, aligned with `jobs`).
+    queue_wait: Option<Vec<f64>>,
+    /// Cluster makespan (cluster engine only).
+    makespan_s: Option<f64>,
+    /// The shared trace preparation (for the failure-prone sample filter).
+    prep: Arc<PrepData>,
+}
+
+/// A cache slot: filled exactly once by whichever worker claims it first;
+/// other workers needing the same key block on the `OnceLock`.
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+
+#[derive(Default)]
+struct RunCache {
+    preps: Mutex<HashMap<String, Slot<PrepData>>>,
+    runs: Mutex<HashMap<String, Slot<RunData>>>,
+    /// Failure-prone job-id sets, keyed by `(prep key, fraction)` — the
+    /// scan over all task records would otherwise repeat per filter cell.
+    prones: Mutex<HashMap<String, Slot<std::collections::HashSet<u64>>>>,
+}
+
+fn get_or_init<T>(
+    map: &Mutex<HashMap<String, Slot<T>>>,
+    key: &str,
+    f: impl FnOnce() -> Result<T, String>,
+) -> Result<Arc<T>, String> {
+    let slot = {
+        let mut slots = map.lock().expect("sweep cache poisoned");
+        slots.entry(key.to_string()).or_default().clone()
+    };
+    slot.get_or_init(|| f().map(Arc::new)).clone()
+}
+
+/// Key of the trace-preparation inputs: workload shape + seed + trace
+/// file, independent of policy/cost/engine configuration.
+fn prep_key(spec: &ScenarioSpec) -> String {
+    format!(
+        "{}|{}|{:?}|{:?}",
+        spec.seed, spec.jobs, spec.trace_file, spec.workload
+    )
+}
+
+fn prepare(spec: &ScenarioSpec) -> Result<PrepData, String> {
+    let trace = match &spec.trace_file {
+        Some(path) => export::read_csv(path).map_err(|e| e.to_string())?,
+        None => generate(&spec.workload_spec(), spec.seed),
+    };
+    let records = trace_histories(&trace);
+    let estimates = Estimates::from_records(&records);
+    Ok(PrepData {
+        trace,
+        records,
+        estimates,
+    })
+}
+
+fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<RunData, String> {
+    let cfg = spec.policy_config();
+    match spec.engine {
+        EngineKind::Fast => {
+            // `threads` is the sweep's per-replay budget: total capacity
+            // divided by the number of distinct replays, so filter-heavy
+            // grids (few replays, many cells) still use every core.
+            let jobs = run_trace(&prep.trace, &prep.estimates, &cfg, RunOptions { threads });
+            Ok(RunData {
+                jobs,
+                queue_wait: None,
+                makespan_s: None,
+                prep,
+            })
+        }
+        EngineKind::Cluster => {
+            let result = ClusterSim::new(spec.cluster, &prep.trace, &prep.estimates, cfg).run();
+            let queue_wait = result.jobs.iter().map(|j| j.queue_wait).collect();
+            let jobs = result.jobs.into_iter().map(|j| j.base).collect();
+            Ok(RunData {
+                jobs,
+                queue_wait: Some(queue_wait),
+                makespan_s: Some(result.makespan.as_secs_f64()),
+                prep,
+            })
+        }
+        _ => unreachable!("replay() is only called for trace engines"),
+    }
+}
+
+/// Indices of `data.jobs` that pass the scenario's aggregation filters.
+fn filtered_indices(
+    spec: &ScenarioSpec,
+    data: &RunData,
+    cache: &RunCache,
+) -> Result<Vec<usize>, String> {
+    let prone = match spec.sample {
+        SampleFilter::All => None,
+        SampleFilter::FailureProne { fraction } => {
+            let key = format!("{}|{}", prep_key(spec), fraction.to_bits());
+            Some(get_or_init(&cache.prones, &key, || {
+                Ok(failure_prone_jobs(&data.prep.records, fraction))
+            })?)
+        }
+    };
+    Ok(data
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| prone.as_ref().is_none_or(|p| p.contains(&r.job_id)))
+        .filter(|(_, r)| spec.structure.is_none_or(|s| r.structure == s))
+        .filter(|(_, r)| spec.priority.is_none_or(|p| r.priority == p))
+        .filter(|(_, r)| spec.max_task_length.is_none_or(|l| r.max_task_length <= l))
+        .map(|(i, _)| i)
+        .collect())
+}
+
+fn replay_metrics(
+    spec: &ScenarioSpec,
+    data: &RunData,
+    cache: &RunCache,
+) -> Result<Vec<(&'static str, MetricSummary)>, String> {
+    let idx = filtered_indices(spec, data, cache)?;
+    let collect = |f: &dyn Fn(&JobRecord) -> f64| -> Vec<f64> {
+        idx.iter().map(|&i| f(&data.jobs[i])).collect()
+    };
+    let mut metrics = vec![
+        ("wpr", MetricSummary::from_values(&collect(&|r| r.wpr()))),
+        (
+            "wall_s",
+            MetricSummary::from_values(&collect(&|r| r.total_wall)),
+        ),
+        (
+            "ckpt_overhead_s",
+            MetricSummary::from_values(&collect(&|r| r.checkpoint_time)),
+        ),
+        (
+            "rollback_s",
+            MetricSummary::from_values(&collect(&|r| r.rollback_loss)),
+        ),
+        (
+            "restart_s",
+            MetricSummary::from_values(&collect(&|r| r.restart_time)),
+        ),
+        (
+            "failures",
+            MetricSummary::from_values(&collect(&|r| r.failures as f64)),
+        ),
+        (
+            "checkpoints",
+            MetricSummary::from_values(&collect(&|r| r.checkpoints as f64)),
+        ),
+    ];
+    if let Some(waits) = &data.queue_wait {
+        let w: Vec<f64> = idx.iter().map(|&i| waits[i]).collect();
+        metrics.push(("queue_wait_s", MetricSummary::from_values(&w)));
+    }
+    if let Some(makespan) = data.makespan_s {
+        metrics.push(("makespan_s", MetricSummary::from_value(makespan)));
+    }
+    Ok(metrics)
+}
+
+fn ckpt_cost_metrics(spec: &ScenarioSpec) -> Vec<(&'static str, MetricSummary)> {
+    let blcr = BlcrModel;
+    let unit = spec
+        .cost
+        .apply_ckpt(blcr.checkpoint_cost(spec.device, spec.mem_mb));
+    vec![
+        ("unit_cost_s", MetricSummary::from_value(unit)),
+        (
+            "total_cost_s",
+            MetricSummary::from_value(unit * spec.n_checkpoints as f64),
+        ),
+    ]
+}
+
+/// Durations of `degree` simultaneous checkpoint operations, Table 2/3
+/// style: ramdisk ops are independent; central NFS contends on one
+/// processor-sharing server; DM-NFS spreads ops over per-host servers
+/// picked uniformly at random.
+fn contention_round(spec: &ScenarioSpec, rng: &mut Xoshiro256StarStar) -> Vec<f64> {
+    let blcr = BlcrModel;
+    match spec.device {
+        Device::Ramdisk => (0..spec.degree)
+            .map(|_| blcr.checkpoint_cost_jittered(spec.device, spec.mem_mb, rng))
+            .collect(),
+        Device::CentralNfs | Device::DmNfs => {
+            let n_servers = match spec.device {
+                Device::CentralNfs => 1,
+                _ => spec.cluster.n_hosts.max(1),
+            };
+            let mut servers: Vec<PsResource> = (0..n_servers)
+                .map(|_| PsResource::new(spec.cluster.storage_rate))
+                .collect();
+            let t0 = SimTime::ZERO;
+            for i in 0..spec.degree {
+                let demand = blcr.checkpoint_cost_jittered(spec.device, spec.mem_mb, rng);
+                let server = if n_servers == 1 {
+                    0
+                } else {
+                    rng.next_range(n_servers as u64) as usize
+                };
+                servers[server].add(t0, OpId(i as u64), demand);
+            }
+            let mut durations = Vec::with_capacity(spec.degree);
+            for server in &mut servers {
+                let mut now = t0;
+                while let Some((op, when)) = server.next_completion(now) {
+                    server.remove(when, op);
+                    durations.push(when.as_secs_f64());
+                    now = when;
+                }
+            }
+            durations
+        }
+    }
+}
+
+fn contention_metrics(
+    spec: &ScenarioSpec,
+    cell_index: usize,
+) -> Vec<(&'static str, MetricSummary)> {
+    // Per-cell stream: thread-count invariant by construction.
+    let mut rng = Xoshiro256StarStar::stream(spec.seed, cell_index as u64);
+    let mut durations = Vec::with_capacity(spec.reps * spec.degree);
+    for _ in 0..spec.reps {
+        durations.extend(contention_round(spec, &mut rng));
+    }
+    vec![("duration_s", MetricSummary::from_values(&durations))]
+}
+
+fn evaluate_cell(
+    sweep: &SweepSpec,
+    spec: &ScenarioSpec,
+    cell_index: usize,
+    replay_threads: usize,
+    cache: &RunCache,
+) -> Result<CellResult, String> {
+    let metrics = match spec.engine {
+        EngineKind::Fast | EngineKind::Cluster => {
+            let data = get_or_init(&cache.runs, &spec.run_key(), || {
+                let prep = get_or_init(&cache.preps, &prep_key(spec), || prepare(spec))?;
+                replay(spec, prep, replay_threads)
+            })?;
+            replay_metrics(spec, &data, cache)?
+        }
+        EngineKind::CkptCost => ckpt_cost_metrics(spec),
+        EngineKind::Contention => contention_metrics(spec, cell_index),
+    };
+    let params = sweep
+        .cell_params(cell_index)
+        .into_iter()
+        .map(|(k, v)| (k, v.render()))
+        .collect();
+    Ok(CellResult {
+        index: cell_index,
+        params,
+        metrics,
+    })
+}
+
+/// Run every cell of a sweep, in parallel, deterministically.
+pub fn run_sweep(sweep: &SweepSpec, options: SweepOptions) -> Result<SweepResult, SweepError> {
+    let n = sweep.grid_size();
+    let cells = sweep.cells()?;
+    let cache = RunCache::default();
+
+    // Budget nested parallelism: grids with fewer distinct replays than
+    // cells (filter axes) would otherwise leave workers blocked on the
+    // run cache while each replay runs single-threaded. Splitting total
+    // capacity across the distinct replays keeps workers × replay-threads
+    // ≈ capacity without oversubscribing. (Replay results are
+    // thread-count-invariant, so this never changes output bytes.)
+    let capacity = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        options.threads
+    };
+    // Only fast-engine replays can use extra threads (the cluster DES is
+    // inherently sequential), so only they dilute the per-replay budget.
+    let distinct_replays = cells
+        .iter()
+        .filter(|c| matches!(c.engine, EngineKind::Fast))
+        .map(|c| c.run_key())
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    let replay_threads = capacity.checked_div(distinct_replays).unwrap_or(1).max(1);
+
+    let evaluated: Vec<Result<CellResult, String>> = parallel_indexed(n, options.threads, |i| {
+        evaluate_cell(sweep, &cells[i], i, replay_threads, &cache)
+    });
+
+    let mut cells = Vec::with_capacity(n);
+    for (i, result) in evaluated.into_iter().enumerate() {
+        match result {
+            Ok(cell) => cells.push(cell),
+            Err(e) => return Err(SweepError(format!("cell {i}: {e}"))),
+        }
+    }
+    Ok(SweepResult {
+        name: sweep.name.clone(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+        [sweep]
+        name = "small"
+        engine = "fast"
+        seed = 9
+        jobs = 150
+
+        [axes]
+        policy = ["formula3", "none"]
+        ckpt_cost_scale = { from = 0.5, to = 2.0, steps = 2 }
+    "#;
+
+    #[test]
+    fn sweep_runs_and_orders_cells() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let result = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        assert_eq!(result.cells.len(), 4);
+        for (i, c) in result.cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+            let wpr = c.metrics.iter().find(|(n, _)| *n == "wpr").unwrap().1;
+            assert!(wpr.count > 0, "cell {i} aggregated no jobs");
+            assert!(wpr.mean > 0.0 && wpr.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let a = run_sweep(&sweep, SweepOptions { threads: 1 }).unwrap();
+        let b = run_sweep(&sweep, SweepOptions { threads: 4 }).unwrap();
+        assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn prep_is_shared_across_policy_cells() {
+        // All four cells differ only in policy/cost, so they share one
+        // prep key (single trace generation) even with four run keys.
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let cells = sweep.cells().unwrap();
+        let keys: std::collections::HashSet<String> = cells.iter().map(prep_key).collect();
+        assert_eq!(keys.len(), 1);
+        let run_keys: std::collections::HashSet<String> =
+            cells.iter().map(|c| c.run_key()).collect();
+        assert_eq!(run_keys.len(), 4);
+    }
+
+    #[test]
+    fn filter_cells_share_one_replay() {
+        // structure is a pure filter ⇒ both cells share a run key, and the
+        // union of their job counts is the full sample.
+        let spec = r#"
+            [sweep]
+            name = "filters"
+            engine = "fast"
+            seed = 11
+            jobs = 200
+            sample = "all"
+
+            [axes]
+            structure = ["ST", "BoT"]
+        "#;
+        let sweep = SweepSpec::from_str(spec).unwrap();
+        let cells = sweep.cells().unwrap();
+        assert_eq!(cells[0].run_key(), cells[1].run_key());
+        let result = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        let count = |i: usize| {
+            result.cells[i]
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "wpr")
+                .unwrap()
+                .1
+                .count
+        };
+        assert_eq!(count(0) + count(1), 200);
+    }
+
+    #[test]
+    fn ckpt_cost_engine_matches_blcr_model() {
+        let spec = r#"
+            [sweep]
+            name = "fig7ish"
+            engine = "ckpt-cost"
+
+            [axes]
+            device = ["ramdisk", "nfs"]
+            mem_mb = [10, 240]
+            n_checkpoints = { from = 1, to = 5, steps = 5 }
+        "#;
+        let sweep = SweepSpec::from_str(spec).unwrap();
+        assert_eq!(sweep.grid_size(), 20);
+        let result = run_sweep(&sweep, SweepOptions { threads: 3 }).unwrap();
+        let blcr = BlcrModel;
+        for cell in &result.cells {
+            let scen = sweep.cell(cell.index).unwrap();
+            let expect = blcr.checkpoint_cost(scen.device, scen.mem_mb) * scen.n_checkpoints as f64;
+            let got = cell
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "total_cost_s")
+                .unwrap()
+                .1;
+            assert_eq!(got.mean, expect, "cell {}", cell.index);
+        }
+    }
+
+    #[test]
+    fn contention_engine_shows_nfs_congestion() {
+        let spec = r#"
+            [sweep]
+            name = "table2ish"
+            engine = "contention"
+            seed = 20130217
+            mem_mb = 160
+            reps = 25
+
+            [axes]
+            device = ["ramdisk", "nfs"]
+            degree = { from = 1, to = 5, steps = 5 }
+        "#;
+        let sweep = SweepSpec::from_str(spec).unwrap();
+        let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        let mean = |i: usize| {
+            result.cells[i]
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "duration_s")
+                .unwrap()
+                .1
+                .mean
+        };
+        // Cells 0..5 are ramdisk X=1..5 (flat); 5..10 are NFS (climbing).
+        assert!(mean(4) < 2.0 * mean(0), "ramdisk should stay flat");
+        assert!(mean(9) > 3.0 * mean(5), "NFS should congest with degree");
+        // Thread invariance for RNG-using engines specifically.
+        let again = run_sweep(&sweep, SweepOptions { threads: 7 }).unwrap();
+        assert_eq!(result.cells, again.cells);
+    }
+
+    #[test]
+    fn policy_ordering_matches_headline() {
+        // Formula (3) should beat no-checkpointing on the failure-prone
+        // sample at default cost — the sweep reproduces the paper's
+        // qualitative result end-to-end.
+        let sweep = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "ordering"
+            engine = "fast"
+            seed = 15
+            jobs = 400
+
+            [axes]
+            policy = ["formula3", "none"]
+        "#,
+        )
+        .unwrap();
+        let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        let wpr = |i: usize| {
+            result.cells[i]
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "wpr")
+                .unwrap()
+                .1
+                .mean
+        };
+        assert!(wpr(0) > wpr(1), "formula3 {} vs none {}", wpr(0), wpr(1));
+    }
+}

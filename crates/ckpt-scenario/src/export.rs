@@ -1,0 +1,251 @@
+//! Sweep exports: a long-format per-cell CSV and a structured JSON
+//! summary, both rendered deterministically (shortest-roundtrip float
+//! formatting, cells in grid order) so outputs are byte-identical across
+//! runs and thread counts.
+
+use crate::agg::MetricSummary;
+use crate::exec::SweepResult;
+use crate::sweep::SweepSpec;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// RFC-4180-style quoting for a CSV field: values containing the
+/// delimiter, quotes, or newlines (e.g. a `trace_file` path with a comma)
+/// are wrapped and escaped instead of silently shifting columns.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render the per-cell CSV: one row per `(cell, metric)` with the axis
+/// assignments as leading columns.
+pub fn csv_string(spec: &SweepSpec, result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str("cell");
+    for axis in &spec.axes {
+        out.push(',');
+        out.push_str(&csv_field(&axis.param));
+    }
+    out.push_str(",metric,count,mean,p50,p99,min,max\n");
+    for cell in &result.cells {
+        for (metric, s) in &cell.metrics {
+            out.push_str(&cell.index.to_string());
+            for (_, rendered) in &cell.params {
+                out.push(',');
+                out.push_str(&csv_field(rendered));
+            }
+            out.push_str(&format!(
+                ",{metric},{},{},{},{},{},{}\n",
+                s.count,
+                fmt_f64(s.mean),
+                fmt_f64(s.p50),
+                fmt_f64(s.p99),
+                fmt_f64(s.min),
+                fmt_f64(s.max),
+            ));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    // JSON has no NaN/inf; export them as null.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_metric(s: &MetricSummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+        s.count,
+        json_num(s.mean),
+        json_num(s.p50),
+        json_num(s.p99),
+        json_num(s.min),
+        json_num(s.max),
+    )
+}
+
+/// Render the JSON summary: sweep identity, axes, and every cell's params
+/// and metrics.
+pub fn json_string(spec: &SweepSpec, result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(&result.name)));
+    out.push_str(&format!(
+        "  \"engine\": \"{}\",\n",
+        spec.base.engine.label()
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", spec.base.seed));
+    out.push_str(&format!("  \"grid_size\": {},\n", spec.grid_size()));
+    out.push_str("  \"axes\": [");
+    for (i, axis) in spec.axes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let values: Vec<String> = axis
+            .values
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape(&v.render())))
+            .collect();
+        out.push_str(&format!(
+            "{{\"param\": \"{}\", \"values\": [{}]}}",
+            json_escape(&axis.param),
+            values.join(", ")
+        ));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in result.cells.iter().enumerate() {
+        let params: Vec<String> = cell
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let metrics: Vec<String> = cell
+            .metrics
+            .iter()
+            .map(|(name, s)| format!("\"{name}\": {}", json_metric(s)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"index\": {}, \"params\": {{{}}}, \"metrics\": {{{}}}}}{}\n",
+            cell.index,
+            params.join(", "),
+            metrics.join(", "),
+            if i + 1 < result.cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `<out_dir>/<name>_cells.csv` and `<out_dir>/<name>_summary.json`;
+/// returns both paths.
+pub fn write_outputs(
+    spec: &SweepSpec,
+    result: &SweepResult,
+    out_dir: impl AsRef<Path>,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = out_dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let csv_path = dir.join(format!("{}_cells.csv", result.name));
+    let json_path = dir.join(format!("{}_summary.json", result.name));
+    std::fs::File::create(&csv_path)?.write_all(csv_string(spec, result).as_bytes())?;
+    std::fs::File::create(&json_path)?.write_all(json_string(spec, result).as_bytes())?;
+    Ok((csv_path, json_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_sweep, SweepOptions};
+
+    const SPEC: &str = r#"
+        [sweep]
+        name = "export_test"
+        engine = "ckpt-cost"
+
+        [axes]
+        device = ["ramdisk", "nfs"]
+        n_checkpoints = [1, 3]
+    "#;
+
+    #[test]
+    fn csv_has_axis_columns_and_all_cells() {
+        let sweep = SweepSpec::from_str(SPEC).unwrap();
+        let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        let csv = csv_string(&sweep, &result);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "cell,device,n_checkpoints,metric,count,mean,p50,p99,min,max"
+        );
+        // 4 cells × 2 metrics.
+        assert_eq!(csv.lines().count(), 1 + 8);
+        assert!(csv.contains("ramdisk"));
+        assert!(csv.contains("total_cost_s"));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let sweep = SweepSpec::from_str(SPEC).unwrap();
+        let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        let json = json_string(&sweep, &result);
+        assert!(json.contains("\"grid_size\": 4"));
+        assert!(json.contains("\"engine\": \"ckpt-cost\""));
+        assert_eq!(json.matches("\"index\":").count(), 4);
+        // Balanced braces/brackets (cheap structural sanity without a
+        // JSON dependency).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_fields_with_delimiters_are_quoted() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("runs/a,v2.csv"), "\"runs/a,v2.csv\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn exports_are_thread_invariant() {
+        let sweep = SweepSpec::from_str(SPEC).unwrap();
+        let a = run_sweep(&sweep, SweepOptions { threads: 1 }).unwrap();
+        let b = run_sweep(&sweep, SweepOptions { threads: 4 }).unwrap();
+        assert_eq!(csv_string(&sweep, &a), csv_string(&sweep, &b));
+        assert_eq!(json_string(&sweep, &a), json_string(&sweep, &b));
+    }
+
+    #[test]
+    fn files_written_to_out_dir() {
+        let sweep = SweepSpec::from_str(SPEC).unwrap();
+        let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        let dir = std::env::temp_dir().join(format!("ckpt_scenario_export_{}", std::process::id()));
+        let (csv, json) = write_outputs(&sweep, &result, &dir).unwrap();
+        assert!(csv.ends_with("export_test_cells.csv"));
+        assert_eq!(
+            std::fs::read_to_string(&csv).unwrap(),
+            csv_string(&sweep, &result)
+        );
+        assert!(std::fs::read_to_string(&json)
+            .unwrap()
+            .contains("\"cells\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

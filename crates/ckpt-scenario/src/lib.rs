@@ -1,0 +1,62 @@
+//! # ckpt-scenario — declarative scenarios and the parallel sweep engine
+//!
+//! The paper's results (Figures 4–14, Tables 2–7) are parameter sweeps
+//! over policy × estimator × checkpoint-cost × failure-model grids. This
+//! crate replaces the one-off-binary-per-figure pattern with a declarative
+//! subsystem:
+//!
+//! * [`spec`] — [`ScenarioSpec`]: one run as a value (engine, workload or
+//!   trace file, policy/estimator/adaptivity, storage device, cost tweaks,
+//!   record filters, seed).
+//! * [`parse`] — a minimal hand-rolled TOML-subset parser (the workspace's
+//!   no-dependency idiom).
+//! * [`sweep`] — [`SweepSpec`]: base scenario × axes (`policy =
+//!   ["formula3", "young"]`, `ckpt_cost_scale = { from, to, steps }`),
+//!   expanded row-major into a scenario grid.
+//! * [`exec`] — the parallel executor: work-stealing over grid cells with
+//!   an atomic counter, per-cell RNG streams derived from
+//!   `(seed, cell_index)` (thread-count-invariant results), and a
+//!   once-per-run-key cache so cells that differ only in aggregation
+//!   filters share a single replay.
+//! * [`agg`] — streaming per-cell reduction to mean/p50/p99/min/max
+//!   summaries.
+//! * [`export`] — deterministic CSV and JSON renderers/writers.
+//!
+//! ## Example: a policy × checkpoint-cost grid
+//!
+//! ```
+//! use ckpt_scenario::{run_sweep, SweepOptions, SweepSpec};
+//!
+//! let sweep = SweepSpec::from_str(r#"
+//!     [sweep]
+//!     name = "policy_x_cost"
+//!     engine = "fast"
+//!     seed = 7
+//!     jobs = 120
+//!
+//!     [axes]
+//!     policy = ["formula3", "young"]
+//!     ckpt_cost_scale = { from = 0.5, to = 2.0, steps = 2 }
+//! "#).unwrap();
+//! assert_eq!(sweep.grid_size(), 4);
+//!
+//! let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+//! let wpr = result.cells[0].metrics.iter().find(|(n, _)| *n == "wpr").unwrap().1;
+//! assert!(wpr.mean > 0.0 && wpr.mean <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agg;
+pub mod exec;
+pub mod export;
+pub mod parse;
+pub mod spec;
+pub mod sweep;
+
+pub use agg::MetricSummary;
+pub use exec::{run_sweep, CellResult, SweepOptions, SweepResult};
+pub use export::{csv_string, json_string, write_outputs};
+pub use spec::{EngineKind, SampleFilter, ScenarioSpec, WorkloadTweaks};
+pub use sweep::{Axis, SweepError, SweepSpec};

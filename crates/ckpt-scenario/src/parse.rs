@@ -1,0 +1,358 @@
+//! A minimal hand-rolled TOML-subset parser — the workspace's
+//! no-dependency idiom (the CLI's flag parser is hand-rolled the same
+//! way). Supported grammar, which is all sweep specs need:
+//!
+//! ```text
+//! # comment
+//! [section]            # and [section.sub]
+//! key = "string"
+//! key = 3.5            # integers, floats, inf
+//! key = true
+//! key = [1, 2, 3]      # arrays of scalars
+//! key = { from = 1, to = 5, steps = 5 }   # inline tables of scalars
+//! ```
+//!
+//! Everything parses into [`Doc`]: ordered sections of key → [`Value`].
+//! Unknown keys are *kept* (interpretation happens in `spec`/`sweep`, which
+//! report unknown-key errors with the section context).
+
+use std::collections::BTreeMap;
+
+/// A parsed scalar, array, or inline table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// Any number (integers are represented exactly up to 2^53).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[v, v, ...]` of scalars.
+    Array(Vec<Value>),
+    /// `{ k = v, ... }` of scalars.
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// String view (for `Str`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (for `Num`).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (for `Bool`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render compactly for labels and error messages.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Num(v) => format!("{v}"),
+            Value::Bool(b) => format!("{b}"),
+            Value::Array(xs) => {
+                let inner: Vec<String> = xs.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Table(t) => {
+                let inner: Vec<String> = t
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// One `[section]` worth of keys, in file order.
+pub type Section = Vec<(String, Value)>;
+
+/// A parsed spec document: sections (the preamble before any header lives
+/// under `""`), each an ordered key/value list.
+#[derive(Debug, Clone, Default)]
+pub struct Doc {
+    sections: Vec<(String, Section)>,
+}
+
+impl Doc {
+    /// All `(name, section)` pairs in file order.
+    pub fn sections(&self) -> &[(String, Section)] {
+        &self.sections
+    }
+
+    /// Look up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Look up `section.key`.
+    pub fn get(&self, section: &str, key: &str) -> Option<&Value> {
+        self.section(section)?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Parse errors carry the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spec parse error at line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, what: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        what: what.into(),
+    })
+}
+
+/// Strip a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(tok: &str, line: usize) -> Result<Value, ParseError> {
+    let tok = tok.trim();
+    if let Some(rest) = tok.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return err(line, format!("unterminated string {tok:?}"));
+        };
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match tok {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "inf" => return Ok(Value::Num(f64::INFINITY)),
+        _ => {}
+    }
+    // Accept underscore digit separators, as TOML does. f64::parse also
+    // accepts "nan"/"infinity" spellings; only the canonical `inf` keyword
+    // (handled above) is part of the grammar — NaN and stray infinities
+    // would flow silently into filters and metrics.
+    let cleaned: String = tok.chars().filter(|&c| c != '_').collect();
+    match cleaned.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Value::Num(v)),
+        _ => err(
+            line,
+            format!("cannot parse value {tok:?} (expected string, finite number, bool, or inf)"),
+        ),
+    }
+}
+
+/// Split `s` on top-level commas (commas inside quotes don't count; the
+/// subset forbids nested arrays/tables, so depth tracking is not needed).
+fn split_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if let Some(inner) = raw.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return err(line, "unterminated array (arrays must fit on one line)");
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::Array(Vec::new()));
+        }
+        let items: Result<Vec<Value>, ParseError> = split_commas(inner)
+            .iter()
+            .map(|t| parse_scalar(t, line))
+            .collect();
+        return Ok(Value::Array(items?));
+    }
+    if let Some(inner) = raw.strip_prefix('{') {
+        let Some(inner) = inner.strip_suffix('}') else {
+            return err(line, "unterminated inline table");
+        };
+        let mut table = BTreeMap::new();
+        for part in split_commas(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = part.split_once('=') else {
+                return err(
+                    line,
+                    format!("inline table entry {part:?} is not key = value"),
+                );
+            };
+            table.insert(k.trim().to_string(), parse_scalar(v, line)?);
+        }
+        return Ok(Value::Table(table));
+    }
+    parse_scalar(raw, line)
+}
+
+/// Parse a whole spec document.
+pub fn parse(input: &str) -> Result<Doc, ParseError> {
+    let mut doc = Doc::default();
+    let mut current = String::new();
+    doc.sections.push((String::new(), Vec::new()));
+    for (i, raw_line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(line_no, format!("malformed section header {line:?}"));
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return err(line_no, "empty section name");
+            }
+            current = name.to_string();
+            if doc.section(name).is_none() {
+                doc.sections.push((current.clone(), Vec::new()));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(line_no, format!("expected key = value, found {line:?}"));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return err(line_no, "empty key");
+        }
+        let value = parse_value(value, line_no)?;
+        let section = doc
+            .sections
+            .iter_mut()
+            .find(|(n, _)| *n == current)
+            .expect("current section always exists");
+        if section.1.iter().any(|(k, _)| *k == key) {
+            return err(
+                line_no,
+                format!("duplicate key {key:?} in section [{current}]"),
+            );
+        }
+        section.1.push((key, value));
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let doc = parse(
+            r#"
+            # a sweep
+            title = "hello world"   # trailing comment
+            [sweep]
+            name = "grid"
+            seed = 20_130_217
+            jobs = 2000
+            quick = true
+            [axes]
+            policy = ["formula3", "young"]
+            ckpt_cost_scale = { from = 0.25, to = 8, steps = 6 }
+            empty = []
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("", "title").unwrap().as_str(), Some("hello world"));
+        assert_eq!(
+            doc.get("sweep", "seed").unwrap().as_num(),
+            Some(20_130_217.0)
+        );
+        assert_eq!(doc.get("sweep", "quick").unwrap().as_bool(), Some(true));
+        let Value::Array(policies) = doc.get("axes", "policy").unwrap() else {
+            panic!()
+        };
+        assert_eq!(policies.len(), 2);
+        let Value::Table(t) = doc.get("axes", "ckpt_cost_scale").unwrap() else {
+            panic!()
+        };
+        assert_eq!(t["steps"].as_num(), Some(6.0));
+        assert_eq!(doc.get("axes", "empty"), Some(&Value::Array(Vec::new())));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("name = \"a # b\"").unwrap();
+        assert_eq!(doc.get("", "name").unwrap().as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("a = 1\nbogus line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("[sec\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("x = [1, 2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("x = zebra\n").unwrap_err();
+        assert!(e.what.contains("zebra"));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let e = parse("[s]\na = 1\na = 2\n").unwrap_err();
+        assert!(e.what.contains("duplicate"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn inf_and_negative_numbers() {
+        let doc = parse("limit = inf\nd = -3.5\n").unwrap();
+        assert_eq!(doc.get("", "limit").unwrap().as_num(), Some(f64::INFINITY));
+        assert_eq!(doc.get("", "d").unwrap().as_num(), Some(-3.5));
+    }
+}

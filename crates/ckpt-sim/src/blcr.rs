@@ -102,12 +102,24 @@ const SHARED_OP_TIME: [(f64, f64); 12] = [
 ];
 
 /// Table 5: restart cost for migration type A (seconds).
-const RESTART_A: [(f64, f64); 6] =
-    [(10.0, 0.71), (20.0, 0.84), (40.0, 1.23), (80.0, 1.87), (160.0, 3.22), (240.0, 5.69)];
+const RESTART_A: [(f64, f64); 6] = [
+    (10.0, 0.71),
+    (20.0, 0.84),
+    (40.0, 1.23),
+    (80.0, 1.87),
+    (160.0, 3.22),
+    (240.0, 5.69),
+];
 
 /// Table 5: restart cost for migration type B (seconds).
-const RESTART_B: [(f64, f64); 6] =
-    [(10.0, 0.37), (20.0, 0.49), (40.0, 0.54), (80.0, 0.86), (160.0, 1.45), (240.0, 2.4)];
+const RESTART_B: [(f64, f64); 6] = [
+    (10.0, 0.37),
+    (20.0, 0.49),
+    (40.0, 0.54),
+    (80.0, 0.86),
+    (160.0, 1.45),
+    (240.0, 2.4),
+];
 
 /// The BLCR cost model. Stateless; all methods are pure except the jittered
 /// variants, which consume randomness from the caller's stream.
@@ -195,7 +207,8 @@ mod tests {
     fn shared_disk_cost_above_ramdisk() {
         for mem in [10.0, 55.0, 160.0, 240.0] {
             assert!(
-                M.checkpoint_cost(Device::CentralNfs, mem) > M.checkpoint_cost(Device::Ramdisk, mem)
+                M.checkpoint_cost(Device::CentralNfs, mem)
+                    > M.checkpoint_cost(Device::Ramdisk, mem)
             );
         }
     }

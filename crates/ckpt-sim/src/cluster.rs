@@ -34,7 +34,7 @@ use ckpt_trace::spec::FailureModel;
 use std::collections::{HashMap, VecDeque};
 
 /// Cluster topology and storage parameters (defaults = the paper's testbed).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Number of physical hosts (paper: 32).
     pub n_hosts: usize,
@@ -222,7 +222,10 @@ impl<'a> ClusterSim<'a> {
                     first_ready: None,
                     done_at: None,
                     wait_time: 0.0,
-                    outcome: TaskOutcome { productive: t.length_s, ..TaskOutcome::default() },
+                    outcome: TaskOutcome {
+                        productive: t.length_s,
+                        ..TaskOutcome::default()
+                    },
                     host: None,
                 });
             }
@@ -236,7 +239,9 @@ impl<'a> ClusterSim<'a> {
             pending: VecDeque::new(),
             host_mem_free: vec![cfg.host_mem_mb; cfg.n_hosts],
             host_tasks: vec![0; cfg.n_hosts],
-            storage: (0..cfg.n_hosts).map(|_| PsResource::new(cfg.storage_rate)).collect(),
+            storage: (0..cfg.n_hosts)
+                .map(|_| PsResource::new(cfg.storage_rate))
+                .collect(),
             storage_ops: HashMap::new(),
             next_op_id: 0,
             cluster_rng: Xoshiro256StarStar::stream(SplitMix64::mix(trace.seed), 0xC105),
@@ -249,7 +254,8 @@ impl<'a> ClusterSim<'a> {
         };
         sim.tasks_remaining = sim.tasks.len();
         for (i, job) in trace.jobs.iter().enumerate() {
-            sim.queue.schedule(SimTime::from_secs_f64(job.arrival_s), Ev::JobArrival(i));
+            sim.queue
+                .schedule(SimTime::from_secs_f64(job.arrival_s), Ev::JobArrival(i));
         }
         if cfg.host_mtbf_s.is_some() {
             for host in 0..cfg.n_hosts {
@@ -261,11 +267,15 @@ impl<'a> ClusterSim<'a> {
 
     /// Draw the next whole-host failure for `host` (exponential MTBF).
     fn schedule_host_failure(&mut self, host: usize) {
-        let Some(mtbf) = self.cfg.host_mtbf_s else { return };
+        let Some(mtbf) = self.cfg.host_mtbf_s else {
+            return;
+        };
         let u = self.cluster_rng.next_f64_open();
         let dt = -u.ln() * mtbf;
-        self.queue
-            .schedule(self.now + SimDuration::from_secs_f64(dt), Ev::HostFailure { host });
+        self.queue.schedule(
+            self.now + SimDuration::from_secs_f64(dt),
+            Ev::HostFailure { host },
+        );
     }
 
     /// Mark a task ready and try to place it.
@@ -319,7 +329,10 @@ impl<'a> ClusterSim<'a> {
                 t.epoch += 1;
                 t.outcome.restart_time += t.restart_cost;
                 let when = self.now + SimDuration::from_secs_f64(t.restart_cost);
-                let ev = Ev::RestoreDone { task: ti, epoch: t.epoch };
+                let ev = Ev::RestoreDone {
+                    task: ti,
+                    epoch: t.epoch,
+                };
                 self.queue.schedule(when, ev);
             } else {
                 self.start_run(ti);
@@ -335,16 +348,21 @@ impl<'a> ClusterSim<'a> {
         t.epoch += 1;
         t.run_base = t.durable;
         t.phase_start = now;
-        let next_ckpt = t.controller.next_checkpoint().filter(|&p| p > t.durable && p < t.te);
+        let next_ckpt = t
+            .controller
+            .next_checkpoint()
+            .filter(|&p| p > t.durable && p < t.te);
         let target = next_ckpt.unwrap_or(t.te);
         let run_needed = (target - t.run_base).max(0.0);
         let epoch = t.epoch;
         let milestone_at = now + SimDuration::from_secs_f64(run_needed);
         if let Some(&kill) = t.pending_kills.front() {
             let fail_at = now + SimDuration::from_secs_f64((kill - t.busy).max(0.0));
-            self.queue.schedule(fail_at, Ev::Failure { task: ti, epoch });
+            self.queue
+                .schedule(fail_at, Ev::Failure { task: ti, epoch });
         }
-        self.queue.schedule(milestone_at, Ev::Milestone { task: ti, epoch });
+        self.queue
+            .schedule(milestone_at, Ev::Milestone { task: ti, epoch });
     }
 
     /// Release the task's host resources.
@@ -360,17 +378,16 @@ impl<'a> ClusterSim<'a> {
     fn on_failure(&mut self, ti: usize, from_plan: bool) {
         let now = self.now;
         // Abort any in-flight storage op.
-        let had_storage_op =
-            if let Some((server, op, started)) = self.tasks[ti].storage_op.take() {
-                self.storage[server].remove(now, op);
-                self.storage_ops.remove(&op.0);
-                self.reschedule_storage(server);
-                self.tasks[ti].outcome.aborted_checkpoints += 1;
-                self.tasks[ti].outcome.checkpoint_time += (now - started).as_secs_f64();
-                true
-            } else {
-                false
-            };
+        let had_storage_op = if let Some((server, op, started)) = self.tasks[ti].storage_op.take() {
+            self.storage[server].remove(now, op);
+            self.storage_ops.remove(&op.0);
+            self.reschedule_storage(server);
+            self.tasks[ti].outcome.aborted_checkpoints += 1;
+            self.tasks[ti].outcome.checkpoint_time += (now - started).as_secs_f64();
+            true
+        } else {
+            false
+        };
         let t = &mut self.tasks[ti];
         let elapsed = (now - t.phase_start).as_secs_f64();
         t.busy += elapsed;
@@ -408,8 +425,10 @@ impl<'a> ClusterSim<'a> {
         let (at_completion, target) = {
             let t = &mut self.tasks[ti];
             t.busy += (now - t.phase_start).as_secs_f64();
-            let next_ckpt =
-                t.controller.next_checkpoint().filter(|&p| p > t.durable && p < t.te);
+            let next_ckpt = t
+                .controller
+                .next_checkpoint()
+                .filter(|&p| p > t.durable && p < t.te);
             match next_ckpt {
                 Some(p) => (false, p),
                 None => (true, t.te),
@@ -433,7 +452,8 @@ impl<'a> ClusterSim<'a> {
         let epoch = t.epoch;
         if let Some(&kill) = t.pending_kills.front() {
             let fail_at = now + SimDuration::from_secs_f64((kill - t.busy).max(0.0));
-            self.queue.schedule(fail_at, Ev::Failure { task: ti, epoch });
+            self.queue
+                .schedule(fail_at, Ev::Failure { task: ti, epoch });
         }
         match server_pick {
             None => {
@@ -457,7 +477,8 @@ impl<'a> ClusterSim<'a> {
     fn reschedule_storage(&mut self, server: usize) {
         if let Some((_, when)) = self.storage[server].next_completion(self.now) {
             let generation = self.storage[server].generation();
-            self.queue.schedule(when, Ev::Storage { server, generation });
+            self.queue
+                .schedule(when, Ev::Storage { server, generation });
         }
     }
 
@@ -552,10 +573,7 @@ impl<'a> ClusterSim<'a> {
                         .enumerate()
                         .filter(|(_, t)| {
                             t.host == Some(host)
-                                && matches!(
-                                    t.state,
-                                    TaskState::Running | TaskState::Checkpointing
-                                )
+                                && matches!(t.state, TaskState::Running | TaskState::Checkpointing)
                         })
                         .map(|(i, _)| i)
                         .collect();
@@ -601,8 +619,7 @@ impl<'a> ClusterSim<'a> {
                             self.storage_ops.remove(&op.0);
                             self.tasks[ti].storage_op = None;
                             self.reschedule_storage(server);
-                            let dur =
-                                started.map(|s| (self.now - s).as_secs_f64()).unwrap_or(0.0);
+                            let dur = started.map(|s| (self.now - s).as_secs_f64()).unwrap_or(0.0);
                             self.finish_checkpoint(ti, dur);
                         }
                     }
@@ -629,7 +646,11 @@ impl<'a> ClusterSim<'a> {
             let base =
                 JobRecord::from_outcomes(job.id, job.structure, job.priority, &outcomes, &lengths);
             let span = (last_done.as_secs_f64() - job.arrival_s).max(0.0);
-            jobs.push(ClusterJobRecord { base, queue_wait: wait, span });
+            jobs.push(ClusterJobRecord {
+                base,
+                queue_wait: wait,
+                span,
+            });
         }
         ClusterRunResult {
             jobs,
@@ -660,9 +681,13 @@ mod tests {
     #[test]
     fn all_jobs_complete() {
         let (trace, est) = setup(60, 31);
-        let result =
-            ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-                .run();
+        let result = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
         assert_eq!(result.jobs.len(), 60);
         for j in &result.jobs {
             assert!(j.span > 0.0);
@@ -676,10 +701,20 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let (trace, est) = setup(40, 32);
-        let r1 = ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-            .run();
-        let r2 = ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-            .run();
+        let r1 = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
+        let r2 = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
         assert_eq!(r1.jobs, r2.jobs);
         assert_eq!(r1.checkpoint_durations, r2.checkpoint_durations);
     }
@@ -687,9 +722,13 @@ mod tests {
     #[test]
     fn sequential_jobs_serialize_tasks() {
         let (trace, est) = setup(50, 33);
-        let result =
-            ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-                .run();
+        let result = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
         for (job, rec) in trace.jobs.iter().zip(&result.jobs) {
             if job.structure == JobStructure::Sequential && job.tasks.len() > 1 {
                 // Span ≥ sum of task walls (tasks cannot overlap).
@@ -752,10 +791,19 @@ mod tests {
     #[test]
     fn tiny_cluster_queues_tasks() {
         let (trace, est) = setup(60, 36);
-        let tiny = ClusterConfig { n_hosts: 2, vms_per_host: 2, ..ClusterConfig::default() };
+        let tiny = ClusterConfig {
+            n_hosts: 2,
+            vms_per_host: 2,
+            ..ClusterConfig::default()
+        };
         let small = ClusterSim::new(tiny, &trace, &est, PolicyConfig::formula3()).run();
-        let big = ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-            .run();
+        let big = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
         let wait_small: f64 = small.jobs.iter().map(|j| j.queue_wait).sum();
         let wait_big: f64 = big.jobs.iter().map(|j| j.queue_wait).sum();
         assert!(
@@ -767,11 +815,17 @@ mod tests {
     #[test]
     fn host_failures_injected_and_survived() {
         let (trace, est) = setup(40, 38);
-        let cfg = ClusterConfig { host_mtbf_s: Some(3_600.0), ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            host_mtbf_s: Some(3_600.0),
+            ..ClusterConfig::default()
+        };
         let result = ClusterSim::new(cfg, &trace, &est, PolicyConfig::formula3()).run();
         // Everything still completes, with some host failures recorded.
         assert_eq!(result.jobs.len(), 40);
-        assert!(result.host_failures > 0, "expected host failures at 1 h MTBF");
+        assert!(
+            result.host_failures > 0,
+            "expected host failures at 1 h MTBF"
+        );
         for j in &result.jobs {
             let wpr = j.base.wpr();
             assert!(wpr > 0.0 && wpr <= 1.0);
@@ -785,10 +839,18 @@ mod tests {
     #[test]
     fn host_failures_hurt_wpr() {
         let (trace, est) = setup(40, 39);
-        let calm = ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-            .run();
+        let calm = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
         let stormy = ClusterSim::new(
-            ClusterConfig { host_mtbf_s: Some(1_800.0), ..ClusterConfig::default() },
+            ClusterConfig {
+                host_mtbf_s: Some(1_800.0),
+                ..ClusterConfig::default()
+            },
             &trace,
             &est,
             PolicyConfig::formula3(),
@@ -810,9 +872,13 @@ mod tests {
         // Task wall (ready→done span) = productive + ckpt + rollback +
         // restart + wait, aggregated per job.
         let (trace, est) = setup(50, 37);
-        let result =
-            ClusterSim::new(ClusterConfig::default(), &trace, &est, PolicyConfig::formula3())
-                .run();
+        let result = ClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
         for rec in &result.jobs {
             let parts = rec.base.total_work
                 + rec.base.checkpoint_time

@@ -16,12 +16,18 @@ pub struct FixedSchedule {
 impl FixedSchedule {
     /// Build from an equidistant schedule.
     pub fn new(schedule: &EquidistantSchedule) -> Self {
-        Self { positions: schedule.positions(), durable: 0.0 }
+        Self {
+            positions: schedule.positions(),
+            durable: 0.0,
+        }
     }
 
     /// Build with no checkpoints at all.
     pub fn none() -> Self {
-        Self { positions: Vec::new(), durable: 0.0 }
+        Self {
+            positions: Vec::new(),
+            durable: 0.0,
+        }
     }
 
     fn next_after(&self, p: f64) -> Option<f64> {
@@ -97,7 +103,9 @@ mod tests {
     use super::*;
 
     fn fixed(te: f64, x: u32) -> Controller {
-        Controller::Fixed(FixedSchedule::new(&EquidistantSchedule::new(te, x).unwrap()))
+        Controller::Fixed(FixedSchedule::new(
+            &EquidistantSchedule::new(te, x).unwrap(),
+        ))
     }
 
     #[test]

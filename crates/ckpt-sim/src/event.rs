@@ -61,7 +61,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, alive: Vec::new(), live_count: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            alive: Vec::new(),
+            live_count: 0,
+        }
     }
 
     /// Schedule `payload` at `time`; returns an id usable with [`cancel`].

@@ -17,7 +17,7 @@
 //!   global), storage choice (§4.2.2), and interval counts from
 //!   Formula (3) / Young / Daly.
 //! * [`metrics`] — WPR (Formula (9)) and figure-ready aggregations.
-//! * [`runner`] — parallel trace replay (crossbeam scoped threads,
+//! * [`runner`] — parallel trace replay (scoped worker threads,
 //!   deterministic via per-task RNG streams).
 //! * [`cluster`] — the full-cluster DES: memory-constrained greedy
 //!   scheduling, VM placement, checkpoint storage contention, restart
@@ -40,6 +40,6 @@ pub mod time;
 
 pub use blcr::{BlcrModel, Device, Migration};
 pub use metrics::JobRecord;
-pub use policy::{Estimates, EstimatorKind, PolicyConfig, StorageChoice};
-pub use runner::{run_trace, RunOptions};
+pub use policy::{CostTweak, Estimates, EstimatorKind, PolicyConfig, StorageChoice};
+pub use runner::{parallel_indexed, run_trace, RunOptions};
 pub use time::{SimDuration, SimTime};

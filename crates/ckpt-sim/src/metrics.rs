@@ -113,12 +113,20 @@ pub fn wpr_by_priority(records: &[JobRecord]) -> HashMap<u8, OnlineStats> {
 
 /// Filter records by structure.
 pub fn with_structure(records: &[JobRecord], s: JobStructure) -> Vec<JobRecord> {
-    records.iter().filter(|r| r.structure == s).cloned().collect()
+    records
+        .iter()
+        .filter(|r| r.structure == s)
+        .cloned()
+        .collect()
 }
 
 /// Filter records by restricted task length (the paper's RL parameter).
 pub fn with_max_length(records: &[JobRecord], rl: f64) -> Vec<JobRecord> {
-    records.iter().filter(|r| r.max_task_length <= rl).cloned().collect()
+    records
+        .iter()
+        .filter(|r| r.max_task_length <= rl)
+        .cloned()
+        .collect()
 }
 
 /// Paired per-job comparison between two runs over the same trace
@@ -155,7 +163,9 @@ pub fn mean_wpr(records: &[JobRecord]) -> f64 {
 /// Lowest WPR of a batch (`NaN` for empty) — the "lowest WPR" column of the
 /// paper's Table 6.
 pub fn lowest_wpr(records: &[JobRecord]) -> f64 {
-    wprs(records).into_iter().fold(f64::NAN, |m, w| if m.is_nan() || w < m { w } else { m })
+    wprs(records)
+        .into_iter()
+        .fold(f64::NAN, |m, w| if m.is_nan() || w < m { w } else { m })
 }
 
 #[cfg(test)]
@@ -184,7 +194,12 @@ mod tests {
 
     #[test]
     fn wpr_is_work_over_wall() {
-        let r = rec(0, JobStructure::Sequential, 1, &[(110.0, 100.0), (55.0, 50.0)]);
+        let r = rec(
+            0,
+            JobStructure::Sequential,
+            1,
+            &[(110.0, 100.0), (55.0, 50.0)],
+        );
         assert!((r.wpr() - 150.0 / 165.0).abs() < 1e-12);
         assert!((r.total_work - 150.0).abs() < 1e-12);
         assert!(r.wpr() <= 1.0);

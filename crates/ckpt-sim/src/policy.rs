@@ -46,6 +46,49 @@ pub enum StorageChoice {
     Force(Device),
 }
 
+/// Adjustments layered on top of the BLCR cost model — the knob parameter
+/// sweeps turn to explore cheaper/pricier checkpointing without touching
+/// the calibrated Figure 7 tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostTweak {
+    /// Multiplier on the per-checkpoint cost `C`.
+    pub ckpt_scale: f64,
+    /// Multiplier on the per-restart cost `R`.
+    pub restart_scale: f64,
+    /// Absolute override for `C` (seconds), applied after scaling.
+    pub ckpt_override: Option<f64>,
+    /// Absolute override for `R` (seconds), applied after scaling.
+    pub restart_override: Option<f64>,
+}
+
+impl Default for CostTweak {
+    fn default() -> Self {
+        Self {
+            ckpt_scale: 1.0,
+            restart_scale: 1.0,
+            ckpt_override: None,
+            restart_override: None,
+        }
+    }
+}
+
+impl CostTweak {
+    /// Identity tweak (the calibrated model as-is).
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Apply to a model checkpoint cost.
+    pub fn apply_ckpt(&self, c: f64) -> f64 {
+        self.ckpt_override.unwrap_or(c * self.ckpt_scale)
+    }
+
+    /// Apply to a model restart cost.
+    pub fn apply_restart(&self, r: f64) -> f64 {
+        self.restart_override.unwrap_or(r * self.restart_scale)
+    }
+}
+
 /// Full policy configuration for a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyConfig {
@@ -58,6 +101,8 @@ pub struct PolicyConfig {
     pub adaptive: bool,
     /// Checkpoint storage selection.
     pub storage: StorageChoice,
+    /// Checkpoint/restart cost adjustments (identity = calibrated model).
+    pub cost: CostTweak,
 }
 
 impl PolicyConfig {
@@ -66,25 +111,37 @@ impl PolicyConfig {
     pub fn formula3() -> Self {
         Self {
             kind: PolicyKind::Formula3,
-            estimator: EstimatorKind::PerPriority { limit: f64::INFINITY },
+            estimator: EstimatorKind::PerPriority {
+                limit: f64::INFINITY,
+            },
             adaptive: false,
             storage: StorageChoice::Auto,
+            cost: CostTweak::identity(),
         }
     }
 
     /// Young's-formula baseline with the same estimation granularity.
     pub fn young() -> Self {
-        Self { kind: PolicyKind::Young, ..Self::formula3() }
+        Self {
+            kind: PolicyKind::Young,
+            ..Self::formula3()
+        }
     }
 
     /// Daly's-formula baseline.
     pub fn daly() -> Self {
-        Self { kind: PolicyKind::Daly, ..Self::formula3() }
+        Self {
+            kind: PolicyKind::Daly,
+            ..Self::formula3()
+        }
     }
 
     /// No checkpointing at all.
     pub fn none() -> Self {
-        Self { kind: PolicyKind::None, ..Self::formula3() }
+        Self {
+            kind: PolicyKind::None,
+            ..Self::formula3()
+        }
     }
 
     /// Builder-style: set the estimator.
@@ -102,6 +159,18 @@ impl PolicyConfig {
     /// Builder-style: set the storage choice.
     pub fn with_storage(mut self, storage: StorageChoice) -> Self {
         self.storage = storage;
+        self
+    }
+
+    /// Builder-style: set the cost tweak.
+    pub fn with_cost(mut self, cost: CostTweak) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style: scale the per-checkpoint cost (a common sweep axis).
+    pub fn with_ckpt_cost_scale(mut self, scale: f64) -> Self {
+        self.cost.ckpt_scale = scale;
         self
     }
 }
@@ -127,11 +196,20 @@ impl Estimates {
         let (fallback_mtbf, fallback_mnof_per_sec) = match pooled {
             Some(p) => (
                 if p.mtbf.is_finite() { p.mtbf } else { 1e9 },
-                if p.mean_length > 0.0 { p.mnof / p.mean_length } else { 0.0 },
+                if p.mean_length > 0.0 {
+                    p.mnof / p.mean_length
+                } else {
+                    0.0
+                },
             ),
             None => (1e9, 0.0),
         };
-        Self { groups, per_task, fallback_mtbf, fallback_mnof_per_sec }
+        Self {
+            groups,
+            per_task,
+            fallback_mtbf,
+            fallback_mnof_per_sec,
+        }
     }
 
     /// The grouped estimator (Table 7 queries).
@@ -149,26 +227,36 @@ impl Estimates {
     pub fn predict(&self, kind: EstimatorKind, task: &TaskSpec, priority: u8) -> (f64, f64) {
         match kind {
             EstimatorKind::Oracle => {
-                let (count, mtbf) = self
-                    .per_task
-                    .get(&task.id)
-                    .copied()
-                    .unwrap_or((0, None));
+                let (count, mtbf) = self.per_task.get(&task.id).copied().unwrap_or((0, None));
                 (count as f64, mtbf.unwrap_or(self.fallback_mtbf))
             }
             EstimatorKind::PerPriority { limit } => match self.groups.estimate(priority, limit) {
                 Some(e) => {
-                    let mtbf = if e.mtbf.is_finite() { e.mtbf } else { self.fallback_mtbf };
+                    let mtbf = if e.mtbf.is_finite() {
+                        e.mtbf
+                    } else {
+                        self.fallback_mtbf
+                    };
                     (e.mnof, mtbf)
                 }
-                None => (self.fallback_mnof_per_sec * task.length_s, self.fallback_mtbf),
+                None => (
+                    self.fallback_mnof_per_sec * task.length_s,
+                    self.fallback_mtbf,
+                ),
             },
             EstimatorKind::Global { limit } => match self.groups.estimate_pooled(limit) {
                 Some(e) => {
-                    let mtbf = if e.mtbf.is_finite() { e.mtbf } else { self.fallback_mtbf };
+                    let mtbf = if e.mtbf.is_finite() {
+                        e.mtbf
+                    } else {
+                        self.fallback_mtbf
+                    };
                     (e.mnof, mtbf)
                 }
-                None => (self.fallback_mnof_per_sec * task.length_s, self.fallback_mtbf),
+                None => (
+                    self.fallback_mnof_per_sec * task.length_s,
+                    self.fallback_mtbf,
+                ),
             },
         }
     }
@@ -205,15 +293,21 @@ pub fn plan_task(
     let te = task.length_s;
     let mem = task.mem_mb;
 
-    // Device: §4.2.2 expected-cost comparison (or forced).
+    // Device: §4.2.2 expected-cost comparison (or forced). Cost tweaks are
+    // applied before the comparison so the decision sees the same `C`/`R`
+    // the executor will pay.
     let local = DeviceCosts::new(
-        blcr.checkpoint_cost(Device::Ramdisk, mem),
-        blcr.restart_cost_for_device(Device::Ramdisk, mem),
+        cfg.cost
+            .apply_ckpt(blcr.checkpoint_cost(Device::Ramdisk, mem)),
+        cfg.cost
+            .apply_restart(blcr.restart_cost_for_device(Device::Ramdisk, mem)),
     )
     .expect("cost model yields positive costs");
     let shared = DeviceCosts::new(
-        blcr.checkpoint_cost(Device::DmNfs, mem),
-        blcr.restart_cost_for_device(Device::DmNfs, mem),
+        cfg.cost
+            .apply_ckpt(blcr.checkpoint_cost(Device::DmNfs, mem)),
+        cfg.cost
+            .apply_restart(blcr.restart_cost_for_device(Device::DmNfs, mem)),
     )
     .expect("cost model yields positive costs");
     let device = match cfg.storage {
@@ -224,8 +318,10 @@ pub fn plan_task(
             Err(_) => Device::Ramdisk,
         },
     };
-    let ckpt_cost = blcr.checkpoint_cost(device, mem);
-    let restart_cost = blcr.restart_cost_for_device(device, mem);
+    let ckpt_cost = cfg.cost.apply_ckpt(blcr.checkpoint_cost(device, mem));
+    let restart_cost = cfg
+        .cost
+        .apply_restart(blcr.restart_cost_for_device(device, mem));
 
     // Interval count per the policy formula.
     let intervals: u32 = match cfg.kind {
@@ -250,7 +346,15 @@ pub fn plan_task(
         ))
     };
 
-    TaskPlan { controller, device, ckpt_cost, restart_cost, mnof, mtbf, intervals }
+    TaskPlan {
+        controller,
+        device,
+        ckpt_cost,
+        restart_cost,
+        mnof,
+        mtbf,
+        intervals,
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +393,9 @@ mod tests {
         let mut t2 = job.tasks[0].clone();
         t1.length_s = 100.0;
         t2.length_s = 1000.0;
-        let kind = EstimatorKind::PerPriority { limit: f64::INFINITY };
+        let kind = EstimatorKind::PerPriority {
+            limit: f64::INFINITY,
+        };
         let (m1, tb1) = est.predict(kind, &t1, job.priority);
         let (m2, tb2) = est.predict(kind, &t2, job.priority);
         assert_eq!(m1, m2, "group MNOF is per-task, not per-second");
@@ -329,7 +435,13 @@ mod tests {
         let (trace, est) = setup();
         let blcr = BlcrModel;
         let job = &trace.jobs[0];
-        let plan = plan_task(&PolicyConfig::none(), &blcr, &est, &job.tasks[0], job.priority);
+        let plan = plan_task(
+            &PolicyConfig::none(),
+            &blcr,
+            &est,
+            &job.tasks[0],
+            job.priority,
+        );
         assert_eq!(plan.intervals, 1);
         assert_eq!(plan.controller.next_checkpoint(), None);
     }
@@ -374,6 +486,55 @@ mod tests {
         let cfg = PolicyConfig::formula3().with_adaptivity(true);
         let plan = plan_task(&cfg, &blcr, &est, &job.tasks[0], job.priority);
         assert!(matches!(plan.controller, Controller::Adaptive(_)));
+    }
+
+    #[test]
+    fn cost_tweak_scales_and_overrides_plan_costs() {
+        let (trace, est) = setup();
+        let blcr = BlcrModel;
+        let job = &trace.jobs[0];
+        let task = &job.tasks[0];
+        let base_cfg = PolicyConfig::formula3().with_storage(StorageChoice::Force(Device::Ramdisk));
+        let base = plan_task(&base_cfg, &blcr, &est, task, job.priority);
+
+        let scaled_cfg = base_cfg.with_ckpt_cost_scale(3.0);
+        let scaled = plan_task(&scaled_cfg, &blcr, &est, task, job.priority);
+        assert!((scaled.ckpt_cost - 3.0 * base.ckpt_cost).abs() < 1e-12);
+        // Pricier checkpoints ⇒ weakly fewer planned intervals (Theorem 1).
+        assert!(scaled.intervals <= base.intervals);
+
+        let forced_cfg = base_cfg.with_cost(CostTweak {
+            ckpt_override: Some(2.5),
+            restart_override: Some(1.25),
+            ..CostTweak::identity()
+        });
+        let forced = plan_task(&forced_cfg, &blcr, &est, task, job.priority);
+        assert_eq!(forced.ckpt_cost, 2.5);
+        assert_eq!(forced.restart_cost, 1.25);
+    }
+
+    #[test]
+    fn identity_tweak_changes_nothing() {
+        let (trace, est) = setup();
+        let blcr = BlcrModel;
+        let job = &trace.jobs[1];
+        let a = plan_task(
+            &PolicyConfig::formula3(),
+            &blcr,
+            &est,
+            &job.tasks[0],
+            job.priority,
+        );
+        let b = plan_task(
+            &PolicyConfig::formula3().with_cost(CostTweak::identity()),
+            &blcr,
+            &est,
+            &job.tasks[0],
+            job.priority,
+        );
+        assert_eq!(a.ckpt_cost, b.ckpt_cost);
+        assert_eq!(a.intervals, b.intervals);
+        assert_eq!(a.device, b.device);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Replay is embarrassingly parallel across jobs — every task draws its
 //! failures from its own RNG stream ([`ckpt_trace::Trace::failure_stream`]),
 //! so the result is a pure function of `(trace, estimates, config)` no
-//! matter how many worker threads run it. Parallelism uses `crossbeam`
+//! matter how many worker threads run it. Parallelism uses `std::thread`
 //! scoped threads pulling job indices from an atomic counter (guide-idiom
 //! work stealing without a pool dependency).
 
@@ -17,16 +17,16 @@ use ckpt_trace::spec::FailureModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run configuration beyond the policy itself.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunOptions {
     /// Worker threads; 0 ⇒ one per available core.
     pub threads: usize,
 }
 
-
 fn effective_threads(requested: usize, jobs: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t = if requested == 0 { hw } else { requested };
     t.clamp(1, jobs.max(1))
 }
@@ -76,6 +76,54 @@ pub fn run_job(
     JobRecord::from_outcomes(job.id, job.structure, job.priority, &outcomes, &lengths)
 }
 
+/// Evaluate `f(0..n)` on `threads` workers (0 ⇒ one per core), returning
+/// results in index order regardless of scheduling: workers pull indices
+/// from a shared atomic counter (guide-idiom work stealing) and keep
+/// results locally; the merge restores index order. This is the parallel
+/// substrate for both trace replay and the sweep engine.
+pub fn parallel_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_indexed worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in per_worker.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index evaluated"))
+        .collect()
+}
+
 /// Replay the whole trace under a policy, in parallel. Records are returned
 /// in job order (deterministic regardless of thread count).
 pub fn run_trace(
@@ -85,38 +133,9 @@ pub fn run_trace(
     options: RunOptions,
 ) -> Vec<JobRecord> {
     let blcr = BlcrModel;
-    let n = trace.jobs.len();
-    let threads = effective_threads(options.threads, n);
-    if threads == 1 {
-        return trace
-            .jobs
-            .iter()
-            .map(|job| run_job(trace, job, estimates, cfg, &blcr))
-            .collect();
-    }
-
-    let mut slots: Vec<Option<JobRecord>> = vec![None; n];
-    {
-        // Hand each worker a disjoint view of the result vector.
-        let slot_refs: Vec<&mut Option<JobRecord>> = slots.iter_mut().collect();
-        let slot_cells: Vec<parking_lot::Mutex<&mut Option<JobRecord>>> =
-            slot_refs.into_iter().map(parking_lot::Mutex::new).collect();
-        let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let rec = run_job(trace, &trace.jobs[i], estimates, cfg, &blcr);
-                    **slot_cells[i].lock() = Some(rec);
-                });
-            }
-        })
-        .expect("runner worker panicked");
-    }
-    slots.into_iter().map(|s| s.expect("every job simulated")).collect()
+    parallel_indexed(trace.jobs.len(), options.threads, |i| {
+        run_job(trace, &trace.jobs[i], estimates, cfg, &blcr)
+    })
 }
 
 /// Convenience: run the same trace under several policies, reusing the
@@ -127,7 +146,10 @@ pub fn run_policies(
     configs: &[PolicyConfig],
     options: RunOptions,
 ) -> Vec<Vec<JobRecord>> {
-    configs.iter().map(|cfg| run_trace(trace, estimates, cfg, options)).collect()
+    configs
+        .iter()
+        .map(|cfg| run_trace(trace, estimates, cfg, options))
+        .collect()
 }
 
 #[cfg(test)]
@@ -156,7 +178,12 @@ mod tests {
     #[test]
     fn all_jobs_simulated_in_order() {
         let (trace, est) = setup(80, 10);
-        let recs = run_trace(&trace, &est, &PolicyConfig::formula3(), RunOptions::default());
+        let recs = run_trace(
+            &trace,
+            &est,
+            &PolicyConfig::formula3(),
+            RunOptions::default(),
+        );
         assert_eq!(recs.len(), trace.jobs.len());
         for (i, r) in recs.iter().enumerate() {
             assert_eq!(r.job_id, i as u64);
@@ -166,7 +193,11 @@ mod tests {
     #[test]
     fn wpr_in_unit_interval() {
         let (trace, est) = setup(150, 11);
-        for cfg in [PolicyConfig::formula3(), PolicyConfig::young(), PolicyConfig::none()] {
+        for cfg in [
+            PolicyConfig::formula3(),
+            PolicyConfig::young(),
+            PolicyConfig::none(),
+        ] {
             let recs = run_trace(&trace, &est, &cfg, RunOptions::default());
             for r in &recs {
                 let w = r.wpr();
@@ -178,7 +209,12 @@ mod tests {
     #[test]
     fn formula3_beats_no_checkpointing_on_failure_prone_jobs() {
         let (trace, est) = setup(300, 12);
-        let f3 = run_trace(&trace, &est, &PolicyConfig::formula3(), RunOptions::default());
+        let f3 = run_trace(
+            &trace,
+            &est,
+            &PolicyConfig::formula3(),
+            RunOptions::default(),
+        );
         let none = run_trace(&trace, &est, &PolicyConfig::none(), RunOptions::default());
         // Restrict to jobs that actually failed (checkpointing costs a
         // little on failure-free jobs).
@@ -188,7 +224,10 @@ mod tests {
             .filter(|(_, r)| r.failures >= 2)
             .map(|(i, _)| i)
             .collect();
-        assert!(failed_ids.len() > 10, "need failure-prone jobs in the sample");
+        assert!(
+            failed_ids.len() > 10,
+            "need failure-prone jobs in the sample"
+        );
         let mean = |recs: &[JobRecord]| {
             failed_ids.iter().map(|&i| recs[i].wpr()).sum::<f64>() / failed_ids.len() as f64
         };
@@ -226,7 +265,12 @@ mod tests {
         // The paper's headline: with per-priority estimation, Formula (3)
         // achieves higher average WPR than Young's formula.
         let (trace, est) = setup(400, 15);
-        let f3 = run_trace(&trace, &est, &PolicyConfig::formula3(), RunOptions::default());
+        let f3 = run_trace(
+            &trace,
+            &est,
+            &PolicyConfig::formula3(),
+            RunOptions::default(),
+        );
         let yg = run_trace(&trace, &est, &PolicyConfig::young(), RunOptions::default());
         let m_f3 = metrics::mean_wpr(&f3);
         let m_yg = metrics::mean_wpr(&yg);

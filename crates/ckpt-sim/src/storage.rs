@@ -38,7 +38,12 @@ impl PsResource {
     /// Create a PS server with the given aggregate service rate (> 0).
     pub fn new(rate: f64) -> Self {
         assert!(rate > 0.0 && rate.is_finite(), "PS rate must be positive");
-        Self { rate, ops: HashMap::new(), last_update: SimTime::ZERO, generation: 0 }
+        Self {
+            rate,
+            ops: HashMap::new(),
+            last_update: SimTime::ZERO,
+            generation: 0,
+        }
     }
 
     /// Number of active operations.
@@ -92,12 +97,9 @@ impl PsResource {
     /// and its completion time. `None` when idle.
     pub fn next_completion(&self, now: SimTime) -> Option<(OpId, SimTime)> {
         // Minimum remaining service, tie-broken by op id for determinism.
-        let (&id, &rem) = self
-            .ops
-            .iter()
-            .min_by(|(ida, ra), (idb, rb)| {
-                ra.partial_cmp(rb).unwrap().then_with(|| ida.0.cmp(&idb.0))
-            })?;
+        let (&id, &rem) = self.ops.iter().min_by(|(ida, ra), (idb, rb)| {
+            ra.partial_cmp(rb).unwrap().then_with(|| ida.0.cmp(&idb.0))
+        })?;
         let n = self.ops.len() as f64;
         let dt = rem * n / self.rate;
         // Note: `now` may be ahead of last_update if the caller advanced
@@ -123,13 +125,17 @@ pub struct StorageBank {
 impl StorageBank {
     /// One central NFS server with the given rate.
     pub fn central(rate: f64) -> Self {
-        Self { servers: vec![PsResource::new(rate)] }
+        Self {
+            servers: vec![PsResource::new(rate)],
+        }
     }
 
     /// DM-NFS: `n_hosts` independent servers, each with the given rate.
     pub fn dm_nfs(n_hosts: usize, rate: f64) -> Self {
         assert!(n_hosts > 0, "need at least one host");
-        Self { servers: (0..n_hosts).map(|_| PsResource::new(rate)).collect() }
+        Self {
+            servers: (0..n_hosts).map(|_| PsResource::new(rate)).collect(),
+        }
     }
 
     /// Number of servers.

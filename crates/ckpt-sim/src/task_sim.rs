@@ -110,9 +110,15 @@ pub fn simulate_task_with_plan<R: Rng64 + ?Sized>(
     rng: &mut R,
 ) -> TaskOutcome {
     assert!(spec.te > 0.0 && spec.te.is_finite(), "te must be positive");
-    assert!(spec.ckpt_cost >= 0.0 && spec.restart_cost >= 0.0, "costs must be non-negative");
+    assert!(
+        spec.ckpt_cost >= 0.0 && spec.restart_cost >= 0.0,
+        "costs must be non-negative"
+    );
 
-    let mut out = TaskOutcome { productive: spec.te, ..TaskOutcome::default() };
+    let mut out = TaskOutcome {
+        productive: spec.te,
+        ..TaskOutcome::default()
+    };
     let mut flip = flip;
     let mut pending: VecDeque<f64> = plan.positions.into();
     let mut busy = 0.0f64; // cumulative execution (run + checkpoint) time
@@ -129,7 +135,9 @@ pub fn simulate_task_with_plan<R: Rng64 + ?Sized>(
     loop {
         // Next milestone in productive progress.
         let next_ckpt = ctl.next_checkpoint().filter(|&p| p > live && p < spec.te);
-        let flip_at = flip.map(|f| f.at_progress).filter(|&p| p > live && p < spec.te);
+        let flip_at = flip
+            .map(|f| f.at_progress)
+            .filter(|&p| p > live && p < spec.te);
         let mut target = spec.te;
         if let Some(p) = next_ckpt {
             target = target.min(p);
@@ -217,7 +225,9 @@ mod tests {
     use ckpt_stats::rng::Xoshiro256StarStar;
 
     fn fixed_ctl(te: f64, x: u32) -> Controller {
-        Controller::Fixed(FixedSchedule::new(&EquidistantSchedule::new(te, x).unwrap()))
+        Controller::Fixed(FixedSchedule::new(
+            &EquidistantSchedule::new(te, x).unwrap(),
+        ))
     }
 
     fn no_ckpt_ctl() -> Controller {
@@ -225,12 +235,18 @@ mod tests {
     }
 
     fn plan(positions: &[f64]) -> FailurePlan {
-        FailurePlan { positions: positions.to_vec() }
+        FailurePlan {
+            positions: positions.to_vec(),
+        }
     }
 
     #[test]
     fn failure_free_run_costs_te_plus_checkpoints() {
-        let spec = TaskSimSpec { te: 100.0, ckpt_cost: 2.0, restart_cost: 1.0 };
+        let spec = TaskSimSpec {
+            te: 100.0,
+            ckpt_cost: 2.0,
+            restart_cost: 1.0,
+        };
         let mut ctl = fixed_ctl(100.0, 4); // 3 checkpoints
         let mut rng = Xoshiro256StarStar::new(1);
         let out = simulate_task_with_plan(&spec, plan(&[]), None, &mut ctl, &mut rng);
@@ -247,7 +263,11 @@ mod tests {
         // Busy 9 = 6 productive + 2 ckpt + 1 productive ⇒ progress 7, rolls
         // back to 6 losing 1 s. Wall = 18 + 2·2 + (1 + R=1) + 1·... =
         // productive 18 + ckpt 4 + rollback 1 + restart 1 = 24.
-        let spec = TaskSimSpec { te: 18.0, ckpt_cost: 2.0, restart_cost: 1.0 };
+        let spec = TaskSimSpec {
+            te: 18.0,
+            ckpt_cost: 2.0,
+            restart_cost: 1.0,
+        };
         let mut ctl = fixed_ctl(18.0, 3);
         let mut rng = Xoshiro256StarStar::new(1);
         let out = simulate_task_with_plan(&spec, plan(&[9.0]), None, &mut ctl, &mut rng);
@@ -261,7 +281,11 @@ mod tests {
     fn kill_during_checkpoint_aborts_it() {
         // Te=10, one checkpoint at 5 (C=2): kill at busy 6 is 1 s into the
         // write. Progress stays 5 but durable is 0 ⇒ rollback loss 5.
-        let spec = TaskSimSpec { te: 10.0, ckpt_cost: 2.0, restart_cost: 0.5 };
+        let spec = TaskSimSpec {
+            te: 10.0,
+            ckpt_cost: 2.0,
+            restart_cost: 0.5,
+        };
         let mut ctl = fixed_ctl(10.0, 2);
         let mut rng = Xoshiro256StarStar::new(1);
         let out = simulate_task_with_plan(&spec, plan(&[6.0]), None, &mut ctl, &mut rng);
@@ -278,7 +302,11 @@ mod tests {
 
     #[test]
     fn accounting_identity_holds_under_any_plan() {
-        let spec = TaskSimSpec { te: 800.0, ckpt_cost: 0.5, restart_cost: 1.5 };
+        let spec = TaskSimSpec {
+            te: 800.0,
+            ckpt_cost: 0.5,
+            restart_cost: 1.5,
+        };
         for seed in 0..50u64 {
             let model = ckpt_trace::spec::FailureModel::for_priority(1);
             let mut ctl = fixed_ctl(800.0, 8);
@@ -300,7 +328,11 @@ mod tests {
     fn planned_failures_all_strike() {
         // Kill positions are within (0, te) busy time, and total busy time
         // always exceeds te, so every planned kill fires.
-        let spec = TaskSimSpec { te: 500.0, ckpt_cost: 0.2, restart_cost: 0.5 };
+        let spec = TaskSimSpec {
+            te: 500.0,
+            ckpt_cost: 0.2,
+            restart_cost: 0.5,
+        };
         for seed in 0..30u64 {
             let model = ckpt_trace::spec::FailureModel::for_priority(10);
             let mut rng_plan = Xoshiro256StarStar::new(seed);
@@ -315,7 +347,11 @@ mod tests {
 
     #[test]
     fn no_checkpoints_no_checkpoint_time() {
-        let spec = TaskSimSpec { te: 300.0, ckpt_cost: 1.0, restart_cost: 1.0 };
+        let spec = TaskSimSpec {
+            te: 300.0,
+            ckpt_cost: 1.0,
+            restart_cost: 1.0,
+        };
         let mut ctl = no_ckpt_ctl();
         let mut rng = Xoshiro256StarStar::new(3);
         let out = simulate_task_with_plan(&spec, plan(&[100.0, 200.0]), None, &mut ctl, &mut rng);
@@ -330,7 +366,11 @@ mod tests {
 
     #[test]
     fn checkpointing_beats_none_for_failure_heavy_tasks() {
-        let spec = TaskSimSpec { te: 400.0, ckpt_cost: 0.3, restart_cost: 0.5 };
+        let spec = TaskSimSpec {
+            te: 400.0,
+            ckpt_cost: 0.3,
+            restart_cost: 0.5,
+        };
         let model = ckpt_trace::spec::FailureModel::for_priority(10);
         let mut wall_ckpt = 0.0;
         let mut wall_none = 0.0;
@@ -344,12 +384,19 @@ mod tests {
         }
         // With replayed kills the un-checkpointed loss per task is bounded
         // by Te, so the advantage is solid but not unbounded.
-        assert!(wall_ckpt < 0.8 * wall_none, "checkpointing {wall_ckpt} vs none {wall_none}");
+        assert!(
+            wall_ckpt < 0.8 * wall_none,
+            "checkpointing {wall_ckpt} vs none {wall_none}"
+        );
     }
 
     #[test]
     fn same_stream_same_outcome() {
-        let spec = TaskSimSpec { te: 600.0, ckpt_cost: 0.4, restart_cost: 1.0 };
+        let spec = TaskSimSpec {
+            te: 600.0,
+            ckpt_cost: 0.4,
+            restart_cost: 1.0,
+        };
         let model = ckpt_trace::spec::FailureModel::for_priority(10);
         let run = |seed: u64| {
             let mut ctl = fixed_ctl(600.0, 6);
@@ -362,7 +409,11 @@ mod tests {
 
     #[test]
     fn flip_fires_once_and_replans_failures() {
-        let spec = TaskSimSpec { te: 200.0, ckpt_cost: 0.5, restart_cost: 0.5 };
+        let spec = TaskSimSpec {
+            te: 200.0,
+            ckpt_cost: 0.5,
+            restart_cost: 0.5,
+        };
         let flip = ExecFlip {
             at_progress: 100.0,
             new_model: ckpt_trace::spec::FailureModel::for_priority(10),
@@ -386,7 +437,11 @@ mod tests {
 
     #[test]
     fn flip_to_quiet_model_calms_task() {
-        let spec = TaskSimSpec { te: 400.0, ckpt_cost: 0.3, restart_cost: 0.5 };
+        let spec = TaskSimSpec {
+            te: 400.0,
+            ckpt_cost: 0.3,
+            restart_cost: 0.5,
+        };
         let mut flipped_wall = 0.0;
         let mut stayed_wall = 0.0;
         for seed in 0..30u64 {
@@ -416,11 +471,14 @@ mod tests {
     #[test]
     fn back_to_back_kills_handled() {
         // Two kills close together, both before the first checkpoint.
-        let spec = TaskSimSpec { te: 100.0, ckpt_cost: 1.0, restart_cost: 0.5 };
+        let spec = TaskSimSpec {
+            te: 100.0,
+            ckpt_cost: 1.0,
+            restart_cost: 0.5,
+        };
         let mut ctl = fixed_ctl(100.0, 2);
         let mut rng = Xoshiro256StarStar::new(1);
-        let out =
-            simulate_task_with_plan(&spec, plan(&[10.0, 10.5]), None, &mut ctl, &mut rng);
+        let out = simulate_task_with_plan(&spec, plan(&[10.0, 10.5]), None, &mut ctl, &mut rng);
         assert_eq!(out.failures, 2);
         // First kill loses 10, second loses 0.5 (progress after restart).
         assert!((out.rollback_loss - 10.5).abs() < 1e-9);
@@ -429,7 +487,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "te must be positive")]
     fn rejects_zero_te() {
-        let spec = TaskSimSpec { te: 0.0, ckpt_cost: 1.0, restart_cost: 1.0 };
+        let spec = TaskSimSpec {
+            te: 0.0,
+            ckpt_cost: 1.0,
+            restart_cost: 1.0,
+        };
         let mut ctl = no_ckpt_ctl();
         let mut rng = Xoshiro256StarStar::new(1);
         simulate_task_with_plan(&spec, plan(&[]), None, &mut ctl, &mut rng);

@@ -77,7 +77,11 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 

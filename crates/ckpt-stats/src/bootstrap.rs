@@ -37,7 +37,10 @@ pub fn bootstrap_ci<F: Fn(&[f64]) -> f64>(
         return Err(StatsError::BadInput("bootstrap: empty sample"));
     }
     if !(level > 0.0 && level < 1.0) {
-        return Err(StatsError::BadParam { what: "bootstrap level", value: level });
+        return Err(StatsError::BadParam {
+            what: "bootstrap level",
+            value: level,
+        });
     }
     if resamples < 10 {
         return Err(StatsError::BadInput("bootstrap: too few resamples"));
@@ -59,7 +62,13 @@ pub fn bootstrap_ci<F: Fn(&[f64]) -> f64>(
         let i = ((q * resamples as f64).floor() as usize).min(resamples - 1);
         stats[i]
     };
-    Ok(BootstrapCi { estimate, lo: idx(alpha), hi: idx(1.0 - alpha), level, resamples })
+    Ok(BootstrapCi {
+        estimate,
+        lo: idx(alpha),
+        hi: idx(1.0 - alpha),
+        level,
+        resamples,
+    })
 }
 
 /// Bootstrap CI of the mean.

@@ -61,7 +61,10 @@ impl Ecdf {
     /// Empirical quantile: smallest sample `x` with `cdf(x) >= q`, for
     /// `q ∈ (0, 1]`. `q = 0.5` is the median.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!(q > 0.0 && q <= 1.0, "quantile: q in (0,1] required, got {q}");
+        assert!(
+            q > 0.0 && q <= 1.0,
+            "quantile: q in (0,1] required, got {q}"
+        );
         let n = self.sorted.len();
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
         self.sorted[idx]
@@ -178,7 +181,12 @@ mod tests {
 
     #[test]
     fn points_are_monotone() {
-        let e = Ecdf::new(&(0..1000).map(|i| (i as f64).sin() * 50.0).collect::<Vec<_>>()).unwrap();
+        let e = Ecdf::new(
+            &(0..1000)
+                .map(|i| (i as f64).sin() * 50.0)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         let pts = e.points(64);
         assert_eq!(pts.len(), 64);
         for w in pts.windows(2) {

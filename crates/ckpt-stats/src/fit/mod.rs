@@ -9,8 +9,8 @@
 //! [`fit_all`] + [`rank_by_ks`] reproduce exactly that analysis.
 
 use crate::dist::{
-    ContinuousDist, DynContinuousDist, Exponential, Gamma, Geometric, Laplace, LogNormal,
-    Normal, Pareto, Uniform, Weibull,
+    ContinuousDist, DynContinuousDist, Exponential, Gamma, Geometric, Laplace, LogNormal, Normal,
+    Pareto, Uniform, Weibull,
 };
 use crate::ecdf::Ecdf;
 use crate::solve::{bisect, digamma, newton_bisect};
@@ -97,7 +97,10 @@ impl FitReport {
 
     /// Look up a fitted parameter by name.
     pub fn param(&self, name: &str) -> Option<f64> {
-        self.params.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -120,7 +123,11 @@ impl std::fmt::Display for FitReport {
         for (name, value) in &self.params {
             write!(f, " {name}={value:.6}")?;
         }
-        write!(f, "  loglik={:.2} aic={:.2} ks={:.4}", self.loglik, self.aic, self.ks)
+        write!(
+            f,
+            "  loglik={:.2} aic={:.2} ks={:.4}",
+            self.loglik, self.aic, self.ks
+        )
     }
 }
 
@@ -186,7 +193,9 @@ pub fn fit_pareto(samples: &[f64]) -> Result<Pareto> {
     let xm = samples.iter().cloned().fold(f64::INFINITY, f64::min);
     let log_sum: f64 = samples.iter().map(|&x| (x / xm).ln()).sum();
     if log_sum <= 0.0 {
-        return Err(StatsError::BadInput("fit_pareto: degenerate samples (all equal)"));
+        return Err(StatsError::BadInput(
+            "fit_pareto: degenerate samples (all equal)",
+        ));
     }
     let alpha = samples.len() as f64 / log_sum;
     Pareto::new(xm, alpha)
@@ -236,7 +245,9 @@ pub fn fit_gamma(samples: &[f64]) -> Result<Gamma> {
     let mean_ln = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
     let s = mean.ln() - mean_ln;
     if s <= 0.0 {
-        return Err(StatsError::BadInput("fit_gamma: degenerate samples (all equal)"));
+        return Err(StatsError::BadInput(
+            "fit_gamma: degenerate samples (all equal)",
+        ));
     }
     let k = bisect(|k| k.ln() - digamma(k) - s, 1e-4, 1e6, 1e-10, 300)
         .map_err(|_| StatsError::NoConvergence("fit_gamma shape"))?;
@@ -287,7 +298,15 @@ fn report<D: ContinuousDist + Send + Sync + 'static>(
     let ll = loglik(&d, samples);
     let aic = 2.0 * family.k() as f64 - 2.0 * ll;
     let ks = ecdf.ks_statistic(|x| d.cdf(x));
-    FitReport { family, params, loglik: ll, aic, ks, n: samples.len(), dist: Box::new(d) }
+    FitReport {
+        family,
+        params,
+        loglik: ll,
+        aic,
+        ks,
+        n: samples.len(),
+        dist: Box::new(d),
+    }
 }
 
 /// Fit one family to `samples`, returning a full report.
@@ -304,23 +323,53 @@ pub fn fit_family(family: Family, samples: &[f64]) -> Result<FitReport> {
         }
         Family::Laplace => {
             let d = fit_laplace(samples)?;
-            report(family, vec![("mu", d.mu()), ("b", d.b())], d, samples, &ecdf)
+            report(
+                family,
+                vec![("mu", d.mu()), ("b", d.b())],
+                d,
+                samples,
+                &ecdf,
+            )
         }
         Family::Normal => {
             let d = fit_normal(samples)?;
-            report(family, vec![("mu", d.mu()), ("sigma", d.sigma())], d, samples, &ecdf)
+            report(
+                family,
+                vec![("mu", d.mu()), ("sigma", d.sigma())],
+                d,
+                samples,
+                &ecdf,
+            )
         }
         Family::Pareto => {
             let d = fit_pareto(samples)?;
-            report(family, vec![("scale", d.scale()), ("shape", d.shape())], d, samples, &ecdf)
+            report(
+                family,
+                vec![("scale", d.scale()), ("shape", d.shape())],
+                d,
+                samples,
+                &ecdf,
+            )
         }
         Family::Weibull => {
             let d = fit_weibull(samples)?;
-            report(family, vec![("shape", d.shape()), ("scale", d.scale())], d, samples, &ecdf)
+            report(
+                family,
+                vec![("shape", d.shape()), ("scale", d.scale())],
+                d,
+                samples,
+                &ecdf,
+            )
         }
         Family::LogNormal => {
             let d = fit_lognormal(samples)?;
-            report(family, vec![("mu", d.mu()), ("sigma", d.sigma())], d, samples, &ecdf)
+            report(
+                family,
+                vec![("mu", d.mu()), ("sigma", d.sigma())],
+                d,
+                samples,
+                &ecdf,
+            )
         }
         Family::Uniform => {
             let d = fit_uniform(samples)?;
@@ -328,7 +377,13 @@ pub fn fit_family(family: Family, samples: &[f64]) -> Result<FitReport> {
         }
         Family::Gamma => {
             let d = fit_gamma(samples)?;
-            report(family, vec![("shape", d.shape()), ("scale", d.scale())], d, samples, &ecdf)
+            report(
+                family,
+                vec![("shape", d.shape()), ("scale", d.scale())],
+                d,
+                samples,
+                &ecdf,
+            )
         }
     })
 }
@@ -344,7 +399,10 @@ pub const PAPER_FAMILIES: [Family; 5] = [
 
 /// Fit all requested families, skipping any that fail on the given sample set.
 pub fn fit_all(families: &[Family], samples: &[f64]) -> Vec<FitReport> {
-    families.iter().filter_map(|&f| fit_family(f, samples).ok()).collect()
+    families
+        .iter()
+        .filter_map(|&f| fit_family(f, samples).ok())
+        .collect()
 }
 
 /// Rank fit reports by KS statistic ascending (best CDF match first), the
@@ -438,7 +496,9 @@ mod tests {
         use crate::dist::DiscreteDist;
         let d = Geometric::new(0.02).unwrap();
         let mut rng = Xoshiro256StarStar::new(7);
-        let xs: Vec<f64> = (0..50_000).map(|_| DiscreteDist::sample(&d, &mut rng) as f64).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| DiscreteDist::sample(&d, &mut rng) as f64)
+            .collect();
         let f = fit_geometric(&xs).unwrap();
         assert!((f.p() - 0.02).abs() < 0.002);
     }
@@ -478,8 +538,14 @@ mod tests {
         let d = Exponential::new(0.004).unwrap();
         let xs = samples_from(&d, 10, 20_000);
         let ranked = rank_by_ks(fit_all(&PAPER_FAMILIES, &xs));
-        let exp_rank = ranked.iter().position(|r| r.family == Family::Exponential).unwrap();
-        let norm_rank = ranked.iter().position(|r| r.family == Family::Normal).unwrap();
+        let exp_rank = ranked
+            .iter()
+            .position(|r| r.family == Family::Exponential)
+            .unwrap();
+        let norm_rank = ranked
+            .iter()
+            .position(|r| r.family == Family::Normal)
+            .unwrap();
         assert!(exp_rank < norm_rank);
     }
 

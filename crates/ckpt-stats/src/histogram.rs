@@ -24,7 +24,14 @@ impl Histogram {
         if nbins == 0 {
             return Err(StatsError::BadInput("histogram: zero bins"));
         }
-        Ok(Self { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 })
+        Ok(Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        })
     }
 
     /// Add one observation.

@@ -26,7 +26,10 @@ impl<A: ContinuousDist, B: ContinuousDist> Mixture<A, B> {
     /// Create a mixture with weight `w ∈ [0, 1]` on component `a`.
     pub fn new(w: f64, a: A, b: B) -> Result<Self> {
         if !(0.0..=1.0).contains(&w) || !w.is_finite() {
-            return Err(StatsError::BadParam { what: "mixture weight", value: w });
+            return Err(StatsError::BadParam {
+                what: "mixture weight",
+                value: w,
+            });
         }
         Ok(Self { w, a, b })
     }

@@ -8,7 +8,13 @@ use crate::{Result, StatsError};
 ///
 /// Requires `f(lo)` and `f(hi)` to have opposite signs. Converges to absolute
 /// tolerance `tol` on the argument or after `max_iter` halvings.
-pub fn bisect<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
     let mut flo = f(lo);
     let fhi = f(hi);
     if flo == 0.0 {
@@ -59,7 +65,9 @@ pub fn newton_bisect<F: Fn(f64) -> (f64, f64)>(
         return Ok(hi);
     }
     if flo * fhi > 0.0 {
-        return Err(StatsError::BadInput("newton_bisect: no sign change on interval"));
+        return Err(StatsError::BadInput(
+            "newton_bisect: no sign change on interval",
+        ));
     }
     // Orient so that f(lo) < 0 < f(hi).
     if flo > 0.0 {
@@ -91,7 +99,13 @@ pub fn newton_bisect<F: Fn(f64) -> (f64, f64)>(
 }
 
 /// Golden-section search for the minimum of a unimodal `f` on `[lo, hi]`.
-pub fn golden_min<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64, max_iter: usize) -> f64 {
+pub fn golden_min<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> f64 {
     const INV_PHI: f64 = 0.618_033_988_749_894_9; // (sqrt(5) - 1) / 2
     let mut c = hi - INV_PHI * (hi - lo);
     let mut d = lo + INV_PHI * (hi - lo);
@@ -150,7 +164,10 @@ pub fn erfc(x: f64) -> f64 {
 /// Inverse of the standard normal CDF (Acklam's rational approximation,
 /// relative error < 1.15e-9), refined with one Halley step.
 pub fn inv_norm_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf: p must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_norm_cdf: p must be in (0,1), got {p}"
+    );
     // Coefficients for Acklam's algorithm.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -305,10 +322,9 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 #[cfg(test)]
@@ -404,7 +420,10 @@ mod tests {
     fn gamma_p_exponential_special_case() {
         // P(1, x) = 1 − e^−x.
         for &x in &[0.1, 1.0, 3.7, 10.0] {
-            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12, "x = {x}");
+            assert!(
+                (gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12,
+                "x = {x}"
+            );
         }
     }
 
@@ -436,7 +455,10 @@ mod tests {
         assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-10);
         // Recurrence ψ(x+1) = ψ(x) + 1/x.
         for &x in &[0.5, 1.7, 4.2] {
-            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-10, "x = {x}");
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-10,
+                "x = {x}"
+            );
         }
     }
 }

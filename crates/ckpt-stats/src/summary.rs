@@ -20,7 +20,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Fresh, empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -148,7 +154,11 @@ impl Summary {
             p75: pct(0.75),
             p95: pct(0.95),
             max: *sorted.last().unwrap(),
-            std_dev: if samples.len() > 1 { acc.std_dev() } else { 0.0 },
+            std_dev: if samples.len() > 1 {
+                acc.std_dev()
+            } else {
+                0.0
+            },
         })
     }
 }
@@ -158,7 +168,15 @@ impl std::fmt::Display for Summary {
         write!(
             f,
             "n={} min={:.4} p25={:.4} med={:.4} mean={:.4} p75={:.4} p95={:.4} max={:.4} sd={:.4}",
-            self.count, self.min, self.p25, self.median, self.mean, self.p75, self.p95, self.max, self.std_dev
+            self.count,
+            self.min,
+            self.p25,
+            self.median,
+            self.mean,
+            self.p75,
+            self.p95,
+            self.max,
+            self.std_dev
         )
     }
 }

@@ -30,7 +30,9 @@ impl std::fmt::Display for ExportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExportError::Io(e) => write!(f, "trace I/O error: {e}"),
-            ExportError::Parse { line, what } => write!(f, "trace parse error at line {line}: {what}"),
+            ExportError::Parse { line, what } => {
+                write!(f, "trace parse error at line {line}: {what}")
+            }
         }
     }
 }
@@ -76,7 +78,10 @@ pub fn write_csv<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), ExportErr
 }
 
 fn parse<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, ExportError> {
-    s.parse().map_err(|_| ExportError::Parse { line, what: format!("bad {what}: {s:?}") })
+    s.parse().map_err(|_| ExportError::Parse {
+        line,
+        what: format!("bad {what}: {s:?}"),
+    })
 }
 
 /// Read a trace back from CSV. Tasks of a job must be contiguous rows (the
@@ -205,11 +210,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
 
         let path2 = tmp("badnum");
-        std::fs::write(
-            &path2,
-            format!("{HEADER}\n0,abc,1,ST,,,0,0,100.0,50.0\n"),
-        )
-        .unwrap();
+        std::fs::write(&path2, format!("{HEADER}\n0,abc,1,ST,,,0,0,100.0,50.0\n")).unwrap();
         let err2 = read_csv(&path2).unwrap_err();
         assert!(matches!(err2, ExportError::Parse { .. }), "{err2}");
         std::fs::remove_file(&path2).ok();

@@ -97,7 +97,9 @@ impl Trace {
 
     /// Iterate all tasks with their owning job.
     pub fn tasks(&self) -> impl Iterator<Item = (&JobSpec, &TaskSpec)> {
-        self.jobs.iter().flat_map(|j| j.tasks.iter().map(move |t| (j, t)))
+        self.jobs
+            .iter()
+            .flat_map(|j| j.tasks.iter().map(move |t| (j, t)))
     }
 
     /// Jobs of one structure.
@@ -188,11 +190,21 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
             while new_p == priority {
                 new_p = 1 + rng.next_range(NUM_PRIORITIES as u64) as u8;
             }
-            Some(PriorityFlip { at_fraction: 0.5, new_priority: new_p })
+            Some(PriorityFlip {
+                at_fraction: 0.5,
+                new_priority: new_p,
+            })
         } else {
             None
         };
-        jobs.push(JobSpec { id: job_id, arrival_s: clock, priority, structure, tasks, flip });
+        jobs.push(JobSpec {
+            id: job_id,
+            arrival_s: clock,
+            priority,
+            structure,
+            tasks,
+            flip,
+        });
     }
     Trace { jobs, seed }
 }
@@ -243,9 +255,13 @@ mod tests {
         for (_, task) in t.tasks() {
             let in_batch =
                 task.length_s >= spec.length_clamp.0 && task.length_s <= spec.length_clamp.1;
-            let in_long = task.length_s >= spec.long_task_clamp.0
-                && task.length_s <= spec.long_task_clamp.1;
-            assert!(in_batch || in_long, "length {} outside both clamps", task.length_s);
+            let in_long =
+                task.length_s >= spec.long_task_clamp.0 && task.length_s <= spec.long_task_clamp.1;
+            assert!(
+                in_batch || in_long,
+                "length {} outside both clamps",
+                task.length_s
+            );
             if task.length_s > spec.length_clamp.1 {
                 long_tasks += 1;
             }

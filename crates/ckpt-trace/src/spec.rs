@@ -91,21 +91,26 @@ impl FailureModel {
         // priority 10 is Google's failure-heavy monitoring tier (paper
         // Table 7: MNOF ≈ 11.9, MTBF ≈ 37 s for short tasks).
         const CAL: [(f64, f64); NUM_PRIORITIES] = [
-            (0.55, 0.78), // 1  → MNOF 0.80
-            (0.45, 1.00), // 2  → MNOF 1.10
-            (0.50, 0.90), // 3  → MNOF 0.95
-            (0.50, 0.80), // 4  → MNOF 0.90
-            (0.52, 0.77), // 5  → MNOF 0.85
-            (0.55, 0.78), // 6  → MNOF 0.80
-            (0.62, 0.58), // 7  → MNOF 0.60
-            (0.65, 0.43), // 8  → MNOF 0.50
-            (0.67, 0.36), // 9  → MNOF 0.45
-            (0.08, 11.93),// 10 → MNOF 11.9
-            (0.70, 0.17), // 11 → MNOF 0.35
-            (0.72, 0.07), // 12 → MNOF 0.30
+            (0.55, 0.78),  // 1  → MNOF 0.80
+            (0.45, 1.00),  // 2  → MNOF 1.10
+            (0.50, 0.90),  // 3  → MNOF 0.95
+            (0.50, 0.80),  // 4  → MNOF 0.90
+            (0.52, 0.77),  // 5  → MNOF 0.85
+            (0.55, 0.78),  // 6  → MNOF 0.80
+            (0.62, 0.58),  // 7  → MNOF 0.60
+            (0.65, 0.43),  // 8  → MNOF 0.50
+            (0.67, 0.36),  // 9  → MNOF 0.45
+            (0.08, 11.93), // 10 → MNOF 11.9
+            (0.70, 0.17),  // 11 → MNOF 0.35
+            (0.72, 0.07),  // 12 → MNOF 0.30
         ];
         let (zero_prob, burst_mean) = CAL[(priority - 1) as usize];
-        Self { priority, zero_prob, burst_mean, spacing_skew: 0.75 }
+        Self {
+            priority,
+            zero_prob,
+            burst_mean,
+            spacing_skew: 0.75,
+        }
     }
 
     /// The priority this model describes.
@@ -177,7 +182,9 @@ impl FailureModel {
     /// Draw a full failure plan for a task of length `te`.
     pub fn sample_plan<R: Rng64 + ?Sized>(&self, te: f64, rng: &mut R) -> FailurePlan {
         let k = self.sample_count(te, rng);
-        FailurePlan { positions: self.sample_positions(te, k, rng) }
+        FailurePlan {
+            positions: self.sample_positions(te, k, rng),
+        }
     }
 
     /// Rough expected uninterrupted interval for a task of length `te`
@@ -311,8 +318,10 @@ mod tests {
             let m = FailureModel::for_priority(p);
             let n = 40_000;
             let te = 600.0;
-            let mean: f64 =
-                (0..n).map(|_| m.sample_count(te, &mut rng) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| m.sample_count(te, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
             let expect = m.mean_failures(te);
             assert!(
                 (mean - expect).abs() / expect < 0.05,
@@ -335,8 +344,9 @@ mod tests {
         // Expected uninterrupted interval grows with priority among 1..=6
         // (p10 is the deliberate exception, shortest of all).
         let te = 1000.0;
-        let iv: Vec<f64> =
-            (1..=12).map(|p| FailureModel::for_priority(p).expected_interval(te)).collect();
+        let iv: Vec<f64> = (1..=12)
+            .map(|p| FailureModel::for_priority(p).expected_interval(te))
+            .collect();
         assert!(iv[1] < iv[6], "p2 fails more than p7");
         for (i, &v) in iv.iter().enumerate() {
             if i != 9 {
@@ -376,7 +386,9 @@ mod tests {
     fn zero_failures_possible_for_quiet_priorities() {
         let m = FailureModel::for_priority(12);
         let mut rng = Xoshiro256StarStar::new(3);
-        let zeros = (0..1000).filter(|_| m.sample_count(500.0, &mut rng) == 0).count();
+        let zeros = (0..1000)
+            .filter(|_| m.sample_count(500.0, &mut rng) == 0)
+            .count();
         // zero_prob = 0.72: roughly 720 of 1000.
         assert!((650..790).contains(&zeros), "zeros = {zeros}");
     }
@@ -401,7 +413,10 @@ mod tests {
         }
         // With skew 0.75 a 5× spread within a task is common,
         // which uniform spacing would essentially never produce.
-        assert!(big_ratio > n * 12 / 100, "heavy spacings expected: {big_ratio}/{n}");
+        assert!(
+            big_ratio > n * 12 / 100,
+            "heavy spacings expected: {big_ratio}/{n}"
+        );
     }
 
     #[test]

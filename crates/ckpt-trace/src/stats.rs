@@ -95,14 +95,19 @@ pub fn estimator_from_records(records: &[TaskRecord]) -> GroupedEstimator {
 pub fn interval_samples_by_priority(records: &[TaskRecord]) -> HashMap<u8, Vec<f64>> {
     let mut map: HashMap<u8, Vec<f64>> = HashMap::new();
     for r in records {
-        map.entry(r.history.priority).or_default().extend_from_slice(&r.history.intervals);
+        map.entry(r.history.priority)
+            .or_default()
+            .extend_from_slice(&r.history.intervals);
     }
     map
 }
 
 /// All uninterrupted-interval samples pooled — the data behind Figure 5.
 pub fn pooled_intervals(records: &[TaskRecord]) -> Vec<f64> {
-    records.iter().flat_map(|r| r.history.intervals.iter().copied()).collect()
+    records
+        .iter()
+        .flat_map(|r| r.history.intervals.iter().copied())
+        .collect()
 }
 
 /// Per-task oracle lookup: `task_id → (failure_count, mean_interval)`.
@@ -115,10 +120,7 @@ pub fn per_task_oracle(records: &[TaskRecord]) -> HashMap<u64, (u32, Option<f64>
             let mtbf = if r.history.intervals.is_empty() {
                 None
             } else {
-                Some(
-                    r.history.intervals.iter().sum::<f64>()
-                        / r.history.intervals.len() as f64,
-                )
+                Some(r.history.intervals.iter().sum::<f64>() / r.history.intervals.len() as f64)
             };
             (r.task_id, (r.history.failure_count, mtbf))
         })
@@ -204,12 +206,7 @@ mod tests {
         let est = estimator_from_records(&recs);
         let p10 = est.estimate(10, f64::INFINITY).unwrap();
         let p2 = est.estimate(2, f64::INFINITY).unwrap();
-        assert!(
-            p10.mnof > 3.0 * p2.mnof,
-            "p10 {:?} vs p2 {:?}",
-            p10,
-            p2
-        );
+        assert!(p10.mnof > 3.0 * p2.mnof, "p10 {:?} vs p2 {:?}", p10, p2);
     }
 
     #[test]
@@ -222,8 +219,7 @@ mod tests {
         // Every selected job really has ≥ half its tasks failing.
         for job in &t.jobs {
             if selected.contains(&job.id) {
-                let rs: Vec<&TaskRecord> =
-                    recs.iter().filter(|r| r.job_id == job.id).collect();
+                let rs: Vec<&TaskRecord> = recs.iter().filter(|r| r.job_id == job.id).collect();
                 let failed = rs.iter().filter(|r| r.history.failure_count > 0).count();
                 assert!(failed * 2 >= rs.len());
             }

@@ -1,0 +1,53 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+        let n = self.len.start + rng.next_below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `vec(element, len_range)` — a vector of `element` draws with a length
+/// uniform in `len_range` (half-open, like proptest's size ranges).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::for_case("collection::lens", 0);
+        let s = vec(0.0..1.0f64, 2..7);
+        for _ in 0..2_000 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn empty_capable_range() {
+        let mut rng = TestRng::for_case("collection::empty", 0);
+        let s = vec(0u32..5, 0..3);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            saw_empty |= s.generate(&mut rng).is_empty();
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal in-tree stand-in for the `proptest` property-testing crate.
+//!
+//! The container building this workspace has no registry access, so the
+//! real proptest cannot be fetched. This shim implements the subset the
+//! test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc
+//!   comments and `#[test]` attributes, and `arg in strategy` bindings);
+//! * [`strategy::Strategy`] for numeric ranges, with `prop_map` and
+//!   `prop_flat_map` combinators;
+//! * [`collection::vec`] for variable-length vectors;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated values' debug description of the assertion. Generation
+//! is fully deterministic — the RNG stream is derived from the test's
+//! module path and name, so failures reproduce across runs and machines.
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body; failure reports the
+/// condition (or a formatted message) without unwinding past the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The property-test macro, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __config.cases.max(1);
+            let __max_attempts = __cases.saturating_mul(20).max(1_000);
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __accepted < __cases {
+                assert!(
+                    __attempts < __max_attempts,
+                    "proptest: too many rejected cases ({__accepted} accepted of {__cases})"
+                );
+                let mut __rng = $crate::rng::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempts,
+                );
+                __attempts += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                let __result: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __result {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case #{} (attempt {}) of {} failed: {}",
+                            __accepted + 1,
+                            __attempts,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,32 @@
+//! Minimal in-tree stand-in for the `rand` crate's 0.8 core surface.
+//!
+//! The container building this workspace has no registry access, so the
+//! real `rand` cannot be fetched. The repo only needs the [`RngCore`]
+//! trait (ckpt-stats implements it for its own generators so downstream
+//! code can plug them into rand-style APIs), which this shim provides
+//! with the same method signatures.
+
+/// Error type returned by [`RngCore::try_fill_bytes`]. The in-tree
+/// generators are infallible, so this is never constructed in practice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

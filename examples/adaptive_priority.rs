@@ -23,15 +23,33 @@ fn main() {
     let static_cfg = PolicyConfig::formula3();
 
     let keep = |recs: Vec<cloud_ckpt::sim::JobRecord>| -> Vec<_> {
-        recs.into_iter().filter(|r| sample.contains(&r.job_id)).collect()
+        recs.into_iter()
+            .filter(|r| sample.contains(&r.job_id))
+            .collect()
     };
-    let dynamic = keep(run_trace(&trace, &estimates, &dynamic_cfg, RunOptions::default()));
-    let fixed = keep(run_trace(&trace, &estimates, &static_cfg, RunOptions::default()));
+    let dynamic = keep(run_trace(
+        &trace,
+        &estimates,
+        &dynamic_cfg,
+        RunOptions::default(),
+    ));
+    let fixed = keep(run_trace(
+        &trace,
+        &estimates,
+        &static_cfg,
+        RunOptions::default(),
+    ));
 
     let e_dyn = wpr_ecdf(&dynamic).expect("non-empty");
     let e_sta = wpr_ecdf(&fixed).expect("non-empty");
-    println!("every job flips priority at 50 % of its work ({} sample jobs)\n", dynamic.len());
-    println!("{:<22} {:>9} {:>9} {:>11}", "algorithm", "avg WPR", "p5 WPR", "P(WPR<0.8)");
+    println!(
+        "every job flips priority at 50 % of its work ({} sample jobs)\n",
+        dynamic.len()
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>11}",
+        "algorithm", "avg WPR", "p5 WPR", "P(WPR<0.8)"
+    );
     println!(
         "{:<22} {:>9.4} {:>9.4} {:>11.3}",
         "dynamic (Algorithm 1)",
@@ -48,7 +66,10 @@ fn main() {
     );
 
     let pairs = paired_wall_clock(&dynamic, &fixed);
-    let similar = pairs.iter().filter(|(_, r, _)| (*r - 1.0).abs() <= 0.02).count();
+    let similar = pairs
+        .iter()
+        .filter(|(_, r, _)| (*r - 1.0).abs() <= 0.02)
+        .count();
     let faster = pairs.iter().filter(|(_, r, _)| *r < 0.98).count();
     println!(
         "\nwall-clock: {:.0} % of jobs within ±2 % of each other; {:.0} % meaningfully faster under dynamic",

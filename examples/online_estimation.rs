@@ -32,7 +32,9 @@ fn main() {
     let p9 = FailureModel::for_priority(9);
     for i in 0..30 {
         let plan = p9.sample_plan(600.0, &mut rng);
-        tracker.observe(9, plan.count(), &plan.intervals()).expect("valid priority");
+        tracker
+            .observe(9, plan.count(), &plan.intervals())
+            .expect("valid priority");
         if i % 10 == 9 {
             let s = tracker.stats(9).expect("has data");
             println!(
@@ -58,7 +60,9 @@ fn main() {
         // Reports still arrive under the task's group (priority 9): the
         // *statistics* of the group changed, which is exactly the paper's
         // "MNOF changed" condition.
-        tracker.observe(9, plan.count(), &plan.intervals()).expect("valid priority");
+        tracker
+            .observe(9, plan.count(), &plan.intervals())
+            .expect("valid priority");
         if tracker.mnof_changed(9, belief, 0.5) {
             let s = tracker.stats(9).expect("has data");
             let old_segment = ctl.segment();

@@ -14,8 +14,13 @@ fn main() {
     // λ = 2 ⇒ E(Y) = 2 expected failures.
     // ----------------------------------------------------------------
     let x = optimal_interval_count(18.0, 2.0, 2.0).expect("valid inputs");
-    println!("Theorem 1: x* = {:.2} -> {} intervals of {:.1} s each ({} checkpoints)",
-        x.continuous(), x.rounded(), x.interval_length(18.0), x.checkpoint_count());
+    println!(
+        "Theorem 1: x* = {:.2} -> {} intervals of {:.1} s each ({} checkpoints)",
+        x.continuous(),
+        x.rounded(),
+        x.interval_length(18.0),
+        x.checkpoint_count()
+    );
     assert_eq!(x.rounded(), 3);
 
     // Expected wall-clock at the optimum (Formula (4)), with restart R = 0:
@@ -48,8 +53,14 @@ fn main() {
     let mut ctl = AdaptiveCheckpointer::new(441.0, 1.0, 2.0).unwrap();
     println!("Algorithm 1: initial segment {:.1} s", ctl.segment());
     ctl.on_checkpoint_complete(ctl.segment());
-    println!("          after 1 checkpoint, segment still {:.1} s (Theorem 2 fast path)", ctl.segment());
+    println!(
+        "          after 1 checkpoint, segment still {:.1} s (Theorem 2 fast path)",
+        ctl.segment()
+    );
     ctl.update_mnof(8.0); // priority dropped: 4× the failures expected
-    println!("          after MNOF 2 -> 8, segment re-solved to {:.1} s ({} re-solves)",
-        ctl.segment(), ctl.resolve_count());
+    println!(
+        "          after MNOF 2 -> 8, segment re-solved to {:.1} s ({} re-solves)",
+        ctl.segment(),
+        ctl.resolve_count()
+    );
 }

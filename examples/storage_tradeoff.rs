@@ -40,7 +40,10 @@ fn main() {
 
     // Sweep E(Y): where does the decision flip?
     println!("\nE(Y) sweep at Te = 200 s (paper-measured costs):");
-    println!("{:>6} {:>12} {:>12} {:>10}", "E(Y)", "local(s)", "shared(s)", "pick");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "E(Y)", "local(s)", "shared(s)", "pick"
+    );
     let mut crossover = None;
     for i in 1..=60 {
         let e_y = i as f64 * 0.5;

@@ -6,6 +6,7 @@
 //! cloud-ckpt generate --jobs 2000 --seed 7 --out trace.csv [--flips]
 //! cloud-ckpt replay   --trace trace.csv --policy formula3 [...]
 //! cloud-ckpt replay   --jobs 2000 --seed 7 --policy young  (generate inline)
+//! cloud-ckpt sweep    --spec grid.toml [--threads 8] [--out results]
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every subcommand
@@ -14,6 +15,7 @@
 use cloud_ckpt::policy::daly::daly_interval_count;
 use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
 use cloud_ckpt::policy::young::{young_interval, young_interval_count};
+use cloud_ckpt::scenario::{run_sweep, write_outputs, SweepOptions, SweepSpec};
 use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
 use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
 use cloud_ckpt::sim::runner::{run_trace, RunOptions};
@@ -38,6 +40,10 @@ USAGE:
                     [--policy formula3|young|daly|none] [--adaptive] \\
                     [--estimator oracle|priority|global] [--limit <s>] [--threads <n>]
       Replay a trace under a policy and print WPR statistics.
+
+  cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--out <dir>]
+      Expand a declarative sweep spec into a scenario grid, evaluate every
+      cell in parallel, and write per-cell CSV + JSON summaries.
 
   cloud-ckpt help
       Show this message.
@@ -81,7 +87,9 @@ fn opt<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
     }
 }
 
@@ -94,8 +102,13 @@ fn cmd_plan(flags: HashMap<String, String>) -> Result<(), String> {
     let x = optimal_interval_count(te, c, mnof).map_err(|e| e.to_string())?;
     let e_tw = expected_wall_clock(te, c, r, mnof, x.rounded()).map_err(|e| e.to_string())?;
     println!("Formula (3) [paper]:");
-    println!("  x* = {:.3} -> {} intervals of {:.2} s ({} checkpoints)",
-        x.continuous(), x.rounded(), x.interval_length(te), x.checkpoint_count());
+    println!(
+        "  x* = {:.3} -> {} intervals of {:.2} s ({} checkpoints)",
+        x.continuous(),
+        x.rounded(),
+        x.interval_length(te),
+        x.checkpoint_count()
+    );
     println!("  E(Tw) = {e_tw:.2} s (vs {te} s productive)");
 
     if let Some(mtbf_s) = flags.get("mtbf") {
@@ -190,6 +203,77 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
+    let spec_path: String = need(&flags, "spec")?;
+    let out_dir: String = opt(&flags, "out", "results".to_string())?;
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read spec {spec_path:?}: {e}"))?;
+    let sweep = SweepSpec::from_str(&text).map_err(|e| e.to_string())?;
+    let threads: usize = opt(&flags, "threads", sweep.threads)?;
+
+    let n = sweep.grid_size();
+    let axes: Vec<String> = sweep
+        .axes
+        .iter()
+        .map(|a| format!("{}({})", a.param, a.values.len()))
+        .collect();
+    println!(
+        "sweep {:?}: {} cells over {} [engine {}, seed {}]",
+        sweep.name,
+        n,
+        if axes.is_empty() {
+            "no axes".to_string()
+        } else {
+            axes.join(" x ")
+        },
+        sweep.base.engine.label(),
+        sweep.base.seed,
+    );
+
+    let start = std::time::Instant::now();
+    let result = run_sweep(&sweep, SweepOptions { threads }).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+
+    // Persist before printing the report: the exports must land even if
+    // stdout goes away mid-print (e.g. piped through `head`).
+    let (csv, json) = write_outputs(&sweep, &result, &out_dir).map_err(|e| e.to_string())?;
+
+    // Compact per-cell report: axis assignments plus the first metric.
+    let shown = result.cells.len().min(48);
+    for cell in result.cells.iter().take(shown) {
+        let params: Vec<String> = cell
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        if let Some((name, s)) = cell.metrics.first() {
+            println!(
+                "  [{:>3}] {:<52} {} mean {:.4} p50 {:.4} p99 {:.4} (n={})",
+                cell.index,
+                params.join(" "),
+                name,
+                s.mean,
+                s.p50,
+                s.p99,
+                s.count
+            );
+        }
+    }
+    if result.cells.len() > shown {
+        println!("  ... and {} more cells", result.cells.len() - shown);
+    }
+
+    println!(
+        "{} cells in {:.2}s ({:.1} cells/s, {} threads requested)",
+        n,
+        elapsed.as_secs_f64(),
+        n as f64 / elapsed.as_secs_f64().max(1e-9),
+        threads,
+    );
+    println!("wrote {} and {}", csv.display(), json.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
@@ -200,6 +284,7 @@ fn main() -> ExitCode {
         "plan" => parse_flags(&args[1..]).and_then(cmd_plan),
         "generate" => parse_flags(&args[1..]).and_then(cmd_generate),
         "replay" => parse_flags(&args[1..]).and_then(cmd_replay),
+        "sweep" => parse_flags(&args[1..]).and_then(cmd_sweep),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

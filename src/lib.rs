@@ -11,6 +11,8 @@
 //! * [`trace`] — Google-trace-like synthetic workload generator.
 //! * [`sim`] — discrete-event cloud simulator (hosts, VMs, scheduler,
 //!   checkpoint storage, failures) and the experiment runner.
+//! * [`scenario`] — declarative scenario specs and the parallel
+//!   parameter-sweep engine (`cloud-ckpt sweep`).
 //!
 //! ## Quickstart
 //!
@@ -24,6 +26,7 @@
 //! ```
 
 pub use ckpt_policy as policy;
+pub use ckpt_scenario as scenario;
 pub use ckpt_sim as sim;
 pub use ckpt_stats as stats;
 pub use ckpt_trace as trace;

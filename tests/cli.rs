@@ -26,7 +26,17 @@ fn plan_reports_paper_example() {
 #[test]
 fn plan_with_mtbf_adds_baselines() {
     let out = cli()
-        .args(["plan", "--te", "441", "--ckpt-cost", "1", "--mnof", "2", "--mtbf", "179"])
+        .args([
+            "plan",
+            "--te",
+            "441",
+            "--ckpt-cost",
+            "1",
+            "--mnof",
+            "2",
+            "--mtbf",
+            "179",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());
@@ -43,14 +53,22 @@ fn generate_then_replay_roundtrip() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
 
     let replay = cli()
         .args(["replay", "--policy", "young", "--trace"])
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(replay.status.success(), "{}", String::from_utf8_lossy(&replay.stderr));
+    assert!(
+        replay.status.success(),
+        "{}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
     let text = String::from_utf8_lossy(&replay.stdout);
     assert!(text.contains("avg WPR"), "{text}");
     assert!(text.contains("Young"), "{text}");
@@ -60,10 +78,16 @@ fn generate_then_replay_roundtrip() {
 #[test]
 fn replay_inline_generation() {
     let out = cli()
-        .args(["replay", "--jobs", "150", "--seed", "3", "--policy", "formula3"])
+        .args([
+            "replay", "--jobs", "150", "--seed", "3", "--policy", "formula3",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("Formula(3)"));
 }
 
@@ -71,10 +95,10 @@ fn replay_inline_generation() {
 fn bad_inputs_fail_with_usage() {
     for args in [
         vec!["frobnicate"],
-        vec!["plan", "--te", "441"],                      // missing flags
+        vec!["plan", "--te", "441"], // missing flags
         vec!["plan", "--te", "nan?", "--ckpt-cost", "1", "--mnof", "2"],
         vec!["replay", "--policy", "quantum"],
-        vec!["generate", "--jobs", "10"],                 // missing --out
+        vec!["generate", "--jobs", "10"], // missing --out
     ] {
         let out = cli().args(&args).output().expect("binary runs");
         assert!(!out.status.success(), "args {args:?} should fail");
@@ -95,4 +119,77 @@ fn help_succeeds() {
     let out = cli().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("cloud-ckpt"));
+}
+
+#[test]
+fn sweep_runs_grid_and_is_thread_invariant() {
+    let spec_path = tmp("sweep_spec");
+    std::fs::write(
+        &spec_path,
+        r#"
+        [sweep]
+        name = "cli_grid"
+        engine = "fast"
+        seed = 5
+        jobs = 120
+
+        [axes]
+        policy = ["formula3", "young", "daly", "none"]
+        ckpt_cost_scale = { from = 0.25, to = 8.0, steps = 6, log = true }
+        "#,
+    )
+    .unwrap();
+
+    let dir1 = std::env::temp_dir().join(format!("cloud_ckpt_sweep1_{}", std::process::id()));
+    let dir8 = std::env::temp_dir().join(format!("cloud_ckpt_sweep8_{}", std::process::id()));
+    for (threads, dir) in [("1", &dir1), ("8", &dir8)] {
+        let out = cli()
+            .args(["sweep", "--threads", threads, "--spec"])
+            .arg(&spec_path)
+            .arg("--out")
+            .arg(dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("24 cells"), "{text}");
+    }
+    for file in ["cli_grid_cells.csv", "cli_grid_summary.json"] {
+        let a = std::fs::read(dir1.join(file)).expect("output written");
+        let b = std::fs::read(dir8.join(file)).expect("output written");
+        assert_eq!(a, b, "{file} must be byte-identical across thread counts");
+    }
+    let csv = std::fs::read_to_string(dir1.join("cli_grid_cells.csv")).unwrap();
+    assert!(csv.starts_with("cell,policy,ckpt_cost_scale,metric,"));
+    // 24 cells x 7 replay metrics + header.
+    assert_eq!(csv.lines().count(), 1 + 24 * 7, "{csv}");
+
+    std::fs::remove_file(&spec_path).ok();
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir8).ok();
+}
+
+#[test]
+fn sweep_rejects_missing_or_bad_specs() {
+    let out = cli()
+        .args(["sweep", "--spec", "/nonexistent/spec.toml"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read spec"));
+
+    let bad = tmp("bad_spec");
+    std::fs::write(&bad, "[axes]\npolicy = [\"zebra\"]\n").unwrap();
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&bad)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("zebra"));
+    std::fs::remove_file(&bad).ok();
 }

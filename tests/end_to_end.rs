@@ -22,13 +22,14 @@ fn world(n: usize, seed: u64) -> World {
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);
-    World { trace, estimates, sample }
+    World {
+        trace,
+        estimates,
+        sample,
+    }
 }
 
-fn sample_records(
-    w: &World,
-    cfg: &PolicyConfig,
-) -> Vec<cloud_ckpt::sim::JobRecord> {
+fn sample_records(w: &World, cfg: &PolicyConfig) -> Vec<cloud_ckpt::sim::JobRecord> {
     run_trace(&w.trace, &w.estimates, cfg, RunOptions::default())
         .into_iter()
         .filter(|r| w.sample.contains(&r.job_id))
@@ -63,7 +64,10 @@ fn oracle_estimation_near_ties_the_formulas() {
         &w,
         &PolicyConfig::young().with_estimator(EstimatorKind::Oracle),
     ));
-    assert!((f3 - yg).abs() < 0.02, "oracle runs should nearly tie: {f3} vs {yg}");
+    assert!(
+        (f3 - yg).abs() < 0.02,
+        "oracle runs should nearly tie: {f3} vs {yg}"
+    );
 }
 
 #[test]
@@ -97,7 +101,10 @@ fn per_priority_gains_mostly_positive() {
         }
     }
     assert!(total >= 6, "need enough priorities with data, got {total}");
-    assert!(ahead * 10 >= total * 9, "Formula (3) ahead for {ahead}/{total} priorities");
+    assert!(
+        ahead * 10 >= total * 9,
+        "Formula (3) ahead for {ahead}/{total} priorities"
+    );
 }
 
 #[test]
@@ -123,7 +130,11 @@ fn wprs_always_valid() {
     ] {
         for r in run_trace(&w.trace, &w.estimates, &cfg, RunOptions::default()) {
             let wpr = r.wpr();
-            assert!(wpr > 0.0 && wpr <= 1.0, "invalid WPR {wpr} under {:?}", cfg.kind);
+            assert!(
+                wpr > 0.0 && wpr <= 1.0,
+                "invalid WPR {wpr} under {:?}",
+                cfg.kind
+            );
             assert!(r.total_wall >= r.total_work - 1e-9);
         }
     }
@@ -137,7 +148,9 @@ fn dynamic_beats_static_under_flips() {
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);
     let keep = |v: Vec<cloud_ckpt::sim::JobRecord>| -> Vec<_> {
-        v.into_iter().filter(|r| sample.contains(&r.job_id)).collect()
+        v.into_iter()
+            .filter(|r| sample.contains(&r.job_id))
+            .collect()
     };
     let dynamic = keep(run_trace(
         &trace,
@@ -145,8 +158,12 @@ fn dynamic_beats_static_under_flips() {
         &PolicyConfig::formula3().with_adaptivity(true),
         RunOptions::default(),
     ));
-    let fixed =
-        keep(run_trace(&trace, &estimates, &PolicyConfig::formula3(), RunOptions::default()));
+    let fixed = keep(run_trace(
+        &trace,
+        &estimates,
+        &PolicyConfig::formula3(),
+        RunOptions::default(),
+    ));
     let m_dyn = mean_wpr(&dynamic);
     let m_sta = mean_wpr(&fixed);
     assert!(m_dyn > m_sta, "dynamic {m_dyn} must beat static {m_sta}");
@@ -154,7 +171,10 @@ fn dynamic_beats_static_under_flips() {
     // worst-case contrast).
     let low_dyn = dynamic.iter().filter(|r| r.wpr() < 0.8).count() as f64 / dynamic.len() as f64;
     let low_sta = fixed.iter().filter(|r| r.wpr() < 0.8).count() as f64 / fixed.len() as f64;
-    assert!(low_sta > low_dyn, "static low-tail {low_sta} vs dynamic {low_dyn}");
+    assert!(
+        low_sta > low_dyn,
+        "static low-tail {low_sta} vs dynamic {low_dyn}"
+    );
 }
 
 #[test]
@@ -168,7 +188,11 @@ fn common_random_numbers_make_comparisons_paired() {
         yg.iter().map(|r| (r.job_id, r)).collect();
     for a in &f3 {
         let b = by_id[&a.job_id];
-        assert_eq!(a.failures, b.failures, "job {} kill counts differ", a.job_id);
+        assert_eq!(
+            a.failures, b.failures,
+            "job {} kill counts differ",
+            a.job_id
+        );
         assert_eq!(a.total_work, b.total_work);
     }
 }

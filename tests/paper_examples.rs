@@ -57,8 +57,12 @@ fn storage_tradeoff_worked_example() {
     assert!((cl - 28.29).abs() < 0.01, "local = {cl}");
     assert!((cs - 37.78).abs() < 0.01, "shared = {cs}");
 
-    let xl = optimal_interval_count(200.0, 0.632, 2.0).unwrap().continuous();
-    let xs = optimal_interval_count(200.0, 1.67, 2.0).unwrap().continuous();
+    let xl = optimal_interval_count(200.0, 0.632, 2.0)
+        .unwrap()
+        .continuous();
+    let xs = optimal_interval_count(200.0, 1.67, 2.0)
+        .unwrap()
+        .continuous();
     assert!((xl - 17.79).abs() < 0.01);
     assert!((xs - 10.94).abs() < 0.01);
 }

@@ -28,7 +28,9 @@ fn kill_plan(te: f64, max_kills: usize) -> impl Strategy<Value = FailurePlan> {
 }
 
 fn fixed_ctl(te: f64, x: u32) -> Controller {
-    Controller::Fixed(FixedSchedule::new(&EquidistantSchedule::new(te, x).unwrap()))
+    Controller::Fixed(FixedSchedule::new(
+        &EquidistantSchedule::new(te, x).unwrap(),
+    ))
 }
 
 proptest! {

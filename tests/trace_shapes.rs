@@ -24,7 +24,10 @@ fn table7_mnof_stable_mtbf_inflates() {
     // MNOF: the paper sees 1.06 → 1.21 for p2 (≈ 1.1×); ours must stay
     // within a similar band.
     let mnof_ratio = full.mnof / short.mnof;
-    assert!(mnof_ratio > 0.8 && mnof_ratio < 1.5, "MNOF ratio {mnof_ratio}");
+    assert!(
+        mnof_ratio > 0.8 && mnof_ratio < 1.5,
+        "MNOF ratio {mnof_ratio}"
+    );
     // MTBF: the paper sees 179 → 4199 (≈ 23×); ours must inflate by ≥ 5×.
     let mtbf_ratio = full.mtbf / short.mtbf;
     assert!(mtbf_ratio > 5.0, "MTBF ratio {mtbf_ratio}");
@@ -45,7 +48,10 @@ fn figure4_priority_interval_ordering() {
     let recs = records(5000, 103);
     let by_p = interval_samples_by_priority(&recs);
     let median = |p: u8| -> Option<f64> {
-        by_p.get(&p).filter(|v| v.len() >= 50).and_then(|v| Ecdf::new(v).ok()).map(|e| e.quantile(0.5))
+        by_p.get(&p)
+            .filter(|v| v.len() >= 50)
+            .and_then(|v| Ecdf::new(v).ok())
+            .map(|e| e.quantile(0.5))
     };
     // Low priorities fail more often than high (1 vs 9), and priority 10 is
     // the shortest-interval tier of all.
@@ -74,7 +80,10 @@ fn figure5_interval_mass_and_pareto_fit() {
     let short: Vec<f64> = pooled.into_iter().filter(|&x| x <= 1000.0).collect();
     let ranked_short = rank_by_ks(fit_all(&PAPER_FAMILIES, &short));
     assert!(
-        matches!(ranked_short[0].family, Family::Exponential | Family::Geometric),
+        matches!(
+            ranked_short[0].family,
+            Family::Exponential | Family::Geometric
+        ),
         "short-body best fit: {ranked_short:?}"
     );
 }
@@ -120,7 +129,11 @@ fn histories_are_pure_functions_of_trace() {
     let trace2 = generate(&WorkloadSpec::google_like(500), 108);
     let c = trace_histories(&trace2);
     assert_ne!(
-        a.iter().map(|r| r.history.failure_count).collect::<Vec<_>>(),
-        c.iter().map(|r| r.history.failure_count).collect::<Vec<_>>()
+        a.iter()
+            .map(|r| r.history.failure_count)
+            .collect::<Vec<_>>(),
+        c.iter()
+            .map(|r| r.history.failure_count)
+            .collect::<Vec<_>>()
     );
 }
