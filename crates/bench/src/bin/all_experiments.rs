@@ -1,62 +1,7 @@
-//! Run every table/figure experiment in sequence — the one-command
-//! regeneration of the paper's evaluation section. Results land on stdout
-//! and as CSV under `results/`.
-//!
-//! Scale control: `CKPT_SCALE=quick|day|month` (each binary picks its own
-//! default matching the paper's setup; `quick` keeps everything CI-sized).
+//! Legacy shim: run every registered experiment in sequence (in process) —
+//! prefer `cloud-ckpt exp all`. Results land on stdout and as CSV under
+//! `results/`. Scale control: `CKPT_SCALE=quick|day|month`.
 
-use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "exp_fig04_interval_cdf",
-    "exp_fig05_mle_fit",
-    "exp_fig07_ckpt_cost",
-    "exp_table2_simultaneous",
-    "exp_table3_dmnfs",
-    "exp_table4_op_cost",
-    "exp_table5_restart_cost",
-    "exp_table7_mnof_mtbf",
-    "exp_fig08_job_dist",
-    "exp_table6_precise",
-    "exp_fig09_wpr_cdf",
-    "exp_fig10_wpr_priority",
-    "exp_fig11_wpr_restricted",
-    "exp_fig12_wallclock",
-    "exp_fig13_paired",
-    "exp_fig14_dynamic",
-    "exp_cluster_validation",
-    "exp_ext_penalty",
-    "exp_ext_random_ckpt",
-    "exp_ext_host_failures",
-    "exp_ext_bootstrap",
-];
-
-fn main() {
-    // Sibling binaries live next to this one.
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe directory").to_path_buf();
-    let mut failures = Vec::new();
-    for exp in EXPERIMENTS {
-        println!("\n################################################################");
-        println!("# {exp}");
-        println!("################################################################");
-        let status = Command::new(dir.join(exp)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{exp} exited with {s}");
-                failures.push(*exp);
-            }
-            Err(e) => {
-                eprintln!("{exp} failed to launch: {e} (build all binaries first: cargo build --release -p ckpt-bench)");
-                failures.push(*exp);
-            }
-        }
-    }
-    if failures.is_empty() {
-        println!("\nall experiments completed; CSVs in results/");
-    } else {
-        eprintln!("\nfailed experiments: {failures:?}");
-        std::process::exit(1);
-    }
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_all()
 }

@@ -1,106 +1,6 @@
-//! **Cluster validation** — run the full-cluster DES (32 hosts × 7 VMs,
-//! the paper's testbed shape) against the fast per-task path on the same
-//! trace and policy, confirming that (a) the policy ordering
-//! (Formula (3) ≥ Young) survives queueing and storage contention, and
-//! (b) DM-NFS keeps checkpoint durations flat where central NFS escalates
-//! (the in-situ version of Tables 2–3).
+//! Legacy shim for the registered `cluster_validation` experiment — prefer
+//! `cloud-ckpt exp run cluster_validation`.
 
-use ckpt_bench::harness::{seed_from_env, setup_with, Scale};
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::cluster::{ClusterConfig, ClusterSim};
-use ckpt_sim::metrics::mean_wpr;
-use ckpt_sim::{run_trace, Device, PolicyConfig, RunOptions, StorageChoice};
-use ckpt_stats::summary::Summary;
-use ckpt_trace::spec::WorkloadSpec;
-
-fn main() {
-    // The cluster engine is O(events) single-threaded; keep it at quick
-    // scale by default. Arrival rate is tuned so the paper's 32-host /
-    // 224-VM cluster runs loaded but not saturated (the paper replayed its
-    // one-month trace on the same topology without unbounded queueing);
-    // long service tasks are excluded so the validation window is bounded.
-    let scale = Scale::from_env(Scale::Quick);
-    let mut spec = WorkloadSpec::google_like(scale.jobs());
-    spec.mean_interarrival_s = 25.0;
-    spec.long_task_fraction = 0.0;
-    let s = setup_with(spec, seed_from_env());
-    let cfg = ClusterConfig::default();
-
-    let mut table = Table::new(vec![
-        "mode",
-        "policy",
-        "storage",
-        "avg WPR",
-        "mean ckpt dur(s)",
-        "max conc ckpts",
-    ]);
-
-    for (policy, label) in [
-        (PolicyConfig::formula3(), "Formula(3)"),
-        (PolicyConfig::young(), "Young"),
-    ] {
-        // Fast path (no cluster effects).
-        let fast = s.sample_only(&run_trace(
-            &s.trace,
-            &s.estimates,
-            &policy,
-            RunOptions::default(),
-        ));
-        table.row(vec![
-            "fast".to_string(),
-            label.to_string(),
-            "auto".to_string(),
-            f(mean_wpr(&fast)),
-            "-".to_string(),
-            "-".to_string(),
-        ]);
-        // Full cluster DES.
-        let result = ClusterSim::new(cfg, &s.trace, &s.estimates, policy).run();
-        let sample: Vec<_> = result
-            .jobs
-            .iter()
-            .filter(|j| s.sample_jobs.contains(&j.base.job_id))
-            .map(|j| j.base.clone())
-            .collect();
-        let dur = Summary::from_slice(&result.checkpoint_durations)
-            .map(|sm| f(sm.mean))
-            .unwrap_or_else(|_| "-".into());
-        table.row(vec![
-            "cluster".to_string(),
-            label.to_string(),
-            "auto".to_string(),
-            f(mean_wpr(&sample)),
-            dur,
-            result.max_concurrent_checkpoints.to_string(),
-        ]);
-    }
-
-    // Storage architecture comparison inside the cluster.
-    for (device, label) in [
-        (Device::CentralNfs, "central NFS"),
-        (Device::DmNfs, "DM-NFS"),
-    ] {
-        let policy = PolicyConfig::formula3().with_storage(StorageChoice::Force(device));
-        let result = ClusterSim::new(cfg, &s.trace, &s.estimates, policy).run();
-        let sm = Summary::from_slice(&result.checkpoint_durations).expect("checkpoints happened");
-        table.row(vec![
-            "cluster".to_string(),
-            "Formula(3)".to_string(),
-            label.to_string(),
-            f(mean_wpr(
-                &result
-                    .jobs
-                    .iter()
-                    .filter(|j| s.sample_jobs.contains(&j.base.job_id))
-                    .map(|j| j.base.clone())
-                    .collect::<Vec<_>>(),
-            )),
-            format!("{} (p95 {})", f(sm.mean), f(sm.p95)),
-            result.max_concurrent_checkpoints.to_string(),
-        ]);
-    }
-
-    table.print("Cluster DES validation: policy ordering survives cluster effects; DM-NFS flattens checkpoint durations");
-    table.write_csv("cluster_validation").expect("write CSV");
-    println!("\nCSV written to results/cluster_validation.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("cluster_validation")
 }

@@ -1,64 +1,6 @@
-//! **Extension** — bootstrap confidence intervals on the headline result.
-//! The paper reports point estimates; this binary quantifies the
-//! uncertainty of the Figure 9 WPR gap with a paired percentile bootstrap
-//! (resampling jobs, preserving the common-random-number pairing).
+//! Legacy shim for the registered `ext_bootstrap` experiment — prefer
+//! `cloud-ckpt exp run ext_bootstrap`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::metrics::wprs;
-use ckpt_sim::{run_trace, PolicyConfig, RunOptions};
-use ckpt_stats::bootstrap::{bootstrap_mean_ci, bootstrap_paired_diff_ci};
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
-
-    let f3 = s.sample_only(&run_trace(
-        &s.trace,
-        &s.estimates,
-        &PolicyConfig::formula3(),
-        opts,
-    ));
-    let yg = s.sample_only(&run_trace(
-        &s.trace,
-        &s.estimates,
-        &PolicyConfig::young(),
-        opts,
-    ));
-    let w_f3 = wprs(&f3);
-    let w_yg = wprs(&yg);
-
-    let ci_f3 = bootstrap_mean_ci(&w_f3, 0.95, 2000, 11).expect("bootstrap");
-    let ci_yg = bootstrap_mean_ci(&w_yg, 0.95, 2000, 12).expect("bootstrap");
-    let ci_diff = bootstrap_paired_diff_ci(&w_f3, &w_yg, 0.95, 2000, 13).expect("bootstrap");
-
-    let mut table = Table::new(vec!["quantity", "estimate", "95% CI low", "95% CI high"]);
-    table.row(vec![
-        "mean WPR Formula(3)".to_string(),
-        f(ci_f3.estimate),
-        f(ci_f3.lo),
-        f(ci_f3.hi),
-    ]);
-    table.row(vec![
-        "mean WPR Young".to_string(),
-        f(ci_yg.estimate),
-        f(ci_yg.lo),
-        f(ci_yg.hi),
-    ]);
-    table.row(vec![
-        "paired diff (F3 - Young)".to_string(),
-        f(ci_diff.estimate),
-        f(ci_diff.lo),
-        f(ci_diff.hi),
-    ]);
-    table.print("Extension: bootstrap CIs for the Figure 9 headline (paired, 2000 resamples)");
-    table.write_csv("ext_bootstrap_ci").expect("write CSV");
-
-    if ci_diff.lo > 0.0 {
-        println!("\nthe Formula (3) advantage is significant at the 95 % level (CI excludes 0).");
-    } else {
-        println!("\nwarning: the 95 % CI of the gap includes 0 at this scale.");
-    }
-    println!("CSV written to results/ext_bootstrap_ci.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("ext_bootstrap")
 }

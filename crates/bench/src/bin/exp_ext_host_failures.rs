@@ -1,53 +1,6 @@
-//! **Extension** — whole-host failures in the cluster DES: the paper's §2
-//! describes that "if a host is down, all the tasks running on the VMs of
-//! this host will be immediately restarted on other hosts from their most
-//! recent checkpoints". This sweep injects host failures at decreasing
-//! MTBFs and shows checkpointing (Formula (3)) degrading gracefully while
-//! the no-checkpoint baseline collapses.
+//! Legacy shim for the registered `ext_host_failures` experiment — prefer
+//! `cloud-ckpt exp run ext_host_failures`.
 
-use ckpt_bench::harness::{seed_from_env, setup_with, Scale};
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::cluster::{ClusterConfig, ClusterSim};
-use ckpt_sim::metrics::mean_wpr;
-use ckpt_sim::PolicyConfig;
-use ckpt_trace::spec::WorkloadSpec;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Quick);
-    let mut spec = WorkloadSpec::google_like(scale.jobs().min(500));
-    spec.mean_interarrival_s = 25.0;
-    spec.long_task_fraction = 0.0;
-    let s = setup_with(spec, seed_from_env());
-
-    let mut table = Table::new(vec![
-        "host MTBF",
-        "policy",
-        "avg WPR",
-        "host failures",
-        "makespan(h)",
-    ]);
-    for mtbf in [None, Some(14_400.0), Some(3_600.0), Some(1_200.0)] {
-        let cfg = ClusterConfig {
-            host_mtbf_s: mtbf,
-            ..ClusterConfig::default()
-        };
-        for (label, policy) in [
-            ("Formula(3)", PolicyConfig::formula3()),
-            ("none", PolicyConfig::none()),
-        ] {
-            let result = ClusterSim::new(cfg, &s.trace, &s.estimates, policy).run();
-            let jobs: Vec<_> = result.jobs.iter().map(|j| j.base.clone()).collect();
-            table.row(vec![
-                mtbf.map(|m| format!("{:.0} min", m / 60.0))
-                    .unwrap_or_else(|| "off".into()),
-                label.to_string(),
-                f(mean_wpr(&jobs)),
-                result.host_failures.to_string(),
-                f(result.makespan.as_secs_f64() / 3600.0),
-            ]);
-        }
-    }
-    table.print("Extension: whole-host failure sweep (paper §2's host-down restart path)");
-    table.write_csv("ext_host_failures").expect("write CSV");
-    println!("\nCSV written to results/ext_host_failures.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("ext_host_failures")
 }

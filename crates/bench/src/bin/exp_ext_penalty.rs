@@ -1,51 +1,6 @@
-//! **Extension** — mis-estimation penalty curves: the quantified version of
-//! the paper's robustness argument. Formula (3) driven by an MNOF that is
-//! wrong by a factor β pays `(sqrt(β)+1/sqrt(β))/2` of the optimal
-//! overhead; Young's formula driven by an MTBF inflated by γ pays the same
-//! form in γ — but Table 7 shows β stays near 1 while γ reaches ~20.
+//! Legacy shim for the registered `ext_penalty` experiment — prefer
+//! `cloud-ckpt exp run ext_penalty`.
 
-use ckpt_bench::report::{f, write_series_csv, Table};
-use ckpt_policy::analysis::{mnof_misestimation_penalty, mtbf_inflation_penalty, penalty_factor};
-
-fn main() {
-    let te = 600.0;
-    let c = 1.0;
-    let e_y_true = 1.2;
-    let honest_mtbf = 150.0;
-
-    let mut table = Table::new(vec![
-        "error factor",
-        "ideal penalty",
-        "Formula(3) w/ MNOF err",
-        "Young w/ MTBF inflation",
-    ]);
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    for &factor in &[1.0f64, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 18.0, 25.0] {
-        let ideal = penalty_factor(factor.sqrt()).unwrap();
-        let p_mnof = mnof_misestimation_penalty(te, c, e_y_true, factor).unwrap();
-        let p_mtbf = mtbf_inflation_penalty(te, c, e_y_true, honest_mtbf, factor).unwrap();
-        table.row(vec![f(factor), f(ideal), f(p_mnof), f(p_mtbf)]);
-        csv.push(vec![factor, ideal, p_mnof, p_mtbf]);
-    }
-    table.print(&format!(
-        "Extension: overhead penalty vs estimation error (Te={te}, C={c}, true E(Y)={e_y_true}, honest MTBF={honest_mtbf})"
-    ));
-    write_series_csv(
-        "ext_penalty_curves",
-        &[
-            "error_factor",
-            "ideal_sqrt_penalty",
-            "mnof_penalty",
-            "mtbf_penalty",
-        ],
-        &csv,
-    )
-    .expect("write CSV");
-
-    println!(
-        "\nreading: our measured Table 7 shows MNOF errors β ≈ 1.05 (penalty ≈ 1.0) while MTBF\n\
-         inflation reaches γ ≈ 18 (penalty ≈ {}), which is the entire gap of Figures 9-13.",
-        f(mtbf_inflation_penalty(te, c, e_y_true, honest_mtbf, 18.0).unwrap())
-    );
-    println!("CSV written to results/ext_penalty_curves.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("ext_penalty")
 }

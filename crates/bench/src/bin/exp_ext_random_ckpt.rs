@@ -1,49 +1,6 @@
-//! **Extension** — equidistant vs random checkpoint placement (the
-//! related-work baseline): with the same number of checkpoints, uniformly
-//! random positions waste expected rollback relative to Theorem 1's even
-//! spacing (`Σ gap²/(2Te)` is minimized by equal gaps).
+//! Legacy shim for the registered `ext_random_ckpt` experiment — prefer
+//! `cloud-ckpt exp run ext_random_ckpt`.
 
-use ckpt_bench::harness::seed_from_env;
-use ckpt_bench::report::{f, Table};
-use ckpt_policy::nonuniform::GeneralSchedule;
-use ckpt_stats::rng::Xoshiro256StarStar;
-use ckpt_stats::summary::OnlineStats;
-
-fn main() {
-    let te = 1000.0;
-    let c = 1.0;
-    let r = 1.0;
-    let e_y = 2.0;
-    let mut rng = Xoshiro256StarStar::new(seed_from_env() ^ 0x4A2D);
-
-    let mut table = Table::new(vec![
-        "checkpoints",
-        "equidistant E(Tw)",
-        "random E(Tw) avg",
-        "random E(Tw) p95-ish(max of 200)",
-        "random excess",
-    ]);
-    for &n in &[1u32, 3, 7, 15, 31] {
-        let even = GeneralSchedule::equidistant(te, n + 1).unwrap();
-        let w_even = even.expected_wall_clock(c, r, e_y).unwrap();
-        let mut stats = OnlineStats::new();
-        for _ in 0..200 {
-            let rand = GeneralSchedule::random(te, n, &mut rng).unwrap();
-            stats.add(rand.expected_wall_clock(c, r, e_y).unwrap());
-        }
-        table.row(vec![
-            n.to_string(),
-            f(w_even),
-            f(stats.mean()),
-            f(stats.max()),
-            format!("{:+.1}%", 100.0 * (stats.mean() / w_even - 1.0)),
-        ]);
-    }
-    table.print("Extension: equidistant (Theorem 1) vs uniformly random checkpoint placement (Te=1000, C=1, R=1, E(Y)=2)");
-    table
-        .write_csv("ext_random_vs_equidistant")
-        .expect("write CSV");
-    println!("\nequidistant placement minimizes expected rollback (Cauchy-Schwarz on Σ gap²);");
-    println!("random placement pays a persistent premium that grows with checkpoint count.");
-    println!("CSV written to results/ext_random_vs_equidistant.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("ext_random_ckpt")
 }

@@ -1,77 +1,6 @@
-//! **Figure 4** — CDF of uninterrupted task intervals, grouped by priority:
-//! (a) low priorities 1–6, (b) high priorities 7–12.
-//!
-//! Paper observation: "tasks with higher priorities tend to have longer
-//! uninterrupted execution lengths, because low-priority tasks tend to be
-//! preempted by high-priority ones". (Scale note: the paper's x-axes are in
-//! days because Google tasks run up to weeks; our synthetic trace is
-//! calibrated to the paper's *short-job* regime, so intervals are in
-//! seconds-to-hours — the ordering and shape are the reproduced features.)
+//! Legacy shim for the registered `fig04_interval_cdf` experiment — prefer
+//! `cloud-ckpt exp run fig04_interval_cdf`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, write_series_csv, Table};
-use ckpt_stats::ecdf::Ecdf;
-use ckpt_trace::stats::interval_samples_by_priority;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let by_priority = interval_samples_by_priority(&s.records);
-
-    let mut table = Table::new(vec![
-        "priority",
-        "n_intervals",
-        "p25(s)",
-        "median(s)",
-        "p75(s)",
-        "p95(s)",
-        "mean(s)",
-    ]);
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    for p in 1..=12u8 {
-        let Some(samples) = by_priority.get(&p) else {
-            continue;
-        };
-        if samples.is_empty() {
-            continue;
-        }
-        let e = Ecdf::new(samples).expect("non-empty");
-        table.row(vec![
-            p.to_string(),
-            e.len().to_string(),
-            f(e.quantile(0.25)),
-            f(e.quantile(0.5)),
-            f(e.quantile(0.75)),
-            f(e.quantile(0.95)),
-            f(e.mean()),
-        ]);
-        for (x, q) in e.points(64) {
-            csv.push(vec![p as f64, x, q]);
-        }
-    }
-    table.print("Figure 4: uninterrupted task intervals by priority (paper: higher priority => longer; p10 the exception)");
-    table
-        .write_csv("fig04_interval_quantiles")
-        .expect("write CSV");
-    write_series_csv(
-        "fig04_interval_cdf",
-        &["priority", "interval_s", "cdf"],
-        &csv,
-    )
-    .expect("write CSV");
-
-    // Echo the ordering check the paper's figure makes visually.
-    let med = |p: u8| {
-        by_priority
-            .get(&p)
-            .and_then(|s| Ecdf::new(s).ok())
-            .map(|e| e.quantile(0.5))
-    };
-    if let (Some(m2), Some(m9), Some(m10)) = (med(2), med(9), med(10)) {
-        println!(
-            "\nordering check: median p2 = {} s < median p9 = {} s; p10 = {} s (failure-heavy monitoring tier)",
-            f(m2), f(m9), f(m10)
-        );
-    }
-    println!("CSV written to results/fig04_interval_cdf.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig04_interval_cdf")
 }

@@ -1,75 +1,6 @@
-//! **Figure 5** — distribution of pooled task failure intervals and MLE
-//! fits of the paper's five candidate families (exponential, geometric,
-//! Laplace, normal, Pareto): (a) all intervals, (b) intervals ≤ 1000 s.
-//!
-//! Paper findings: "a Pareto distribution fits the sample distribution best
-//! in general", "a large majority (over 63 %) of task failure intervals
-//! last for less than 1000 seconds", and restricted to those, "the best-fit
-//! distribution is an exponential distribution with failure rate
-//! λ = 0.00423445".
+//! Legacy shim for the registered `fig05_mle_fit` experiment — prefer
+//! `cloud-ckpt exp run fig05_mle_fit`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, write_series_csv, Table};
-use ckpt_stats::ecdf::Ecdf;
-use ckpt_stats::fit::{fit_all, rank_by_ks, PAPER_FAMILIES};
-use ckpt_trace::stats::pooled_intervals;
-
-fn run_panel(name: &str, samples: &[f64]) -> Table {
-    let mut table = Table::new(vec!["rank", "family", "params", "KS", "AIC"]);
-    let ranked = rank_by_ks(fit_all(&PAPER_FAMILIES, samples));
-    let ecdf = Ecdf::new(samples).expect("non-empty");
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    for (x, q) in ecdf.points(128) {
-        let mut row = vec![x, q];
-        for r in &ranked {
-            row.push(r.cdf(x));
-        }
-        csv.push(row);
-    }
-    let mut header: Vec<String> = vec!["interval_s".into(), "empirical_cdf".into()];
-    header.extend(ranked.iter().map(|r| r.family.name().to_lowercase()));
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    write_series_csv(&format!("fig05_{name}"), &header_refs, &csv).expect("write CSV");
-
-    for (i, r) in ranked.iter().enumerate() {
-        let params: Vec<String> = r
-            .params
-            .iter()
-            .map(|(n, v)| format!("{n}={}", f(*v)))
-            .collect();
-        table.row(vec![
-            (i + 1).to_string(),
-            r.family.name().to_string(),
-            params.join(" "),
-            format!("{:.4}", r.ks),
-            format!("{:.0}", r.aic),
-        ]);
-    }
-    table
-}
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let all = pooled_intervals(&s.records);
-    assert!(!all.is_empty(), "trace produced no failure intervals");
-
-    let below_1000: Vec<f64> = all.iter().copied().filter(|&x| x <= 1000.0).collect();
-    let frac = below_1000.len() as f64 / all.len() as f64;
-    println!(
-        "short-interval mass: {} of {} intervals <= 1000 s ({:.1} %); paper reports 'over 63 %'",
-        below_1000.len(),
-        all.len(),
-        100.0 * frac
-    );
-
-    let t_all = run_panel("all_intervals", &all);
-    t_all.print("Figure 5(a): MLE fits over ALL failure intervals (paper: Pareto fits best)");
-
-    let t_short = run_panel("short_intervals", &below_1000);
-    t_short.print("Figure 5(b): MLE fits over intervals <= 1000 s (paper: exponential best, lambda = 0.00423445)");
-
-    println!(
-        "\nCSV written to results/fig05_all_intervals.csv and results/fig05_short_intervals.csv"
-    );
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig05_mle_fit")
 }

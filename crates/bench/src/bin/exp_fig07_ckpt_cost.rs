@@ -1,79 +1,6 @@
-//! **Figure 7** — total checkpointing cost vs number of checkpoints for
-//! memory sizes 10–240 MB: (a) over local ramdisk, (b) over NFS.
-//!
-//! Paper: "the task total checkpointing cost increases linearly with its
-//! consumed memory size and with the number of checkpoints"; per-checkpoint
-//! cost is 0.016–0.99 s (ramdisk) and 0.25–2.52 s (NFS) over 10–240 MB.
-//!
-//! Re-expressed through `ckpt-scenario`: the whole figure is the 60-cell
-//! grid in `specs/exp_fig07_ckpt_cost.toml` (device × memsize ×
-//! n_checkpoints) evaluated by the `ckpt-cost` engine; this binary only
-//! formats the cells into the paper's two panels. A cross-check against
-//! the BLCR model asserts the sweep reproduces the direct computation
-//! exactly.
+//! Legacy shim for the registered `fig07_ckpt_cost` experiment — prefer
+//! `cloud-ckpt exp run fig07_ckpt_cost`.
 
-use ckpt_bench::report::{f, results_dir, Table};
-use ckpt_scenario::{run_sweep, write_outputs, SweepOptions, SweepSpec};
-use ckpt_sim::blcr::{BlcrModel, Device};
-
-const SPEC: &str = include_str!("../../../../specs/exp_fig07_ckpt_cost.toml");
-
-fn main() {
-    let sweep = SweepSpec::from_str(SPEC).expect("bundled spec parses");
-    let result = run_sweep(&sweep, SweepOptions::default()).expect("sweep runs");
-
-    // total_cost_s keyed by (device, mem, n).
-    let mut cost = std::collections::HashMap::new();
-    for cell in &result.cells {
-        let scen = sweep.cell(cell.index).expect("cell in grid");
-        let total = cell
-            .metrics
-            .iter()
-            .find(|(n, _)| *n == "total_cost_s")
-            .expect("ckpt-cost engine emits total_cost_s")
-            .1
-            .mean;
-        cost.insert((scen.device, scen.mem_mb as u64, scen.n_checkpoints), total);
-    }
-
-    let blcr = BlcrModel;
-    let mem_sizes = [10u64, 20, 40, 80, 160, 240];
-    for (panel, device) in [
-        ("a: local ramdisk", Device::Ramdisk),
-        ("b: NFS", Device::CentralNfs),
-    ] {
-        let mut table = Table::new(vec!["memsize(MB)", "n=1", "n=2", "n=3", "n=4", "n=5"]);
-        for &mem in &mem_sizes {
-            let mut row = vec![format!("{mem}")];
-            for n in 1..=5u32 {
-                // The panel layout mirrors the paper; a missing key means
-                // the bundled spec no longer covers it.
-                let total = *cost.get(&(device, mem, n)).unwrap_or_else(|| {
-                    panic!(
-                        "specs/exp_fig07_ckpt_cost.toml no longer covers \
-                         device {device:?} mem {mem} n {n}"
-                    )
-                });
-                // The sweep must reproduce the model exactly.
-                assert_eq!(total, blcr.checkpoint_cost(device, mem as f64) * n as f64);
-                row.push(f(total));
-            }
-            table.row(row);
-        }
-        table.print(&format!(
-            "Figure 7({panel}): total checkpointing cost (s) vs number of checkpoints"
-        ));
-    }
-
-    write_outputs(&sweep, &result, results_dir()).expect("write sweep outputs");
-
-    println!(
-        "\nendpoints check — ramdisk 10 MB: {} s (paper 0.016), 240 MB: {} s (paper 0.99); \
-         NFS 10 MB: {} s (paper 0.25), 240 MB: {} s (paper 2.52)",
-        f(blcr.checkpoint_cost(Device::Ramdisk, 10.0)),
-        f(blcr.checkpoint_cost(Device::Ramdisk, 240.0)),
-        f(blcr.checkpoint_cost(Device::CentralNfs, 10.0)),
-        f(blcr.checkpoint_cost(Device::CentralNfs, 240.0)),
-    );
-    println!("CSV written to results/fig07_ckpt_cost_cells.csv (+ JSON summary)");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig07_ckpt_cost")
 }

@@ -1,84 +1,6 @@
-//! **Figure 8** — CDFs of the sample jobs' memory size and execution
-//! length, split by structure (ST / BoT / mixture).
-//!
-//! Paper observation: "job memory sizes and lengths differ significantly
-//! according to job structures; however, most jobs are short jobs with
-//! small memory sizes."
+//! Legacy shim for the registered `fig08_job_dist` experiment — prefer
+//! `cloud-ckpt exp run fig08_job_dist`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{ascii_cdf, f, write_series_csv, Table};
-use ckpt_stats::ecdf::Ecdf;
-use ckpt_trace::gen::JobStructure;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-
-    // The paper plots the *sample jobs* (its failure-prone selection).
-    let classes: [(&str, Option<JobStructure>); 3] = [
-        ("ST", Some(JobStructure::Sequential)),
-        ("BoT", Some(JobStructure::BagOfTasks)),
-        ("mixture", None),
-    ];
-
-    let mut table = Table::new(vec![
-        "class",
-        "jobs",
-        "med mem(MB)",
-        "p95 mem(MB)",
-        "med len(h)",
-        "p95 len(h)",
-    ]);
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    for (ci, (label, structure)) in classes.iter().enumerate() {
-        let jobs: Vec<_> = s
-            .trace
-            .jobs
-            .iter()
-            .filter(|j| s.sample_jobs.contains(&j.id))
-            .filter(|j| structure.map(|st| j.structure == st).unwrap_or(true))
-            .collect();
-        if jobs.is_empty() {
-            continue;
-        }
-        let mems: Vec<f64> = jobs.iter().map(|j| j.max_mem()).collect();
-        let lens: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
-        let em = Ecdf::new(&mems).expect("non-empty");
-        let el = Ecdf::new(&lens).expect("non-empty");
-        table.row(vec![
-            label.to_string(),
-            jobs.len().to_string(),
-            f(em.quantile(0.5)),
-            f(em.quantile(0.95)),
-            f(el.quantile(0.5) / 3600.0),
-            f(el.quantile(0.95) / 3600.0),
-        ]);
-        for (x, q) in em.points(64) {
-            csv.push(vec![ci as f64, 0.0, x, q]);
-        }
-        for (x, q) in el.points(64) {
-            csv.push(vec![ci as f64, 1.0, x, q]);
-        }
-        if *label == "mixture" {
-            println!(
-                "{}",
-                ascii_cdf(&em.points(64), 64, 10, "job memory size CDF (MB, mixture)")
-            );
-            println!(
-                "{}",
-                ascii_cdf(&el.points(64), 64, 10, "job length CDF (s, mixture)")
-            );
-        }
-    }
-    table.print(
-        "Figure 8: sample-job memory sizes and lengths (paper: most jobs short with small memory)",
-    );
-    table.write_csv("fig08_summary").expect("write CSV");
-    write_series_csv(
-        "fig08_job_dist",
-        &["class(0=ST,1=BoT,2=mix)", "metric(0=mem,1=len)", "x", "cdf"],
-        &csv,
-    )
-    .expect("write CSV");
-    println!("\nCSV written to results/fig08_job_dist.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig08_job_dist")
 }

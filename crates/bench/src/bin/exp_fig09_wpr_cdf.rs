@@ -1,82 +1,6 @@
-//! **Figure 9** — CDF of the Workload-Processing Ratio under Formula (3)
-//! vs Young's formula, with priority-group MNOF/MTBF estimation, split by
-//! job structure (a: sequential-task, b: bag-of-task).
-//!
-//! Paper reference: average WPR 0.945 (Formula 3) vs 0.916 (Young) for ST
-//! jobs; 0.955 vs 0.915 for BoT. Only 7 % of ST jobs fall below WPR 0.88
-//! under Formula (3) vs ~20 % under Young; 56.6 % of BoT jobs exceed 0.95
-//! vs 46.5 %.
+//! Legacy shim for the registered `fig09_wpr_cdf` experiment — prefer
+//! `cloud-ckpt exp run fig09_wpr_cdf`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{ascii_cdf, f, write_series_csv, Table};
-use ckpt_sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
-use ckpt_sim::{run_trace, PolicyConfig, RunOptions};
-use ckpt_trace::gen::JobStructure;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
-
-    let f3 = run_trace(&s.trace, &s.estimates, &PolicyConfig::formula3(), opts);
-    let yg = run_trace(&s.trace, &s.estimates, &PolicyConfig::young(), opts);
-    let f3 = s.sample_only(&f3);
-    let yg = s.sample_only(&yg);
-
-    let mut summary = Table::new(vec![
-        "structure",
-        "policy",
-        "jobs",
-        "avg WPR",
-        "P(WPR<0.88)",
-        "P(WPR>0.95)",
-    ]);
-    let mut csv_rows: Vec<Vec<f64>> = Vec::new();
-    for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
-        for (label, recs) in [("Formula(3)", &f3), ("Young", &yg)] {
-            let sub = with_structure(recs, structure);
-            let ecdf = wpr_ecdf(&sub).expect("non-empty");
-            summary.row(vec![
-                structure.label().to_string(),
-                label.to_string(),
-                sub.len().to_string(),
-                f(mean_wpr(&sub)),
-                f(ecdf.cdf(0.88)),
-                f(1.0 - ecdf.cdf(0.95)),
-            ]);
-            let pts = ecdf.points(100);
-            println!(
-                "\n{}",
-                ascii_cdf(
-                    &pts,
-                    64,
-                    12,
-                    &format!("WPR CDF — {} jobs, {label}", structure.label())
-                )
-            );
-            for (x, p) in pts {
-                csv_rows.push(vec![
-                    if structure == JobStructure::Sequential {
-                        0.0
-                    } else {
-                        1.0
-                    },
-                    if label == "Formula(3)" { 0.0 } else { 1.0 },
-                    x,
-                    p,
-                ]);
-            }
-        }
-    }
-    summary.print(
-        "Figure 9: WPR under Formula (3) vs Young (paper: ST 0.945 vs 0.916, BoT 0.955 vs 0.915)",
-    );
-    summary.write_csv("fig09_summary").expect("write CSV");
-    write_series_csv(
-        "fig09_wpr_cdf",
-        &["structure(0=ST)", "policy(0=F3)", "wpr", "cdf"],
-        &csv_rows,
-    )
-    .expect("write CSV");
-    println!("\nCSV written to results/fig09_summary.csv and results/fig09_wpr_cdf.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig09_wpr_cdf")
 }

@@ -1,95 +1,6 @@
-//! **Figure 10** — min/avg/max WPR per priority under Formula (3) vs
-//! Young's formula, split by structure.
-//!
-//! Paper: "for almost all priorities, the checkpointing method with
-//! Formula (3) significantly outperforms that with Young's formula, by
-//! 3-10 % on average". (Some priorities are missing in the paper because
-//! no job failed or completed there; ours appear when the sample contains
-//! them.)
-//!
-//! Re-expressed through `ckpt-scenario`: the figure is the 48-cell grid in
-//! `specs/exp_fig10_wpr_priority.toml` (policy × structure × priority).
-//! Structure and priority are pure aggregation filters, so the engine's
-//! run-key cache evaluates exactly two replays — one per policy — and the
-//! numbers are identical to calling `run_trace` directly with the same
-//! trace, estimator and failure-prone sample.
+//! Legacy shim for the registered `fig10_wpr_priority` experiment — prefer
+//! `cloud-ckpt exp run fig10_wpr_priority`.
 
-use ckpt_bench::harness::{seed_from_env, Scale};
-use ckpt_bench::report::{f, results_dir, Table};
-use ckpt_policy::PolicyKind;
-use ckpt_scenario::{run_sweep, write_outputs, MetricSummary, SweepOptions, SweepSpec};
-use ckpt_trace::gen::JobStructure;
-use std::collections::HashMap;
-
-const SPEC: &str = include_str!("../../../../specs/exp_fig10_wpr_priority.toml");
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let mut sweep = SweepSpec::from_str(SPEC).expect("bundled spec parses");
-    sweep.base.jobs = scale.jobs();
-    sweep.base.seed = seed_from_env();
-
-    let result = run_sweep(&sweep, SweepOptions::default()).expect("sweep runs");
-
-    // wpr summary keyed by (policy, structure, priority).
-    let mut wpr: HashMap<(PolicyKind, JobStructure, u8), MetricSummary> = HashMap::new();
-    for cell in &result.cells {
-        let scen = sweep.cell(cell.index).expect("cell in grid");
-        let s = cell
-            .metrics
-            .iter()
-            .find(|(n, _)| *n == "wpr")
-            .expect("wpr metric")
-            .1;
-        wpr.insert(
-            (
-                scen.policy,
-                scen.structure.expect("axis sets structure"),
-                scen.priority.expect("axis sets priority"),
-            ),
-            s,
-        );
-    }
-
-    for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
-        let mut table = Table::new(vec![
-            "priority", "jobs", "F3 min", "F3 avg", "F3 max", "Y min", "Y avg", "Y max", "avg gain",
-        ]);
-        for p in 1..=12u8 {
-            let (Some(a), Some(b)) = (
-                wpr.get(&(PolicyKind::Formula3, structure, p)),
-                wpr.get(&(PolicyKind::Young, structure, p)),
-            ) else {
-                continue;
-            };
-            if a.count == 0 {
-                continue;
-            }
-            table.row(vec![
-                p.to_string(),
-                a.count.to_string(),
-                f(a.min),
-                f(a.mean),
-                f(a.max),
-                f(b.min),
-                f(b.mean),
-                f(b.max),
-                format!("{:+.1}%", 100.0 * (a.mean - b.mean)),
-            ]);
-        }
-        table.print(&format!(
-            "Figure 10 ({} jobs): min/avg/max WPR by priority (paper: Formula (3) ahead by 3-10 % on average)",
-            structure.label()
-        ));
-        table
-            .write_csv(&format!(
-                "fig10_wpr_priority_{}",
-                structure.label().to_lowercase()
-            ))
-            .expect("write CSV");
-    }
-
-    write_outputs(&sweep, &result, results_dir()).expect("write sweep outputs");
-    println!("\nCSV written to results/fig10_wpr_priority_{{st,bot}}.csv");
-    println!("sweep grid written to results/fig10_wpr_priority_cells.csv (+ JSON summary)");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig10_wpr_priority")
 }

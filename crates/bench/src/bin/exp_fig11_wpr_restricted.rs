@@ -1,80 +1,6 @@
-//! **Figure 11** — WPR distributions for relatively short jobs with
-//! restricted task length RL ∈ {1000, 2000, 4000} s, over a one-day trace
-//! (~10k jobs). MNOF/MTBF are estimated from the corresponding short tasks
-//! ("in order to estimate MTBF with as small errors as possible for
-//! Young's formula").
-//!
-//! Paper: under Formula (3), 98 % of jobs reach WPR > 0.9; under Young's
-//! formula up to 40 % of jobs fall below 0.9.
+//! Legacy shim for the registered `fig11_wpr_restricted` experiment — prefer
+//! `cloud-ckpt exp run fig11_wpr_restricted`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, write_series_csv, Table};
-use ckpt_sim::metrics::{mean_wpr, with_max_length, with_structure, wpr_ecdf};
-use ckpt_sim::{run_trace, EstimatorKind, PolicyConfig, RunOptions};
-use ckpt_trace::gen::JobStructure;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
-
-    let mut table = Table::new(vec![
-        "structure",
-        "RL(s)",
-        "policy",
-        "jobs",
-        "avg WPR",
-        "P(WPR>0.9)",
-    ]);
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    for rl in [1000.0, 2000.0, 4000.0] {
-        // Estimators restricted to tasks within the limit (honest MTBF).
-        let est = EstimatorKind::PerPriority { limit: rl };
-        let f3 = PolicyConfig::formula3().with_estimator(est);
-        let yg = PolicyConfig::young().with_estimator(est);
-        let recs_f3 = s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts));
-        let recs_yg = s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts));
-        for structure in [JobStructure::Sequential, JobStructure::BagOfTasks] {
-            for (pi, (label, recs)) in [("Formula(3)", &recs_f3), ("Young", &recs_yg)]
-                .iter()
-                .enumerate()
-            {
-                let sub = with_max_length(&with_structure(recs, structure), rl);
-                if sub.is_empty() {
-                    continue;
-                }
-                let e = wpr_ecdf(&sub).expect("non-empty");
-                table.row(vec![
-                    structure.label().to_string(),
-                    format!("{rl}"),
-                    label.to_string(),
-                    sub.len().to_string(),
-                    f(mean_wpr(&sub)),
-                    f(1.0 - e.cdf(0.9)),
-                ]);
-                for (x, q) in e.points(64) {
-                    csv.push(vec![
-                        if structure == JobStructure::Sequential {
-                            0.0
-                        } else {
-                            1.0
-                        },
-                        rl,
-                        pi as f64,
-                        x,
-                        q,
-                    ]);
-                }
-            }
-        }
-    }
-    table.print("Figure 11: WPR for restricted task lengths (paper: 98 % above 0.9 under Formula (3); up to 40 % below 0.9 under Young)");
-    table.write_csv("fig11_summary").expect("write CSV");
-    write_series_csv(
-        "fig11_wpr_restricted",
-        &["structure(0=ST)", "RL_s", "policy(0=F3)", "wpr", "cdf"],
-        &csv,
-    )
-    .expect("write CSV");
-    println!("\nCSV written to results/fig11_wpr_restricted.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig11_wpr_restricted")
 }

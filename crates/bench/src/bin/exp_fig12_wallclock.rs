@@ -1,79 +1,6 @@
-//! **Figure 12** — real wall-clock lengths of jobs under both formulas,
-//! with task lengths restricted to RL = 1000 s and RL = 4000 s.
-//!
-//! Paper: "majority of jobs' wall-clock lengths are incremented by
-//! 50-100 seconds under Young's formula compared to our Formula (3)" —
-//! large because most Google jobs are only 200–1000 s long.
+//! Legacy shim for the registered `fig12_wallclock` experiment — prefer
+//! `cloud-ckpt exp run fig12_wallclock`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, write_series_csv, Table};
-use ckpt_sim::metrics::{paired_wall_clock, with_max_length};
-use ckpt_sim::{run_trace, EstimatorKind, PolicyConfig, RunOptions};
-use ckpt_stats::ecdf::Ecdf;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
-
-    let mut table = Table::new(vec![
-        "RL(s)",
-        "jobs",
-        "med wall F3(s)",
-        "med wall Young(s)",
-        "med extra under Young(s)",
-        "p75 extra(s)",
-    ]);
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    // Deployment estimator (full-range per-priority statistics, as in the
-    // Figure 9 runs); the RL value only filters which jobs are plotted.
-    let est = EstimatorKind::PerPriority {
-        limit: f64::INFINITY,
-    };
-    for rl in [1000.0, 4000.0] {
-        let f3 = PolicyConfig::formula3().with_estimator(est);
-        let yg = PolicyConfig::young().with_estimator(est);
-        let recs_f3 = with_max_length(
-            &s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts)),
-            rl,
-        );
-        let recs_yg = with_max_length(
-            &s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts)),
-            rl,
-        );
-        // Paired per job: Young − Formula(3) wall-clock difference.
-        let pairs = paired_wall_clock(&recs_yg, &recs_f3);
-        if pairs.is_empty() {
-            continue;
-        }
-        let diffs: Vec<f64> = pairs.iter().map(|&(_, _, d)| d).collect();
-        let walls_f3: Vec<f64> = recs_f3.iter().map(|r| r.total_wall).collect();
-        let walls_yg: Vec<f64> = recs_yg.iter().map(|r| r.total_wall).collect();
-        let ed = Ecdf::new(&diffs).expect("non-empty");
-        let ef = Ecdf::new(&walls_f3).expect("non-empty");
-        let ey = Ecdf::new(&walls_yg).expect("non-empty");
-        table.row(vec![
-            format!("{rl}"),
-            pairs.len().to_string(),
-            f(ef.quantile(0.5)),
-            f(ey.quantile(0.5)),
-            f(ed.quantile(0.5)),
-            f(ed.quantile(0.75)),
-        ]);
-        for (i, &(job, _, d)) in pairs.iter().enumerate() {
-            // Keep the CSV bounded at large scales.
-            if i % 4 == 0 {
-                csv.push(vec![rl, job as f64, d]);
-            }
-        }
-    }
-    table.print("Figure 12: wall-clock lengths (paper: most jobs +50-100 s under Young)");
-    table.write_csv("fig12_summary").expect("write CSV");
-    write_series_csv(
-        "fig12_wallclock",
-        &["RL_s", "job_id", "young_minus_f3_s"],
-        &csv,
-    )
-    .expect("write CSV");
-    println!("\nCSV written to results/fig12_wallclock.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig12_wallclock")
 }

@@ -1,82 +1,6 @@
-//! **Figure 13** — per-job paired comparison of wall-clock lengths under
-//! Formula (3) vs Young's formula (RL = 1000 s): (a) the ratio, (b) the
-//! absolute difference.
-//!
-//! Paper: "about 70 % of jobs' wall-clock lengths are reduced by about 15 %
-//! on average, while only 30 % of jobs' wall-clock lengths are increased by
-//! 5 % on average". Both runs replay identical kill events (common random
-//! numbers), exactly like the paper's trace replay.
+//! Legacy shim for the registered `fig13_paired` experiment — prefer
+//! `cloud-ckpt exp run fig13_paired`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{write_series_csv, Table};
-use ckpt_sim::metrics::{paired_wall_clock, with_max_length};
-use ckpt_sim::{run_trace, EstimatorKind, PolicyConfig, RunOptions};
-
-const RL: f64 = 1000.0;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
-
-    // Deployment estimator (full-range per-priority statistics, as in the
-    // Figure 9 runs); RL only filters which jobs are compared.
-    let est = EstimatorKind::PerPriority {
-        limit: f64::INFINITY,
-    };
-    let f3 = PolicyConfig::formula3().with_estimator(est);
-    let yg = PolicyConfig::young().with_estimator(est);
-    let recs_f3 = with_max_length(
-        &s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts)),
-        RL,
-    );
-    let recs_yg = with_max_length(
-        &s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts)),
-        RL,
-    );
-
-    // ratio = wall(F3) / wall(Young): < 1 means Formula (3) is faster.
-    let pairs = paired_wall_clock(&recs_f3, &recs_yg);
-    assert!(!pairs.is_empty(), "no paired jobs at RL={RL}");
-
-    let faster: Vec<&(u64, f64, f64)> = pairs.iter().filter(|(_, r, _)| *r < 1.0).collect();
-    let slower: Vec<&(u64, f64, f64)> = pairs.iter().filter(|(_, r, _)| *r >= 1.0).collect();
-    let mean_reduction = if faster.is_empty() {
-        0.0
-    } else {
-        faster.iter().map(|(_, r, _)| 1.0 - r).sum::<f64>() / faster.len() as f64
-    };
-    let mean_increase = if slower.is_empty() {
-        0.0
-    } else {
-        slower.iter().map(|(_, r, _)| r - 1.0).sum::<f64>() / slower.len() as f64
-    };
-
-    let mut table = Table::new(vec!["group", "jobs", "share", "mean wall-clock change"]);
-    table.row(vec![
-        "faster under Formula(3)".to_string(),
-        faster.len().to_string(),
-        format!("{:.1}%", 100.0 * faster.len() as f64 / pairs.len() as f64),
-        format!("-{:.1}%", 100.0 * mean_reduction),
-    ]);
-    table.row(vec![
-        "faster under Young".to_string(),
-        slower.len().to_string(),
-        format!("{:.1}%", 100.0 * slower.len() as f64 / pairs.len() as f64),
-        format!("+{:.1}%", 100.0 * mean_increase),
-    ]);
-    table.print("Figure 13: paired per-job comparison, RL = 1000 s (paper: ~70 % faster by ~15 %, ~30 % slower by ~5 %)");
-    table.write_csv("fig13_summary").expect("write CSV");
-
-    let csv: Vec<Vec<f64>> = pairs
-        .iter()
-        .map(|&(job, ratio, diff)| vec![job as f64, ratio, diff])
-        .collect();
-    write_series_csv(
-        "fig13_paired",
-        &["job_id", "wall_ratio_f3_over_young", "wall_diff_s"],
-        &csv,
-    )
-    .expect("write CSV");
-    println!("\nCSV written to results/fig13_paired.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig13_paired")
 }

@@ -1,85 +1,6 @@
-//! **Figure 14** — the dynamic (adaptive-MNOF, Algorithm 1) solution vs the
-//! static one when every job's priority changes once in the middle of its
-//! execution: (a) WPR distribution, (b) per-job wall-clock ratio.
-//!
-//! Paper: "the worst WPR under dynamic solution stays about 0.8 while that
-//! under static approach is about 0.5"; "67 % of jobs' wall-clock lengths
-//! are similar under the two different solutions, while over 21 % of jobs
-//! run faster in the dynamic one than static one by 10 %".
+//! Legacy shim for the registered `fig14_dynamic` experiment — prefer
+//! `cloud-ckpt exp run fig14_dynamic`.
 
-use ckpt_bench::harness::{seed_from_env, setup_with, Scale};
-use ckpt_bench::report::{ascii_cdf, f, write_series_csv, Table};
-use ckpt_sim::metrics::{mean_wpr, paired_wall_clock, wpr_ecdf, wprs};
-use ckpt_sim::{run_trace, PolicyConfig, RunOptions};
-use ckpt_trace::spec::WorkloadSpec;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let spec = WorkloadSpec::google_like(scale.jobs()).with_priority_flips();
-    let s = setup_with(spec, seed_from_env());
-    let opts = RunOptions::default();
-
-    let dynamic_cfg = PolicyConfig::formula3().with_adaptivity(true);
-    let static_cfg = PolicyConfig::formula3(); // keeps the start-of-task schedule
-    let dynamic = s.sample_only(&run_trace(&s.trace, &s.estimates, &dynamic_cfg, opts));
-    let fixed = s.sample_only(&run_trace(&s.trace, &s.estimates, &static_cfg, opts));
-
-    let e_dyn = wpr_ecdf(&dynamic).expect("non-empty");
-    let e_sta = wpr_ecdf(&fixed).expect("non-empty");
-    let mut table = Table::new(vec![
-        "algorithm",
-        "jobs",
-        "avg WPR",
-        "worst WPR",
-        "p5 WPR",
-        "P(WPR<0.8)",
-    ]);
-    table.row(vec![
-        "dynamic (Algorithm 1)".to_string(),
-        dynamic.len().to_string(),
-        f(mean_wpr(&dynamic)),
-        f(e_dyn.min()),
-        f(e_dyn.quantile(0.05)),
-        f(e_dyn.cdf(0.8)),
-    ]);
-    table.row(vec![
-        "static".to_string(),
-        fixed.len().to_string(),
-        f(mean_wpr(&fixed)),
-        f(e_sta.min()),
-        f(e_sta.quantile(0.05)),
-        f(e_sta.cdf(0.8)),
-    ]);
-    table.print("Figure 14(a): dynamic vs static WPR under mid-run priority flips (paper: worst ~0.8 vs ~0.5)");
-    table.write_csv("fig14_summary").expect("write CSV");
-
-    println!(
-        "\n{}",
-        ascii_cdf(&e_dyn.points(80), 64, 12, "WPR CDF — dynamic")
-    );
-    println!(
-        "{}",
-        ascii_cdf(&e_sta.points(80), 64, 12, "WPR CDF — static")
-    );
-
-    // (b) per-job wall-clock ratio dynamic/static.
-    let pairs = paired_wall_clock(&dynamic, &fixed);
-    let similar = pairs
-        .iter()
-        .filter(|(_, r, _)| (*r - 1.0).abs() <= 0.02)
-        .count();
-    let faster10 = pairs.iter().filter(|(_, r, _)| *r <= 0.90).count();
-    println!(
-        "wall-clock ratio (dynamic/static): {:.1} % of jobs within ±2 %, {:.1} % faster by ≥10 % under dynamic \
-         (paper: 67 % similar, >21 % faster by 10 %)",
-        100.0 * similar as f64 / pairs.len() as f64,
-        100.0 * faster10 as f64 / pairs.len() as f64
-    );
-
-    let mut csv: Vec<Vec<f64>> = Vec::new();
-    for (w_dyn, w_sta) in wprs(&dynamic).iter().zip(wprs(&fixed).iter()) {
-        csv.push(vec![*w_dyn, *w_sta]);
-    }
-    write_series_csv("fig14_dynamic", &["wpr_dynamic", "wpr_static"], &csv).expect("write CSV");
-    println!("CSV written to results/fig14_dynamic.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("fig14_dynamic")
 }

@@ -1,87 +1,6 @@
-//! **Table 2** — cost of checkpointing multiple 160 MB tasks
-//! simultaneously on local ramdisk vs a central NFS server, parallel degree
-//! X = 1..5, min/avg/max over 25 repetitions (the paper's methodology).
-//!
-//! Paper values (avg): ramdisk stays ≈ 0.58–0.81 s at all degrees; NFS
-//! climbs 1.67 → 2.67 → 5.38 → 6.25 → 8.95 s — "the increased checkpointing
-//! cost over NFS is due to the network congestion on NFS servers".
-//!
-//! Re-expressed through `ckpt-scenario`: the table is the 10-cell grid in
-//! `specs/exp_table2_simultaneous.toml` (device × degree) evaluated by the
-//! `contention` engine — jittered checkpoint demands on a processor-sharing
-//! NFS server, with each cell's jitter drawn from an RNG stream derived
-//! from `(seed, cell index)` so the table is identical at any thread count.
+//! Legacy shim for the registered `table2_simultaneous` experiment — prefer
+//! `cloud-ckpt exp run table2_simultaneous`.
 
-use ckpt_bench::harness::seed_from_env;
-use ckpt_bench::report::{f, results_dir, Table};
-use ckpt_scenario::{run_sweep, write_outputs, MetricSummary, SweepOptions, SweepSpec};
-use ckpt_sim::blcr::Device;
-use std::collections::HashMap;
-
-const SPEC: &str = include_str!("../../../../specs/exp_table2_simultaneous.toml");
-
-fn main() {
-    let mut sweep = SweepSpec::from_str(SPEC).expect("bundled spec parses");
-    sweep.base.seed = seed_from_env();
-
-    let result = run_sweep(&sweep, SweepOptions::default()).expect("sweep runs");
-
-    // duration_s summary keyed by (device, degree).
-    let mut dur: HashMap<(Device, usize), MetricSummary> = HashMap::new();
-    for cell in &result.cells {
-        let scen = sweep.cell(cell.index).expect("cell in grid");
-        let s = cell
-            .metrics
-            .iter()
-            .find(|(n, _)| *n == "duration_s")
-            .expect("duration metric")
-            .1;
-        dur.insert((scen.device, scen.degree), s);
-    }
-
-    let mut table = Table::new(vec!["type", "stat", "X=1", "X=2", "X=3", "X=4", "X=5"]);
-    for device in [Device::Ramdisk, Device::CentralNfs] {
-        let label = match device {
-            Device::Ramdisk => "ramdisk",
-            _ => "NFS",
-        };
-        let col = |pick: &dyn Fn(&MetricSummary) -> f64| -> Vec<String> {
-            (1..=5usize)
-                .map(|x| {
-                    let s = dur.get(&(device, x)).unwrap_or_else(|| {
-                        panic!(
-                            "specs/exp_table2_simultaneous.toml no longer covers \
-                             device {device:?} degree {x}"
-                        )
-                    });
-                    f(pick(s))
-                })
-                .collect()
-        };
-        for (stat, pick) in [
-            (
-                "min",
-                &(|s: &MetricSummary| s.min) as &dyn Fn(&MetricSummary) -> f64,
-            ),
-            ("avg", &|s: &MetricSummary| s.mean),
-            ("max", &|s: &MetricSummary| s.max),
-        ] {
-            let cells = col(pick);
-            table.row(vec![
-                label.to_string(),
-                stat.into(),
-                cells[0].clone(),
-                cells[1].clone(),
-                cells[2].clone(),
-                cells[3].clone(),
-                cells[4].clone(),
-            ]);
-        }
-    }
-    table.print("Table 2: simultaneous checkpointing cost, 160 MB (paper avg: ramdisk 0.58-0.81 s flat; NFS 1.67 -> 8.95 s)");
-    table.write_csv("table2_simultaneous").expect("write CSV");
-
-    write_outputs(&sweep, &result, results_dir()).expect("write sweep outputs");
-    println!("\nCSV written to results/table2_simultaneous.csv");
-    println!("sweep grid written to results/table2_simultaneous_cells.csv (+ JSON summary)");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("table2_simultaneous")
 }

@@ -1,64 +1,6 @@
-//! **Table 3** — cost of simultaneously checkpointing tasks over the
-//! paper's distributively-managed NFS (DM-NFS): every host runs its own NFS
-//! server and each checkpoint picks one uniformly at random.
-//!
-//! Paper: "the checkpointing cost is always limited within 2 seconds even
-//! with simultaneous checkpointing, which means a much higher scalability"
-//! (avg 1.49–1.75 s across parallel degrees 1–5 at 160 MB).
+//! Legacy shim for the registered `table3_dmnfs` experiment — prefer
+//! `cloud-ckpt exp run table3_dmnfs`.
 
-use ckpt_bench::harness::seed_from_env;
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::blcr::{BlcrModel, Device};
-use ckpt_sim::storage::{OpId, StorageBank};
-use ckpt_sim::time::SimTime;
-use ckpt_stats::rng::{Rng64, Xoshiro256StarStar};
-use ckpt_stats::summary::OnlineStats;
-
-const MEM_MB: f64 = 160.0;
-const REPS: usize = 25;
-const N_HOSTS: usize = 32; // the paper's testbed
-
-fn main() {
-    let blcr = BlcrModel;
-    let mut rng = Xoshiro256StarStar::new(seed_from_env() ^ 0xD31F5);
-
-    let mut rows: Vec<Vec<String>> = vec![
-        vec!["DM-NFS".into(), "min".into()],
-        vec!["DM-NFS".into(), "avg".into()],
-        vec!["DM-NFS".into(), "max".into()],
-    ];
-    for x in 1..=5usize {
-        let mut stats = OnlineStats::new();
-        for _ in 0..REPS {
-            let mut bank = StorageBank::dm_nfs(N_HOSTS, 1.0);
-            let t0 = SimTime::ZERO;
-            // Random server per op — the paper's DM-NFS policy.
-            let picks: Vec<usize> = (0..x)
-                .map(|_| rng.next_range(N_HOSTS as u64) as usize)
-                .collect();
-            for (i, &srv) in picks.iter().enumerate() {
-                let demand = blcr.checkpoint_cost_jittered(Device::DmNfs, MEM_MB, &mut rng);
-                bank.server_mut(srv).add(t0, OpId(i as u64), demand);
-            }
-            // Drain every server independently.
-            for srv in 0..N_HOSTS {
-                let mut now = t0;
-                while let Some((op, when)) = bank.server(srv).next_completion(now) {
-                    bank.server_mut(srv).remove(when, op);
-                    stats.add(when.as_secs_f64());
-                    now = when;
-                }
-            }
-        }
-        rows[0].push(f(stats.min()));
-        rows[1].push(f(stats.mean()));
-        rows[2].push(f(stats.max()));
-    }
-    let mut table = Table::new(vec!["type", "stat", "X=1", "X=2", "X=3", "X=4", "X=5"]);
-    for r in rows {
-        table.row(r);
-    }
-    table.print("Table 3: simultaneous checkpointing over DM-NFS, 160 MB (paper: avg 1.49-1.75 s, max <= 1.97 s)");
-    table.write_csv("table3_dmnfs").expect("write CSV");
-    println!("\nCSV written to results/table3_dmnfs.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("table3_dmnfs")
 }

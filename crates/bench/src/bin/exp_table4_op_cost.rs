@@ -1,46 +1,6 @@
-//! **Table 4** — time cost of a single checkpoint operation over shared
-//! disk vs task memory size. The paper measures 0.33 s at 10.3 MB up to
-//! 6.83 s at 240 MB; our cost model interpolates exactly through those
-//! measurements, and this binary regenerates the table (plus interpolated
-//! midpoints as evidence of the model's shape).
+//! Legacy shim for the registered `table4_op_cost` experiment — prefer
+//! `cloud-ckpt exp run table4_op_cost`.
 
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::blcr::BlcrModel;
-
-fn main() {
-    let blcr = BlcrModel;
-    // The paper's measured points.
-    let paper: [(f64, f64); 12] = [
-        (10.3, 0.33),
-        (22.3, 0.42),
-        (42.3, 0.60),
-        (46.3, 0.66),
-        (82.4, 1.46),
-        (86.4, 1.75),
-        (90.4, 2.09),
-        (94.4, 2.34),
-        (162.0, 3.68),
-        (174.0, 4.95),
-        (212.0, 5.47),
-        (240.0, 6.83),
-    ];
-    let mut table = Table::new(vec!["memory(MB)", "paper op time(s)", "model op time(s)"]);
-    for (mem, t_paper) in paper {
-        table.row(vec![
-            format!("{mem}"),
-            f(t_paper),
-            f(blcr.shared_op_time(mem)),
-        ]);
-    }
-    // Interpolated midpoints (not in the paper's table).
-    for mem in [60.0, 120.0, 200.0] {
-        table.row(vec![
-            format!("{mem}"),
-            "-".into(),
-            f(blcr.shared_op_time(mem)),
-        ]);
-    }
-    table.print("Table 4: single checkpoint operation time over shared disk");
-    table.write_csv("table4_op_cost").expect("write CSV");
-    println!("\nCSV written to results/table4_op_cost.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("table4_op_cost")
 }

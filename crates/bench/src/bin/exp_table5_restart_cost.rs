@@ -1,49 +1,6 @@
-//! **Table 5** — task restarting cost by migration type over memory size.
-//!
-//! Migration type A (checkpoint in the failed host's ramdisk, must be moved
-//! before restart) vs type B (checkpoint on shared disk). Paper: A is
-//! "much higher" — 0.71–5.69 s vs 0.37–2.4 s over 10–240 MB. This binary
-//! regenerates the table from the cost model and reprints the §4.2.2
-//! worked example that decides between the two.
+//! Legacy shim for the registered `table5_restart_cost` experiment — prefer
+//! `cloud-ckpt exp run table5_restart_cost`.
 
-use ckpt_bench::report::{f, Table};
-use ckpt_policy::storage::{choose_storage, DeviceCosts};
-use ckpt_sim::blcr::{BlcrModel, Migration};
-
-fn main() {
-    let blcr = BlcrModel;
-    let mems = [10.0, 20.0, 40.0, 80.0, 160.0, 240.0];
-    let paper_a = [0.71, 0.84, 1.23, 1.87, 3.22, 5.69];
-    let paper_b = [0.37, 0.49, 0.54, 0.86, 1.45, 2.4];
-
-    let mut table = Table::new(vec![
-        "memory(MB)",
-        "paper A(s)",
-        "model A(s)",
-        "paper B(s)",
-        "model B(s)",
-    ]);
-    for (i, &mem) in mems.iter().enumerate() {
-        table.row(vec![
-            format!("{mem}"),
-            f(paper_a[i]),
-            f(blcr.restart_cost(Migration::TypeA, mem)),
-            f(paper_b[i]),
-            f(blcr.restart_cost(Migration::TypeB, mem)),
-        ]);
-    }
-    table.print("Table 5: task restarting cost by migration type");
-    table.write_csv("table5_restart_cost").expect("write CSV");
-
-    // The paper's §4.2.2 worked example: Te=200 s, 160 MB, E(Y)=2.
-    let local = DeviceCosts::new(0.632, 3.22).expect("paper costs");
-    let shared = DeviceCosts::new(1.67, 1.45).expect("paper costs");
-    let (pick, cl, cs) = choose_storage(200.0, 2.0, local, shared).expect("valid inputs");
-    println!(
-        "\n§4.2.2 worked example: local total {} s vs shared total {} s -> pick {} (paper: 28.29 vs 37.78 -> local)",
-        f(cl),
-        f(cs),
-        pick.label()
-    );
-    println!("CSV written to results/table5_restart_cost.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("table5_restart_cost")
 }

@@ -1,69 +1,6 @@
-//! **Table 6** — checkpointing effect with *precise* prediction: both
-//! formulas are fed each task's true failure count / true mean interval
-//! (per-task oracle). Paper: the two are nearly tied — avg WPR 0.960 vs
-//! 0.954 (BoT), 0.937 vs 0.938 (ST), 0.949 vs 0.939 (mixture) — "with
-//! exact values, both approaches almost coincide as expected".
+//! Legacy shim for the registered `table6_precise` experiment — prefer
+//! `cloud-ckpt exp run table6_precise`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, Table};
-use ckpt_sim::metrics::{lowest_wpr, mean_wpr, with_structure};
-use ckpt_sim::{run_trace, EstimatorKind, PolicyConfig, RunOptions};
-use ckpt_trace::gen::JobStructure;
-
-fn main() {
-    // The paper's Table 6 analyses "all of 300k Google jobs" — the month
-    // scale (downscale with CKPT_SCALE=quick for CI).
-    let scale = Scale::from_env(Scale::Month);
-    let s = setup(scale, seed_from_env());
-    let opts = RunOptions::default();
-
-    let f3 = PolicyConfig::formula3().with_estimator(EstimatorKind::Oracle);
-    let yg = PolicyConfig::young().with_estimator(EstimatorKind::Oracle);
-    let recs_f3 = s.sample_only(&run_trace(&s.trace, &s.estimates, &f3, opts));
-    let recs_yg = s.sample_only(&run_trace(&s.trace, &s.estimates, &yg, opts));
-
-    let mut table = Table::new(vec![
-        "structure",
-        "avg WPR F3",
-        "lowest F3",
-        "avg WPR Young",
-        "lowest Young",
-        "paper avg F3",
-        "paper avg Young",
-    ]);
-    let paper = [
-        ("BoT", 0.960, 0.954),
-        ("ST", 0.937, 0.938),
-        ("Mix", 0.949, 0.939),
-    ];
-    for (label, p_f3, p_yg) in paper {
-        let (a, b): (Vec<_>, Vec<_>) = match label {
-            "BoT" => (
-                with_structure(&recs_f3, JobStructure::BagOfTasks),
-                with_structure(&recs_yg, JobStructure::BagOfTasks),
-            ),
-            "ST" => (
-                with_structure(&recs_f3, JobStructure::Sequential),
-                with_structure(&recs_yg, JobStructure::Sequential),
-            ),
-            _ => (recs_f3.clone(), recs_yg.clone()),
-        };
-        table.row(vec![
-            label.to_string(),
-            f(mean_wpr(&a)),
-            f(lowest_wpr(&a)),
-            f(mean_wpr(&b)),
-            f(lowest_wpr(&b)),
-            f(p_f3),
-            f(p_yg),
-        ]);
-    }
-    table.print("Table 6: WPR with precise (oracle) prediction — the formulas nearly coincide");
-    table.write_csv("table6_precise").expect("write CSV");
-    println!(
-        "\njobs: {} sample jobs of {} total",
-        recs_f3.len(),
-        s.trace.jobs.len()
-    );
-    println!("CSV written to results/table6_precise.csv");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("table6_precise")
 }

@@ -1,54 +1,6 @@
-//! **Table 7** — MNOF & MTBF with respect to job priority and task-length
-//! limit over the (synthetic) Google trace.
-//!
-//! Paper reference values (seconds): for priority 2, MNOF/MTBF go from
-//! 1.06/179 (length ≤ 1000 s) to 1.08/396 (≤ 3600 s) to 1.21/4199
-//! (unlimited) — MNOF is stable while MTBF inflates ~23×. Priority 10 is
-//! the failure-heavy monitoring tier (MNOF ≈ 11.9, MTBF ≈ 37 s).
+//! Legacy shim for the registered `table7_mnof_mtbf` experiment — prefer
+//! `cloud-ckpt exp run table7_mnof_mtbf`.
 
-use ckpt_bench::harness::{seed_from_env, setup, Scale};
-use ckpt_bench::report::{f, Table};
-use ckpt_trace::stats::estimator_from_records;
-
-fn main() {
-    let scale = Scale::from_env(Scale::Day);
-    let s = setup(scale, seed_from_env());
-    let est = estimator_from_records(&s.records);
-
-    let limits = [
-        (1000.0, "<=1000s"),
-        (3600.0, "<=3600s"),
-        (f64::INFINITY, "unlimited"),
-    ];
-    let mut table = Table::new(vec!["limit", "priority", "n_tasks", "MNOF", "MTBF(s)"]);
-    for (limit, label) in limits {
-        for p in est.priorities() {
-            if let Some(e) = est.estimate(p, limit) {
-                table.row(vec![
-                    label.to_string(),
-                    p.to_string(),
-                    e.n_tasks.to_string(),
-                    f(e.mnof),
-                    f(e.mtbf),
-                ]);
-            }
-        }
-    }
-    table.print("Table 7: MNOF & MTBF w.r.t. job priority (paper: MNOF stable, MTBF inflates with the limit)");
-    let path = table.write_csv("table7_mnof_mtbf").expect("write CSV");
-    println!("\nCSV written to {}", path.display());
-
-    // Headline check echoed for EXPERIMENTS.md: pooled inflation factor.
-    let short = est.estimate_pooled(1000.0).expect("short tasks exist");
-    let all = est.estimate_pooled(f64::INFINITY).expect("tasks exist");
-    println!(
-        "\npooled: MNOF {} -> {} ({}x) | MTBF {}s -> {}s ({}x)",
-        f(short.mnof),
-        f(all.mnof),
-        f(all.mnof / short.mnof),
-        f(short.mtbf),
-        f(all.mtbf),
-        f(all.mtbf / short.mtbf),
-    );
-    println!("paper (priority 2): MNOF 1.06 -> 1.21 (1.14x) | MTBF 179s -> 4199s (23.5x)");
+fn main() -> std::process::ExitCode {
+    ckpt_bench::shim_main("table7_mnof_mtbf")
 }

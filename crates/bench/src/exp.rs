@@ -1,0 +1,60 @@
+//! The typed experiment API: one trait every paper figure/table (and
+//! extension) implements, executed under a shared [`RunContext`] and
+//! producing a structured [`ExpOutput`] rendered by the shared frame
+//! writer — no bespoke `println!` paths.
+
+use ckpt_report::{ExpOutput, RunContext, Scale};
+
+/// Error from one experiment run (bad inputs, I/O, an invariant the
+/// experiment asserts about its own spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpError(pub String);
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for ExpError {}
+
+impl From<String> for ExpError {
+    fn from(s: String) -> Self {
+        ExpError(s)
+    }
+}
+impl From<&str> for ExpError {
+    fn from(s: &str) -> Self {
+        ExpError(s.to_string())
+    }
+}
+
+/// Result of one experiment run.
+pub type ExpResult = Result<ExpOutput, ExpError>;
+
+/// One experiment of the paper's evaluation section (or one of this
+/// repo's extensions): a stable id, the paper anchor, a one-line claim,
+/// and an execution entry point consuming the shared [`RunContext`].
+///
+/// Implementations are registered in [`crate::registry`] and reached
+/// through `cloud-ckpt exp list|run|all`; the legacy `exp_*` binaries are
+/// two-line shims over the same registry.
+pub trait Experiment: Sync {
+    /// Stable registry id — also the CLI name (`cloud-ckpt exp run <id>`)
+    /// and the prefix of the experiment's output frames.
+    fn id(&self) -> &'static str;
+
+    /// The paper figure/table this reproduces (e.g. `"Figure 9"`), or the
+    /// extension it builds on.
+    fn paper_ref(&self) -> &'static str;
+
+    /// One-line claim being reproduced or tested.
+    fn claim(&self) -> &'static str;
+
+    /// Scale used when neither `--scale` nor `CKPT_SCALE` picks one.
+    fn default_scale(&self) -> Scale {
+        Scale::Quick
+    }
+
+    /// Execute under the context, producing structured frames + notes.
+    fn run(&self, ctx: &RunContext) -> ExpResult;
+}

@@ -1,0 +1,80 @@
+//! **Extension** — the policy × checkpoint-cost acceptance grid: every
+//! checkpoint policy (Formula (3), Young, Daly, none) crossed with a
+//! geometric sweep of the per-checkpoint cost multiplier. The paper's
+//! qualitative claim — Formula (3) dominates and the gap widens as
+//! checkpoints get more expensive — as one declarative sweep
+//! (`specs/policy_x_ckpt_cost.toml`).
+
+use crate::exp::{ExpResult, Experiment};
+use ckpt_report::{row, ExpOutput, Frame, RunContext};
+use ckpt_scenario::{run_sweep_ctx, to_frame, SweepSpec};
+
+const SPEC: &str = include_str!("../../../../specs/policy_x_ckpt_cost.toml");
+
+/// Policy × checkpoint-cost acceptance-grid experiment.
+pub struct ExtPolicyCostGrid;
+
+impl Experiment for ExtPolicyCostGrid {
+    fn id(&self) -> &'static str {
+        "ext_policy_cost_grid"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figures 9-13 (extension grid)"
+    }
+    fn claim(&self) -> &'static str {
+        "Formula (3) dominates every policy across a 32x checkpoint-cost range"
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExpResult {
+        // run_sweep_ctx applies the context's seed, scale, and threads; the
+        // result records the effective seed for the export metadata.
+        let sweep = SweepSpec::from_str(SPEC).map_err(|e| e.to_string())?;
+        let result = run_sweep_ctx(&sweep, ctx).map_err(|e| e.to_string())?;
+
+        // Per-policy WPR across the cost axis (cells are row-major:
+        // policy-major order per the spec's axis listing).
+        let mut table = Frame::new(
+            "ext_policy_cost_grid",
+            vec![
+                "policy",
+                "ckpt_cost_scale",
+                "jobs",
+                "mean_wpr",
+                "p50_wpr",
+                "p99_wpr",
+            ],
+        )
+        .with_title(
+            "Extension: mean WPR per policy across a geometric checkpoint-cost sweep \
+             (failure-prone sample)",
+        );
+        for cell in &result.cells {
+            let wpr = cell
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "wpr")
+                .ok_or("sweep cell is missing the wpr metric")?
+                .1;
+            let param = |key: &str| {
+                cell.params
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            table.push_row(row![
+                param("policy"),
+                param("ckpt_cost_scale"),
+                wpr.count,
+                wpr.mean,
+                wpr.p50,
+                wpr.p99,
+            ]);
+        }
+
+        let mut out = ExpOutput::new();
+        out.push(table);
+        out.push(to_frame(&sweep, &result));
+        Ok(out)
+    }
+}

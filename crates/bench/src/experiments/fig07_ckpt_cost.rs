@@ -1,0 +1,116 @@
+//! **Figure 7** — total checkpointing cost vs number of checkpoints for
+//! memory sizes 10–240 MB: (a) over local ramdisk, (b) over NFS.
+//!
+//! Paper: "the task total checkpointing cost increases linearly with its
+//! consumed memory size and with the number of checkpoints"; per-checkpoint
+//! cost is 0.016–0.99 s (ramdisk) and 0.25–2.52 s (NFS) over 10–240 MB.
+//!
+//! Re-expressed through `ckpt-scenario`: the whole figure is the 60-cell
+//! grid in `specs/exp_fig07_ckpt_cost.toml` (device × memsize ×
+//! n_checkpoints) evaluated by the `ckpt-cost` engine; this experiment only
+//! formats the cells into the paper's two panels. A cross-check against
+//! the BLCR model asserts the sweep reproduces the direct computation
+//! exactly.
+
+use crate::exp::{ExpResult, Experiment};
+use crate::report::f;
+use ckpt_report::{ExpOutput, Frame, RunContext, Value};
+use ckpt_scenario::{run_sweep_ctx, to_frame, SweepSpec};
+use ckpt_sim::blcr::{BlcrModel, Device};
+
+const SPEC: &str = include_str!("../../../../specs/exp_fig07_ckpt_cost.toml");
+
+/// Figure 7 experiment.
+pub struct Fig07CkptCost;
+
+impl Experiment for Fig07CkptCost {
+    fn id(&self) -> &'static str {
+        "fig07_ckpt_cost"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 7"
+    }
+    fn claim(&self) -> &'static str {
+        "Total checkpointing cost grows linearly with memory size and checkpoint count"
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExpResult {
+        // run_sweep_ctx applies the context's seed, scale, and threads; the
+        // result records the effective seed for the export metadata.
+        let sweep = SweepSpec::from_str(SPEC).map_err(|e| e.to_string())?;
+        let result = run_sweep_ctx(&sweep, ctx).map_err(|e| e.to_string())?;
+
+        // total_cost_s keyed by (device, mem, n).
+        let mut cost = std::collections::HashMap::new();
+        for cell in &result.cells {
+            let scen = sweep.cell(cell.index).map_err(|e| e.to_string())?;
+            let total = cell
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "total_cost_s")
+                .ok_or("sweep cell is missing the total_cost_s metric")?
+                .1
+                .mean;
+            cost.insert((scen.device, scen.mem_mb as u64, scen.n_checkpoints), total);
+        }
+
+        let blcr = BlcrModel;
+        let mem_sizes = [10u64, 20, 40, 80, 160, 240];
+        let mut out = ExpOutput::new();
+        for (panel, device) in [
+            ("a", "local ramdisk", Device::Ramdisk),
+            ("b", "NFS", Device::CentralNfs),
+        ]
+        .map(|(p, l, d)| (format!("{p}: {l}"), d))
+        {
+            let mut table = Frame::new(
+                &format!(
+                    "fig07_ckpt_cost_{}",
+                    match device {
+                        Device::Ramdisk => "ramdisk",
+                        _ => "nfs",
+                    }
+                ),
+                vec!["memsize_mb", "n=1", "n=2", "n=3", "n=4", "n=5"],
+            )
+            .with_title(format!(
+                "Figure 7({panel}): total checkpointing cost (s) vs number of checkpoints"
+            ));
+            for &mem in &mem_sizes {
+                let mut cells = vec![Value::from(mem)];
+                for n in 1..=5u32 {
+                    // The panel layout mirrors the paper; a missing key
+                    // means the bundled spec no longer covers it.
+                    let total = *cost.get(&(device, mem, n)).ok_or_else(|| {
+                        format!(
+                            "specs/exp_fig07_ckpt_cost.toml no longer covers \
+                             device {device:?} mem {mem} n {n}"
+                        )
+                    })?;
+                    // The sweep must reproduce the model exactly.
+                    if total != blcr.checkpoint_cost(device, mem as f64) * n as f64 {
+                        return Err(format!(
+                            "sweep cell (device {device:?}, mem {mem}, n {n}) \
+                             diverged from the BLCR model"
+                        )
+                        .into());
+                    }
+                    cells.push(Value::Num(total));
+                }
+                table.push_row(cells);
+            }
+            out.push(table);
+        }
+
+        out.push(to_frame(&sweep, &result));
+        out.note(format!(
+            "endpoints check — ramdisk 10 MB: {} s (paper 0.016), 240 MB: {} s (paper 0.99); \
+             NFS 10 MB: {} s (paper 0.25), 240 MB: {} s (paper 2.52)",
+            f(blcr.checkpoint_cost(Device::Ramdisk, 10.0)),
+            f(blcr.checkpoint_cost(Device::Ramdisk, 240.0)),
+            f(blcr.checkpoint_cost(Device::CentralNfs, 10.0)),
+            f(blcr.checkpoint_cost(Device::CentralNfs, 240.0)),
+        ));
+        Ok(out)
+    }
+}

@@ -1,0 +1,93 @@
+//! **Figure 8** — CDFs of the sample jobs' memory size and execution
+//! length, split by structure (ST / BoT / mixture).
+//!
+//! Paper observation: "job memory sizes and lengths differ significantly
+//! according to job structures; however, most jobs are short jobs with
+//! small memory sizes."
+
+use crate::exp::{ExpResult, Experiment};
+use crate::harness::{setup_ctx, Scale};
+use ckpt_report::{row, ExpOutput, Frame, RunContext};
+use ckpt_stats::ecdf::Ecdf;
+use ckpt_trace::gen::JobStructure;
+
+/// Figure 8 experiment.
+pub struct Fig08JobDist;
+
+impl Experiment for Fig08JobDist {
+    fn id(&self) -> &'static str {
+        "fig08_job_dist"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 8"
+    }
+    fn claim(&self) -> &'static str {
+        "Sample-job memory/length depend on structure; most jobs are short and small"
+    }
+    fn default_scale(&self) -> Scale {
+        Scale::Day
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExpResult {
+        let s = setup_ctx(ctx);
+
+        // The paper plots the *sample jobs* (its failure-prone selection).
+        let classes: [(&str, Option<JobStructure>); 3] = [
+            ("ST", Some(JobStructure::Sequential)),
+            ("BoT", Some(JobStructure::BagOfTasks)),
+            ("mixture", None),
+        ];
+
+        let mut summary = Frame::new(
+            "fig08_summary",
+            vec![
+                "class",
+                "jobs",
+                "med_mem_mb",
+                "p95_mem_mb",
+                "med_len_h",
+                "p95_len_h",
+            ],
+        )
+        .with_title(
+            "Figure 8: sample-job memory sizes and lengths \
+             (paper: most jobs short with small memory)",
+        );
+        let mut cdf = Frame::new("fig08_job_dist", vec!["class", "metric", "x", "cdf"]);
+        for (label, structure) in classes.iter() {
+            let jobs: Vec<_> = s
+                .trace
+                .jobs
+                .iter()
+                .filter(|j| s.sample_jobs.contains(&j.id))
+                .filter(|j| structure.map(|st| j.structure == st).unwrap_or(true))
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            let mems: Vec<f64> = jobs.iter().map(|j| j.max_mem()).collect();
+            let lens: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
+            let em = Ecdf::new(&mems).map_err(|e| e.to_string())?;
+            let el = Ecdf::new(&lens).map_err(|e| e.to_string())?;
+            summary.push_row(row![
+                *label,
+                jobs.len(),
+                em.quantile(0.5),
+                em.quantile(0.95),
+                el.quantile(0.5) / 3600.0,
+                el.quantile(0.95) / 3600.0,
+            ]);
+            for (x, q) in em.points(64) {
+                cdf.push_row(row![*label, "mem_mb", x, q]);
+            }
+            for (x, q) in el.points(64) {
+                cdf.push_row(row![*label, "len_s", x, q]);
+            }
+        }
+
+        let mut out = ExpOutput::new();
+        out.push(summary);
+        out.push(cdf);
+        Ok(out)
+    }
+}

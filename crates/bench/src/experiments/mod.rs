@@ -1,0 +1,29 @@
+//! The experiment library: one module per paper figure/table (plus the
+//! repo's extensions), each implementing [`crate::exp::Experiment`] and
+//! registered in [`crate::registry`].
+//!
+//! Modules produce [`ckpt_report::ExpOutput`] frames only — rendering is
+//! the shared writer's job, so there is no `println!` table code here.
+
+pub mod cluster_validation;
+pub mod ext_bootstrap;
+pub mod ext_host_failures;
+pub mod ext_penalty;
+pub mod ext_policy_cost_grid;
+pub mod ext_random_ckpt;
+pub mod fig04_interval_cdf;
+pub mod fig05_mle_fit;
+pub mod fig07_ckpt_cost;
+pub mod fig08_job_dist;
+pub mod fig09_wpr_cdf;
+pub mod fig10_wpr_priority;
+pub mod fig11_wpr_restricted;
+pub mod fig12_wallclock;
+pub mod fig13_paired;
+pub mod fig14_dynamic;
+pub mod table2_simultaneous;
+pub mod table3_dmnfs;
+pub mod table4_op_cost;
+pub mod table5_restart_cost;
+pub mod table6_precise;
+pub mod table7_mnof_mtbf;

@@ -1,0 +1,87 @@
+//! **Table 3** — cost of simultaneously checkpointing tasks over the
+//! paper's distributively-managed NFS (DM-NFS): every host runs its own NFS
+//! server and each checkpoint picks one uniformly at random.
+//!
+//! Paper: "the checkpointing cost is always limited within 2 seconds even
+//! with simultaneous checkpointing, which means a much higher scalability"
+//! (avg 1.49–1.75 s across parallel degrees 1–5 at 160 MB).
+
+use crate::exp::{ExpResult, Experiment};
+use ckpt_report::{ExpOutput, Frame, RunContext, Value};
+use ckpt_sim::blcr::{BlcrModel, Device};
+use ckpt_sim::storage::{OpId, StorageBank};
+use ckpt_sim::time::SimTime;
+use ckpt_stats::rng::{Rng64, Xoshiro256StarStar};
+use ckpt_stats::summary::OnlineStats;
+
+const MEM_MB: f64 = 160.0;
+const REPS: usize = 25;
+const N_HOSTS: usize = 32; // the paper's testbed
+const SEED_SALT: u64 = 0xD31F5;
+
+/// Table 3 experiment.
+pub struct Table3DmNfs;
+
+impl Experiment for Table3DmNfs {
+    fn id(&self) -> &'static str {
+        "table3_dmnfs"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 3"
+    }
+    fn claim(&self) -> &'static str {
+        "DM-NFS keeps simultaneous checkpointing cost within ~2 s at every degree"
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExpResult {
+        let blcr = BlcrModel;
+        let mut rng = Xoshiro256StarStar::new(ctx.salted_seed(SEED_SALT));
+
+        let mut rows: Vec<Vec<Value>> = vec![
+            vec![Value::from("DM-NFS"), Value::from("min")],
+            vec![Value::from("DM-NFS"), Value::from("avg")],
+            vec![Value::from("DM-NFS"), Value::from("max")],
+        ];
+        for x in 1..=5usize {
+            let mut stats = OnlineStats::new();
+            for _ in 0..REPS {
+                let mut bank = StorageBank::dm_nfs(N_HOSTS, 1.0);
+                let t0 = SimTime::ZERO;
+                // Random server per op — the paper's DM-NFS policy.
+                let picks: Vec<usize> = (0..x)
+                    .map(|_| rng.next_range(N_HOSTS as u64) as usize)
+                    .collect();
+                for (i, &srv) in picks.iter().enumerate() {
+                    let demand = blcr.checkpoint_cost_jittered(Device::DmNfs, MEM_MB, &mut rng);
+                    bank.server_mut(srv).add(t0, OpId(i as u64), demand);
+                }
+                // Drain every server independently.
+                for srv in 0..N_HOSTS {
+                    let mut now = t0;
+                    while let Some((op, when)) = bank.server(srv).next_completion(now) {
+                        bank.server_mut(srv).remove(when, op);
+                        stats.add(when.as_secs_f64());
+                        now = when;
+                    }
+                }
+            }
+            rows[0].push(Value::Num(stats.min()));
+            rows[1].push(Value::Num(stats.mean()));
+            rows[2].push(Value::Num(stats.max()));
+        }
+        let mut table = Frame::new(
+            "table3_dmnfs",
+            vec!["type", "stat", "X=1", "X=2", "X=3", "X=4", "X=5"],
+        )
+        .with_title(
+            "Table 3: simultaneous checkpointing over DM-NFS, 160 MB \
+             (paper: avg 1.49-1.75 s, max <= 1.97 s)",
+        );
+        for r in rows {
+            table.push_row(r);
+        }
+        let mut out = ExpOutput::new();
+        out.push(table);
+        Ok(out)
+    }
+}

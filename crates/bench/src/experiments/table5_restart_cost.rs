@@ -1,0 +1,73 @@
+//! **Table 5** — task restarting cost by migration type over memory size.
+//!
+//! Migration type A (checkpoint in the failed host's ramdisk, must be moved
+//! before restart) vs type B (checkpoint on shared disk). Paper: A is
+//! "much higher" — 0.71–5.69 s vs 0.37–2.4 s over 10–240 MB. This
+//! experiment regenerates the table from the cost model and reprints the
+//! §4.2.2 worked example that decides between the two.
+
+use crate::exp::{ExpResult, Experiment};
+use crate::report::f;
+use ckpt_policy::storage::{choose_storage, DeviceCosts};
+use ckpt_report::{row, ExpOutput, Frame, RunContext};
+use ckpt_sim::blcr::{BlcrModel, Migration};
+
+/// Table 5 experiment.
+pub struct Table5RestartCost;
+
+impl Experiment for Table5RestartCost {
+    fn id(&self) -> &'static str {
+        "table5_restart_cost"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 5"
+    }
+    fn claim(&self) -> &'static str {
+        "Type-A (ramdisk) restarts cost much more than type-B (shared disk) restarts"
+    }
+
+    fn run(&self, _ctx: &RunContext) -> ExpResult {
+        let blcr = BlcrModel;
+        let mems = [10.0, 20.0, 40.0, 80.0, 160.0, 240.0];
+        let paper_a = [0.71, 0.84, 1.23, 1.87, 3.22, 5.69];
+        let paper_b = [0.37, 0.49, 0.54, 0.86, 1.45, 2.4];
+
+        let mut table = Frame::new(
+            "table5_restart_cost",
+            vec![
+                "memory_mb",
+                "paper_a_s",
+                "model_a_s",
+                "paper_b_s",
+                "model_b_s",
+            ],
+        )
+        .with_title("Table 5: task restarting cost by migration type");
+        for (i, &mem) in mems.iter().enumerate() {
+            table.push_row(row![
+                mem,
+                paper_a[i],
+                blcr.restart_cost(Migration::TypeA, mem),
+                paper_b[i],
+                blcr.restart_cost(Migration::TypeB, mem),
+            ]);
+        }
+
+        let mut out = ExpOutput::new();
+        out.push(table);
+
+        // The paper's §4.2.2 worked example: Te=200 s, 160 MB, E(Y)=2.
+        let local = DeviceCosts::new(0.632, 3.22).map_err(|e| e.to_string())?;
+        let shared = DeviceCosts::new(1.67, 1.45).map_err(|e| e.to_string())?;
+        let (pick, cl, cs) =
+            choose_storage(200.0, 2.0, local, shared).map_err(|e| e.to_string())?;
+        out.note(format!(
+            "§4.2.2 worked example: local total {} s vs shared total {} s -> pick {} \
+             (paper: 28.29 vs 37.78 -> local)",
+            f(cl),
+            f(cs),
+            pick.label()
+        ));
+        Ok(out)
+    }
+}

@@ -1,5 +1,9 @@
 //! Shared experiment setup: standard trace scales, estimates, and the
 //! paper's sample-job selection.
+//!
+//! Scale, seeding, and environment resolution live in [`ckpt_report`]
+//! (re-exported here) so every layer — experiments, sweeps, CLI — shares
+//! one [`RunContext`].
 
 use ckpt_sim::policy::Estimates;
 use ckpt_trace::gen::{generate, Trace};
@@ -7,49 +11,7 @@ use ckpt_trace::spec::WorkloadSpec;
 use ckpt_trace::stats::{failure_prone_jobs, trace_histories, TaskRecord};
 use std::collections::HashSet;
 
-/// Default seed used by every experiment (override with `CKPT_SEED`).
-pub const DEFAULT_SEED: u64 = 20130217;
-
-/// Experiment scale, controlling trace sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// CI-sized: quick sanity run (a few hundred jobs).
-    Quick,
-    /// The paper's one-day experiment (~10k jobs).
-    Day,
-    /// The paper's month-scale analysis (large; used by Table 6 / Fig 9-10).
-    Month,
-}
-
-impl Scale {
-    /// Number of jobs at this scale.
-    pub fn jobs(&self) -> usize {
-        match self {
-            Scale::Quick => 800,
-            Scale::Day => 10_000,
-            Scale::Month => 100_000,
-        }
-    }
-
-    /// Resolve from the `CKPT_SCALE` environment variable
-    /// (`quick` / `day` / `month`), defaulting to `default`.
-    pub fn from_env(default: Scale) -> Scale {
-        match std::env::var("CKPT_SCALE").ok().as_deref() {
-            Some("quick") => Scale::Quick,
-            Some("day") => Scale::Day,
-            Some("month") => Scale::Month,
-            _ => default,
-        }
-    }
-}
-
-/// Seed from `CKPT_SEED` or the default.
-pub fn seed_from_env() -> u64 {
-    std::env::var("CKPT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
+pub use ckpt_report::{seed_from_env, RunContext, Scale, DEFAULT_SEED};
 
 /// A fully prepared experiment context.
 pub struct Setup {
@@ -66,6 +28,11 @@ pub struct Setup {
 /// Prepare a standard Google-like workload at the given scale.
 pub fn setup(scale: Scale, seed: u64) -> Setup {
     setup_with(WorkloadSpec::google_like(scale.jobs()), seed)
+}
+
+/// Prepare a standard workload from a [`RunContext`] (its scale + seed).
+pub fn setup_ctx(ctx: &RunContext) -> Setup {
+    setup(ctx.scale, ctx.seed)
 }
 
 /// Prepare with a custom spec (e.g. priority flips for Figure 14).
@@ -106,8 +73,20 @@ mod tests {
     }
 
     #[test]
-    fn scale_env_parsing() {
-        assert_eq!(Scale::from_env(Scale::Quick), Scale::Quick);
+    fn setup_ctx_matches_explicit_setup() {
+        let ctx = RunContext::new(Scale::Quick).with_seed(1);
+        let a = setup_ctx(&ctx);
+        let b = setup(Scale::Quick, 1);
+        assert_eq!(a.trace.jobs.len(), b.trace.jobs.len());
+        assert_eq!(a.sample_jobs, b.sample_jobs);
+    }
+
+    #[test]
+    fn scale_env_parsing_is_strict() {
+        // Unset → default; the strictness itself is covered in
+        // ckpt-report (environment mutation is not thread-safe in tests).
+        assert_eq!(Scale::from_env(Scale::Quick).unwrap(), Scale::Quick);
         assert_eq!(Scale::Day.jobs(), 10_000);
+        assert!(Scale::parse("huge").is_err());
     }
 }

@@ -1,16 +1,29 @@
-//! # ckpt-bench — experiment harness for the SC'13 reproduction
+//! # ckpt-bench — the experiment library for the SC'13 reproduction
 //!
-//! This crate contains no library logic of its own; it hosts:
+//! Every figure/table of the paper's evaluation section (plus this
+//! repo's extensions) is a typed, registered [`exp::Experiment`]:
 //!
-//! * `src/bin/exp_*` — one binary per table and figure in the paper's
-//!   evaluation section, each printing paper-reported values next to our
-//!   measured values and writing CSV into `results/`.
-//! * `benches/` — criterion micro/meso benchmarks of the policy math, the
-//!   statistics substrate, the DES engine, and the end-to-end replay, plus
-//!   the ablation benches listed in DESIGN.md §5.
+//! * [`exp`] — the `Experiment` trait (`id()`, `paper_ref()`, `claim()`,
+//!   `run(&RunContext) -> ExpOutput`).
+//! * [`registry`] — the static list of all 22 experiments, the lookup
+//!   functions, and the shims backing the legacy `exp_*` binaries.
+//! * [`experiments`] — one module per experiment; each produces
+//!   structured [`ckpt_report::Frame`]s rendered by the shared writer
+//!   (CSV / JSON / aligned table) — no bespoke `println!` paths.
+//! * [`harness`] — shared trace setup; scale/seed/context types are
+//!   re-exported from [`ckpt_report`].
+//! * `benches/` — criterion micro/meso benchmarks of the policy math,
+//!   the statistics substrate, the DES engine, and the end-to-end replay.
 //!
-//! Shared helpers for the experiment binaries live in [`report`] and
-//! [`harness`].
+//! The first-class front end is `cloud-ckpt exp list|run|all`; the
+//! `src/bin/exp_*` binaries remain as two-line shims for backward
+//! compatibility.
 
+pub mod exp;
+pub mod experiments;
 pub mod harness;
+pub mod registry;
 pub mod report;
+
+pub use exp::{ExpError, ExpResult, Experiment};
+pub use registry::{shim_all, shim_main};

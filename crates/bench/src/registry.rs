@@ -1,0 +1,185 @@
+//! The static experiment registry: every paper figure/table (plus the
+//! repo's extensions) as one addressable, machine-readable list — the
+//! single source behind `cloud-ckpt exp list|run|all` and the legacy
+//! `exp_*` binary shims.
+
+use crate::exp::Experiment;
+use crate::experiments::*;
+use ckpt_report::{row, Frame, RunContext, Sink};
+use std::process::ExitCode;
+
+/// Every registered experiment, in the paper's presentation order
+/// (figures/tables first, then the extensions).
+pub static EXPERIMENTS: &[&dyn Experiment] = &[
+    &fig04_interval_cdf::Fig04IntervalCdf,
+    &fig05_mle_fit::Fig05MleFit,
+    &fig07_ckpt_cost::Fig07CkptCost,
+    &table2_simultaneous::Table2Simultaneous,
+    &table3_dmnfs::Table3DmNfs,
+    &table4_op_cost::Table4OpCost,
+    &table5_restart_cost::Table5RestartCost,
+    &table7_mnof_mtbf::Table7MnofMtbf,
+    &fig08_job_dist::Fig08JobDist,
+    &table6_precise::Table6Precise,
+    &fig09_wpr_cdf::Fig09WprCdf,
+    &fig10_wpr_priority::Fig10WprPriority,
+    &fig11_wpr_restricted::Fig11WprRestricted,
+    &fig12_wallclock::Fig12Wallclock,
+    &fig13_paired::Fig13Paired,
+    &fig14_dynamic::Fig14Dynamic,
+    &cluster_validation::ClusterValidation,
+    &ext_penalty::ExtPenalty,
+    &ext_random_ckpt::ExtRandomCkpt,
+    &ext_host_failures::ExtHostFailures,
+    &ext_bootstrap::ExtBootstrap,
+    &ext_policy_cost_grid::ExtPolicyCostGrid,
+];
+
+/// All experiments, in registry order.
+pub fn all() -> &'static [&'static dyn Experiment] {
+    EXPERIMENTS
+}
+
+/// Look an experiment up by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    EXPERIMENTS.iter().copied().find(|e| e.id() == id)
+}
+
+/// All registered ids, in registry order.
+pub fn ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|e| e.id()).collect()
+}
+
+/// The catalog as a frame: id, paper anchor, default scale, claim.
+pub fn catalog() -> Frame {
+    let mut frame = Frame::new(
+        "experiment_catalog",
+        vec!["id", "paper_ref", "default_scale", "claim"],
+    )
+    .with_title("Registered experiments (cloud-ckpt exp run <id>)")
+    .with_meta("count", EXPERIMENTS.len().to_string());
+    for e in EXPERIMENTS {
+        frame.push_row(row![
+            e.id(),
+            e.paper_ref(),
+            e.default_scale().label(),
+            e.claim()
+        ]);
+    }
+    frame
+}
+
+/// Entry point for the legacy `exp_*` binaries: resolve the environment
+/// (`CKPT_SCALE`, `CKPT_SEED`; unknown values are hard errors) at the
+/// experiment's default scale, run it, print tables to stdout, and write
+/// CSV frames under `results/`. This matches the historical binaries
+/// except that the sweep-backed ones no longer write the superseded
+/// `results/<name>_summary.json` companion — the cells CSV (and
+/// `cloud-ckpt exp run <id> --format json`) carry the same data.
+pub fn shim_main(id: &str) -> ExitCode {
+    let Some(exp) = find(id) else {
+        eprintln!("error: experiment {id:?} is not registered");
+        return ExitCode::FAILURE;
+    };
+    let ctx = match RunContext::from_env(exp.default_scale()) {
+        Ok(ctx) => ctx.with_sink(Sink::table().with_dir(crate::report::results_dir())),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_and_emit(exp, &ctx) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Entry point for the legacy `all_experiments` binary: run the whole
+/// registry in order (in process — no subprocess relaunching), banner per
+/// experiment, non-zero exit if any failed.
+pub fn shim_all() -> ExitCode {
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n################################################################");
+        println!("# {}  ({})", exp.id(), exp.paper_ref());
+        println!("################################################################");
+        let ctx = match RunContext::from_env(exp.default_scale()) {
+            Ok(ctx) => ctx.with_sink(Sink::table().with_dir(crate::report::results_dir())),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = run_and_emit(*exp, &ctx) {
+            eprintln!("{} failed: {e}", exp.id());
+            failures.push(exp.id());
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs in results/");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        ExitCode::FAILURE
+    }
+}
+
+/// Run one experiment and emit its output through the context's sink;
+/// reports the files written (table format only).
+pub fn run_and_emit(exp: &dyn Experiment, ctx: &RunContext) -> Result<(), String> {
+    let output = exp.run(ctx).map_err(|e| e.to_string())?;
+    let paths = ctx.sink.emit(&output).map_err(|e| e.to_string())?;
+    if ctx.sink.format == ckpt_report::Format::Table && !ctx.sink.quiet {
+        for p in &paths {
+            println!("wrote {}", p.display());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_has_22_unique_ids() {
+        let ids = ids();
+        assert_eq!(ids.len(), 22, "{ids:?}");
+        let set: HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len(), "duplicate experiment ids");
+    }
+
+    #[test]
+    fn every_experiment_has_paper_ref_and_claim() {
+        for e in all() {
+            assert!(!e.paper_ref().is_empty(), "{} paper_ref empty", e.id());
+            assert!(!e.claim().is_empty(), "{} claim empty", e.id());
+            assert!(
+                e.id()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{} id not snake_case",
+                e.id()
+            );
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_id_and_rejects_unknown() {
+        for id in ids() {
+            assert_eq!(find(id).unwrap().id(), id);
+        }
+        assert!(find("fig99_nope").is_none());
+    }
+
+    #[test]
+    fn catalog_frame_covers_the_registry() {
+        let frame = catalog();
+        assert_eq!(frame.rows.len(), EXPERIMENTS.len());
+        assert_eq!(frame.columns[0], "id");
+    }
+}

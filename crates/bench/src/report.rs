@@ -1,13 +1,15 @@
-//! Shared output helpers for the experiment binaries: aligned text tables on
-//! stdout and CSV files under `results/`.
+//! Presentation helpers for the experiment library: the results
+//! directory, compact float formatting for text cells, and ASCII CDF
+//! plots. All tabular output goes through the shared frame writer in
+//! [`ckpt_report`] — there is no bespoke table/CSV code left here.
 
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Where experiment CSVs land. Resolves `results/` relative to the workspace
-/// root (two levels up from this crate's manifest when run via cargo), or the
-/// current directory as a fallback.
+pub use ckpt_report::compact_f64 as f;
+
+/// Where experiment outputs land. Resolves `results/` relative to the
+/// workspace root (two levels up from this crate's manifest when run via
+/// cargo), or the current directory as a fallback.
 pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = <workspace>/crates/bench at compile time.
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -16,116 +18,6 @@ pub fn results_dir() -> PathBuf {
         .and_then(Path::parent)
         .unwrap_or(Path::new("."));
     root.join("results")
-}
-
-/// A simple aligned text table builder for experiment reports.
-#[derive(Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Start a table with the given column headers.
-    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Append one row (must match the header arity; checked at print time).
-    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
-        self.rows.push(cells.into_iter().map(Into::into).collect());
-        self
-    }
-
-    /// Render with aligned columns.
-    pub fn render(&self) -> String {
-        let ncols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate().take(ncols) {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                let w = widths.get(i).copied().unwrap_or(cell.len());
-                line.push_str(&format!("{cell:<w$}"));
-            }
-            line.push('\n');
-            line
-        };
-        out.push_str(&fmt_row(&self.header, &widths));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-        }
-        out
-    }
-
-    /// Print to stdout with a title banner.
-    pub fn print(&self, title: &str) {
-        println!("\n=== {title} ===");
-        print!("{}", self.render());
-    }
-
-    /// Write the table as CSV to `results/<name>.csv`; returns the path.
-    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
-        let dir = results_dir();
-        fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{name}.csv"));
-        let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", self.header.join(","))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
-        }
-        Ok(path)
-    }
-}
-
-/// Write `(x, y...)` series data as CSV to `results/<name>.csv`.
-pub fn write_series_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<f64>],
-) -> std::io::Result<PathBuf> {
-    let dir = results_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path)?;
-    writeln!(f, "{}", header.join(","))?;
-    for row in rows {
-        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
-        writeln!(f, "{}", line.join(","))?;
-    }
-    Ok(path)
-}
-
-/// Format a float compactly for table cells.
-pub fn f(v: f64) -> String {
-    if v.is_infinite() {
-        return "inf".to_string();
-    }
-    if v == 0.0 {
-        return "0".to_string();
-    }
-    let a = v.abs();
-    if a >= 1000.0 {
-        format!("{v:.0}")
-    } else if a >= 10.0 {
-        format!("{v:.2}")
-    } else {
-        format!("{v:.3}")
-    }
 }
 
 /// Render a compact ASCII CDF plot from `(x, F)` points (monotone in both).
@@ -156,16 +48,6 @@ pub fn ascii_cdf(points: &[(f64, f64)], width: usize, height: usize, label: &str
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new(vec!["a", "bb", "ccc"]);
-        t.row(vec!["1", "2", "3"]);
-        t.row(vec!["10", "20", "30"]);
-        let s = t.render();
-        assert!(s.contains("a   bb  ccc"));
-        assert_eq!(s.lines().count(), 4);
-    }
 
     #[test]
     fn float_formatting() {

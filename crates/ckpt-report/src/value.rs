@@ -1,0 +1,226 @@
+//! Typed frame cells and the deterministic scalar renderers shared by
+//! every output format in the workspace.
+
+/// One cell of a [`crate::Frame`] row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Free text (labels, policy names, file paths).
+    Text(String),
+    /// An exact integer (counts, ids, priorities).
+    Int(i64),
+    /// A measurement. Rendered with shortest-roundtrip precision in CSV,
+    /// as a JSON number (or `null` for non-finite values), and compactly
+    /// in aligned tables.
+    Num(f64),
+}
+
+impl Value {
+    /// Render for a CSV field (full precision, RFC-4180 quoting).
+    pub fn render_csv(&self) -> String {
+        match self {
+            Value::Text(s) => csv_field(s),
+            Value::Int(i) => i.to_string(),
+            Value::Num(v) => fmt_f64(*v),
+        }
+    }
+
+    /// Render as a JSON value (numbers stay numbers; NaN/inf become null).
+    pub fn render_json(&self) -> String {
+        match self {
+            Value::Text(s) => format!("\"{}\"", json_escape(s)),
+            Value::Int(i) => i.to_string(),
+            Value::Num(v) => json_num(*v),
+        }
+    }
+
+    /// Render for an aligned text table (compact float formatting).
+    pub fn render_cell(&self) -> String {
+        match self {
+            Value::Text(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Num(v) => compact_f64(*v),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u8> for Value {
+    fn from(v: u8) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        // Values past i64::MAX (64-bit hashes, extreme seeds) must not
+        // wrap negative; render them exactly as text instead.
+        match i64::try_from(v) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Text(v.to_string()),
+        }
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+
+/// Build a frame row from mixed cell types: `row!["ST", 42, 0.945]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::Value::from($v)),*]
+    };
+}
+
+/// Deterministic full-precision float rendering for CSV (shortest
+/// roundtrip, with explicit `NaN` / `inf` spellings).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON number rendering: JSON has no NaN/inf, so they become `null`.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// RFC-4180-style quoting for a CSV field: values containing the
+/// delimiter, quotes, or newlines (e.g. a path with a comma) are wrapped
+/// and escaped instead of silently shifting columns.
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float compactly for aligned table cells.
+pub fn compact_f64(v: f64) -> String {
+    if v.is_nan() {
+        return "-".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering_is_typed() {
+        assert_eq!(Value::from("a,b").render_csv(), "\"a,b\"");
+        assert_eq!(Value::from(3u32).render_csv(), "3");
+        assert_eq!(Value::from(0.1).render_csv(), "0.1");
+        assert_eq!(Value::Num(f64::NAN).render_csv(), "NaN");
+    }
+
+    #[test]
+    fn json_rendering_is_typed() {
+        assert_eq!(
+            Value::from("say \"hi\"").render_json(),
+            "\"say \\\"hi\\\"\""
+        );
+        assert_eq!(Value::from(3usize).render_json(), "3");
+        assert_eq!(Value::Num(f64::INFINITY).render_json(), "null");
+    }
+
+    #[test]
+    fn compact_formatting() {
+        assert_eq!(compact_f64(0.0), "0");
+        assert_eq!(compact_f64(1234.0), "1234");
+        assert_eq!(compact_f64(12.345), "12.35");
+        assert_eq!(compact_f64(0.6321), "0.632");
+        assert_eq!(compact_f64(f64::INFINITY), "inf");
+        assert_eq!(compact_f64(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn u64_past_i64_max_renders_exactly_as_text() {
+        assert_eq!(Value::from(u64::MAX), Value::Text(u64::MAX.to_string()));
+        assert_eq!(Value::from(u64::MAX).render_csv(), "18446744073709551615");
+        assert_eq!(Value::from(3u64), Value::Int(3));
+    }
+
+    #[test]
+    fn row_macro_mixes_types() {
+        let r = row!["x", 1u64, 2.5];
+        assert_eq!(
+            r,
+            vec![Value::Text("x".into()), Value::Int(1), Value::Num(2.5)]
+        );
+    }
+}

@@ -39,6 +39,14 @@ pub struct SweepOptions {
     pub threads: usize,
 }
 
+impl From<&ckpt_report::RunContext> for SweepOptions {
+    fn from(ctx: &ckpt_report::RunContext) -> Self {
+        SweepOptions {
+            threads: ctx.threads,
+        }
+    }
+}
+
 /// One evaluated grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
@@ -55,6 +63,10 @@ pub struct CellResult {
 pub struct SweepResult {
     /// Sweep name (from the spec).
     pub name: String,
+    /// The base seed the sweep actually ran with — recorded here so
+    /// export metadata stays truthful even when a [`run_sweep_ctx`]
+    /// context overrode the spec's own seed.
+    pub seed: u64,
     /// Evaluated cells, index-ordered.
     pub cells: Vec<CellResult>,
 }
@@ -329,6 +341,19 @@ fn evaluate_cell(
     })
 }
 
+/// Run a sweep under a shared [`ckpt_report::RunContext`]: the context's
+/// seed replaces the spec's base seed, its scale sets the base job count
+/// (trace engines; per-cell axes still win, and analytic engines ignore
+/// it), and its thread budget drives the executor — so a sweep cell and a
+/// standalone experiment are controlled by one `(seed, scale, threads)`
+/// triple.
+pub fn run_sweep_ctx(
+    sweep: &SweepSpec,
+    ctx: &ckpt_report::RunContext,
+) -> Result<SweepResult, SweepError> {
+    run_sweep(&sweep.contextualized(ctx), SweepOptions::from(ctx))
+}
+
 /// Run every cell of a sweep, in parallel, deterministically.
 pub fn run_sweep(sweep: &SweepSpec, options: SweepOptions) -> Result<SweepResult, SweepError> {
     let n = sweep.grid_size();
@@ -371,6 +396,7 @@ pub fn run_sweep(sweep: &SweepSpec, options: SweepOptions) -> Result<SweepResult
     }
     Ok(SweepResult {
         name: sweep.name.clone(),
+        seed: sweep.base.seed,
         cells,
     })
 }
@@ -402,6 +428,25 @@ mod tests {
             assert!(wpr.count > 0, "cell {i} aggregated no jobs");
             assert!(wpr.mean > 0.0 && wpr.mean <= 1.0);
         }
+    }
+
+    #[test]
+    fn run_context_drives_seed_scale_and_threads() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let ctx = ckpt_report::RunContext::new(ckpt_report::Scale::Quick)
+            .with_seed(9)
+            .with_threads(2);
+        let via_ctx = run_sweep_ctx(&sweep, &ctx).unwrap();
+        // The context reproduces a direct run whose spec carries the
+        // context's seed and scale-derived job count.
+        let mut patched = sweep.clone();
+        patched.base.seed = 9;
+        patched.base.jobs = ckpt_report::Scale::Quick.jobs();
+        let direct = run_sweep(&patched, SweepOptions { threads: 2 }).unwrap();
+        assert_eq!(via_ctx.cells, direct.cells);
+        // A different context seed changes the replay.
+        let other = run_sweep_ctx(&sweep, &ctx.clone().with_seed(10)).unwrap();
+        assert_ne!(via_ctx.cells, other.cells);
     }
 
     #[test]

@@ -1,158 +1,65 @@
-//! Sweep exports: a long-format per-cell CSV and a structured JSON
-//! summary, both rendered deterministically (shortest-roundtrip float
-//! formatting, cells in grid order) so outputs are byte-identical across
-//! runs and thread counts.
+//! Sweep exports, rebuilt on the workspace's shared output frame: the
+//! per-cell long-format table becomes a [`ckpt_report::Frame`] and every
+//! rendering (CSV file, JSON summary, stdout table) goes through the one
+//! deterministic writer in `ckpt-report` — so a sweep cell and a
+//! standalone experiment share a single export path, byte-identical
+//! across runs and thread counts.
 
-use crate::agg::MetricSummary;
 use crate::exec::SweepResult;
 use crate::sweep::SweepSpec;
-use std::io::Write as _;
+use ckpt_report::{Frame, Value};
 use std::path::{Path, PathBuf};
 
-fn fmt_f64(v: f64) -> String {
-    if v.is_nan() {
-        "NaN".to_string()
-    } else if v.is_infinite() {
-        if v > 0.0 {
-            "inf".to_string()
-        } else {
-            "-inf".to_string()
-        }
-    } else {
-        format!("{v}")
+/// Build the long-format cells frame: one row per `(cell, metric)` with
+/// the axis assignments as leading columns, plus sweep identity metadata
+/// (engine, seed, grid size, axes).
+pub fn to_frame(spec: &SweepSpec, result: &SweepResult) -> Frame {
+    let mut columns: Vec<String> = vec!["cell".to_string()];
+    columns.extend(spec.axes.iter().map(|a| a.param.clone()));
+    for metric_col in ["metric", "count", "mean", "p50", "p99", "min", "max"] {
+        columns.push(metric_col.to_string());
     }
-}
-
-/// RFC-4180-style quoting for a CSV field: values containing the
-/// delimiter, quotes, or newlines (e.g. a `trace_file` path with a comma)
-/// are wrapped and escaped instead of silently shifting columns.
-fn csv_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
-}
-
-/// Render the per-cell CSV: one row per `(cell, metric)` with the axis
-/// assignments as leading columns.
-pub fn csv_string(spec: &SweepSpec, result: &SweepResult) -> String {
-    let mut out = String::new();
-    out.push_str("cell");
-    for axis in &spec.axes {
-        out.push(',');
-        out.push_str(&csv_field(&axis.param));
-    }
-    out.push_str(",metric,count,mean,p50,p99,min,max\n");
+    let axes: Vec<String> = spec
+        .axes
+        .iter()
+        .map(|a| format!("{}({})", a.param, a.values.len()))
+        .collect();
+    let mut frame = Frame::new(&format!("{}_cells", result.name), columns)
+        .with_title(format!("sweep {}", result.name))
+        .with_meta("engine", spec.base.engine.label())
+        // The seed the run actually used (a RunContext may have
+        // overridden the spec's), so the metadata is reproducible.
+        .with_meta("seed", result.seed.to_string())
+        .with_meta("grid_size", spec.grid_size().to_string())
+        .with_meta("axes", axes.join(" x "));
     for cell in &result.cells {
         for (metric, s) in &cell.metrics {
-            out.push_str(&cell.index.to_string());
-            for (_, rendered) in &cell.params {
-                out.push(',');
-                out.push_str(&csv_field(rendered));
+            let mut row: Vec<Value> = vec![Value::from(cell.index)];
+            row.extend(
+                cell.params
+                    .iter()
+                    .map(|(_, rendered)| Value::from(rendered.clone())),
+            );
+            row.push(Value::from(*metric));
+            row.push(Value::from(s.count));
+            for v in [s.mean, s.p50, s.p99, s.min, s.max] {
+                row.push(Value::Num(v));
             }
-            out.push_str(&format!(
-                ",{metric},{},{},{},{},{},{}\n",
-                s.count,
-                fmt_f64(s.mean),
-                fmt_f64(s.p50),
-                fmt_f64(s.p99),
-                fmt_f64(s.min),
-                fmt_f64(s.max),
-            ));
+            frame.push_row(row);
         }
     }
-    out
+    frame
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+/// Render the per-cell CSV (the cells frame as CSV).
+pub fn csv_string(spec: &SweepSpec, result: &SweepResult) -> String {
+    to_frame(spec, result).to_csv()
 }
 
-fn json_num(v: f64) -> String {
-    // JSON has no NaN/inf; export them as null.
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_metric(s: &MetricSummary) -> String {
-    format!(
-        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
-        s.count,
-        json_num(s.mean),
-        json_num(s.p50),
-        json_num(s.p99),
-        json_num(s.min),
-        json_num(s.max),
-    )
-}
-
-/// Render the JSON summary: sweep identity, axes, and every cell's params
-/// and metrics.
+/// Render the JSON summary (the cells frame as a self-describing JSON
+/// document).
 pub fn json_string(spec: &SweepSpec, result: &SweepResult) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(&result.name)));
-    out.push_str(&format!(
-        "  \"engine\": \"{}\",\n",
-        spec.base.engine.label()
-    ));
-    out.push_str(&format!("  \"seed\": {},\n", spec.base.seed));
-    out.push_str(&format!("  \"grid_size\": {},\n", spec.grid_size()));
-    out.push_str("  \"axes\": [");
-    for (i, axis) in spec.axes.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        let values: Vec<String> = axis
-            .values
-            .iter()
-            .map(|v| format!("\"{}\"", json_escape(&v.render())))
-            .collect();
-        out.push_str(&format!(
-            "{{\"param\": \"{}\", \"values\": [{}]}}",
-            json_escape(&axis.param),
-            values.join(", ")
-        ));
-    }
-    out.push_str("],\n");
-    out.push_str("  \"cells\": [\n");
-    for (i, cell) in result.cells.iter().enumerate() {
-        let params: Vec<String> = cell
-            .params
-            .iter()
-            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
-            .collect();
-        let metrics: Vec<String> = cell
-            .metrics
-            .iter()
-            .map(|(name, s)| format!("\"{name}\": {}", json_metric(s)))
-            .collect();
-        out.push_str(&format!(
-            "    {{\"index\": {}, \"params\": {{{}}}, \"metrics\": {{{}}}}}{}\n",
-            cell.index,
-            params.join(", "),
-            metrics.join(", "),
-            if i + 1 < result.cells.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    to_frame(spec, result).to_json()
 }
 
 /// Write `<out_dir>/<name>_cells.csv` and `<out_dir>/<name>_summary.json`;
@@ -166,8 +73,8 @@ pub fn write_outputs(
     std::fs::create_dir_all(dir)?;
     let csv_path = dir.join(format!("{}_cells.csv", result.name));
     let json_path = dir.join(format!("{}_summary.json", result.name));
-    std::fs::File::create(&csv_path)?.write_all(csv_string(spec, result).as_bytes())?;
-    std::fs::File::create(&json_path)?.write_all(json_string(spec, result).as_bytes())?;
+    std::fs::write(&csv_path, csv_string(spec, result))?;
+    std::fs::write(&json_path, json_string(spec, result))?;
     Ok((csv_path, json_path))
 }
 
@@ -203,24 +110,21 @@ mod tests {
     }
 
     #[test]
-    fn json_is_structurally_sound() {
+    fn json_is_the_shared_frame_document() {
         let sweep = SweepSpec::from_str(SPEC).unwrap();
         let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
         let json = json_string(&sweep, &result);
-        assert!(json.contains("\"grid_size\": 4"));
+        assert!(json.contains("\"name\": \"export_test_cells\""));
         assert!(json.contains("\"engine\": \"ckpt-cost\""));
-        assert_eq!(json.matches("\"index\":").count(), 4);
+        assert!(json.contains("\"grid_size\": \"4\""));
+        assert!(json.contains("\"axes\": \"device(2) x n_checkpoints(2)\""));
+        // 4 cells × 2 metrics = 8 data rows.
+        let frame = to_frame(&sweep, &result);
+        assert_eq!(frame.rows.len(), 8);
         // Balanced braces/brackets (cheap structural sanity without a
         // JSON dependency).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-    }
-
-    #[test]
-    fn csv_fields_with_delimiters_are_quoted() {
-        assert_eq!(csv_field("plain"), "plain");
-        assert_eq!(csv_field("runs/a,v2.csv"), "\"runs/a,v2.csv\"");
-        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 
     #[test]
@@ -243,9 +147,7 @@ mod tests {
             std::fs::read_to_string(&csv).unwrap(),
             csv_string(&sweep, &result)
         );
-        assert!(std::fs::read_to_string(&json)
-            .unwrap()
-            .contains("\"cells\""));
+        assert!(std::fs::read_to_string(&json).unwrap().contains("\"rows\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -20,7 +20,13 @@
 //!   filters share a single replay.
 //! * [`agg`] — streaming per-cell reduction to mean/p50/p99/min/max
 //!   summaries.
-//! * [`export`] — deterministic CSV and JSON renderers/writers.
+//! * [`export`] — the per-cell results as a shared [`ckpt_report::Frame`],
+//!   rendered by the workspace's one deterministic CSV/JSON/table writer.
+//!
+//! Sweeps also run under a shared [`ckpt_report::RunContext`]
+//! (seed + scale + threads + sink) via [`run_sweep_ctx`], so a sweep cell
+//! and a registered `ckpt-bench` experiment share one execution and
+//! export path.
 //!
 //! ## Example: a policy × checkpoint-cost grid
 //!
@@ -56,7 +62,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use agg::MetricSummary;
-pub use exec::{run_sweep, CellResult, SweepOptions, SweepResult};
-pub use export::{csv_string, json_string, write_outputs};
+pub use exec::{run_sweep, run_sweep_ctx, CellResult, SweepOptions, SweepResult};
+pub use export::{csv_string, json_string, to_frame, write_outputs};
 pub use spec::{EngineKind, SampleFilter, ScenarioSpec, WorkloadTweaks};
 pub use sweep::{Axis, SweepError, SweepSpec};

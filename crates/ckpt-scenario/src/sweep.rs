@@ -117,6 +117,19 @@ fn snap(v: f64) -> f64 {
 }
 
 impl SweepSpec {
+    /// The spec with a [`ckpt_report::RunContext`] applied: the context's
+    /// seed replaces the base seed and its scale sets the base job count
+    /// (per-cell axes still win; analytic engines ignore jobs).
+    /// [`crate::exec::run_sweep_ctx`] applies this itself, and the
+    /// returned [`crate::exec::SweepResult`] records the effective seed,
+    /// so export metadata stays truthful without extra caller work.
+    pub fn contextualized(&self, ctx: &ckpt_report::RunContext) -> SweepSpec {
+        let mut spec = self.clone();
+        spec.base.seed = ctx.seed;
+        spec.base.jobs = ctx.scale.jobs();
+        spec
+    }
+
     /// Parse a sweep from spec text (the TOML subset of [`crate::parse`]).
     ///
     /// Layout: `[sweep]` (name/engine/seed/jobs/threads), `[scenario]`,

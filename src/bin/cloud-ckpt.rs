@@ -4,17 +4,21 @@
 //! ```text
 //! cloud-ckpt plan     --te 441 --ckpt-cost 1 --mnof 2 [--mtbf 179]
 //! cloud-ckpt generate --jobs 2000 --seed 7 --out trace.csv [--flips]
-//! cloud-ckpt replay   --trace trace.csv --policy formula3 [...]
+//! cloud-ckpt replay   --trace trace.csv --policy formula3 [--format json]
 //! cloud-ckpt replay   --jobs 2000 --seed 7 --policy young  (generate inline)
 //! cloud-ckpt sweep    --spec grid.toml [--threads 8] [--out results]
+//! cloud-ckpt exp      list | run <id...> | all   (the experiment registry)
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every subcommand
-//! prints `--help`-style usage on bad input.
+//! declares the exact flags it accepts, so typos, duplicates, and unknown
+//! flags are hard errors instead of inert map entries.
 
+use cloud_ckpt::bench::registry;
 use cloud_ckpt::policy::daly::daly_interval_count;
 use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
 use cloud_ckpt::policy::young::{young_interval, young_interval_count};
+use cloud_ckpt::report::{row, ExpOutput, Format, Frame, RunContext, Scale, Sink};
 use cloud_ckpt::scenario::{run_sweep, write_outputs, SweepOptions, SweepSpec};
 use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
 use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
@@ -38,36 +42,126 @@ USAGE:
 
   cloud-ckpt replay (--trace <file.csv> | --jobs <n> [--seed <u64>]) \\
                     [--policy formula3|young|daly|none] [--adaptive] \\
-                    [--estimator oracle|priority|global] [--limit <s>] [--threads <n>]
-      Replay a trace under a policy and print WPR statistics.
+                    [--estimator oracle|priority|global] [--limit <s>] [--threads <n>] \\
+                    [--format table|csv|json]
+      Replay a trace under a policy and report WPR statistics through the
+      shared frame writer.
 
   cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--out <dir>]
       Expand a declarative sweep spec into a scenario grid, evaluate every
       cell in parallel, and write per-cell CSV + JSON summaries.
 
+  cloud-ckpt exp list [--format table|csv|json]
+      List every registered experiment (id, paper figure/table, claim).
+
+  cloud-ckpt exp run <id...> [--scale quick|day|month] [--seed <u64>] \\
+                     [--format table|csv|json] [--out <dir>] [--threads <n>] [--deny-empty]
+      Run one or more registered experiments; frames go to stdout in the
+      chosen format and, with --out, to one file per frame.
+
+  cloud-ckpt exp all [same flags as exp run]
+      Run the whole registry in paper order.
+
   cloud-ckpt help
       Show this message.
 ";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// The exact flags one subcommand accepts.
+struct FlagSpec {
+    /// Flags that take a value (`--key value`).
+    value: &'static [&'static str],
+    /// Boolean flags (`--key`).
+    boolean: &'static [&'static str],
+}
+
+const PLAN_FLAGS: FlagSpec = FlagSpec {
+    value: &["te", "ckpt-cost", "mnof", "mtbf", "restart-cost"],
+    boolean: &[],
+};
+const GENERATE_FLAGS: FlagSpec = FlagSpec {
+    value: &["jobs", "seed", "out"],
+    boolean: &["flips"],
+};
+const REPLAY_FLAGS: FlagSpec = FlagSpec {
+    value: &[
+        "trace",
+        "jobs",
+        "seed",
+        "policy",
+        "estimator",
+        "limit",
+        "threads",
+        "format",
+    ],
+    boolean: &["adaptive"],
+};
+const SWEEP_FLAGS: FlagSpec = FlagSpec {
+    value: &["spec", "threads", "out"],
+    boolean: &[],
+};
+const EXP_LIST_FLAGS: FlagSpec = FlagSpec {
+    value: &["format"],
+    boolean: &[],
+};
+const EXP_RUN_FLAGS: FlagSpec = FlagSpec {
+    value: &["scale", "seed", "format", "out", "threads"],
+    boolean: &["deny-empty"],
+};
+
+/// Parse `--flag [value]` arguments against a subcommand's flag spec.
+/// Duplicate flags are errors; unknown flags are collected and reported
+/// together, naming the accepted set.
+fn parse_flags(args: &[String], spec: &FlagSpec) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
+    let mut unknown: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
-        // Boolean flags take no value.
-        if matches!(key, "flips" | "adaptive") {
-            map.insert(key.to_string(), "true".to_string());
-            i += 1;
+        let is_bool = spec.boolean.contains(&key);
+        let is_value = spec.value.contains(&key);
+        if !is_bool && !is_value {
+            unknown.push(format!("--{key}"));
+            // Skip a trailing value so every unknown flag is reported.
+            if args.get(i + 1).is_some_and(|v| !v.starts_with("--")) {
+                i += 2;
+            } else {
+                i += 1;
+            }
             continue;
         }
-        let Some(value) = args.get(i + 1) else {
-            return Err(format!("flag --{key} needs a value"));
-        };
-        map.insert(key.to_string(), value.clone());
-        i += 2;
+        if map.contains_key(key) {
+            return Err(format!("duplicate flag --{key}"));
+        }
+        if is_bool {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            // A following `--flag` token is a forgotten value, not a
+            // value: swallowing it would silently drop the next flag.
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => return Err(format!("flag --{key} needs a value")),
+            };
+            map.insert(key.to_string(), value);
+            i += 2;
+        }
+    }
+    if !unknown.is_empty() {
+        let accepted: Vec<String> = spec
+            .value
+            .iter()
+            .chain(spec.boolean.iter())
+            .map(|f| format!("--{f}"))
+            .collect();
+        return Err(format!(
+            "unknown flag{} {} (accepted: {})",
+            if unknown.len() > 1 { "s" } else { "" },
+            unknown.join(", "),
+            accepted.join(", ")
+        ));
     }
     Ok(map)
 }
@@ -90,6 +184,13 @@ fn opt<T: std::str::FromStr>(
         Some(v) => v
             .parse()
             .map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+    }
+}
+
+fn format_flag(flags: &HashMap<String, String>) -> Result<Format, String> {
+    match flags.get("format") {
+        None => Ok(Format::Table),
+        Some(f) => Format::parse(f).map_err(|e| format!("flag --format: {e}")),
     }
 }
 
@@ -126,7 +227,7 @@ fn cmd_plan(flags: HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
     let jobs: usize = need(&flags, "jobs")?;
-    let seed: u64 = opt(&flags, "seed", 20130217)?;
+    let seed: u64 = opt(&flags, "seed", cloud_ckpt::report::DEFAULT_SEED)?;
     let out: String = need(&flags, "out")?;
     let mut spec = WorkloadSpec::google_like(jobs);
     if flags.contains_key("flips") {
@@ -147,7 +248,7 @@ fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
         export::read_csv(path).map_err(|e| e.to_string())
     } else {
         let jobs: usize = need(flags, "jobs")?;
-        let seed: u64 = opt(flags, "seed", 20130217)?;
+        let seed: u64 = opt(flags, "seed", cloud_ckpt::report::DEFAULT_SEED)?;
         Ok(generate(&WorkloadSpec::google_like(jobs), seed))
     }
 }
@@ -155,6 +256,7 @@ fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
 fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
     let trace = load_trace(&flags)?;
     let limit: f64 = opt(&flags, "limit", f64::INFINITY)?;
+    let format = format_flag(&flags)?;
     let estimator = match flags.get("estimator").map(String::as_str) {
         None | Some("priority") => EstimatorKind::PerPriority { limit },
         Some("oracle") => EstimatorKind::Oracle,
@@ -180,26 +282,49 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
         .into_iter()
         .filter(|r| sample.contains(&r.job_id))
         .collect();
-    if recs.is_empty() {
+    let Some(e) = wpr_ecdf(&recs) else {
         return Err("no failure-prone sample jobs in this trace".into());
-    }
-    let e = wpr_ecdf(&recs).expect("non-empty");
-    println!(
-        "policy {} | estimator {:?} | {} sample jobs of {}",
+    };
+
+    // One summary frame, rendered by the shared writer: the replay report
+    // is machine-readable in every format, like any registered experiment.
+    let mut frame = Frame::new(
+        "replay_summary",
+        vec![
+            "policy",
+            "estimator",
+            "sample_jobs",
+            "total_jobs",
+            "avg WPR",
+            "st_wpr",
+            "bot_wpr",
+            "p_wpr_below_088",
+            "p_wpr_above_095",
+            "min_wpr",
+            "med_wpr",
+        ],
+    )
+    .with_title(format!(
+        "replay: policy {} | estimator {:?}",
         cfg.kind.label(),
-        cfg.estimator,
+        cfg.estimator
+    ));
+    frame.push_row(row![
+        cfg.kind.label(),
+        format!("{:?}", cfg.estimator),
         recs.len(),
-        trace.jobs.len()
-    );
-    println!("  avg WPR        {:.4}", mean_wpr(&recs));
-    println!(
-        "  ST / BoT WPR   {:.4} / {:.4}",
+        trace.jobs.len(),
+        mean_wpr(&recs),
         mean_wpr(&with_structure(&recs, JobStructure::Sequential)),
-        mean_wpr(&with_structure(&recs, JobStructure::BagOfTasks))
-    );
-    println!("  P(WPR < 0.88)  {:.3}", e.cdf(0.88));
-    println!("  P(WPR > 0.95)  {:.3}", 1.0 - e.cdf(0.95));
-    println!("  min / med      {:.4} / {:.4}", e.min(), e.quantile(0.5));
+        mean_wpr(&with_structure(&recs, JobStructure::BagOfTasks)),
+        e.cdf(0.88),
+        1.0 - e.cdf(0.95),
+        e.min(),
+        e.quantile(0.5),
+    ]);
+    let mut out = ExpOutput::new();
+    out.push(frame);
+    Sink::new(format).emit(&out).map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -274,6 +399,160 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Run one or more registered experiments under flags shared by
+/// `exp run` and `exp all`.
+fn run_experiments(ids: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    // Resolve every id up front so one typo fails before hours of work.
+    let mut exps = Vec::new();
+    let mut unknown = Vec::new();
+    for id in ids {
+        match registry::find(id) {
+            Some(e) => exps.push(e),
+            None => unknown.push(id.as_str()),
+        }
+    }
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown experiment id(s): {} (see `cloud-ckpt exp list`)",
+            unknown.join(", ")
+        ));
+    }
+
+    let format = format_flag(flags)?;
+    let deny_empty = flags.contains_key("deny-empty");
+    let threads: usize = opt(flags, "threads", 0)?;
+    // Files keep full precision: table stdout pairs with CSV files (the
+    // legacy binary behavior); csv/json stdout pairs with same-format files.
+    let mut sink = Sink::new(format);
+    if format == Format::Table {
+        sink = sink.with_file_format(Format::Csv);
+    }
+    if let Some(dir) = flags.get("out") {
+        sink = sink.with_dir(dir);
+    }
+
+    // JSON stdout must stay one parseable document even for `exp all`:
+    // frames accumulate (tagged with their experiment id) and are emitted
+    // once at the end. A failing experiment doesn't abort the batch —
+    // later experiments still run and completed frames still land;
+    // failures are collected and reported together (non-zero exit).
+    let mut combined = ExpOutput::new();
+    let mut failures: Vec<String> = Vec::new();
+    for exp in &exps {
+        // Environment first (hard errors on bad CKPT_SCALE / CKPT_SEED),
+        // then explicit flags override.
+        let mut ctx = RunContext::from_env(exp.default_scale())?.with_threads(threads);
+        if let Some(s) = flags.get("scale") {
+            ctx.scale = Scale::parse(s).map_err(|e| format!("flag --scale: {e}"))?;
+        }
+        if let Some(s) = flags.get("seed") {
+            ctx.seed = s
+                .parse()
+                .map_err(|_| format!("flag --seed: cannot parse {s:?}"))?;
+        }
+        ctx.sink = sink.clone();
+
+        if exps.len() > 1 && format == Format::Table {
+            println!("\n### {} ({})", exp.id(), exp.paper_ref());
+        }
+        let output = match exp.run(&ctx) {
+            Ok(output) => output,
+            Err(e) => {
+                eprintln!("error: {}: {e}", exp.id());
+                failures.push(format!("{}: {e}", exp.id()));
+                continue;
+            }
+        };
+        if deny_empty {
+            let empty = if output.frames.is_empty() {
+                Some("produced no frames".to_string())
+            } else {
+                output
+                    .frames
+                    .iter()
+                    .find(|f| f.is_empty())
+                    .map(|f| format!("frame {:?} is empty", f.name))
+            };
+            if let Some(why) = empty {
+                eprintln!("error: {}: {why}", exp.id());
+                failures.push(format!("{}: {why}", exp.id()));
+                continue;
+            }
+        }
+        if format == Format::Json {
+            for mut frame in output.frames {
+                frame.metadata.push(("experiment".into(), exp.id().into()));
+                combined.push(frame);
+            }
+            for note in output.notes {
+                combined.note(if exps.len() > 1 {
+                    format!("{}: {note}", exp.id())
+                } else {
+                    note
+                });
+            }
+        } else {
+            let paths = ctx.sink.emit(&output).map_err(|e| e.to_string())?;
+            if format == Format::Table {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+        }
+    }
+    if format == Format::Json {
+        sink.emit(&combined).map_err(|e| e.to_string())?;
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {} experiment(s) failed: {}",
+            failures.len(),
+            exps.len(),
+            failures.join("; ")
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_exp(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first().map(String::as_str) else {
+        return Err("exp needs a subcommand: list | run <id...> | all".into());
+    };
+    match sub {
+        "list" => {
+            let flags = parse_flags(&args[1..], &EXP_LIST_FLAGS)?;
+            let format = format_flag(&flags)?;
+            let mut out = ExpOutput::new();
+            out.push(registry::catalog());
+            Sink::new(format).emit(&out).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "run" => {
+            let mut ids = Vec::new();
+            let mut rest = 1;
+            while rest < args.len() && !args[rest].starts_with("--") {
+                ids.push(args[rest].clone());
+                rest += 1;
+            }
+            if ids.is_empty() {
+                return Err(
+                    "exp run needs at least one experiment id (see `cloud-ckpt exp list`)".into(),
+                );
+            }
+            let flags = parse_flags(&args[rest..], &EXP_RUN_FLAGS)?;
+            run_experiments(&ids, &flags)
+        }
+        "all" => {
+            let flags = parse_flags(&args[1..], &EXP_RUN_FLAGS)?;
+            let ids: Vec<String> = registry::ids().iter().map(|s| s.to_string()).collect();
+            run_experiments(&ids, &flags)
+        }
+        other => Err(format!(
+            "unknown exp subcommand {other:?} (accepted: list, run, all)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
@@ -281,10 +560,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match cmd {
-        "plan" => parse_flags(&args[1..]).and_then(cmd_plan),
-        "generate" => parse_flags(&args[1..]).and_then(cmd_generate),
-        "replay" => parse_flags(&args[1..]).and_then(cmd_replay),
-        "sweep" => parse_flags(&args[1..]).and_then(cmd_sweep),
+        "plan" => parse_flags(&args[1..], &PLAN_FLAGS).and_then(cmd_plan),
+        "generate" => parse_flags(&args[1..], &GENERATE_FLAGS).and_then(cmd_generate),
+        "replay" => parse_flags(&args[1..], &REPLAY_FLAGS).and_then(cmd_replay),
+        "sweep" => parse_flags(&args[1..], &SWEEP_FLAGS).and_then(cmd_sweep),
+        "exp" => cmd_exp(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -298,5 +578,74 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_declared_flags() {
+        let flags = parse_flags(
+            &args(&["--jobs", "10", "--flips", "--out", "t.csv"]),
+            &GENERATE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(flags["jobs"], "10");
+        assert_eq!(flags["flips"], "true");
+        assert_eq!(flags["out"], "t.csv");
+    }
+
+    #[test]
+    fn parse_flags_rejects_duplicates() {
+        let err =
+            parse_flags(&args(&["--jobs", "10", "--jobs", "20"]), &GENERATE_FLAGS).unwrap_err();
+        assert!(err.contains("duplicate flag --jobs"), "{err}");
+        let err = parse_flags(&args(&["--flips", "--flips"]), &GENERATE_FLAGS).unwrap_err();
+        assert!(err.contains("duplicate flag --flips"), "{err}");
+    }
+
+    #[test]
+    fn parse_flags_reports_all_unknown_flags() {
+        // Two typos at once: both must be reported, with the accepted set.
+        let err = parse_flags(
+            &args(&["--sed", "7", "--polcy", "young", "--jobs", "10"]),
+            &REPLAY_FLAGS,
+        )
+        .unwrap_err();
+        assert!(err.contains("--sed"), "{err}");
+        assert!(err.contains("--polcy"), "{err}");
+        assert!(err.contains("--policy"), "{err}");
+        assert!(err.starts_with("unknown flags"), "{err}");
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value_and_positional() {
+        let err = parse_flags(&args(&["--jobs"]), &GENERATE_FLAGS).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = parse_flags(&args(&["oops"]), &GENERATE_FLAGS).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn value_flag_does_not_swallow_a_following_flag() {
+        // `--out --deny-empty` is a forgotten value, not a directory
+        // named "--deny-empty" with the guard silently dropped.
+        let err = parse_flags(&args(&["--out", "--deny-empty"]), &EXP_RUN_FLAGS).unwrap_err();
+        assert!(err.contains("--out needs a value"), "{err}");
+        // Negative numbers are still fine as values.
+        let flags = parse_flags(&args(&["--limit", "-1"]), &REPLAY_FLAGS).unwrap();
+        assert_eq!(flags["limit"], "-1");
+    }
+
+    #[test]
+    fn unknown_boolean_like_flag_is_reported_alone() {
+        let err = parse_flags(&args(&["--adaptve"]), &REPLAY_FLAGS).unwrap_err();
+        assert!(err.starts_with("unknown flag --adaptve"), "{err}");
     }
 }

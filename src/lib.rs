@@ -13,6 +13,11 @@
 //!   checkpoint storage, failures) and the experiment runner.
 //! * [`scenario`] — declarative scenario specs and the parallel
 //!   parameter-sweep engine (`cloud-ckpt sweep`).
+//! * [`report`] — shared output frames, run context, and the
+//!   deterministic CSV/JSON/table writer.
+//! * [`bench`] — the typed experiment registry behind
+//!   `cloud-ckpt exp list|run|all` (every paper figure/table as a
+//!   library [`bench::Experiment`]).
 //!
 //! ## Quickstart
 //!
@@ -25,7 +30,9 @@
 //! assert_eq!(x.rounded(), 3);
 //! ```
 
+pub use ckpt_bench as bench;
 pub use ckpt_policy as policy;
+pub use ckpt_report as report;
 pub use ckpt_scenario as scenario;
 pub use ckpt_sim as sim;
 pub use ckpt_stats as stats;

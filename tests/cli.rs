@@ -1,5 +1,6 @@
 //! Integration tests of the `cloud-ckpt` CLI binary: plan, generate,
-//! replay, and error handling, driven through the real executable.
+//! replay, sweep, the experiment registry (`exp list|run|all`), and error
+//! handling, driven through the real executable.
 
 use std::process::Command;
 
@@ -171,6 +172,253 @@ fn sweep_runs_grid_and_is_thread_invariant() {
     std::fs::remove_file(&spec_path).ok();
     std::fs::remove_dir_all(&dir1).ok();
     std::fs::remove_dir_all(&dir8).ok();
+}
+
+#[test]
+fn exp_list_enumerates_every_registered_id_uniquely() {
+    // The registry itself must be duplicate-free...
+    let ids = cloud_ckpt::bench::registry::ids();
+    let set: std::collections::HashSet<_> = ids.iter().collect();
+    assert_eq!(set.len(), ids.len(), "duplicate experiment ids: {ids:?}");
+    assert_eq!(ids.len(), 22, "{ids:?}");
+    // ...and `exp list` must present all of it.
+    let out = cli().args(["exp", "list"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in &ids {
+        assert!(text.contains(id), "exp list missing {id}:\n{text}");
+    }
+}
+
+#[test]
+fn registry_round_trip_has_paper_refs() {
+    for exp in cloud_ckpt::bench::registry::all() {
+        assert!(
+            !exp.paper_ref().is_empty(),
+            "{} has an empty paper_ref",
+            exp.id()
+        );
+        assert!(!exp.claim().is_empty(), "{} has an empty claim", exp.id());
+        assert_eq!(
+            cloud_ckpt::bench::registry::find(exp.id()).map(|e| e.id()),
+            Some(exp.id()),
+            "find() does not round-trip {}",
+            exp.id()
+        );
+    }
+}
+
+/// Parse the columns and data rows out of a frame's `.json` file without
+/// a JSON dependency: the shared writer's layout is line-oriented.
+fn frame_json_shape(json: &str) -> (Vec<String>, Vec<Vec<String>>) {
+    let columns_line = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"columns\":"))
+        .expect("columns line");
+    let inner = columns_line
+        .trim()
+        .trim_start_matches("\"columns\": [")
+        .trim_end_matches("],");
+    let columns: Vec<String> = inner
+        .split(", ")
+        .map(|c| c.trim_matches('"').to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with('['))
+        .map(|l| {
+            l.trim()
+                .trim_start_matches('[')
+                .trim_end_matches(',')
+                .trim_end_matches(']')
+                .split(", ")
+                .map(|v| v.trim_matches('"').to_string())
+                .collect()
+        })
+        .collect();
+    (columns, rows)
+}
+
+#[test]
+fn exp_run_emits_identical_frames_as_csv_and_json() {
+    let dir_csv = std::env::temp_dir().join(format!("cloud_ckpt_exp_csv_{}", std::process::id()));
+    let dir_json = std::env::temp_dir().join(format!("cloud_ckpt_exp_json_{}", std::process::id()));
+    for (format, dir) in [("csv", &dir_csv), ("json", &dir_json)] {
+        let out = cli()
+            .args([
+                "exp",
+                "run",
+                "table2_simultaneous",
+                "--scale",
+                "quick",
+                "--format",
+                format,
+                "--out",
+            ])
+            .arg(dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // The same frames, one file each, in both formats.
+    let csv = std::fs::read_to_string(dir_csv.join("table2_simultaneous.csv")).unwrap();
+    let json = std::fs::read_to_string(dir_json.join("table2_simultaneous.json")).unwrap();
+    let csv_lines: Vec<&str> = csv.lines().collect();
+    let csv_header: Vec<&str> = csv_lines[0].split(',').collect();
+    let (json_columns, json_rows) = frame_json_shape(&json);
+    assert_eq!(csv_header, json_columns, "column mismatch");
+    assert_eq!(csv_lines.len() - 1, json_rows.len(), "row-count mismatch");
+    // Cell-by-cell equality (CSV text == JSON value, quotes stripped).
+    for (csv_row, json_row) in csv_lines[1..].iter().zip(&json_rows) {
+        let csv_cells: Vec<&str> = csv_row.split(',').collect();
+        assert_eq!(&csv_cells, json_row, "row values differ");
+    }
+    // The sweep cells frame rides along in both formats too.
+    assert!(dir_csv.join("table2_simultaneous_cells.csv").exists());
+    assert!(dir_json.join("table2_simultaneous_cells.json").exists());
+    std::fs::remove_dir_all(&dir_csv).ok();
+    std::fs::remove_dir_all(&dir_json).ok();
+}
+
+#[test]
+fn exp_run_multiple_ids_emits_one_json_document() {
+    let out = cli()
+        .args([
+            "exp",
+            "run",
+            "table4_op_cost",
+            "table5_restart_cost",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // One top-level document containing both experiments' frames, each
+    // tagged with its source experiment.
+    assert_eq!(text.matches("\"frames\": [").count(), 1, "{text}");
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(
+        text.contains("\"experiment\": \"table4_op_cost\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("\"experiment\": \"table5_restart_cost\""),
+        "{text}"
+    );
+    assert_eq!(text.matches('{').count(), text.matches('}').count());
+}
+
+#[test]
+fn exp_run_table_format_persists_csv_files() {
+    let dir = std::env::temp_dir().join(format!("cloud_ckpt_exp_tbl_{}", std::process::id()));
+    let out = cli()
+        .args(["exp", "run", "table4_op_cost", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Table stdout pairs with full-precision CSV files (never rounded
+    // .txt), matching the legacy binaries.
+    let csv = std::fs::read_to_string(dir.join("table4_op_cost.csv")).expect("csv written");
+    assert!(csv.starts_with("memory_mb,paper_op_time_s,model_op_time_s"));
+    assert!(!dir.join("table4_op_cost.txt").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exp_run_rejects_unknown_ids_and_bad_scale() {
+    let out = cli()
+        .args(["exp", "run", "fig99_nope"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fig99_nope"), "{err}");
+    assert!(err.contains("exp list"), "{err}");
+
+    let out = cli()
+        .args(["exp", "run", "table4_op_cost", "--scale", "huge"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quick, day, month"), "{err}");
+}
+
+#[test]
+fn bad_ckpt_scale_env_is_a_hard_error() {
+    let out = cli()
+        .args(["exp", "run", "table4_op_cost"])
+        .env("CKPT_SCALE", "enormous")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "unknown CKPT_SCALE must fail hard");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("CKPT_SCALE"), "{err}");
+    assert!(err.contains("quick, day, month"), "{err}");
+
+    let out = cli()
+        .args(["exp", "run", "table4_op_cost"])
+        .env("CKPT_SEED", "not-a-seed")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "bad CKPT_SEED must fail hard");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("CKPT_SEED"),
+        "stderr should name CKPT_SEED"
+    );
+}
+
+#[test]
+fn replay_supports_json_format_via_shared_writer() {
+    let out = cli()
+        .args([
+            "replay", "--jobs", "150", "--seed", "3", "--policy", "formula3", "--format", "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"frames\""), "{text}");
+    assert!(text.contains("\"name\": \"replay_summary\""), "{text}");
+    assert!(text.contains("\"avg WPR\""), "{text}");
+}
+
+#[test]
+fn duplicate_and_unknown_flags_are_rejected() {
+    let out = cli()
+        .args(["replay", "--jobs", "10", "--jobs", "20"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag --jobs"));
+
+    let out = cli()
+        .args(["replay", "--jbos", "10", "--polcy", "young"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jbos"), "{err}");
+    assert!(err.contains("--polcy"), "{err}");
 }
 
 #[test]
