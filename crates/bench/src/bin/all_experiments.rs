@@ -1,6 +1,6 @@
 //! Legacy shim: run every registered experiment in sequence (in process) —
 //! prefer `cloud-ckpt exp all`. Results land on stdout and as CSV under
-//! `results/`. Scale control: `CKPT_SCALE=quick|day|month`.
+//! `results/`. Scale control: `CKPT_SCALE=quick|day|month|stress`.
 
 fn main() -> std::process::ExitCode {
     ckpt_bench::shim_all()

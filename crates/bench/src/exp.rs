@@ -38,6 +38,38 @@ pub type ExpResult = Result<ExpOutput, ExpError>;
 /// Implementations are registered in [`crate::registry`] and reached
 /// through `cloud-ckpt exp list|run|all`; the legacy `exp_*` binaries are
 /// two-line shims over the same registry.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_bench::exp::{Experiment, ExpResult};
+/// use ckpt_report::{row, ExpOutput, Frame, RunContext, Scale};
+///
+/// struct Demo;
+///
+/// impl Experiment for Demo {
+///     fn id(&self) -> &'static str {
+///         "demo"
+///     }
+///     fn paper_ref(&self) -> &'static str {
+///         "Figure 0"
+///     }
+///     fn claim(&self) -> &'static str {
+///         "experiments are frames, not println!"
+///     }
+///     fn run(&self, ctx: &RunContext) -> ExpResult {
+///         let mut frame = Frame::new("demo", vec!["scale", "seed"]);
+///         frame.push_row(row![ctx.scale.label(), ctx.seed]);
+///         let mut out = ExpOutput::new();
+///         out.push(frame);
+///         Ok(out)
+///     }
+/// }
+///
+/// let out = Demo.run(&RunContext::new(Scale::Quick)).unwrap();
+/// assert_eq!(out.frames.len(), 1);
+/// assert_eq!(out.frames[0].to_csv(), "scale,seed\nquick,20130217\n");
+/// ```
 pub trait Experiment: Sync {
     /// Stable registry id — also the CLI name (`cloud-ckpt exp run <id>`)
     /// and the prefix of the experiment's output frames.

@@ -11,6 +11,7 @@ pub mod ext_host_failures;
 pub mod ext_penalty;
 pub mod ext_policy_cost_grid;
 pub mod ext_random_ckpt;
+pub mod ext_stress_fleet;
 pub mod fig04_interval_cdf;
 pub mod fig05_mle_fit;
 pub mod fig07_ckpt_cost;

@@ -5,7 +5,7 @@
 //!
 //! * [`exp`] — the `Experiment` trait (`id()`, `paper_ref()`, `claim()`,
 //!   `run(&RunContext) -> ExpOutput`).
-//! * [`registry`] — the static list of all 22 experiments, the lookup
+//! * [`registry`] — the static list of all 23 experiments, the lookup
 //!   functions, and the shims backing the legacy `exp_*` binaries.
 //! * [`experiments`] — one module per experiment; each produces
 //!   structured [`ckpt_report::Frame`]s rendered by the shared writer

@@ -33,6 +33,7 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &ext_host_failures::ExtHostFailures,
     &ext_bootstrap::ExtBootstrap,
     &ext_policy_cost_grid::ExtPolicyCostGrid,
+    &ext_stress_fleet::ExtStressFleet,
 ];
 
 /// All experiments, in registry order.
@@ -146,9 +147,9 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
-    fn registry_has_22_unique_ids() {
+    fn registry_has_23_unique_ids() {
         let ids = ids();
-        assert_eq!(ids.len(), 22, "{ids:?}");
+        assert_eq!(ids.len(), 23, "{ids:?}");
         let set: HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len(), "duplicate experiment ids");
     }
@@ -181,5 +182,38 @@ mod tests {
         let frame = catalog();
         assert_eq!(frame.rows.len(), EXPERIMENTS.len());
         assert_eq!(frame.columns[0], "id");
+    }
+
+    /// The README's experiment-catalog table must not drift from the
+    /// registry: every registered id appears as exactly one table row
+    /// whose command column reproduces the experiment, and there are no
+    /// extra rows for unregistered ids.
+    #[test]
+    fn readme_catalog_matches_registry() {
+        let readme = include_str!("../../../README.md");
+        let section = readme
+            .split("### Experiment catalog")
+            .nth(1)
+            .expect("README has an '### Experiment catalog' section");
+        let section = section.split("\n##").next().unwrap_or(section);
+        let rows: Vec<&str> = section.lines().filter(|l| l.starts_with("| `")).collect();
+        assert_eq!(
+            rows.len(),
+            EXPERIMENTS.len(),
+            "README catalog has {} rows but the registry has {} experiments",
+            rows.len(),
+            EXPERIMENTS.len()
+        );
+        for e in EXPERIMENTS {
+            let id = e.id();
+            let row = rows
+                .iter()
+                .find(|r| r.starts_with(&format!("| `{id}`")))
+                .unwrap_or_else(|| panic!("README catalog is missing a row for {id}"));
+            assert!(
+                row.contains(&format!("cloud-ckpt exp run {id}")),
+                "README row for {id} must show its reproducing command: {row}"
+            );
+        }
     }
 }

@@ -47,7 +47,7 @@
 //! assert!((tc - 30.7).abs() < 0.1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // `!(v > 0.0)` deliberately rejects NaN alongside non-positive values; the
 // clippy-suggested `v <= 0.0` would silently accept NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]

@@ -16,6 +16,10 @@ pub enum Scale {
     Day,
     /// The paper's month-scale analysis (large; used by Table 6 / Fig 9-10).
     Month,
+    /// Stress tier: beyond the paper — the regimes of the restart/checkpoint
+    /// asymptotics literature (very long tasks, high failure rates, large
+    /// fleets) that only the high-throughput DES core can reach.
+    Stress,
 }
 
 impl Scale {
@@ -25,15 +29,17 @@ impl Scale {
             Scale::Quick => 800,
             Scale::Day => 10_000,
             Scale::Month => 100_000,
+            Scale::Stress => 400_000,
         }
     }
 
-    /// Lowercase label (`quick` / `day` / `month`).
+    /// Lowercase label (`quick` / `day` / `month` / `stress`).
     pub fn label(&self) -> &'static str {
         match self {
             Scale::Quick => "quick",
             Scale::Day => "day",
             Scale::Month => "month",
+            Scale::Stress => "stress",
         }
     }
 
@@ -44,8 +50,9 @@ impl Scale {
             "quick" => Ok(Scale::Quick),
             "day" => Ok(Scale::Day),
             "month" => Ok(Scale::Month),
+            "stress" => Ok(Scale::Stress),
             other => Err(format!(
-                "unknown scale {other:?} (accepted values: quick, day, month)"
+                "unknown scale {other:?} (accepted values: quick, day, month, stress)"
             )),
         }
     }
@@ -57,7 +64,7 @@ impl Scale {
         match std::env::var("CKPT_SCALE") {
             Err(std::env::VarError::NotPresent) => Ok(default),
             Err(std::env::VarError::NotUnicode(_)) => Err("CKPT_SCALE: value is not valid UTF-8 \
-                     (accepted values: quick, day, month)"
+                     (accepted values: quick, day, month, stress)"
                 .to_string()),
             Ok(v) => Scale::parse(&v).map_err(|e| format!("CKPT_SCALE: {e}")),
         }
@@ -166,5 +173,12 @@ mod tests {
     fn scale_jobs_are_monotone() {
         assert!(Scale::Quick.jobs() < Scale::Day.jobs());
         assert!(Scale::Day.jobs() < Scale::Month.jobs());
+        assert!(Scale::Month.jobs() < Scale::Stress.jobs());
+    }
+
+    #[test]
+    fn stress_scale_parses_and_labels() {
+        assert_eq!(Scale::parse("stress").unwrap(), Scale::Stress);
+        assert_eq!(Scale::Stress.label(), "stress");
     }
 }

@@ -7,6 +7,25 @@ use crate::value::{csv_field, json_escape, Value};
 /// metadata. Frames are the unit of experiment output — one frame per
 /// paper panel/series — and render deterministically to CSV, JSON, or an
 /// aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_report::{row, Frame};
+///
+/// let mut frame = Frame::new("wpr_by_policy", vec!["policy", "mean_wpr"])
+///     .with_title("Mean WPR per policy")
+///     .with_meta("seed", "20130217");
+/// frame.push_row(row!["formula3", 0.945]);
+/// frame.push_row(row!["young", 0.916]);
+///
+/// // Every rendering is deterministic; CSV is the most compact.
+/// assert_eq!(
+///     frame.to_csv(),
+///     "policy,mean_wpr\nformula3,0.945\nyoung,0.916\n"
+/// );
+/// assert!(frame.to_table().contains("=== Mean WPR per policy ==="));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Machine name; used for output file names (`<name>.csv`).

@@ -24,7 +24,7 @@
 //! both build on these types, so a sweep cell and a standalone experiment
 //! share one execution and export path.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod context;

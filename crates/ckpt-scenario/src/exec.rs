@@ -87,6 +87,9 @@ struct RunData {
     queue_wait: Option<Vec<f64>>,
     /// Cluster makespan (cluster engine only).
     makespan_s: Option<f64>,
+    /// DES events processed (cluster engine only) — deterministic, so it
+    /// can live in exported frames.
+    events: Option<u64>,
     /// The shared trace preparation (for the failure-prone sample filter).
     prep: Arc<PrepData>,
 }
@@ -151,17 +154,26 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
                 jobs,
                 queue_wait: None,
                 makespan_s: None,
+                events: None,
                 prep,
             })
         }
         EngineKind::Cluster => {
-            let result = ClusterSim::new(spec.cluster, &prep.trace, &prep.estimates, cfg).run();
+            // Streaming metrics: sweep aggregation never reads the raw
+            // checkpoint-duration sample, so stress-scale cells keep
+            // constant per-event memory. (Cell outputs are unaffected —
+            // the simulation itself is identical in both modes.)
+            let result = ClusterSim::new(spec.cluster, &prep.trace, &prep.estimates, cfg)
+                .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming)
+                .run();
             let queue_wait = result.jobs.iter().map(|j| j.queue_wait).collect();
+            let events = result.events;
             let jobs = result.jobs.into_iter().map(|j| j.base).collect();
             Ok(RunData {
                 jobs,
                 queue_wait: Some(queue_wait),
                 makespan_s: Some(result.makespan.as_secs_f64()),
+                events: Some(events),
                 prep,
             })
         }
@@ -238,6 +250,9 @@ fn replay_metrics(
     }
     if let Some(makespan) = data.makespan_s {
         metrics.push(("makespan_s", MetricSummary::from_value(makespan)));
+    }
+    if let Some(events) = data.events {
+        metrics.push(("events", MetricSummary::from_value(events as f64)));
     }
     Ok(metrics)
 }

@@ -4,7 +4,10 @@
 //! 7 XEN VMs, BLCR, NFS/DM-NFS, Google trace replay):
 //!
 //! * [`time`], [`event`] — deterministic DES foundations (integer
-//!   microseconds, `(time, seq)`-ordered queue with lazy cancellation).
+//!   microseconds, `(time, seq)`-ordered queues: a cancelable
+//!   [`event::EventQueue`] and the hot-path [`event::FastQueue`]).
+//! * [`task_store`] — dense struct-of-arrays task state for the cluster
+//!   engine (stable [`task_store::TaskId`]s, flat kill-plan arena).
 //! * [`blcr`] — the BLCR cost model calibrated to the paper's Figure 7 and
 //!   Tables 4–5 (checkpoint cost linear in memory; restart cost by
 //!   migration type).
@@ -36,10 +39,12 @@ pub mod policy;
 pub mod runner;
 pub mod storage;
 pub mod task_sim;
+pub mod task_store;
 pub mod time;
 
 pub use blcr::{BlcrModel, Device, Migration};
-pub use metrics::JobRecord;
+pub use cluster::{ClusterSim, MetricsMode, RunStatus, SimBudget, SimProgress};
+pub use metrics::{JobRecord, StreamStats};
 pub use policy::{CostTweak, Estimates, EstimatorKind, PolicyConfig, StorageChoice};
 pub use runner::{parallel_indexed, run_trace, RunOptions};
 pub use time::{SimDuration, SimTime};

@@ -6,7 +6,7 @@ use crate::blcr::{BlcrModel, Device};
 use crate::controller::{Controller, FixedSchedule};
 use ckpt_policy::adaptive::AdaptiveCheckpointer;
 use ckpt_policy::daly::daly_interval_count;
-use ckpt_policy::estimator::GroupedEstimator;
+use ckpt_policy::estimator::{Estimate, GroupedEstimator};
 use ckpt_policy::optimal::optimal_interval_count;
 use ckpt_policy::schedule::EquidistantSchedule;
 use ckpt_policy::storage::{choose_storage, DeviceCosts};
@@ -177,7 +177,14 @@ impl PolicyConfig {
 
 /// Precomputed estimates a run draws from: group statistics plus the
 /// per-task oracle.
-#[derive(Debug, Clone)]
+///
+/// Group lookups are memoized per `(pooled, priority, limit)`: a grouped
+/// estimate is a pure function of the ingested histories, but computing it
+/// scans the whole priority group — which made planning O(tasks ×
+/// group size) before the cache. The memo returns the exact value the
+/// uncached scan produces, so results are bit-identical; it only removes
+/// the repeated work.
+#[derive(Debug)]
 pub struct Estimates {
     groups: GroupedEstimator,
     per_task: HashMap<u64, (u32, Option<f64>)>,
@@ -185,6 +192,23 @@ pub struct Estimates {
     fallback_mtbf: f64,
     /// Pooled fallback per-second failure rate.
     fallback_mnof_per_sec: f64,
+    /// Memoized group estimates keyed by `(pooled, priority, limit bits)`.
+    /// Read-mostly: each key is computed once per run configuration.
+    cache: std::sync::RwLock<HashMap<(bool, u8, u64), Option<Estimate>>>,
+}
+
+impl Clone for Estimates {
+    fn clone(&self) -> Self {
+        Self {
+            groups: self.groups.clone(),
+            per_task: self.per_task.clone(),
+            fallback_mtbf: self.fallback_mtbf,
+            fallback_mnof_per_sec: self.fallback_mnof_per_sec,
+            cache: std::sync::RwLock::new(
+                self.cache.read().expect("estimate cache poisoned").clone(),
+            ),
+        }
+    }
 }
 
 impl Estimates {
@@ -209,7 +233,31 @@ impl Estimates {
             per_task,
             fallback_mtbf,
             fallback_mnof_per_sec,
+            cache: std::sync::RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Memoized [`GroupedEstimator::estimate`] / `estimate_pooled` lookup.
+    fn cached_estimate(&self, pooled: bool, priority: u8, limit: f64) -> Option<Estimate> {
+        let key = (pooled, priority, limit.to_bits());
+        if let Some(e) = self
+            .cache
+            .read()
+            .expect("estimate cache poisoned")
+            .get(&key)
+        {
+            return *e;
+        }
+        let e = if pooled {
+            self.groups.estimate_pooled(limit)
+        } else {
+            self.groups.estimate(priority, limit)
+        };
+        self.cache
+            .write()
+            .expect("estimate cache poisoned")
+            .insert(key, e);
+        e
     }
 
     /// The grouped estimator (Table 7 queries).
@@ -230,21 +278,23 @@ impl Estimates {
                 let (count, mtbf) = self.per_task.get(&task.id).copied().unwrap_or((0, None));
                 (count as f64, mtbf.unwrap_or(self.fallback_mtbf))
             }
-            EstimatorKind::PerPriority { limit } => match self.groups.estimate(priority, limit) {
-                Some(e) => {
-                    let mtbf = if e.mtbf.is_finite() {
-                        e.mtbf
-                    } else {
-                        self.fallback_mtbf
-                    };
-                    (e.mnof, mtbf)
+            EstimatorKind::PerPriority { limit } => {
+                match self.cached_estimate(false, priority, limit) {
+                    Some(e) => {
+                        let mtbf = if e.mtbf.is_finite() {
+                            e.mtbf
+                        } else {
+                            self.fallback_mtbf
+                        };
+                        (e.mnof, mtbf)
+                    }
+                    None => (
+                        self.fallback_mnof_per_sec * task.length_s,
+                        self.fallback_mtbf,
+                    ),
                 }
-                None => (
-                    self.fallback_mnof_per_sec * task.length_s,
-                    self.fallback_mtbf,
-                ),
-            },
-            EstimatorKind::Global { limit } => match self.groups.estimate_pooled(limit) {
+            }
+            EstimatorKind::Global { limit } => match self.cached_estimate(true, 0, limit) {
                 Some(e) => {
                     let mtbf = if e.mtbf.is_finite() {
                         e.mtbf

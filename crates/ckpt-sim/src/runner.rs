@@ -7,6 +7,12 @@
 //! matter how many worker threads run it. Parallelism uses `std::thread`
 //! scoped threads pulling job indices from an atomic counter (guide-idiom
 //! work stealing without a pool dependency).
+//!
+//! Per-task planning goes through [`Estimates`]' memoized group lookups
+//! (see [`crate::policy`]): predictions for a `(priority, limit)` group
+//! are computed once per run instead of rescanning the group's history
+//! for every task, which keeps whole-trace replay O(tasks) — at month
+//! scale and beyond the rescan used to dominate the replay itself.
 
 use crate::blcr::BlcrModel;
 use crate::metrics::JobRecord;

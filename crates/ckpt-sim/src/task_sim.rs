@@ -17,6 +17,14 @@
 //!
 //! Wall-clock accounting matches the paper's Formula (1): wall = productive
 //! time + checkpoint costs + rollback losses + restart costs.
+//!
+//! This module is the *fast path*'s executor: it advances one task
+//! analytically from kill to kill with no event queue at all. The cluster
+//! engine ([`crate::cluster`]) implements the same per-task semantics as
+//! discrete events so that scheduling, storage contention, and host
+//! failures can interleave between tasks; the two paths share
+//! [`TaskOutcome`] and are validated against each other by the
+//! `cluster_validation` experiment.
 
 use crate::controller::Controller;
 use ckpt_stats::rng::Rng64;

@@ -1,0 +1,304 @@
+//! Dense, struct-of-arrays task state for the cluster engine.
+//!
+//! The hot loop of [`crate::cluster`] touches a handful of fields of a
+//! "random" task on every event. Keeping each field in its own dense
+//! `Vec`, indexed by a [`TaskId`] assigned in trace order, means an event
+//! touches only the cache lines of the fields it reads instead of a whole
+//! ~200-byte task struct, and the per-task heap allocations of the old
+//! representation (a `VecDeque` of kill positions per task) collapse into
+//! one shared arena.
+//!
+//! Invariants:
+//!
+//! * **Dense ids** — `TaskId(i)` is the `i`-th task in trace order
+//!   (jobs in trace order, tasks in job order); ids are stable for the
+//!   lifetime of the store and index every column directly.
+//! * **Epoch staleness** — `epoch[t]` is bumped on every state
+//!   transition of task `t`; an event carrying an older epoch is stale
+//!   and must be dropped by the consumer.
+//! * **Kill-plan arena** — each task's pre-planned kill positions are the
+//!   sorted slice `kill_pos[kill_off[t] .. kill_off[t + 1]]`;
+//!   `kill_cursor[t]` points at the next unconsumed position.
+//! * **Host occupancy** — `host[t] != NO_HOST` exactly while the task
+//!   holds a VM slot; `occupants[h]` lists those tasks and `host_slot[t]`
+//!   is the task's position in that list (swap-remove bookkeeping).
+
+use crate::blcr::Device;
+use crate::controller::Controller;
+use crate::storage::OpId;
+use crate::task_sim::TaskOutcome;
+use crate::time::SimTime;
+
+/// Dense index of a task within a [`TaskStore`] (trace order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub u32);
+
+/// Sentinel for "no host" in [`TaskStore::host`].
+pub const NO_HOST: u32 = u32::MAX;
+
+/// Sentinel for "no successor" in [`TaskStore::next_in_job`].
+pub const NO_TASK: u32 = u32::MAX;
+
+/// Lifecycle of one task inside the cluster engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Not yet ready (ST successor waiting on its predecessor).
+    NotReady,
+    /// In the scheduler queue.
+    Queued,
+    /// Paying the restart (restore/migration) cost after placement.
+    Restoring,
+    /// Executing productive work.
+    Running,
+    /// Writing a checkpoint.
+    Checkpointing,
+    /// Finished.
+    Done,
+}
+
+/// Struct-of-arrays task state. Every column is indexed by [`TaskId`].
+///
+/// Columns are grouped into immutable plan data (filled at build time and
+/// never written again) and mutable runtime state. All columns are `pub`
+/// within the crate's simulation modules; the store is data, the engine
+/// is behavior.
+#[derive(Debug)]
+pub struct TaskStore {
+    // --- immutable plan data ---
+    /// Productive length `Te` (seconds).
+    pub te: Vec<f64>,
+    /// Memory footprint (MB) — the placement constraint.
+    pub mem_mb: Vec<f64>,
+    /// Chosen checkpoint device.
+    pub device: Vec<Device>,
+    /// Per-checkpoint cost `C` (uncontended seconds).
+    pub ckpt_cost: Vec<f64>,
+    /// Per-restart cost `R` (seconds).
+    pub restart_cost: Vec<f64>,
+    /// Checkpoint-placement controller.
+    pub controller: Vec<Controller>,
+    /// Dense id of the next task of a sequential job (`NO_TASK` if none).
+    pub next_in_job: Vec<u32>,
+    /// Start of each task's slice in `kill_pos`; `kill_off.len() ==
+    /// tasks + 1` so `kill_off[t]..kill_off[t+1]` is always valid.
+    pub kill_off: Vec<u32>,
+    /// Flat arena of pre-planned kill positions (busy-time offsets,
+    /// sorted within each task's slice).
+    pub kill_pos: Vec<f64>,
+
+    // --- mutable runtime state ---
+    /// Lifecycle state.
+    pub state: Vec<TaskState>,
+    /// Bumped on every state transition; stale events are dropped.
+    pub epoch: Vec<u32>,
+    /// Durable (checkpointed) progress.
+    pub durable: Vec<f64>,
+    /// Progress at the start of the current phase.
+    pub run_base: Vec<f64>,
+    /// Wall time the current busy phase started.
+    pub phase_start: Vec<SimTime>,
+    /// Cumulative busy (run + checkpoint) time consumed so far.
+    pub busy: Vec<f64>,
+    /// Next unconsumed index into this task's `kill_pos` slice.
+    pub kill_cursor: Vec<u32>,
+    /// Shared-disk checkpoint in flight: `(server, op, started)`.
+    pub storage_op: Vec<Option<(u32, OpId, SimTime)>>,
+    /// When the task last became ready (for wait accounting).
+    pub ready_at: Vec<SimTime>,
+    /// First time the task became ready (span accounting); `SimTime::ZERO`
+    /// guarded by `first_ready_set`.
+    pub first_ready: Vec<SimTime>,
+    /// Whether `first_ready` has been recorded.
+    pub first_ready_set: Vec<bool>,
+    /// Completion time (valid only in `Done` state).
+    pub done_at: Vec<SimTime>,
+    /// Accumulated scheduler-queue wait (seconds).
+    pub wait_time: Vec<f64>,
+    /// Running outcome accounting.
+    pub outcome: Vec<TaskOutcome>,
+    /// Host currently holding the task's VM slot (`NO_HOST` if none).
+    pub host: Vec<u32>,
+    /// Index of the task within `occupants[host]` (swap-remove support).
+    pub host_slot: Vec<u32>,
+}
+
+impl TaskStore {
+    /// An empty store with capacity for `n` tasks.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            te: Vec::with_capacity(n),
+            mem_mb: Vec::with_capacity(n),
+            device: Vec::with_capacity(n),
+            ckpt_cost: Vec::with_capacity(n),
+            restart_cost: Vec::with_capacity(n),
+            controller: Vec::with_capacity(n),
+            next_in_job: Vec::with_capacity(n),
+            kill_off: Vec::with_capacity(n + 1),
+            kill_pos: Vec::new(),
+            state: Vec::with_capacity(n),
+            epoch: Vec::with_capacity(n),
+            durable: Vec::with_capacity(n),
+            run_base: Vec::with_capacity(n),
+            phase_start: Vec::with_capacity(n),
+            busy: Vec::with_capacity(n),
+            kill_cursor: Vec::with_capacity(n),
+            storage_op: Vec::with_capacity(n),
+            ready_at: Vec::with_capacity(n),
+            first_ready: Vec::with_capacity(n),
+            first_ready_set: Vec::with_capacity(n),
+            done_at: Vec::with_capacity(n),
+            wait_time: Vec::with_capacity(n),
+            outcome: Vec::with_capacity(n),
+            host: Vec::with_capacity(n),
+            host_slot: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.te.len()
+    }
+
+    /// Whether the store holds no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.te.is_empty()
+    }
+
+    /// Append one task (plan data + zeroed runtime state); the kill plan
+    /// is appended to the shared arena. Returns the new task's id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        te: f64,
+        mem_mb: f64,
+        device: Device,
+        ckpt_cost: f64,
+        restart_cost: f64,
+        controller: Controller,
+        kills: &[f64],
+    ) -> TaskId {
+        let id = TaskId(self.len() as u32);
+        self.te.push(te);
+        self.mem_mb.push(mem_mb);
+        self.device.push(device);
+        self.ckpt_cost.push(ckpt_cost);
+        self.restart_cost.push(restart_cost);
+        self.controller.push(controller);
+        self.next_in_job.push(NO_TASK);
+        if self.kill_off.is_empty() {
+            self.kill_off.push(0);
+        }
+        self.kill_pos.extend_from_slice(kills);
+        self.kill_off.push(self.kill_pos.len() as u32);
+        self.state.push(TaskState::NotReady);
+        self.epoch.push(0);
+        self.durable.push(0.0);
+        self.run_base.push(0.0);
+        self.phase_start.push(SimTime::ZERO);
+        self.busy.push(0.0);
+        self.kill_cursor.push(self.kill_off[id.0 as usize]);
+        self.storage_op.push(None);
+        self.ready_at.push(SimTime::ZERO);
+        self.first_ready.push(SimTime::ZERO);
+        self.first_ready_set.push(false);
+        self.done_at.push(SimTime::ZERO);
+        self.wait_time.push(0.0);
+        self.outcome.push(TaskOutcome {
+            productive: te,
+            ..TaskOutcome::default()
+        });
+        self.host.push(NO_HOST);
+        self.host_slot.push(0);
+        id
+    }
+
+    /// The next pre-planned kill position of task `t`, if any remains.
+    #[inline]
+    pub fn next_kill(&self, t: usize) -> Option<f64> {
+        let cur = self.kill_cursor[t] as usize;
+        if cur < self.kill_off[t + 1] as usize {
+            Some(self.kill_pos[cur])
+        } else {
+            None
+        }
+    }
+
+    /// Consume the front kill position of task `t`.
+    #[inline]
+    pub fn pop_kill(&mut self, t: usize) {
+        debug_assert!(self.kill_cursor[t] < self.kill_off[t + 1]);
+        self.kill_cursor[t] += 1;
+    }
+
+    /// Bump task `t`'s epoch (a state transition happened) and return the
+    /// new value.
+    #[inline]
+    pub fn bump_epoch(&mut self, t: usize) -> u32 {
+        self.epoch[t] += 1;
+        self.epoch[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::FixedSchedule;
+
+    fn push_task(store: &mut TaskStore, te: f64, kills: &[f64]) -> TaskId {
+        store.push(
+            te,
+            100.0,
+            Device::Ramdisk,
+            1.0,
+            1.0,
+            Controller::Fixed(FixedSchedule::none()),
+            kills,
+        )
+    }
+
+    #[test]
+    fn dense_ids_in_push_order() {
+        let mut s = TaskStore::with_capacity(2);
+        assert!(s.is_empty());
+        let a = push_task(&mut s, 10.0, &[]);
+        let b = push_task(&mut s, 20.0, &[5.0]);
+        assert_eq!((a, b), (TaskId(0), TaskId(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.te, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn kill_arena_slices_per_task() {
+        let mut s = TaskStore::with_capacity(3);
+        push_task(&mut s, 10.0, &[1.0, 2.0]);
+        push_task(&mut s, 10.0, &[]);
+        push_task(&mut s, 10.0, &[7.0]);
+        assert_eq!(s.kill_off, vec![0, 2, 2, 3]);
+        assert_eq!(s.next_kill(0), Some(1.0));
+        s.pop_kill(0);
+        assert_eq!(s.next_kill(0), Some(2.0));
+        s.pop_kill(0);
+        assert_eq!(s.next_kill(0), None);
+        assert_eq!(s.next_kill(1), None);
+        assert_eq!(s.next_kill(2), Some(7.0));
+    }
+
+    #[test]
+    fn epoch_bumps_monotonically() {
+        let mut s = TaskStore::with_capacity(1);
+        push_task(&mut s, 10.0, &[]);
+        assert_eq!(s.epoch[0], 0);
+        assert_eq!(s.bump_epoch(0), 1);
+        assert_eq!(s.bump_epoch(0), 2);
+    }
+
+    #[test]
+    fn outcome_starts_with_full_productive_credit() {
+        let mut s = TaskStore::with_capacity(1);
+        push_task(&mut s, 42.0, &[]);
+        assert_eq!(s.outcome[0].productive, 42.0);
+        assert_eq!(s.outcome[0].failures, 0);
+    }
+}

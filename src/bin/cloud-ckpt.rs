@@ -54,7 +54,7 @@ USAGE:
   cloud-ckpt exp list [--format table|csv|json]
       List every registered experiment (id, paper figure/table, claim).
 
-  cloud-ckpt exp run <id...> [--scale quick|day|month] [--seed <u64>] \\
+  cloud-ckpt exp run <id...> [--scale quick|day|month|stress] [--seed <u64>] \\
                      [--format table|csv|json] [--out <dir>] [--threads <n>] [--deny-empty]
       Run one or more registered experiments; frames go to stdout in the
       chosen format and, with --out, to one file per frame.

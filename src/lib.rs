@@ -15,7 +15,7 @@
 //!   parameter-sweep engine (`cloud-ckpt sweep`).
 //! * [`report`] — shared output frames, run context, and the
 //!   deterministic CSV/JSON/table writer.
-//! * [`bench`] — the typed experiment registry behind
+//! * [`bench`](mod@bench) — the typed experiment registry behind
 //!   `cloud-ckpt exp list|run|all` (every paper figure/table as a
 //!   library [`bench::Experiment`]).
 //!

@@ -1,0 +1,60 @@
+//! Determinism guards for the stress tier: the two stress specs
+//! (`specs/stress_fleet.toml`, `specs/stress_long_tasks.toml`) must render
+//! byte-identical frames for the same seed regardless of thread count, and
+//! the `stress` scale must resolve everywhere a scale can be named.
+//!
+//! CI-sized: the specs run under a `quick`-scale context (the cell count
+//! is what matters — each spec's full grid executes — not the job count);
+//! the full-size runs are `--scale stress` / direct `cloud-ckpt sweep`.
+
+use ckpt_report::{RunContext, Scale};
+use ckpt_scenario::{run_sweep_ctx, to_frame, SweepSpec};
+
+fn spec_frames(path: &str, threads: usize) -> (String, String) {
+    let text = std::fs::read_to_string(path).expect("spec file readable");
+    let sweep = SweepSpec::from_str(&text).expect("spec parses");
+    let ctx = RunContext::new(Scale::Quick).with_threads(threads);
+    let result = run_sweep_ctx(&sweep, &ctx).expect("sweep runs");
+    let frame = to_frame(&sweep, &result);
+    (frame.to_csv(), frame.to_json())
+}
+
+#[test]
+fn stress_fleet_frames_are_thread_invariant() {
+    let (csv1, json1) = spec_frames("specs/stress_fleet.toml", 1);
+    let (csv4, json4) = spec_frames("specs/stress_fleet.toml", 4);
+    assert_eq!(csv1, csv4, "stress_fleet CSV must not depend on threads");
+    assert_eq!(json1, json4, "stress_fleet JSON must not depend on threads");
+    // The cluster engine's cells carry the deterministic DES event count.
+    assert!(csv1.lines().any(|l| l.contains(",events,")), "{csv1}");
+}
+
+#[test]
+fn stress_long_tasks_frames_are_thread_invariant() {
+    let (csv1, json1) = spec_frames("specs/stress_long_tasks.toml", 1);
+    let (csv4, json4) = spec_frames("specs/stress_long_tasks.toml", 4);
+    assert_eq!(csv1, csv4);
+    assert_eq!(json1, json4);
+    // Long-task cells really are long-task cells: mean wall is far beyond
+    // the calibrated default workload's minutes-long tasks.
+    let wall_row = csv1
+        .lines()
+        .find(|l| l.contains(",wall_s,"))
+        .expect("wall_s metric present");
+    let mean: f64 = wall_row.split(',').nth(4).unwrap().parse().unwrap();
+    assert!(
+        mean > 10_000.0,
+        "long-task mean wall {mean} suspiciously low"
+    );
+}
+
+#[test]
+fn stress_scale_resolves_like_the_other_tiers() {
+    assert_eq!(Scale::parse("stress").unwrap(), Scale::Stress);
+    assert!(Scale::Stress.jobs() > Scale::Month.jobs());
+    let err = Scale::parse("giga").unwrap_err();
+    assert!(err.contains("stress"), "error names the stress tier: {err}");
+    // The registered stress experiment exists and defaults CI-sized.
+    let exp = cloud_ckpt::bench::registry::find("ext_stress_fleet").expect("registered");
+    assert_eq!(exp.default_scale(), Scale::Quick);
+}
