@@ -37,9 +37,10 @@ struct Fixture {
 fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
-        let trace = generate(&WorkloadSpec::google_like(800), 99);
+        let trace = generate(&WorkloadSpec::google_like(800), 99).expect("valid workload spec");
         let estimates = Estimates::from_records(&trace_histories(&trace));
-        let flip_trace = generate(&WorkloadSpec::google_like(800).with_priority_flips(), 99);
+        let flip_trace = generate(&WorkloadSpec::google_like(800).with_priority_flips(), 99)
+            .expect("valid workload spec");
         let flip_estimates = Estimates::from_records(&trace_histories(&flip_trace));
         Fixture {
             trace,

@@ -23,7 +23,7 @@ fn bench_generation(c: &mut Criterion) {
     g.bench_function("generate_2k_jobs", |b| {
         b.iter(|| generate(&spec, black_box(7)))
     });
-    let trace = generate(&spec, 7);
+    let trace = generate(&spec, 7).expect("valid workload spec");
     g.bench_function("histories_2k_jobs", |b| b.iter(|| trace_histories(&trace)));
     let records = trace_histories(&trace);
     g.bench_function("estimates_from_records", |b| {
@@ -34,7 +34,7 @@ fn bench_generation(c: &mut Criterion) {
 
 fn bench_replay(c: &mut Criterion) {
     let spec = WorkloadSpec::google_like(1000);
-    let trace = generate(&spec, 11);
+    let trace = generate(&spec, 11).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let cfg = PolicyConfig::formula3();

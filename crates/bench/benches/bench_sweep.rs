@@ -7,6 +7,8 @@
 use ckpt_scenario::{run_sweep, SweepOptions, SweepSpec};
 use ckpt_sim::cluster::{ClusterConfig, ClusterSim};
 use ckpt_sim::policy::{Estimates, PolicyConfig};
+use ckpt_stats::rng::Xoshiro256StarStar;
+use ckpt_trace::failure::{sample_task_plan, FailureModelSpec, FailureProcess};
 use ckpt_trace::gen::generate;
 use ckpt_trace::spec::WorkloadSpec;
 use ckpt_trace::stats::trace_histories;
@@ -114,7 +116,7 @@ fn des_bench_setup(jobs: usize) -> (ckpt_trace::gen::Trace, Estimates, ClusterCo
     let mut spec = WorkloadSpec::google_like(jobs);
     spec.mean_interarrival_s = 2.0;
     spec.long_task_fraction = 0.0;
-    let trace = generate(&spec, 20130217);
+    let trace = generate(&spec, 20130217).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let cfg = ClusterConfig {
@@ -123,6 +125,7 @@ fn des_bench_setup(jobs: usize) -> (ckpt_trace::gen::Trace, Estimates, ClusterCo
         host_mem_mb: 8.0 * 1024.0,
         storage_rate: 1.0,
         host_mtbf_s: Some(7_200.0),
+        ..ClusterConfig::default()
     };
     (trace, estimates, cfg)
 }
@@ -193,9 +196,68 @@ fn bench_des_throughput(c: &mut Criterion) {
     );
 }
 
+/// Failure-model sampler throughput: draws/sec per inter-failure law, and
+/// task-plans/sec through `sample_task_plan` — so a regression in the
+/// hazard layer's cost (which sits on the trace-prep hot path of every
+/// sweep cell) shows up in the perf trajectory alongside the DES numbers.
+fn bench_failure_samplers(c: &mut Criterion) {
+    let models: [(&str, FailureModelSpec); 5] = [
+        ("exponential", FailureModelSpec::Exponential),
+        (
+            "weibull",
+            FailureModelSpec::Weibull {
+                shape: 0.7,
+                scale: 1.0,
+            },
+        ),
+        (
+            "lognormal",
+            FailureModelSpec::LogNormal {
+                sigma: 1.0,
+                scale: 1.0,
+            },
+        ),
+        (
+            "pareto",
+            FailureModelSpec::Pareto {
+                shape: 1.5,
+                scale: 1.0,
+            },
+        ),
+        ("trace", FailureModelSpec::TraceReplay { scale: 1.0 }),
+    ];
+
+    let mut g = c.benchmark_group("failure_sampler_throughput");
+    for (label, model) in models {
+        g.bench_function(&format!("intervals_10k_{label}"), |b| {
+            let process = model.process(500.0);
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::new(7);
+                let mut acc = 0.0;
+                for _ in 0..10_000 {
+                    acc += process.sample_interval(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_function(&format!("task_plans_1k_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::new(11);
+                let mut kills = 0u32;
+                for _ in 0..1_000 {
+                    kills += sample_task_plan(black_box(model), 2, 800.0, &mut rng).count();
+                }
+                black_box(kills)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_expansion, bench_cells_per_sec, bench_scaling, bench_des_throughput
+    targets = bench_expansion, bench_cells_per_sec, bench_scaling, bench_des_throughput,
+        bench_failure_samplers
 }
 criterion_main!(benches);

@@ -39,7 +39,7 @@ impl Experiment for ClusterValidation {
         let mut spec = WorkloadSpec::google_like(ctx.scale.jobs());
         spec.mean_interarrival_s = 25.0;
         spec.long_task_fraction = 0.0;
-        let s = setup_with(spec, ctx.seed);
+        let s = setup_with(spec, ctx.seed)?;
         let cfg = ClusterConfig::default();
 
         let mut table = Frame::new(

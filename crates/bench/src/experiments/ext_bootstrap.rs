@@ -28,7 +28,7 @@ impl Experiment for ExtBootstrap {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let opts = RunOptions {
             threads: ctx.threads,
         };

@@ -31,7 +31,7 @@ impl Experiment for ExtHostFailures {
         let mut spec = WorkloadSpec::google_like(ctx.scale.jobs().min(500));
         spec.mean_interarrival_s = 25.0;
         spec.long_task_fraction = 0.0;
-        let s = setup_with(spec, ctx.seed);
+        let s = setup_with(spec, ctx.seed)?;
 
         let mut table = Frame::new(
             "ext_host_failures",

@@ -49,22 +49,10 @@ impl Experiment for ExtPolicyCostGrid {
              (failure-prone sample)",
         );
         for cell in &result.cells {
-            let wpr = cell
-                .metrics
-                .iter()
-                .find(|(n, _)| *n == "wpr")
-                .ok_or("sweep cell is missing the wpr metric")?
-                .1;
-            let param = |key: &str| {
-                cell.params
-                    .iter()
-                    .find(|(k, _)| k == key)
-                    .map(|(_, v)| v.clone())
-                    .unwrap_or_default()
-            };
+            let wpr = cell.metric("wpr")?;
             table.push_row(row![
-                param("policy"),
-                param("ckpt_cost_scale"),
+                cell.param("policy")?,
+                cell.param("ckpt_cost_scale")?,
                 wpr.count,
                 wpr.mean,
                 wpr.p50,

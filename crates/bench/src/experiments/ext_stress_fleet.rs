@@ -54,25 +54,12 @@ impl Experiment for ExtStressFleet {
         .with_meta("scale", ctx.scale.label())
         .with_meta("spec", "specs/stress_fleet.toml");
         for cell in &result.cells {
-            let metric = |key: &str| {
-                cell.metrics
-                    .iter()
-                    .find(|(n, _)| *n == key)
-                    .map(|(_, m)| *m)
-                    .ok_or_else(|| format!("sweep cell is missing the {key} metric"))
-            };
-            let policy = cell
-                .params
-                .iter()
-                .find(|(k, _)| k == "policy")
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default();
-            let wpr = metric("wpr")?;
-            let wait = metric("queue_wait_s")?;
-            let makespan = metric("makespan_s")?;
-            let events = metric("events")?;
+            let wpr = cell.metric("wpr")?;
+            let wait = cell.metric("queue_wait_s")?;
+            let makespan = cell.metric("makespan_s")?;
+            let events = cell.metric("events")?;
             table.push_row(row![
-                policy,
+                cell.param("policy")?,
                 wpr.count,
                 wpr.mean,
                 wpr.p99,

@@ -33,7 +33,7 @@ impl Experiment for Fig04IntervalCdf {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let by_priority = interval_samples_by_priority(&s.records);
 
         let mut quantiles = Frame::new(

@@ -66,7 +66,7 @@ impl Experiment for Fig05MleFit {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let all = pooled_intervals(&s.records);
         if all.is_empty() {
             return Err("trace produced no failure intervals".into());

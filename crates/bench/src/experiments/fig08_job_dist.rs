@@ -29,7 +29,7 @@ impl Experiment for Fig08JobDist {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
 
         // The paper plots the *sample jobs* (its failure-prone selection).
         let classes: [(&str, Option<JobStructure>); 3] = [

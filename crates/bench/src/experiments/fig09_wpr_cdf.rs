@@ -33,7 +33,7 @@ impl Experiment for Fig09WprCdf {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let opts = RunOptions {
             threads: ctx.threads,
         };

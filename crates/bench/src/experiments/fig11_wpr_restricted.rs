@@ -32,7 +32,7 @@ impl Experiment for Fig11WprRestricted {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let opts = RunOptions {
             threads: ctx.threads,
         };

@@ -30,7 +30,7 @@ impl Experiment for Fig12Wallclock {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let opts = RunOptions {
             threads: ctx.threads,
         };

@@ -34,7 +34,7 @@ impl Experiment for Fig14Dynamic {
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
         let spec = WorkloadSpec::google_like(ctx.scale.jobs()).with_priority_flips();
-        let s = setup_with(spec, ctx.seed);
+        let s = setup_with(spec, ctx.seed)?;
         let opts = RunOptions {
             threads: ctx.threads,
         };

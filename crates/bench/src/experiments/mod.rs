@@ -7,6 +7,8 @@
 
 pub mod cluster_validation;
 pub mod ext_bootstrap;
+pub mod ext_hazard_robustness;
+pub mod ext_heavy_tail_fleet;
 pub mod ext_host_failures;
 pub mod ext_penalty;
 pub mod ext_policy_cost_grid;

@@ -31,7 +31,7 @@ impl Experiment for Table6Precise {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let opts = RunOptions {
             threads: ctx.threads,
         };

@@ -30,7 +30,7 @@ impl Experiment for Table7MnofMtbf {
     }
 
     fn run(&self, ctx: &RunContext) -> ExpResult {
-        let s = setup_ctx(ctx);
+        let s = setup_ctx(ctx)?;
         let est = estimator_from_records(&s.records);
 
         let limits = [

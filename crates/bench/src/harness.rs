@@ -26,27 +26,29 @@ pub struct Setup {
 }
 
 /// Prepare a standard Google-like workload at the given scale.
-pub fn setup(scale: Scale, seed: u64) -> Setup {
+pub fn setup(scale: Scale, seed: u64) -> Result<Setup, String> {
     setup_with(WorkloadSpec::google_like(scale.jobs()), seed)
 }
 
 /// Prepare a standard workload from a [`RunContext`] (its scale + seed).
-pub fn setup_ctx(ctx: &RunContext) -> Setup {
+pub fn setup_ctx(ctx: &RunContext) -> Result<Setup, String> {
     setup(ctx.scale, ctx.seed)
 }
 
-/// Prepare with a custom spec (e.g. priority flips for Figure 14).
-pub fn setup_with(spec: WorkloadSpec, seed: u64) -> Setup {
-    let trace = generate(&spec, seed);
+/// Prepare with a custom spec (e.g. priority flips for Figure 14, or a
+/// non-default failure model). Spec errors surface as experiment errors
+/// instead of aborting the process.
+pub fn setup_with(spec: WorkloadSpec, seed: u64) -> Result<Setup, String> {
+    let trace = generate(&spec, seed).map_err(|e| e.to_string())?;
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample_jobs = failure_prone_jobs(&records, 0.5);
-    Setup {
+    Ok(Setup {
         trace,
         records,
         estimates,
         sample_jobs,
-    }
+    })
 }
 
 impl Setup {
@@ -66,7 +68,7 @@ mod tests {
 
     #[test]
     fn quick_setup_produces_samples() {
-        let s = setup(Scale::Quick, 1);
+        let s = setup(Scale::Quick, 1).unwrap();
         assert_eq!(s.trace.jobs.len(), 800);
         assert!(!s.sample_jobs.is_empty());
         assert_eq!(s.records.len(), s.trace.task_count());
@@ -75,8 +77,8 @@ mod tests {
     #[test]
     fn setup_ctx_matches_explicit_setup() {
         let ctx = RunContext::new(Scale::Quick).with_seed(1);
-        let a = setup_ctx(&ctx);
-        let b = setup(Scale::Quick, 1);
+        let a = setup_ctx(&ctx).unwrap();
+        let b = setup(Scale::Quick, 1).unwrap();
         assert_eq!(a.trace.jobs.len(), b.trace.jobs.len());
         assert_eq!(a.sample_jobs, b.sample_jobs);
     }

@@ -34,6 +34,8 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &ext_bootstrap::ExtBootstrap,
     &ext_policy_cost_grid::ExtPolicyCostGrid,
     &ext_stress_fleet::ExtStressFleet,
+    &ext_hazard_robustness::ExtHazardRobustness,
+    &ext_heavy_tail_fleet::ExtHeavyTailFleet,
 ];
 
 /// All experiments, in registry order.
@@ -147,9 +149,9 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
-    fn registry_has_23_unique_ids() {
+    fn registry_has_25_unique_ids() {
         let ids = ids();
-        assert_eq!(ids.len(), 23, "{ids:?}");
+        assert_eq!(ids.len(), 25, "{ids:?}");
         let set: HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len(), "duplicate experiment ids");
     }

@@ -103,6 +103,82 @@ pub fn mtbf_inflation_penalty(
     overhead_ratio(te, c, e_y_true, x_young)
 }
 
+/// How a failure process distorts Young/Daly's input: the ratio of the
+/// process's recorded MTBF to the *effective* mean interval `te / E(Y)`
+/// implied by the failure count over the window.
+///
+/// Under an exponential (memoryless) process the two coincide and the
+/// distortion is ≈ 1. Heavy-tailed or infant-mortality hazards record an
+/// MTBF dominated by rare huge gaps while the count keeps climbing through
+/// the bursts of short ones, so the distortion exceeds 1 — and Young's
+/// interval `sqrt(2·C·MTBF)` inflates by its square root.
+///
+/// ```
+/// use ckpt_policy::analysis::mtbf_distortion;
+/// // Memoryless: recorded MTBF equals te/E(Y), no distortion.
+/// assert!((mtbf_distortion(600.0, 2.0, 300.0).unwrap() - 1.0).abs() < 1e-12);
+/// // Heavy tail: recorded MTBF 10x the effective interval.
+/// assert!((mtbf_distortion(600.0, 2.0, 3000.0).unwrap() - 10.0).abs() < 1e-12);
+/// ```
+pub fn mtbf_distortion(te: f64, e_y: f64, recorded_mtbf: f64) -> Result<f64> {
+    for (what, value) in [("te", te), ("e_y", e_y), ("recorded_mtbf", recorded_mtbf)] {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(PolicyError::BadInput { what, value });
+        }
+    }
+    Ok(recorded_mtbf / (te / e_y))
+}
+
+/// The per-policy plan and Formula (4) overhead under a general hazard:
+/// what each formula chooses when the process's true expected failure
+/// count is `e_y` but its recorded MTBF is `mtbf`, and what that choice
+/// costs relative to the Theorem 1 optimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardPolicyCosts {
+    /// Theorem 1's interval count from the true `E(Y)` (distribution-free).
+    pub x_opt: u32,
+    /// Young's interval count from the recorded MTBF.
+    pub x_young: u32,
+    /// Daly's interval count from the recorded MTBF.
+    pub x_daly: u32,
+    /// Formula (4) overhead of Young's count relative to the optimum (≥ 1).
+    pub young_ratio: f64,
+    /// Formula (4) overhead of Daly's count relative to the optimum (≥ 1).
+    pub daly_ratio: f64,
+}
+
+/// Expected-cost comparison of the three formulas under a general hazard.
+///
+/// Formula (4)'s expected overhead `C·x + Te·E(Y)/(2x)` needs only the
+/// expected failure *count* — that is Theorem 1's distribution-free claim
+/// — so it prices any policy's interval count under any hazard once
+/// `E(Y)` is known. Young and Daly, whose counts come from the recorded
+/// MTBF, are mis-sized exactly when [`mtbf_distortion`] departs from 1.
+///
+/// ```
+/// use ckpt_policy::analysis::hazard_policy_costs;
+/// // Memoryless hazard: MTBF = te/E(Y), all three nearly coincide.
+/// let fair = hazard_policy_costs(600.0, 0.5, 1.2, 500.0).unwrap();
+/// assert!(fair.young_ratio < 1.1);
+/// // The same workload under a hazard whose recorded MTBF is 18x
+/// // inflated: Young checkpoints far too rarely and pays for it.
+/// let tail = hazard_policy_costs(600.0, 0.5, 1.2, 9_000.0).unwrap();
+/// assert!(tail.x_young < fair.x_young);
+/// assert!(tail.young_ratio > fair.young_ratio);
+/// ```
+pub fn hazard_policy_costs(te: f64, c: f64, e_y: f64, mtbf: f64) -> Result<HazardPolicyCosts> {
+    let x_opt = optimal_interval_count(te, c, e_y)?.rounded();
+    let x_young = crate::young::young_interval_count(te, c, mtbf)?;
+    let x_daly = crate::daly::daly_interval_count(te, c, mtbf)?;
+    Ok(HazardPolicyCosts {
+        x_opt,
+        x_young,
+        x_daly,
+        young_ratio: overhead_ratio(te, c, e_y, x_young)?,
+        daly_ratio: overhead_ratio(te, c, e_y, x_daly)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +253,40 @@ mod tests {
     fn zero_failures_edge() {
         assert_eq!(overhead_ratio(100.0, 1.0, 0.0, 1).unwrap(), 1.0);
         assert_eq!(overhead_ratio(100.0, 1.0, 0.0, 5).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn distortion_is_one_for_memoryless_and_rejects_bad_inputs() {
+        assert!((mtbf_distortion(1000.0, 2.0, 500.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!(mtbf_distortion(0.0, 2.0, 500.0).is_err());
+        assert!(mtbf_distortion(1000.0, f64::NAN, 500.0).is_err());
+        assert!(mtbf_distortion(1000.0, 2.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn hazard_costs_grow_monotonically_with_distortion() {
+        // As the recorded MTBF inflates past the effective interval,
+        // Young's count shrinks and its overhead ratio climbs; the
+        // Theorem 1 count (true E(Y)) never moves.
+        let (te, c, e_y) = (600.0, 0.5, 1.2);
+        let honest = te / e_y;
+        let mut last_ratio = 0.0;
+        let mut last_count = u32::MAX;
+        for gamma in [1.0, 2.0, 6.0, 18.0] {
+            let hc = hazard_policy_costs(te, c, e_y, honest * gamma).unwrap();
+            assert_eq!(
+                hc.x_opt,
+                optimal_interval_count(te, c, e_y).unwrap().rounded()
+            );
+            assert!(hc.x_young <= last_count, "count must shrink: {hc:?}");
+            assert!(
+                hc.young_ratio + 1e-12 >= last_ratio,
+                "ratio must climb: {hc:?}"
+            );
+            assert!(hc.daly_ratio >= 1.0 && hc.young_ratio >= 1.0);
+            last_ratio = hc.young_ratio;
+            last_count = hc.x_young;
+        }
+        assert!(last_ratio > 1.3, "18x distortion must visibly hurt Young");
     }
 }

@@ -58,6 +58,27 @@ pub struct CellResult {
     pub metrics: Vec<(&'static str, MetricSummary)>,
 }
 
+impl CellResult {
+    /// The rendered value of axis `key`, or an error naming the missing
+    /// axis — the lookup every frame-building experiment needs.
+    pub fn param(&self, key: &str) -> Result<&str, String> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("sweep cell is missing the {key} axis"))
+    }
+
+    /// The named metric summary, or an error naming the missing metric.
+    pub fn metric(&self, key: &str) -> Result<MetricSummary, String> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == key)
+            .map(|(_, m)| *m)
+            .ok_or_else(|| format!("sweep cell is missing the {key} metric"))
+    }
+}
+
 /// A completed sweep: every cell, in grid order.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
@@ -119,19 +140,37 @@ fn get_or_init<T>(
     slot.get_or_init(|| f().map(Arc::new)).clone()
 }
 
-/// Key of the trace-preparation inputs: workload shape + seed + trace
-/// file, independent of policy/cost/engine configuration.
+/// Key of the trace-preparation inputs: workload shape + failure model +
+/// seed + trace file, independent of policy/cost/engine configuration.
 fn prep_key(spec: &ScenarioSpec) -> String {
     format!(
-        "{}|{}|{:?}|{:?}",
-        spec.seed, spec.jobs, spec.trace_file, spec.workload
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{}",
+        spec.seed,
+        spec.jobs,
+        spec.trace_file,
+        spec.workload,
+        spec.failure_model,
+        spec.failure_shape,
+        spec.failure_scale
     )
 }
 
 fn prepare(spec: &ScenarioSpec) -> Result<PrepData, String> {
     let trace = match &spec.trace_file {
-        Some(path) => export::read_csv(path).map_err(|e| e.to_string())?,
-        None => generate(&spec.workload_spec(), spec.seed),
+        Some(path) => {
+            let mut trace = export::read_csv(path).map_err(|e| e.to_string())?;
+            // Kill plans are drawn at run time from the trace's model, so
+            // a failure_model axis must reach replayed traces too: a
+            // non-default scenario model overrides whatever the CSV
+            // recorded (the default keeps the CSV's own model, preserving
+            // replay fidelity for exported non-default traces).
+            let model = spec.failure_spec()?;
+            if !model.is_default() {
+                trace.failure_model = model;
+            }
+            trace
+        }
+        None => generate(&spec.workload_spec()?, spec.seed).map_err(|e| e.to_string())?,
     };
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
@@ -159,11 +198,16 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
             })
         }
         EngineKind::Cluster => {
+            // The scenario's failure model drives host failures too, so
+            // one `failure_model` axis swaps the hazard end to end (task
+            // kills come from the trace, which already carries it).
+            let mut cluster_cfg = spec.cluster;
+            cluster_cfg.failure_model = spec.failure_spec()?;
             // Streaming metrics: sweep aggregation never reads the raw
             // checkpoint-duration sample, so stress-scale cells keep
             // constant per-event memory. (Cell outputs are unaffected —
             // the simulation itself is identical in both modes.)
-            let result = ClusterSim::new(spec.cluster, &prep.trace, &prep.estimates, cfg)
+            let result = ClusterSim::new(cluster_cfg, &prep.trace, &prep.estimates, cfg)
                 .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming)
                 .run();
             let queue_wait = result.jobs.iter().map(|j| j.queue_wait).collect();
@@ -576,6 +620,164 @@ mod tests {
         // Thread invariance for RNG-using engines specifically.
         let again = run_sweep(&sweep, SweepOptions { threads: 7 }).unwrap();
         assert_eq!(result.cells, again.cells);
+    }
+
+    const HAZARD: &str = r#"
+        [sweep]
+        name = "hazard"
+        engine = "fast"
+        seed = 9
+        jobs = 150
+
+        [axes]
+        failure_model = ["exponential", "weibull", "pareto", "trace"]
+        policy = ["formula3", "young"]
+    "#;
+
+    #[test]
+    fn failure_model_axis_is_thread_invariant_and_distinct() {
+        let sweep = SweepSpec::from_str(HAZARD).unwrap();
+        let a = run_sweep(&sweep, SweepOptions { threads: 1 }).unwrap();
+        let b = run_sweep(&sweep, SweepOptions { threads: 4 }).unwrap();
+        assert_eq!(a.cells, b.cells);
+        // Each model produces a genuinely different replay: the formula3
+        // wall-clock must differ across models.
+        let wall = |i: usize| {
+            a.cells[i]
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "wall_s")
+                .unwrap()
+                .1
+                .mean
+        };
+        let walls: Vec<f64> = (0..4).map(|m| wall(2 * m)).collect();
+        for i in 1..walls.len() {
+            assert_ne!(walls[0], walls[i], "model {i} replayed the default plan");
+        }
+    }
+
+    #[test]
+    fn exponential_failure_model_cells_match_the_legacy_sweep() {
+        // The acceptance contract: an explicit failure_model =
+        // "exponential" axis value changes nothing — metrics equal the
+        // same sweep with no failure_model key at all.
+        let with_axis = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "small"
+            engine = "fast"
+            seed = 9
+            jobs = 150
+            failure_model = "exponential"
+
+            [axes]
+            policy = ["formula3", "none"]
+        "#,
+        )
+        .unwrap();
+        let legacy = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "small"
+            engine = "fast"
+            seed = 9
+            jobs = 150
+
+            [axes]
+            policy = ["formula3", "none"]
+        "#,
+        )
+        .unwrap();
+        let a = run_sweep(&with_axis, SweepOptions::default()).unwrap();
+        let b = run_sweep(&legacy, SweepOptions::default()).unwrap();
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.metrics, cb.metrics);
+        }
+    }
+
+    #[test]
+    fn cluster_engine_threads_failure_model_into_host_failures() {
+        let spec = r#"
+            [sweep]
+            name = "haz_cluster"
+            engine = "cluster"
+            seed = 11
+            jobs = 60
+
+            [cluster]
+            host_mtbf_s = 1800
+
+            [axes]
+            failure_model = ["exponential", "pareto"]
+        "#;
+        let sweep = SweepSpec::from_str(spec).unwrap();
+        let result = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        assert_eq!(result.cells.len(), 2);
+        let makespan = |i: usize| {
+            result.cells[i]
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == "makespan_s")
+                .unwrap()
+                .1
+                .mean
+        };
+        // Different hazard ⇒ different host-failure stream ⇒ different run.
+        assert_ne!(makespan(0), makespan(1));
+        let again = run_sweep(&sweep, SweepOptions { threads: 7 }).unwrap();
+        assert_eq!(result.cells, again.cells);
+    }
+
+    #[test]
+    fn failure_model_axis_reaches_replayed_trace_files() {
+        // A failure_model axis over a trace_file scenario must change the
+        // replay (kill plans are drawn at run time), not silently produce
+        // a grid of identical cells.
+        let trace = ckpt_trace::gen::generate(&ckpt_trace::spec::WorkloadSpec::google_like(80), 41)
+            .expect("valid workload spec");
+        let path = std::env::temp_dir().join(format!(
+            "ckpt_scenario_test_{}_axis_trace.csv",
+            std::process::id()
+        ));
+        export::write_csv(&trace, &path).unwrap();
+        let spec = format!(
+            r#"
+            [sweep]
+            name = "traced"
+            engine = "fast"
+            trace = "{}"
+            sample = "all"
+
+            [axes]
+            failure_model = ["exponential", "pareto"]
+        "#,
+            path.display()
+        );
+        let sweep = SweepSpec::from_str(&spec).unwrap();
+        let result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_ne!(result.cells[0].metrics, result.cells[1].metrics);
+    }
+
+    #[test]
+    fn bad_workload_values_error_instead_of_panicking() {
+        // length_spread <= 1 used to panic inside generate(); it must now
+        // surface as a cell error through the sweep.
+        let sweep = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "badgen"
+            engine = "fast"
+            jobs = 10
+
+            [workload]
+            length_spread = 0.5
+        "#,
+        )
+        .unwrap();
+        let err = run_sweep(&sweep, SweepOptions::default()).unwrap_err();
+        assert!(err.0.contains("length_spread"), "{err}");
     }
 
     #[test]

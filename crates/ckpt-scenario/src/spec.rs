@@ -12,6 +12,7 @@ use ckpt_policy::PolicyKind;
 use ckpt_sim::blcr::Device;
 use ckpt_sim::cluster::ClusterConfig;
 use ckpt_sim::policy::{CostTweak, EstimatorKind, PolicyConfig, StorageChoice};
+use ckpt_trace::failure::{FailureKind, FailureModelSpec};
 use ckpt_trace::gen::JobStructure;
 use ckpt_trace::spec::WorkloadSpec;
 
@@ -106,6 +107,17 @@ pub struct ScenarioSpec {
     /// Workload-shape overrides.
     pub workload: WorkloadTweaks,
 
+    /// Which inter-failure law the workload's kill plans (and the cluster
+    /// engine's host failures) are drawn from. The default `exponential`
+    /// is the bit-identical legacy path; see [`ckpt_trace::failure`].
+    pub failure_model: FailureKind,
+    /// Shape parameter of the failure model (`None` = the kind's default:
+    /// Weibull 0.7, log-normal σ 1.0, Pareto 1.5).
+    pub failure_shape: Option<f64>,
+    /// Mean-interval multiplier of the failure model (> 1 ⇒ fewer
+    /// failures than the MNOF calibration).
+    pub failure_scale: f64,
+
     /// Checkpoint-placement policy.
     pub policy: PolicyKind,
     /// MNOF/MTBF estimator.
@@ -154,6 +166,9 @@ impl ScenarioSpec {
             jobs: 2000,
             trace_file: None,
             workload: WorkloadTweaks::default(),
+            failure_model: FailureKind::Exponential,
+            failure_shape: None,
+            failure_scale: 1.0,
             policy: PolicyKind::Formula3,
             estimator: EstimatorKind::PerPriority {
                 limit: f64::INFINITY,
@@ -174,8 +189,18 @@ impl ScenarioSpec {
         }
     }
 
+    /// The validated failure model this scenario runs under. Errors name
+    /// the offending spec field (`failure_shape` / `failure_scale`) —
+    /// combinations that only meet across sweep axes surface here.
+    pub fn failure_spec(&self) -> Result<FailureModelSpec, String> {
+        self.failure_model
+            .build(self.failure_shape, self.failure_scale)
+    }
+
     /// The workload spec this scenario generates (when no trace file).
-    pub fn workload_spec(&self) -> WorkloadSpec {
+    /// Fails when the failure-model fields form an invalid combination
+    /// (e.g. a `failure_shape` axis meeting the exponential model).
+    pub fn workload_spec(&self) -> Result<WorkloadSpec, String> {
         let mut w = WorkloadSpec::google_like(self.jobs);
         let t = &self.workload;
         if let Some(v) = t.length_median_s {
@@ -199,7 +224,8 @@ impl ScenarioSpec {
         if t.flips {
             w = w.with_priority_flips();
         }
-        w
+        w.failure_model = self.failure_spec()?;
+        Ok(w)
     }
 
     /// The policy configuration this scenario runs.
@@ -222,12 +248,15 @@ impl ScenarioSpec {
     /// do not enter the key.
     pub fn run_key(&self) -> String {
         format!(
-            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
             self.engine,
             self.seed,
             self.jobs,
             self.trace_file,
             self.workload,
+            self.failure_model,
+            self.failure_shape,
+            self.failure_scale,
             self.policy,
             self.estimator,
             self.adaptive,
@@ -315,6 +344,15 @@ impl ScenarioSpec {
             }
             "limit" => {
                 let limit = num(value)?;
+                // A non-positive or NaN length cutoff would silently empty
+                // the estimation population (every group falls back to the
+                // pooled rate); reject it by name. `inf` stays valid — it
+                // is the paper's unrestricted-length configuration.
+                if limit.is_nan() || limit <= 0.0 {
+                    return Err(format!(
+                        "key \"limit\": must be positive (or inf), got {limit}"
+                    ));
+                }
                 self.estimator = match self.estimator {
                     // Silently keeping Oracle would make a `limit` axis a
                     // no-op grid of identical cells.
@@ -376,6 +414,26 @@ impl ScenarioSpec {
             }
             "max_task_length" => self.max_task_length = Some(num(value)?),
 
+            // The three failure keys validate the *combination* before
+            // committing, so a bad pairing (e.g. a failure_shape axis over
+            // an exponential base) fails at parse time with the spec left
+            // untouched, not mid-sweep with half-applied state.
+            "failure_model" => {
+                let kind = FailureKind::from_name(text_of(key, value)?)?;
+                kind.build(self.failure_shape, self.failure_scale)?;
+                self.failure_model = kind;
+            }
+            "failure_shape" => {
+                let shape = num(value)?;
+                self.failure_model.build(Some(shape), self.failure_scale)?;
+                self.failure_shape = Some(shape);
+            }
+            "failure_scale" => {
+                let scale = num(value)?;
+                self.failure_model.build(self.failure_shape, scale)?;
+                self.failure_scale = scale;
+            }
+
             "length_median_s" => self.workload.length_median_s = Some(num(value)?),
             "length_spread" => self.workload.length_spread = Some(num(value)?),
             "bot_fraction" => self.workload.bot_fraction = Some(num(value)?),
@@ -387,8 +445,11 @@ impl ScenarioSpec {
             "n_hosts" => self.cluster.n_hosts = count(value)? as usize,
             "vms_per_host" => self.cluster.vms_per_host = count(value)? as usize,
             "host_mem_mb" => self.cluster.host_mem_mb = num(value)?,
-            "storage_rate" => self.cluster.storage_rate = num(value)?,
-            "host_mtbf_s" => self.cluster.host_mtbf_s = Some(num(value)?),
+            // A zero/negative storage rate or host MTBF would hang the DES
+            // (zero-length service / failure intervals rescheduled at the
+            // same instant forever); reject at spec time by name.
+            "storage_rate" => self.cluster.storage_rate = positive(value)?,
+            "host_mtbf_s" => self.cluster.host_mtbf_s = Some(positive(value)?),
 
             "device" => self.device = parse_device(text_of(key, value)?)?,
             "mem_mb" => self.mem_mb = positive(value)?,
@@ -431,7 +492,7 @@ mod tests {
         assert_eq!(cfg.kind, PolicyKind::Formula3);
         assert!(!cfg.adaptive);
         assert_eq!(cfg.storage, StorageChoice::Auto);
-        assert_eq!(s.workload_spec().n_jobs, 2000);
+        assert_eq!(s.workload_spec().unwrap().n_jobs, 2000);
     }
 
     #[test]
@@ -477,9 +538,88 @@ mod tests {
         let mut s = ScenarioSpec::new("w");
         s.apply("length_median_s", &Value::Num(100.0)).unwrap();
         s.apply("flips", &Value::Bool(true)).unwrap();
-        let w = s.workload_spec();
+        let w = s.workload_spec().unwrap();
         assert_eq!(w.length_median_s, 100.0);
         assert_eq!(w.priority_flip_prob, 1.0);
+    }
+
+    #[test]
+    fn limit_rejects_nonpositive_and_nan_by_name() {
+        let mut s = ScenarioSpec::new("l");
+        for bad in [0.0, -100.0, f64::NAN] {
+            let e = s.apply("limit", &Value::Num(bad)).unwrap_err();
+            assert!(e.contains("\"limit\""), "{e}");
+        }
+        // inf stays valid: the paper's unrestricted-length configuration.
+        assert!(s.apply("limit", &Value::Num(f64::INFINITY)).is_ok());
+        assert_eq!(
+            s.estimator,
+            EstimatorKind::PerPriority {
+                limit: f64::INFINITY
+            }
+        );
+    }
+
+    #[test]
+    fn failure_model_axis_applies_and_validates() {
+        let mut s = ScenarioSpec::new("f");
+        s.apply("failure_model", &Value::Str("weibull".into()))
+            .unwrap();
+        s.apply("failure_shape", &Value::Num(0.5)).unwrap();
+        s.apply("failure_scale", &Value::Num(2.0)).unwrap();
+        assert_eq!(
+            s.failure_spec().unwrap(),
+            FailureModelSpec::Weibull {
+                shape: 0.5,
+                scale: 2.0
+            }
+        );
+        let w = s.workload_spec().unwrap();
+        assert_eq!(
+            w.failure_model,
+            FailureModelSpec::Weibull {
+                shape: 0.5,
+                scale: 2.0
+            }
+        );
+
+        // Bad values are rejected at apply time with named fields.
+        let mut bad = ScenarioSpec::new("b");
+        let e = bad
+            .apply("failure_model", &Value::Str("gamma".into()))
+            .unwrap_err();
+        assert!(e.contains("failure model"), "{e}");
+        // Shape on the exponential default is a no-op grid in disguise.
+        let e = bad.apply("failure_shape", &Value::Num(0.7)).unwrap_err();
+        assert!(e.contains("exponential"), "{e}");
+        bad.apply("failure_model", &Value::Str("pareto".into()))
+            .unwrap();
+        let e = bad.apply("failure_shape", &Value::Num(0.9)).unwrap_err();
+        assert!(e.contains("shape > 1"), "{e}");
+        let e = bad
+            .apply("failure_scale", &Value::Num(f64::NAN))
+            .unwrap_err();
+        assert!(e.contains("failure_scale"), "{e}");
+    }
+
+    #[test]
+    fn failure_model_enters_the_run_key() {
+        let mut a = ScenarioSpec::new("x");
+        let base_key = a.run_key();
+        a.apply("failure_model", &Value::Str("pareto".into()))
+            .unwrap();
+        assert_ne!(a.run_key(), base_key);
+        let with_default_shape = a.run_key();
+        a.apply("failure_shape", &Value::Num(1.8)).unwrap();
+        assert_ne!(a.run_key(), with_default_shape);
+    }
+
+    #[test]
+    fn host_mtbf_and_storage_rate_must_be_positive() {
+        let mut s = ScenarioSpec::new("c");
+        assert!(s.apply("host_mtbf_s", &Value::Num(0.0)).is_err());
+        assert!(s.apply("storage_rate", &Value::Num(-1.0)).is_err());
+        assert!(s.apply("host_mtbf_s", &Value::Num(3600.0)).is_ok());
     }
 
     #[test]

@@ -62,8 +62,8 @@ use crate::task_sim::TaskOutcome;
 use crate::task_store::{TaskState, TaskStore, NO_HOST, NO_TASK};
 use crate::time::{SimDuration, SimTime};
 use ckpt_stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use ckpt_trace::failure::{sample_task_plan, FailureModelSpec, FailureProcess, HazardProcess};
 use ckpt_trace::gen::{JobStructure, Trace};
-use ckpt_trace::spec::FailureModel;
 use std::collections::{HashMap, VecDeque};
 
 /// Cluster topology and storage parameters (defaults = the paper's testbed).
@@ -79,12 +79,18 @@ pub struct ClusterConfig {
     /// checkpoint-seconds per wall second (1.0 = nominal Table 4 speed).
     pub storage_rate: f64,
     /// Optional whole-host failures: mean time between failures per host
-    /// (seconds, exponential). When a host fails, every task running (or
+    /// (seconds). When a host fails, every task running (or
     /// checkpointing) on it is killed and "immediately restarted on other
     /// hosts from their most recent checkpoints" (paper §2). `None`
     /// disables host failures (the default; the paper's evaluation injects
     /// failures at task granularity from the trace).
     pub host_mtbf_s: Option<f64>,
+    /// The inter-failure law host failures are drawn from
+    /// ([`ckpt_trace::failure`]). The default
+    /// [`FailureModelSpec::Exponential`] reproduces the historical
+    /// `-ln(U)·MTBF` draws bit-for-bit; other models keep the configured
+    /// MTBF as the process mean and change only the interval law.
+    pub failure_model: FailureModelSpec,
 }
 
 impl Default for ClusterConfig {
@@ -95,6 +101,7 @@ impl Default for ClusterConfig {
             host_mem_mb: 7.0 * 1024.0,
             storage_rate: 1.0,
             host_mtbf_s: None,
+            failure_model: FailureModelSpec::Exponential,
         }
     }
 }
@@ -238,6 +245,11 @@ pub struct ClusterSim<'a> {
     storage_ops: HashMap<u64, u32>,
     next_op_id: u64,
     cluster_rng: Xoshiro256StarStar,
+    /// Host inter-failure process, built once from `(failure_model,
+    /// host_mtbf_s)` — constructing it per draw would redo Weibull/Pareto
+    /// parameter derivation on every host-failure event. `None` when host
+    /// failures are disabled.
+    host_process: Option<HazardProcess>,
     metrics_mode: MetricsMode,
     ckpt_durations: Vec<f64>,
     ckpt_stats: StreamStats,
@@ -273,7 +285,7 @@ impl<'a> ClusterSim<'a> {
                 // random numbers across policies and with the fast path).
                 let kills = {
                     let mut rng = trace.failure_stream(t.id);
-                    FailureModel::for_priority(job.priority).sample_plan(t.length_s, &mut rng)
+                    sample_task_plan(trace.failure_model, job.priority, t.length_s, &mut rng)
                 };
                 store.push(
                     t.length_s,
@@ -330,6 +342,7 @@ impl<'a> ClusterSim<'a> {
             storage_ops: HashMap::new(),
             next_op_id: 0,
             cluster_rng: Xoshiro256StarStar::stream(SplitMix64::mix(trace.seed), 0xC105),
+            host_process: cfg.host_mtbf_s.map(|mtbf| cfg.failure_model.process(mtbf)),
             metrics_mode: MetricsMode::Full,
             ckpt_durations: Vec::new(),
             ckpt_stats: StreamStats::default(),
@@ -360,13 +373,14 @@ impl<'a> ClusterSim<'a> {
         self.store.len()
     }
 
-    /// Draw the next whole-host failure for `host` (exponential MTBF).
+    /// Draw the next whole-host failure for `host` from the configured
+    /// failure process (the default exponential process reproduces the
+    /// historical `-ln(U)·MTBF` draw on the same stream, bit-for-bit).
     fn schedule_host_failure(&mut self, host: usize) {
-        let Some(mtbf) = self.cfg.host_mtbf_s else {
+        let Some(process) = &self.host_process else {
             return;
         };
-        let u = self.cluster_rng.next_f64_open();
-        let dt = -u.ln() * mtbf;
+        let dt = process.sample_interval(&mut self.cluster_rng);
         self.queue.schedule(
             self.now + SimDuration::from_secs_f64(dt),
             Ev::HostFailure { host: host as u32 },
@@ -920,7 +934,7 @@ mod tests {
     fn setup(n: usize, seed: u64) -> (Trace, Estimates) {
         let mut spec = WorkloadSpec::google_like(n);
         spec.long_task_fraction = 0.0; // keep cluster tests quick
-        let trace = generate(&spec, seed);
+        let trace = generate(&spec, seed).expect("valid workload spec");
         let records = trace_histories(&trace);
         (trace, Estimates::from_records(&records))
     }
@@ -1068,6 +1082,79 @@ mod tests {
                 expected,
                 "{name}: output diverged from the pre-rewrite engine"
             );
+        }
+
+        // The failure-model layer must not perturb the default path: a
+        // config that *explicitly* selects the exponential model matches
+        // the default-config digest above bit-for-bit.
+        let explicit = ClusterSim::new(
+            ClusterConfig {
+                failure_model: FailureModelSpec::Exponential,
+                ..ClusterConfig::default()
+            },
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+        )
+        .run();
+        assert_eq!(digest(&explicit), 0xb0c9f9ce211739c4);
+    }
+
+    /// Non-default failure models get their own pinned digests (captured
+    /// at introduction): the hazard paths must stay exactly as
+    /// deterministic and stable as the legacy one.
+    #[test]
+    fn golden_digests_hazard_models() {
+        fn fnv(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100000001b3)
+        }
+        fn digest(result: &ClusterRunResult) -> u64 {
+            let mut h = 0xcbf29ce484222325u64;
+            for j in &result.jobs {
+                h = fnv(h, j.base.total_wall.to_bits());
+                h = fnv(h, j.base.failures as u64);
+                h = fnv(h, j.span.to_bits());
+            }
+            h = fnv(h, result.makespan.0);
+            h = fnv(h, result.host_failures);
+            h
+        }
+
+        let mut spec = WorkloadSpec::google_like(60);
+        spec.long_task_fraction = 0.0;
+        let cases: Vec<(&str, FailureModelSpec, u64)> = vec![
+            (
+                "weibull_tasks_and_hosts",
+                FailureModelSpec::Weibull {
+                    shape: 0.7,
+                    scale: 1.0,
+                },
+                0x4053c235cd6b38e4,
+            ),
+            (
+                "pareto_tasks_and_hosts",
+                FailureModelSpec::Pareto {
+                    shape: 1.5,
+                    scale: 1.0,
+                },
+                0x900c63bd673a5c3f,
+            ),
+        ];
+        for (name, model, expected) in cases {
+            let trace =
+                generate(&spec.clone().with_failure_model(model), 31).expect("valid workload spec");
+            let records = trace_histories(&trace);
+            let est = Estimates::from_records(&records);
+            let cfg = ClusterConfig {
+                host_mtbf_s: Some(3_600.0),
+                failure_model: model,
+                ..ClusterConfig::default()
+            };
+            let r = ClusterSim::new(cfg, &trace, &est, PolicyConfig::formula3()).run();
+            let again = ClusterSim::new(cfg, &trace, &est, PolicyConfig::formula3()).run();
+            assert_eq!(digest(&r), digest(&again), "{name}: nondeterministic");
+            assert_eq!(digest(&r), expected, "{name}: digest drifted");
+            assert!(r.host_failures > 0, "{name}: no host failures injected");
         }
     }
 

@@ -415,7 +415,7 @@ mod tests {
     use ckpt_trace::stats::trace_histories;
 
     fn setup() -> (ckpt_trace::gen::Trace, Estimates) {
-        let trace = generate(&WorkloadSpec::google_like(600), 55);
+        let trace = generate(&WorkloadSpec::google_like(600), 55).expect("valid workload spec");
         let records = trace_histories(&trace);
         let est = Estimates::from_records(&records);
         (trace, est)

@@ -17,9 +17,9 @@
 use crate::blcr::BlcrModel;
 use crate::metrics::JobRecord;
 use crate::policy::{plan_task, Estimates, PolicyConfig};
-use crate::task_sim::{simulate_task, ExecFlip, TaskOutcome, TaskSimSpec};
+use crate::task_sim::{simulate_task_with_plan, ExecFlip, TaskOutcome, TaskSimSpec};
+use ckpt_trace::failure::sample_task_plan;
 use ckpt_trace::gen::{JobSpec, Trace};
-use ckpt_trace::spec::FailureModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run configuration beyond the policy itself.
@@ -53,7 +53,6 @@ pub fn run_job(
         // plan to this task (each task flips at the same fraction of its own
         // work, approximating "in the middle of the job's execution").
         let flip = job.flip.map(|f| {
-            let new_model = FailureModel::for_priority(f.new_priority);
             // The controller's new belief comes from the same estimator,
             // evaluated at the new priority. The executor re-draws a full
             // dose of the new priority's failures over the remaining work
@@ -65,7 +64,8 @@ pub fn run_job(
             let remaining_fraction = (1.0 - f.at_fraction).max(0.05);
             ExecFlip {
                 at_progress: f.at_fraction * task.length_s,
-                new_model,
+                new_priority: f.new_priority,
+                model: trace.failure_model,
                 new_mnof_full: Some(new_mnof / remaining_fraction),
             }
         });
@@ -74,9 +74,12 @@ pub fn run_job(
             ckpt_cost: plan.ckpt_cost,
             restart_cost: plan.restart_cost,
         };
-        let model = FailureModel::for_priority(job.priority);
+        // The kill plan is drawn under the trace's failure model (the
+        // default routes through the legacy calibrated sampler on the same
+        // stream, so default output is byte-identical to `simulate_task`).
         let mut rng = trace.failure_stream(task.id);
-        let outcome = simulate_task(&spec, model, flip, &mut plan.controller, &mut rng);
+        let kills = sample_task_plan(trace.failure_model, job.priority, task.length_s, &mut rng);
+        let outcome = simulate_task_with_plan(&spec, kills, flip, &mut plan.controller, &mut rng);
         outcomes.push(outcome);
     }
     JobRecord::from_outcomes(job.id, job.structure, job.priority, &outcomes, &lengths)
@@ -167,7 +170,7 @@ mod tests {
     use ckpt_trace::stats::trace_histories;
 
     fn setup(n: usize, seed: u64) -> (Trace, Estimates) {
-        let trace = generate(&WorkloadSpec::google_like(n), seed);
+        let trace = generate(&WorkloadSpec::google_like(n), seed).expect("valid workload spec");
         let records = trace_histories(&trace);
         (trace, Estimates::from_records(&records))
     }
@@ -254,7 +257,8 @@ mod tests {
 
     #[test]
     fn flipped_trace_marks_outcomes() {
-        let trace = generate(&WorkloadSpec::google_like(60).with_priority_flips(), 14);
+        let trace = generate(&WorkloadSpec::google_like(60).with_priority_flips(), 14)
+            .expect("valid workload spec");
         let records = trace_histories(&trace);
         let est = Estimates::from_records(&records);
         let cfg = PolicyConfig::formula3().with_adaptivity(true);

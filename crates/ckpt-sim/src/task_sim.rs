@@ -28,6 +28,7 @@
 
 use crate::controller::Controller;
 use ckpt_stats::rng::Rng64;
+use ckpt_trace::failure::{sample_task_plan, FailureModelSpec};
 use ckpt_trace::spec::{FailureModel, FailurePlan};
 use std::collections::VecDeque;
 
@@ -37,9 +38,13 @@ pub struct ExecFlip {
     /// Productive-progress position at which the flip occurs (first
     /// crossing; rollbacks do not re-trigger it).
     pub at_progress: f64,
-    /// Failure model in force after the flip (the remaining kill plan is
-    /// re-drawn from it).
-    pub new_model: FailureModel,
+    /// Priority in force after the flip: the remaining kill plan is
+    /// re-drawn for it over the remaining work.
+    pub new_priority: u8,
+    /// The failure model the re-draw samples under — the same model the
+    /// rest of the trace replays (the default routes through the legacy
+    /// calibrated sampler, draw for draw).
+    pub model: FailureModelSpec,
     /// New full-task MNOF belief handed to the controller (adaptive
     /// controllers re-solve; static ones ignore it). `None` ⇒ the policy is
     /// not informed (failure behaviour changes but the schedule keeps its
@@ -177,13 +182,16 @@ pub fn simulate_task_with_plan<R: Rng64 + ?Sized>(
 
         if let Some(f) = flip {
             if live >= f.at_progress {
-                // Priority flip: the remaining kill plan is re-drawn from
-                // the new priority's model over the remaining work.
+                // Priority flip: the remaining kill plan is re-drawn for
+                // the new priority over the remaining work, under the same
+                // failure model as the rest of the trace. (Default model:
+                // sample_count + sample_positions in the legacy order —
+                // identical draws to the historical re-plan.)
                 pending.clear();
                 let remaining = spec.te - live;
                 if remaining > 0.0 {
-                    let k = f.new_model.sample_count(remaining, rng);
-                    for p in f.new_model.sample_positions(remaining, k, rng) {
+                    let plan = sample_task_plan(f.model, f.new_priority, remaining, rng);
+                    for p in plan.positions {
                         pending.push_back(busy + p);
                     }
                 }
@@ -424,7 +432,8 @@ mod tests {
         };
         let flip = ExecFlip {
             at_progress: 100.0,
-            new_model: ckpt_trace::spec::FailureModel::for_priority(10),
+            new_priority: 10,
+            model: FailureModelSpec::Exponential,
             new_mnof_full: Some(12.0),
         };
         let mut ctl = Controller::Adaptive(
@@ -455,7 +464,8 @@ mod tests {
         for seed in 0..30u64 {
             let flip = ExecFlip {
                 at_progress: 100.0,
-                new_model: ckpt_trace::spec::FailureModel::for_priority(12),
+                new_priority: 12,
+                model: FailureModelSpec::Exponential,
                 new_mnof_full: Some(0.2),
             };
             let model = ckpt_trace::spec::FailureModel::for_priority(10);

@@ -8,6 +8,7 @@
 //! with a `# seed=<seed>` comment line carrying the RNG seed (so failure
 //! streams reproduce).
 
+use crate::failure::FailureModelSpec;
 use crate::gen::{JobSpec, JobStructure, PriorityFlip, TaskSpec, Trace};
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
@@ -51,6 +52,16 @@ const HEADER: &str = "job_id,arrival_s,priority,structure,flip_fraction,flip_pri
 pub fn write_csv<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), ExportError> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "# seed={}", trace.seed)?;
+    // Non-default failure models are part of the replay contract; record
+    // them so a re-imported trace replays the same kill plans. (Default
+    // traces keep the historical two-line preamble byte-for-byte.)
+    if !trace.failure_model.is_default() {
+        writeln!(
+            f,
+            "# failure_model={}",
+            trace.failure_model.render_compact()
+        )?;
+    }
     writeln!(f, "{HEADER}")?;
     for job in &trace.jobs {
         let (ff, fp) = match job.flip {
@@ -89,6 +100,7 @@ fn parse<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, Ex
 pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<Trace, ExportError> {
     let f = BufReader::new(std::fs::File::open(path)?);
     let mut seed = 0u64;
+    let mut failure_model = FailureModelSpec::default();
     let mut jobs: Vec<JobSpec> = Vec::new();
     for (i, line) in f.lines().enumerate() {
         let line = line?;
@@ -99,6 +111,11 @@ pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<Trace, ExportError> {
         }
         if let Some(rest) = trimmed.strip_prefix("# seed=") {
             seed = parse(rest, lineno, "seed")?;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("# failure_model=") {
+            failure_model = FailureModelSpec::parse_compact(rest)
+                .map_err(|what| ExportError::Parse { line: lineno, what })?;
             continue;
         }
         if trimmed.starts_with('#') {
@@ -151,7 +168,11 @@ pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<Trace, ExportError> {
             }),
         }
     }
-    Ok(Trace { jobs, seed })
+    Ok(Trace {
+        jobs,
+        seed,
+        failure_model,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +187,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_trace() {
-        let trace = generate(&WorkloadSpec::google_like(120), 777);
+        let trace = generate(&WorkloadSpec::google_like(120), 777).expect("valid workload spec");
         let path = tmp("roundtrip");
         write_csv(&trace, &path).unwrap();
         let back = read_csv(&path).unwrap();
@@ -177,7 +198,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_flips() {
-        let trace = generate(&WorkloadSpec::google_like(40).with_priority_flips(), 778);
+        let trace = generate(&WorkloadSpec::google_like(40).with_priority_flips(), 778)
+            .expect("valid workload spec");
         let path = tmp("flips");
         write_csv(&trace, &path).unwrap();
         let back = read_csv(&path).unwrap();
@@ -189,7 +211,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_failure_streams() {
         use ckpt_stats::rng::Rng64;
-        let trace = generate(&WorkloadSpec::google_like(10), 779);
+        let trace = generate(&WorkloadSpec::google_like(10), 779).expect("valid workload spec");
         let path = tmp("streams");
         write_csv(&trace, &path).unwrap();
         let back = read_csv(&path).unwrap();
@@ -199,6 +221,38 @@ mod tests {
             assert_eq!(a.next_u64(), b.next_u64());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_preserves_failure_model() {
+        use crate::failure::FailureModelSpec;
+        let model = FailureModelSpec::Pareto {
+            shape: 1.5,
+            scale: 2.0,
+        };
+        let spec = WorkloadSpec::google_like(20).with_failure_model(model);
+        let trace = generate(&spec, 780).expect("valid workload spec");
+        let path = tmp("failure_model");
+        write_csv(&trace, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.failure_model, model);
+        assert_eq!(back.jobs, trace.jobs);
+        // Replayed histories must match, since they depend on the model.
+        assert_eq!(
+            crate::stats::trace_histories(&back),
+            crate::stats::trace_histories(&trace)
+        );
+        std::fs::remove_file(&path).ok();
+
+        // Default traces keep the historical preamble (no model line) and
+        // read back as the default model.
+        let default_trace = generate(&WorkloadSpec::google_like(5), 781).expect("valid spec");
+        let path2 = tmp("default_model");
+        write_csv(&default_trace, &path2).unwrap();
+        let text = std::fs::read_to_string(&path2).unwrap();
+        assert!(!text.contains("failure_model"));
+        assert!(read_csv(&path2).unwrap().failure_model.is_default());
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! The trace generator: jobs, tasks, arrivals, priorities, and optional
 //! mid-run priority flips, all drawn deterministically from a seed.
 
+use crate::failure::FailureModelSpec;
 use crate::spec::{WorkloadSpec, NUM_PRIORITIES};
 use ckpt_stats::dist::{ContinuousDist, Exponential, LogNormal};
 use ckpt_stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+
+/// A workload spec field rejected by [`generate`]: the field name and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadError {
+    /// The offending [`WorkloadSpec`] field(s).
+    pub field: &'static str,
+    /// What was wrong with the value.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload spec field {}: {}", self.field, self.detail)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// Job structure, per the paper's §5.1: "there are two types of job
 /// structures, either sequential tasks (ST) or bag-of-tasks (BoT)".
@@ -87,6 +105,10 @@ pub struct Trace {
     pub jobs: Vec<JobSpec>,
     /// The seed the trace was generated from (recorded for reproducibility).
     pub seed: u64,
+    /// The failure model every consumer (history sampler, both engines)
+    /// draws task kill plans from. [`FailureModelSpec::Exponential`] is the
+    /// legacy calibrated replay; see [`crate::failure`].
+    pub failure_model: FailureModelSpec,
 }
 
 impl Trace {
@@ -133,18 +155,46 @@ fn sample_clamped<R: Rng64>(rng: &mut R, d: &LogNormal, clamp: (f64, f64)) -> f6
     d.sample(rng).clamp(clamp.0, clamp.1)
 }
 
+fn lognormal_field(
+    median: f64,
+    spread: f64,
+    field: &'static str,
+) -> Result<LogNormal, WorkloadError> {
+    LogNormal::from_median_spread(median, spread).map_err(|e| WorkloadError {
+        field,
+        detail: e.to_string(),
+    })
+}
+
 /// Generate a trace from a workload spec and a seed. Deterministic:
 /// identical `(spec, seed)` pairs produce identical traces.
-pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
+///
+/// Invalid spec values (non-positive inter-arrival, degenerate length /
+/// memory distributions) are reported as a named-field [`WorkloadError`]
+/// instead of panicking, so a bad scenario file or CLI flag surfaces as a
+/// normal error.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Result<Trace, WorkloadError> {
     let mut rng = Xoshiro256StarStar::stream(seed, 0x7ACE);
-    let interarrival = Exponential::from_mean(spec.mean_interarrival_s)
-        .expect("spec.mean_interarrival_s must be positive");
-    let length_dist = LogNormal::from_median_spread(spec.length_median_s, spec.length_spread)
-        .expect("spec length distribution invalid");
-    let long_dist = LogNormal::from_median_spread(spec.long_task_median_s, spec.long_task_spread)
-        .expect("spec long-task distribution invalid");
-    let mem_dist = LogNormal::from_median_spread(spec.mem_median_mb, spec.mem_spread)
-        .expect("spec memory distribution invalid");
+    let interarrival =
+        Exponential::from_mean(spec.mean_interarrival_s).map_err(|e| WorkloadError {
+            field: "mean_interarrival_s",
+            detail: e.to_string(),
+        })?;
+    let length_dist = lognormal_field(
+        spec.length_median_s,
+        spec.length_spread,
+        "length_median_s/length_spread",
+    )?;
+    let long_dist = lognormal_field(
+        spec.long_task_median_s,
+        spec.long_task_spread,
+        "long_task_median_s/long_task_spread",
+    )?;
+    let mem_dist = lognormal_field(
+        spec.mem_median_mb,
+        spec.mem_spread,
+        "mem_median_mb/mem_spread",
+    )?;
 
     let mut jobs = Vec::with_capacity(spec.n_jobs);
     let mut clock = 0.0;
@@ -206,7 +256,11 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
             flip,
         });
     }
-    Trace { jobs, seed }
+    Ok(Trace {
+        jobs,
+        seed,
+        failure_model: spec.failure_model,
+    })
 }
 
 #[cfg(test)]
@@ -220,16 +274,16 @@ mod tests {
     #[test]
     fn deterministic_generation() {
         let spec = small_spec();
-        let a = generate(&spec, 42);
-        let b = generate(&spec, 42);
+        let a = generate(&spec, 42).expect("valid workload spec");
+        let b = generate(&spec, 42).expect("valid workload spec");
         assert_eq!(a.jobs, b.jobs);
-        let c = generate(&spec, 43);
+        let c = generate(&spec, 43).expect("valid workload spec");
         assert_ne!(a.jobs, c.jobs);
     }
 
     #[test]
     fn job_count_and_sorted_arrivals() {
-        let t = generate(&small_spec(), 7);
+        let t = generate(&small_spec(), 7).expect("valid workload spec");
         assert_eq!(t.jobs.len(), 500);
         for w in t.jobs.windows(2) {
             assert!(w[0].arrival_s <= w[1].arrival_s);
@@ -238,7 +292,7 @@ mod tests {
 
     #[test]
     fn task_ids_unique_and_dense() {
-        let t = generate(&small_spec(), 7);
+        let t = generate(&small_spec(), 7).expect("valid workload spec");
         let mut ids: Vec<u64> = t.tasks().map(|(_, task)| task.id).collect();
         ids.sort_unstable();
         for (i, id) in ids.iter().enumerate() {
@@ -249,7 +303,7 @@ mod tests {
     #[test]
     fn lengths_and_memory_clamped() {
         let spec = small_spec();
-        let t = generate(&spec, 11);
+        let t = generate(&spec, 11).expect("valid workload spec");
         let mut long_tasks = 0usize;
         let mut total = 0usize;
         for (_, task) in t.tasks() {
@@ -275,7 +329,7 @@ mod tests {
 
     #[test]
     fn structure_mix_matches_fraction() {
-        let t = generate(&WorkloadSpec::google_like(4000), 3);
+        let t = generate(&WorkloadSpec::google_like(4000), 3).expect("valid workload spec");
         let bot = t.jobs_with_structure(JobStructure::BagOfTasks).count();
         let frac = bot as f64 / t.jobs.len() as f64;
         assert!((frac - 0.4).abs() < 0.03, "bot fraction = {frac}");
@@ -283,7 +337,7 @@ mod tests {
 
     #[test]
     fn priorities_cover_range_weighted_low() {
-        let t = generate(&WorkloadSpec::google_like(8000), 5);
+        let t = generate(&WorkloadSpec::google_like(8000), 5).expect("valid workload spec");
         let mut counts = [0usize; NUM_PRIORITIES];
         for j in &t.jobs {
             assert!((1..=12).contains(&j.priority));
@@ -298,7 +352,7 @@ mod tests {
     #[test]
     fn task_counts_respect_ranges() {
         let spec = small_spec();
-        let t = generate(&spec, 13);
+        let t = generate(&spec, 13).expect("valid workload spec");
         for j in &t.jobs {
             let (lo, hi) = match j.structure {
                 JobStructure::Sequential => spec.st_task_range,
@@ -310,9 +364,9 @@ mod tests {
 
     #[test]
     fn no_flips_by_default_all_flips_when_asked() {
-        let t = generate(&small_spec(), 17);
+        let t = generate(&small_spec(), 17).expect("valid workload spec");
         assert!(t.jobs.iter().all(|j| j.flip.is_none()));
-        let t2 = generate(&small_spec().with_priority_flips(), 17);
+        let t2 = generate(&small_spec().with_priority_flips(), 17).expect("valid workload spec");
         assert!(t2.jobs.iter().all(|j| j.flip.is_some()));
         for j in &t2.jobs {
             let f = j.flip.unwrap();
@@ -325,7 +379,7 @@ mod tests {
     #[test]
     fn failure_stream_is_per_task_deterministic() {
         use ckpt_stats::rng::Rng64;
-        let t = generate(&small_spec(), 19);
+        let t = generate(&small_spec(), 19).expect("valid workload spec");
         let mut s1 = t.failure_stream(5);
         let mut s1b = t.failure_stream(5);
         let mut s2 = t.failure_stream(6);
@@ -338,7 +392,7 @@ mod tests {
 
     #[test]
     fn job_helpers() {
-        let t = generate(&small_spec(), 23);
+        let t = generate(&small_spec(), 23).expect("valid workload spec");
         let j = &t.jobs[0];
         let total: f64 = j.tasks.iter().map(|t| t.length_s).sum();
         assert!((j.total_work() - total).abs() < 1e-9);

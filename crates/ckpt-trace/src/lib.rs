@@ -33,10 +33,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod export;
+pub mod failure;
 pub mod gen;
 pub mod spec;
 pub mod stats;
 
-pub use gen::{generate, JobSpec, JobStructure, TaskSpec, Trace};
+pub use failure::{FailureKind, FailureModelSpec, FailureProcess, HazardProcess};
+pub use gen::{generate, JobSpec, JobStructure, TaskSpec, Trace, WorkloadError};
 pub use spec::{FailureModel, WorkloadSpec, NUM_PRIORITIES};
 pub use stats::{history_for_task, trace_histories};

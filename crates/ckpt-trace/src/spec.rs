@@ -237,6 +237,12 @@ pub struct WorkloadSpec {
     /// Probability that a job's priority flips mid-execution (the Figure 14
     /// experiment sets this to 1.0; everything else uses 0.0).
     pub priority_flip_prob: f64,
+    /// Which inter-failure law task kill plans are drawn from
+    /// ([`crate::failure`]). The default
+    /// [`crate::failure::FailureModelSpec::Exponential`] is the
+    /// bit-identical legacy calibrated replay; other models keep the
+    /// per-priority MNOF calibration and swap the interval distribution.
+    pub failure_model: crate::failure::FailureModelSpec,
 }
 
 impl WorkloadSpec {
@@ -263,6 +269,7 @@ impl WorkloadSpec {
                 0.21, 0.17, 0.11, 0.08, 0.06, 0.05, 0.05, 0.04, 0.09, 0.06, 0.04, 0.04,
             ],
             priority_flip_prob: 0.0,
+            failure_model: crate::failure::FailureModelSpec::Exponential,
         }
     }
 
@@ -270,6 +277,13 @@ impl WorkloadSpec {
     /// Figure 14 dynamic-vs-static scenario.
     pub fn with_priority_flips(mut self) -> Self {
         self.priority_flip_prob = 1.0;
+        self
+    }
+
+    /// Same workload under a different failure model (see
+    /// [`crate::failure`]).
+    pub fn with_failure_model(mut self, model: crate::failure::FailureModelSpec) -> Self {
+        self.failure_model = model;
         self
     }
 }

@@ -20,7 +20,6 @@
 //!   trace replay.
 
 use crate::gen::{JobSpec, TaskSpec, Trace};
-use crate::spec::FailureModel;
 use ckpt_policy::estimator::{GroupedEstimator, TaskHistory};
 use std::collections::{HashMap, HashSet};
 
@@ -38,11 +37,17 @@ pub struct TaskRecord {
 
 /// Compute the failure history of one task: its pre-planned kill events,
 /// drawn from the task's dedicated stream (identical to what the simulator
-/// replays).
+/// replays), under the trace's failure model — so the estimators always
+/// see data from the same interval law the simulators replay, whatever
+/// that law is.
 pub fn history_for_task(trace: &Trace, job: &JobSpec, task: &TaskSpec) -> TaskHistory {
-    let model = FailureModel::for_priority(job.priority);
     let mut rng = trace.failure_stream(task.id);
-    let plan = model.sample_plan(task.length_s, &mut rng);
+    let plan = crate::failure::sample_task_plan(
+        trace.failure_model,
+        job.priority,
+        task.length_s,
+        &mut rng,
+    );
     TaskHistory {
         priority: job.priority,
         task_length: task.length_s,
@@ -134,7 +139,7 @@ mod tests {
     use crate::spec::WorkloadSpec;
 
     fn trace() -> Trace {
-        generate(&WorkloadSpec::google_like(800), 2024)
+        generate(&WorkloadSpec::google_like(800), 2024).expect("valid workload spec")
     }
 
     #[test]
@@ -168,7 +173,7 @@ mod tests {
         // Table 7's headline shape: MTBF grows dramatically as the length
         // limit is lifted (the paper measures 179 s → 4199 s for priority 2;
         // pooled here across priorities for sample-size robustness).
-        let t = generate(&WorkloadSpec::google_like(4000), 77);
+        let t = generate(&WorkloadSpec::google_like(4000), 77).expect("valid workload spec");
         let recs = trace_histories(&t);
         let est = estimator_from_records(&recs);
         let short = est.estimate_pooled(1000.0).unwrap();
@@ -185,7 +190,7 @@ mod tests {
     fn mnof_nearly_length_independent() {
         // The paper's key Table 7 observation: MNOF "would not change a lot
         // with task lengths, rather than MTBF".
-        let t = generate(&WorkloadSpec::google_like(4000), 78);
+        let t = generate(&WorkloadSpec::google_like(4000), 78).expect("valid workload spec");
         let recs = trace_histories(&t);
         let est = estimator_from_records(&recs);
         let short = est.estimate_pooled(1000.0).unwrap();
@@ -201,7 +206,7 @@ mod tests {
 
     #[test]
     fn priority10_fails_most() {
-        let t = generate(&WorkloadSpec::google_like(6000), 79);
+        let t = generate(&WorkloadSpec::google_like(6000), 79).expect("valid workload spec");
         let recs = trace_histories(&t);
         let est = estimator_from_records(&recs);
         let p10 = est.estimate(10, f64::INFINITY).unwrap();
@@ -253,7 +258,7 @@ mod tests {
     #[test]
     fn pooled_intervals_short_mass_matches_paper() {
         // Figure 5: > 63 % of recorded failure intervals below 1000 s.
-        let t = generate(&WorkloadSpec::google_like(3000), 80);
+        let t = generate(&WorkloadSpec::google_like(3000), 80).expect("valid workload spec");
         let recs = trace_histories(&t);
         let pooled = pooled_intervals(&recs);
         let below = pooled.iter().filter(|&&x| x < 1000.0).count();

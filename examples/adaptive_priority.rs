@@ -14,7 +14,7 @@ use cloud_ckpt::trace::stats::{failure_prone_jobs, trace_histories};
 
 fn main() {
     let spec = WorkloadSpec::google_like(2500).with_priority_flips();
-    let trace = generate(&spec, 1402);
+    let trace = generate(&spec, 1402).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);

@@ -20,7 +20,7 @@ fn main() {
     let mut spec = WorkloadSpec::google_like(600);
     spec.mean_interarrival_s = 25.0;
     spec.long_task_fraction = 0.0;
-    let trace = generate(&spec, 31415);
+    let trace = generate(&spec, 31415).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let cfg = ClusterConfig::default();

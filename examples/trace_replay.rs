@@ -18,7 +18,7 @@ use cloud_ckpt::trace::stats::{failure_prone_jobs, trace_histories};
 fn main() {
     // A ~2.5k-job slice of the paper's one-day scale.
     let spec = WorkloadSpec::google_like(2500);
-    let trace = generate(&spec, 2013);
+    let trace = generate(&spec, 2013).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);

@@ -233,7 +233,7 @@ fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("flips") {
         spec = spec.with_priority_flips();
     }
-    let trace = generate(&spec, seed);
+    let trace = generate(&spec, seed).map_err(|e| e.to_string())?;
     export::write_csv(&trace, &out).map_err(|e| e.to_string())?;
     println!(
         "wrote {} jobs / {} tasks (seed {seed}) to {out}",
@@ -249,7 +249,7 @@ fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
     } else {
         let jobs: usize = need(flags, "jobs")?;
         let seed: u64 = opt(flags, "seed", cloud_ckpt::report::DEFAULT_SEED)?;
-        Ok(generate(&WorkloadSpec::google_like(jobs), seed))
+        generate(&WorkloadSpec::google_like(jobs), seed).map_err(|e| e.to_string())
     }
 }
 

@@ -18,7 +18,7 @@ struct World {
 }
 
 fn world(n: usize, seed: u64) -> World {
-    let trace = generate(&WorkloadSpec::google_like(n), seed);
+    let trace = generate(&WorkloadSpec::google_like(n), seed).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);
@@ -143,7 +143,8 @@ fn wprs_always_valid() {
 #[test]
 fn dynamic_beats_static_under_flips() {
     // Figure 14's ordering.
-    let trace = generate(&WorkloadSpec::google_like(1200).with_priority_flips(), 48);
+    let trace = generate(&WorkloadSpec::google_like(1200).with_priority_flips(), 48)
+        .expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);

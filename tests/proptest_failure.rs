@@ -1,0 +1,108 @@
+//! Property-based tests of the pluggable failure-process layer: sampled
+//! inter-failure means must converge to each model's closed-form MTBF over
+//! randomized shapes and scales, and the renewal task plans must stay
+//! well-formed and deterministic.
+
+use cloud_ckpt::stats::rng::Xoshiro256StarStar;
+use cloud_ckpt::trace::failure::{sample_task_plan, FailureKind, FailureModelSpec, FailureProcess};
+use cloud_ckpt::trace::spec::FailureModel;
+use proptest::prelude::*;
+
+fn sampled_mean(spec: FailureModelSpec, target: f64, seed: u64, n: usize) -> f64 {
+    let p = spec.process(target);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n).map(|_| p.sample_interval(&mut rng)).sum::<f64>() / n as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Weibull renewal samples converge to the closed-form MTBF for any
+    /// shape in the practically relevant range (infant mortality through
+    /// mild wear-out) and any positive mean.
+    #[test]
+    fn weibull_sample_mean_matches_closed_form_mtbf(
+        shape in 0.5..3.0f64,
+        mean in 10.0..100_000.0f64,
+        seed in 0..u32::MAX as u64,
+    ) {
+        let spec = FailureModelSpec::Weibull { shape, scale: 1.0 };
+        let p = spec.process(mean);
+        prop_assert!((p.mtbf() - mean).abs() / mean < 1e-9);
+        let m = sampled_mean(spec, mean, seed, 60_000);
+        // Shape 0.5 has CV = sqrt(Γ(5)/Γ(3)² − 1) ≈ 2.24; 60k samples put
+        // the standard error of the mean below 1 %.
+        prop_assert!((m - mean).abs() / mean < 0.08,
+            "shape {shape}: sampled {m} vs closed-form {mean}");
+    }
+
+    /// Pareto renewal samples converge to the closed-form MTBF whenever the
+    /// tail index keeps the variance finite (shape > 2); heavier tails have
+    /// well-defined means but pathological sample-mean convergence, which
+    /// is exactly the phenomenon the hazard experiments exploit.
+    #[test]
+    fn pareto_sample_mean_matches_closed_form_mtbf(
+        shape in 2.2..6.0f64,
+        mean in 10.0..100_000.0f64,
+        seed in 0..u32::MAX as u64,
+    ) {
+        let spec = FailureModelSpec::Pareto { shape, scale: 1.0 };
+        let p = spec.process(mean);
+        prop_assert!((p.mtbf() - mean).abs() / mean < 1e-9);
+        let m = sampled_mean(spec, mean, seed, 60_000);
+        prop_assert!((m - mean).abs() / mean < 0.10,
+            "shape {shape}: sampled {m} vs closed-form {mean}");
+    }
+
+    /// The scale knob multiplies both the closed-form MTBF and the sampled
+    /// mean, for every family that takes one.
+    #[test]
+    fn failure_scale_shifts_the_process_mean(
+        scale in 0.25..8.0f64,
+        seed in 0..u32::MAX as u64,
+    ) {
+        for kind in [FailureKind::Weibull, FailureKind::LogNormal,
+                     FailureKind::Pareto, FailureKind::TraceReplay] {
+            let spec = kind.build(None, scale).unwrap();
+            let p = spec.process(100.0);
+            prop_assert!((p.mtbf() - 100.0 * scale).abs() / (100.0 * scale) < 1e-9,
+                "{}: mtbf {}", p.label(), p.mtbf());
+            let m = sampled_mean(spec, 100.0, seed, 30_000);
+            prop_assert!((m - 100.0 * scale).abs() / (100.0 * scale) < 0.25,
+                "{}: sampled {m} vs {}", p.label(), 100.0 * scale);
+        }
+    }
+
+    /// Renewal task plans are sorted, in-range, ≥ 1 s apart, deterministic
+    /// in the seed, and carry a mean count within a constant factor of the
+    /// per-priority MNOF calibration.
+    #[test]
+    fn hazard_task_plans_are_well_formed(
+        priority in 1u8..13,
+        te in 200.0..20_000.0f64,
+        seed in 0..u32::MAX as u64,
+    ) {
+        for spec in [
+            FailureModelSpec::Weibull { shape: 0.7, scale: 1.0 },
+            FailureModelSpec::Pareto { shape: 1.5, scale: 1.0 },
+        ] {
+            let mut a = Xoshiro256StarStar::new(seed);
+            let mut b = Xoshiro256StarStar::new(seed);
+            let plan = sample_task_plan(spec, priority, te, &mut a);
+            let again = sample_task_plan(spec, priority, te, &mut b);
+            prop_assert_eq!(&plan, &again);
+            let mut prev = 0.0;
+            for &p in &plan.positions {
+                prop_assert!(p > prev && p < te);
+                prop_assert!(prev == 0.0 || p - prev >= 1.0);
+                prev = p;
+            }
+            // Counts stay in the calibration's ballpark (renewal edge
+            // effects allow a constant-factor drift, never an order of
+            // magnitude).
+            let mnof = FailureModel::for_priority(priority).mean_failures(te);
+            prop_assert!((plan.count() as f64) < 12.0 * mnof + 20.0,
+                "priority {}: count {} vs mnof {}", priority, plan.count(), mnof);
+        }
+    }
+}

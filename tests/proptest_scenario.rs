@@ -128,7 +128,7 @@ fn sweep_matches_direct_run_trace() {
     let seed = 20130217;
 
     // Direct computation, the way the old one-off binaries did it.
-    let trace = generate(&WorkloadSpec::google_like(jobs), seed);
+    let trace = generate(&WorkloadSpec::google_like(jobs), seed).expect("valid workload spec");
     let records = trace_histories(&trace);
     let estimates = Estimates::from_records(&records);
     let sample = failure_prone_jobs(&records, 0.5);

@@ -11,7 +11,7 @@ use cloud_ckpt::trace::stats::{
 };
 
 fn records(n: usize, seed: u64) -> Vec<cloud_ckpt::trace::stats::TaskRecord> {
-    let trace = generate(&WorkloadSpec::google_like(n), seed);
+    let trace = generate(&WorkloadSpec::google_like(n), seed).expect("valid workload spec");
     trace_histories(&trace)
 }
 
@@ -90,7 +90,7 @@ fn figure5_interval_mass_and_pareto_fit() {
 
 #[test]
 fn figure8_most_jobs_short_with_small_memory() {
-    let trace = generate(&WorkloadSpec::google_like(4000), 105);
+    let trace = generate(&WorkloadSpec::google_like(4000), 105).expect("valid workload spec");
     let lens: Vec<f64> = trace.jobs.iter().map(|j| j.total_work()).collect();
     let mems: Vec<f64> = trace.jobs.iter().map(|j| j.max_mem()).collect();
     let el = Ecdf::new(&lens).unwrap();
@@ -105,7 +105,7 @@ fn figure8_most_jobs_short_with_small_memory() {
 
 #[test]
 fn structure_mix_and_task_counts() {
-    let trace = generate(&WorkloadSpec::google_like(4000), 106);
+    let trace = generate(&WorkloadSpec::google_like(4000), 106).expect("valid workload spec");
     let bot = trace.jobs_with_structure(JobStructure::BagOfTasks).count();
     let st = trace.jobs_with_structure(JobStructure::Sequential).count();
     assert_eq!(bot + st, trace.jobs.len());
@@ -121,12 +121,12 @@ fn structure_mix_and_task_counts() {
 
 #[test]
 fn histories_are_pure_functions_of_trace() {
-    let trace = generate(&WorkloadSpec::google_like(500), 107);
+    let trace = generate(&WorkloadSpec::google_like(500), 107).expect("valid workload spec");
     let a = trace_histories(&trace);
     let b = trace_histories(&trace);
     assert_eq!(a, b);
     // And different seeds give different histories.
-    let trace2 = generate(&WorkloadSpec::google_like(500), 108);
+    let trace2 = generate(&WorkloadSpec::google_like(500), 108).expect("valid workload spec");
     let c = trace_histories(&trace2);
     assert_ne!(
         a.iter()
