@@ -1,8 +1,14 @@
 //! Criterion benches of the sweep engine: grid expansion, cell evaluation
 //! throughput (cells/sec) for the replay and analytic engines, the run-key
-//! cache's amortization of filter-only grids, and the cluster-DES
+//! cache's amortization of filter-only grids, the cluster-DES
 //! throughput benchmark (events/sec on the stress-fleet workload), which
-//! records its measurement in `BENCH_des.json` at the repo root.
+//! records its measurement in `BENCH_des.json` at the repo root, and the
+//! fast-path sweep throughput benchmark (cells/sec on the
+//! `policy_x_ckpt_cost` acceptance grid), which records `BENCH_sweep.json`
+//! the same way.
+//!
+//! `CKPT_BENCH_ONLY=<substring>` restricts a run to matching bench groups
+//! (the CI smoke uses `CKPT_BENCH_ONLY=sweep_throughput`).
 
 use ckpt_scenario::{run_sweep, SweepOptions, SweepSpec};
 use ckpt_sim::cluster::{ClusterConfig, ClusterSim};
@@ -20,6 +26,15 @@ fn config() -> Criterion {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))
+}
+
+/// `CKPT_BENCH_ONLY=<substring>` gate: lets CI smoke one group without
+/// paying for the whole file (the criterion shim has no CLI filter).
+fn bench_enabled(group: &str) -> bool {
+    match std::env::var("CKPT_BENCH_ONLY") {
+        Ok(only) if !only.is_empty() => group.contains(&only),
+        _ => true,
+    }
 }
 
 const REPLAY_GRID: &str = r#"
@@ -72,6 +87,9 @@ const CONTENTION_GRID: &str = r#"
 "#;
 
 fn bench_expansion(c: &mut Criterion) {
+    if !bench_enabled("sweep_expansion") {
+        return;
+    }
     let sweep = SweepSpec::from_str(ANALYTIC_GRID).expect("spec parses");
     let mut g = c.benchmark_group("sweep_expansion");
     g.bench_function("parse_spec", |b| {
@@ -82,6 +100,9 @@ fn bench_expansion(c: &mut Criterion) {
 }
 
 fn bench_cells_per_sec(c: &mut Criterion) {
+    if !bench_enabled("sweep_cells_per_sec") {
+        return;
+    }
     let mut g = c.benchmark_group("sweep_cells_per_sec");
     for (label, spec_text) in [
         ("replay_12cells_200jobs", REPLAY_GRID),
@@ -98,6 +119,9 @@ fn bench_cells_per_sec(c: &mut Criterion) {
 }
 
 fn bench_scaling(c: &mut Criterion) {
+    if !bench_enabled("sweep_thread_scaling") {
+        return;
+    }
     let sweep = SweepSpec::from_str(REPLAY_GRID).expect("spec parses");
     let mut g = c.benchmark_group("sweep_thread_scaling");
     g.bench_function("one_thread", |b| {
@@ -148,6 +172,9 @@ fn des_measure(jobs: usize) -> (u64, usize, f64) {
 /// engine landed). The acceptance bar for the rewrite was ≥ 5× events/sec
 /// over that baseline.
 fn bench_des_throughput(c: &mut Criterion) {
+    if !bench_enabled("des_throughput") {
+        return;
+    }
     // Criterion samples a smaller instance so iteration stays snappy...
     let (trace, estimates, cfg) = des_bench_setup(3_000);
     let mut g = c.benchmark_group("des_throughput");
@@ -201,6 +228,9 @@ fn bench_des_throughput(c: &mut Criterion) {
 /// hazard layer's cost (which sits on the trace-prep hot path of every
 /// sweep cell) shows up in the perf trajectory alongside the DES numbers.
 fn bench_failure_samplers(c: &mut Criterion) {
+    if !bench_enabled("failure_sampler_throughput") {
+        return;
+    }
     let models: [(&str, FailureModelSpec); 5] = [
         ("exponential", FailureModelSpec::Exponential),
         (
@@ -254,10 +284,93 @@ fn bench_failure_samplers(c: &mut Criterion) {
     g.finish();
 }
 
+/// The `policy_x_ckpt_cost` acceptance grid, verbatim — the sweep the
+/// fast-path rewrite (plan arena + allocation-free replay) was measured
+/// against.
+const ACCEPTANCE_GRID: &str = include_str!("../../../specs/policy_x_ckpt_cost.toml");
+
+/// Fast-path sweep throughput on the `policy_x_ckpt_cost` grid (24 cells,
+/// 800 jobs, one shared trace), recorded in `BENCH_sweep.json` next to
+/// the measured pre-rewrite baseline (same grid, same machine class,
+/// captured before the plan-arena/allocation-free-replay rewrite landed).
+/// The acceptance bar for the rewrite was ≥ 4× cells/sec over that
+/// baseline. A second record times the `ext_hazard_robustness` experiment
+/// end to end (registry run at its default scale), the sweep-backed
+/// experiment the ISSUE named as the secondary workload.
+fn bench_sweep_throughput(c: &mut Criterion) {
+    if !bench_enabled("sweep_throughput") {
+        return;
+    }
+    let sweep = SweepSpec::from_str(ACCEPTANCE_GRID).expect("spec parses");
+    let cells = sweep.grid_size();
+    // Workload identity comes from the parsed spec, so an edited grid
+    // can never be recorded under stale numbers.
+    let (grid_jobs, grid_seed) = (sweep.base.jobs, sweep.base.seed);
+
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.bench_function("policy_x_ckpt_cost_24cells", |b| {
+        b.iter(|| run_sweep(black_box(&sweep), SweepOptions::default()).unwrap())
+    });
+    g.finish();
+
+    // Recorded measurement: best-of-5 wall for the whole grid, plus the
+    // hazard-robustness experiment end to end. `BENCH_sweep.json` is only
+    // (re)written when CKPT_SWEEP_BENCH_RECORD=1 — the checked-in file is
+    // a point-in-time record against the pre-rewrite baseline on one
+    // machine class, and a casual `cargo bench` on another machine must
+    // not silently clobber it.
+    let record = std::env::var("CKPT_SWEEP_BENCH_RECORD").is_ok_and(|v| v == "1");
+    let best_of = |runs: usize, f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let sweep_wall = best_of(5, &|| {
+        let r = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        assert_eq!(r.cells.len(), cells);
+    });
+    let cells_per_sec = cells as f64 / sweep_wall;
+
+    let hazard = ckpt_bench::registry::find("ext_hazard_robustness").expect("registered");
+    let ctx = ckpt_report::RunContext::new(hazard.default_scale());
+    let hazard_wall = best_of(3, &|| {
+        hazard.run(&ctx).expect("hazard experiment runs");
+    });
+
+    // Pre-rewrite fast path on this exact grid and machine class:
+    // 24 cells in 0.5651 s (42.5 cells/s); ext_hazard_robustness in
+    // 0.488 s end to end.
+    let (base_wall, base_hazard_wall) = (0.5651f64, 0.488f64);
+    let base_rate = cells as f64 / base_wall;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
+        cells_per_sec / base_rate,
+        base_hazard_wall / hazard_wall,
+    );
+    if record {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+        std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    }
+    println!(
+        "sweep_throughput: {cells} cells in {sweep_wall:.4}s ({cells_per_sec:.1} cells/s; \
+         {:.2}x the recorded pre-rewrite baseline); ext_hazard_robustness {hazard_wall:.4}s{}",
+        cells_per_sec / base_rate,
+        if record {
+            " — BENCH_sweep.json updated"
+        } else {
+            " — set CKPT_SWEEP_BENCH_RECORD=1 to re-record BENCH_sweep.json"
+        }
+    );
+}
+
 criterion_group! {
     name = benches;
     config = config();
     targets = bench_expansion, bench_cells_per_sec, bench_scaling, bench_des_throughput,
-        bench_failure_samplers
+        bench_failure_samplers, bench_sweep_throughput
 }
 criterion_main!(benches);

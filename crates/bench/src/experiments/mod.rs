@@ -10,6 +10,7 @@ pub mod ext_bootstrap;
 pub mod ext_hazard_robustness;
 pub mod ext_heavy_tail_fleet;
 pub mod ext_host_failures;
+pub mod ext_limit_robustness;
 pub mod ext_penalty;
 pub mod ext_policy_cost_grid;
 pub mod ext_random_ckpt;

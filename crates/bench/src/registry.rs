@@ -36,6 +36,7 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &ext_stress_fleet::ExtStressFleet,
     &ext_hazard_robustness::ExtHazardRobustness,
     &ext_heavy_tail_fleet::ExtHeavyTailFleet,
+    &ext_limit_robustness::ExtLimitRobustness,
 ];
 
 /// All experiments, in registry order.
@@ -149,9 +150,9 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
-    fn registry_has_25_unique_ids() {
+    fn registry_has_26_unique_ids() {
         let ids = ids();
-        assert_eq!(ids.len(), 25, "{ids:?}");
+        assert_eq!(ids.len(), 26, "{ids:?}");
         let set: HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len(), "duplicate experiment ids");
     }

@@ -58,6 +58,24 @@ impl MetricSummary {
     pub fn from_value(v: f64) -> Self {
         Self::from_values(&[v])
     }
+
+    /// Summarize a streaming fold ([`ckpt_sim::metrics::StreamSummary`]):
+    /// count/mean/min/max are exact; p50/p99 are not computable from a
+    /// stream and stay NaN (exported as nulls), matching the empty-cell
+    /// convention.
+    pub fn from_stream(s: &ckpt_sim::metrics::StreamSummary) -> Self {
+        if s.count == 0 {
+            return Self::from_values(&[]);
+        }
+        Self {
+            count: s.count as usize,
+            mean: s.mean(),
+            p50: f64::NAN,
+            p99: f64::NAN,
+            min: s.min,
+            max: s.max,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,19 +16,22 @@
 //!   in policy/cost configuration — the common shape of a policy sweep.
 
 use crate::agg::MetricSummary;
-use crate::spec::{EngineKind, SampleFilter, ScenarioSpec};
+use crate::spec::{EngineKind, MetricsChoice, SampleFilter, ScenarioSpec};
 use crate::sweep::{SweepError, SweepSpec};
 use ckpt_sim::blcr::{BlcrModel, Device};
 use ckpt_sim::cluster::ClusterSim;
 use ckpt_sim::metrics::JobRecord;
 use ckpt_sim::policy::Estimates;
-use ckpt_sim::runner::{parallel_indexed, run_trace, RunOptions};
+use ckpt_sim::runner::{
+    parallel_indexed, run_trace_stream, run_trace_with_plans, ReplayStats, RunOptions,
+};
 use ckpt_sim::storage::{OpId, PsResource};
 use ckpt_sim::time::SimTime;
 use ckpt_stats::rng::{Rng64, Xoshiro256StarStar};
 use ckpt_trace::export;
 use ckpt_trace::gen::{generate, Trace};
-use ckpt_trace::stats::{failure_prone_jobs, trace_histories, TaskRecord};
+use ckpt_trace::plan::FailurePlanArena;
+use ckpt_trace::stats::{failure_prone_jobs, trace_histories_from_plans, TaskRecord};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -93,9 +96,17 @@ pub struct SweepResult {
 }
 
 /// Prepared simulation inputs, shared by every run key over the same
-/// workload: the trace, its failure histories, and the estimator state.
+/// workload: the trace, its kill-plan arena, its failure histories, and
+/// the estimator state.
+///
+/// The arena is the cross-cell fast path: kill plans depend only on
+/// `(trace, failure model, priority, te, task stream)` — never on the
+/// policy — so one sampling pass serves every policy/cost cell over this
+/// prep slot, bit-identically (cells that change the failure axis land in
+/// a different prep slot and sample their own arena).
 struct PrepData {
     trace: Trace,
+    plans: FailurePlanArena,
     records: Vec<TaskRecord>,
     estimates: Estimates,
 }
@@ -104,6 +115,9 @@ struct PrepData {
 /// only differs in aggregation filters.
 struct RunData {
     jobs: Vec<JobRecord>,
+    /// Streaming-mode summaries (fast engine, `metrics = "streaming"`):
+    /// the record vector above stays empty and cells read these instead.
+    stream: Option<ReplayStats>,
     /// Per-job queue wait (cluster engine only, aligned with `jobs`).
     queue_wait: Option<Vec<f64>>,
     /// Cluster makespan (cluster engine only).
@@ -172,10 +186,15 @@ fn prepare(spec: &ScenarioSpec) -> Result<PrepData, String> {
         }
         None => generate(&spec.workload_spec()?, spec.seed).map_err(|e| e.to_string())?,
     };
-    let records = trace_histories(&trace);
+    // One sampling pass: the arena holds every task's kill plan, and the
+    // histories (estimator input) derive from it instead of re-drawing —
+    // identical streams, identical values.
+    let plans = FailurePlanArena::build(&trace);
+    let records = trace_histories_from_plans(&trace, &plans);
     let estimates = Estimates::from_records(&records);
     Ok(PrepData {
         trace,
+        plans,
         records,
         estimates,
     })
@@ -188,9 +207,37 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
             // `threads` is the sweep's per-replay budget: total capacity
             // divided by the number of distinct replays, so filter-heavy
             // grids (few replays, many cells) still use every core.
-            let jobs = run_trace(&prep.trace, &prep.estimates, &cfg, RunOptions { threads });
+            // Kill plans come from the prep slot's shared arena — sampled
+            // once per (trace, failure model), replayed by every
+            // policy/cost cell.
+            if spec.metrics == MetricsChoice::Streaming {
+                validate_streaming(spec)?;
+                let stream = run_trace_stream(
+                    &prep.trace,
+                    &prep.estimates,
+                    &cfg,
+                    RunOptions { threads },
+                    Some(&prep.plans),
+                );
+                return Ok(RunData {
+                    jobs: Vec::new(),
+                    stream: Some(stream),
+                    queue_wait: None,
+                    makespan_s: None,
+                    events: None,
+                    prep,
+                });
+            }
+            let jobs = run_trace_with_plans(
+                &prep.trace,
+                &prep.estimates,
+                &cfg,
+                RunOptions { threads },
+                &prep.plans,
+            );
             Ok(RunData {
                 jobs,
+                stream: None,
                 queue_wait: None,
                 makespan_s: None,
                 events: None,
@@ -215,6 +262,7 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
             let jobs = result.jobs.into_iter().map(|j| j.base).collect();
             Ok(RunData {
                 jobs,
+                stream: None,
                 queue_wait: Some(queue_wait),
                 makespan_s: Some(result.makespan.as_secs_f64()),
                 events: Some(events),
@@ -223,6 +271,58 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
         }
         _ => unreachable!("replay() is only called for trace engines"),
     }
+}
+
+/// Streaming cells fold records at replay time, before any aggregation
+/// filter could apply — so the filters must all be at their pass-through
+/// settings, validated here with the offending spec keys named.
+fn validate_streaming(spec: &ScenarioSpec) -> Result<(), String> {
+    let mut blocked = Vec::new();
+    if spec.sample != SampleFilter::All {
+        blocked.push("sample (set sample = \"all\")");
+    }
+    if spec.structure.is_some() {
+        blocked.push("structure");
+    }
+    if spec.priority.is_some() {
+        blocked.push("priority");
+    }
+    if spec.max_task_length.is_some() {
+        blocked.push("max_task_length");
+    }
+    if blocked.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "key \"metrics\": streaming summaries fold records before filters apply; \
+             incompatible with: {}",
+            blocked.join(", ")
+        ))
+    }
+}
+
+/// The streaming-mode metric set: same names and order as the full-record
+/// path, summarized from the fold (p50/p99 are not computable from a
+/// stream and export as null).
+fn stream_metrics(stats: &ReplayStats) -> Vec<(&'static str, MetricSummary)> {
+    vec![
+        ("wpr", MetricSummary::from_stream(&stats.wpr)),
+        ("wall_s", MetricSummary::from_stream(&stats.wall)),
+        (
+            "ckpt_overhead_s",
+            MetricSummary::from_stream(&stats.checkpoint_time),
+        ),
+        (
+            "rollback_s",
+            MetricSummary::from_stream(&stats.rollback_loss),
+        ),
+        ("restart_s", MetricSummary::from_stream(&stats.restart_time)),
+        ("failures", MetricSummary::from_stream(&stats.failures)),
+        (
+            "checkpoints",
+            MetricSummary::from_stream(&stats.checkpoints),
+        ),
+    ]
 }
 
 /// Indices of `data.jobs` that pass the scenario's aggregation filters.
@@ -257,6 +357,9 @@ fn replay_metrics(
     data: &RunData,
     cache: &RunCache,
 ) -> Result<Vec<(&'static str, MetricSummary)>, String> {
+    if let Some(stats) = &data.stream {
+        return Ok(stream_metrics(stats));
+    }
     let idx = filtered_indices(spec, data, cache)?;
     let collect = |f: &dyn Fn(&JobRecord) -> f64| -> Vec<f64> {
         idx.iter().map(|&i| f(&data.jobs[i])).collect()
@@ -318,21 +421,28 @@ fn ckpt_cost_metrics(spec: &ScenarioSpec) -> Vec<(&'static str, MetricSummary)> 
 /// Durations of `degree` simultaneous checkpoint operations, Table 2/3
 /// style: ramdisk ops are independent; central NFS contends on one
 /// processor-sharing server; DM-NFS spreads ops over per-host servers
-/// picked uniformly at random.
-fn contention_round(spec: &ScenarioSpec, rng: &mut Xoshiro256StarStar) -> Vec<f64> {
+/// picked uniformly at random. The server bank is created once by the
+/// caller and reset between rounds (constructing `PsResource`s draws no
+/// randomness, so the hoist leaves every draw — and every duration —
+/// unchanged).
+fn contention_round(
+    spec: &ScenarioSpec,
+    rng: &mut Xoshiro256StarStar,
+    servers: &mut [PsResource],
+    durations: &mut Vec<f64>,
+) {
     let blcr = BlcrModel;
     match spec.device {
-        Device::Ramdisk => (0..spec.degree)
-            .map(|_| blcr.checkpoint_cost_jittered(spec.device, spec.mem_mb, rng))
-            .collect(),
+        Device::Ramdisk => {
+            for _ in 0..spec.degree {
+                durations.push(blcr.checkpoint_cost_jittered(spec.device, spec.mem_mb, rng));
+            }
+        }
         Device::CentralNfs | Device::DmNfs => {
-            let n_servers = match spec.device {
-                Device::CentralNfs => 1,
-                _ => spec.cluster.n_hosts.max(1),
-            };
-            let mut servers: Vec<PsResource> = (0..n_servers)
-                .map(|_| PsResource::new(spec.cluster.storage_rate))
-                .collect();
+            let n_servers = servers.len();
+            for server in servers.iter_mut() {
+                server.reset();
+            }
             let t0 = SimTime::ZERO;
             for i in 0..spec.degree {
                 let demand = blcr.checkpoint_cost_jittered(spec.device, spec.mem_mb, rng);
@@ -343,8 +453,7 @@ fn contention_round(spec: &ScenarioSpec, rng: &mut Xoshiro256StarStar) -> Vec<f6
                 };
                 servers[server].add(t0, OpId(i as u64), demand);
             }
-            let mut durations = Vec::with_capacity(spec.degree);
-            for server in &mut servers {
+            for server in servers.iter_mut() {
                 let mut now = t0;
                 while let Some((op, when)) = server.next_completion(now) {
                     server.remove(when, op);
@@ -352,7 +461,6 @@ fn contention_round(spec: &ScenarioSpec, rng: &mut Xoshiro256StarStar) -> Vec<f6
                     now = when;
                 }
             }
-            durations
         }
     }
 }
@@ -363,9 +471,19 @@ fn contention_metrics(
 ) -> Vec<(&'static str, MetricSummary)> {
     // Per-cell stream: thread-count invariant by construction.
     let mut rng = Xoshiro256StarStar::stream(spec.seed, cell_index as u64);
+    // One server bank for the whole cell, reset per round — the per-round
+    // rebuild used to reallocate `n_hosts` PS servers × reps.
+    let n_servers = match spec.device {
+        Device::Ramdisk => 0,
+        Device::CentralNfs => 1,
+        Device::DmNfs => spec.cluster.n_hosts.max(1),
+    };
+    let mut servers: Vec<PsResource> = (0..n_servers)
+        .map(|_| PsResource::new(spec.cluster.storage_rate))
+        .collect();
     let mut durations = Vec::with_capacity(spec.reps * spec.degree);
     for _ in 0..spec.reps {
-        durations.extend(contention_round(spec, &mut rng));
+        contention_round(spec, &mut rng, &mut servers, &mut durations);
     }
     vec![("duration_s", MetricSummary::from_values(&durations))]
 }
@@ -377,6 +495,18 @@ fn evaluate_cell(
     replay_threads: usize,
     cache: &RunCache,
 ) -> Result<CellResult, String> {
+    // `metrics = "streaming"` is a fast-engine replay mode; any other
+    // engine silently ignoring it would leave the user believing it is
+    // active, so reject the combination by name for every engine here
+    // (not per-branch, where the analytic engines would skip the check).
+    if spec.metrics == MetricsChoice::Streaming && spec.engine != EngineKind::Fast {
+        return Err(format!(
+            "key \"metrics\": streaming summaries are a fast-engine mode (engine is {:?}; \
+             the cluster engine already streams its per-event metrics internally, and the \
+             analytic engines have no replay to stream)",
+            spec.engine.label()
+        ));
+    }
     let metrics = match spec.engine {
         EngineKind::Fast | EngineKind::Cluster => {
             let data = get_or_init(&cache.runs, &spec.run_key(), || {
@@ -778,6 +908,100 @@ mod tests {
         .unwrap();
         let err = run_sweep(&sweep, SweepOptions::default()).unwrap_err();
         assert!(err.0.contains("length_spread"), "{err}");
+    }
+
+    #[test]
+    fn streaming_metrics_match_full_mode_where_defined() {
+        // Streaming cells fold the same replay the full-record cells
+        // materialize: count/mean/min/max must agree exactly; p50/p99 are
+        // NaN (not computable from a stream).
+        let full = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "m_full"
+            engine = "fast"
+            seed = 9
+            jobs = 150
+            sample = "all"
+
+            [axes]
+            policy = ["formula3", "none"]
+        "#,
+        )
+        .unwrap();
+        let streaming = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "m_stream"
+            engine = "fast"
+            seed = 9
+            jobs = 150
+            sample = "all"
+            metrics = "streaming"
+
+            [axes]
+            policy = ["formula3", "none"]
+        "#,
+        )
+        .unwrap();
+        let a = run_sweep(&full, SweepOptions { threads: 1 }).unwrap();
+        let b = run_sweep(&streaming, SweepOptions { threads: 1 }).unwrap();
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.metrics.len(), cb.metrics.len());
+            for ((name_a, ma), (name_b, mb)) in ca.metrics.iter().zip(&cb.metrics) {
+                assert_eq!(name_a, name_b);
+                assert_eq!(ma.count, mb.count, "{name_a}");
+                // Min/max are order-free and match exactly; the mean sums
+                // in job order (the full path sums sorted values), so it
+                // agrees to float-association noise.
+                assert_eq!(ma.min.to_bits(), mb.min.to_bits(), "{name_a}");
+                assert_eq!(ma.max.to_bits(), mb.max.to_bits(), "{name_a}");
+                let tol = 1e-12 * ma.mean.abs().max(1.0);
+                assert!((ma.mean - mb.mean).abs() <= tol, "{name_a}");
+                assert!(mb.p50.is_nan() && mb.p99.is_nan(), "{name_a}");
+            }
+        }
+        // And the mode is thread-invariant (fixed fold blocks). NaN
+        // p50/p99 make PartialEq useless here; the rendered form is the
+        // byte-level contract anyway.
+        let b4 = run_sweep(&streaming, SweepOptions { threads: 4 }).unwrap();
+        assert_eq!(format!("{:?}", b.cells), format!("{:?}", b4.cells));
+    }
+
+    #[test]
+    fn streaming_metrics_reject_filters_and_cluster_by_name() {
+        let filtered = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "m_bad"
+            engine = "fast"
+            jobs = 50
+            metrics = "streaming"
+
+            [axes]
+            structure = ["ST", "BoT"]
+        "#,
+        )
+        .unwrap();
+        let err = run_sweep(&filtered, SweepOptions::default()).unwrap_err();
+        assert!(
+            err.0.contains("sample") && err.0.contains("structure"),
+            "{err}"
+        );
+
+        let cluster = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "m_cluster"
+            engine = "cluster"
+            jobs = 30
+            sample = "all"
+            metrics = "streaming"
+        "#,
+        )
+        .unwrap();
+        let err = run_sweep(&cluster, SweepOptions::default()).unwrap_err();
+        assert!(err.0.contains("fast-engine"), "{err}");
     }
 
     #[test]

@@ -59,6 +59,32 @@ impl EngineKind {
     }
 }
 
+/// How a trace-engine cell aggregates its replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsChoice {
+    /// Materialize per-job records (full order statistics: p50/p99; all
+    /// aggregation filters available). The default.
+    #[default]
+    Full,
+    /// Fold records into constant-memory streaming summaries as the
+    /// replay produces them (fast engine only; `sample = "all"` and no
+    /// record filters). Exports count/mean/min/max; p50/p99 are null.
+    /// The fast-path mirror of the cluster engine's streaming mode, for
+    /// stress-scale sweeps where the per-cell record vector is the
+    /// dominant allocation.
+    Streaming,
+}
+
+impl MetricsChoice {
+    /// Spec label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricsChoice::Full => "full",
+            MetricsChoice::Streaming => "streaming",
+        }
+    }
+}
+
 /// Which jobs feed the aggregation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SampleFilter {
@@ -129,6 +155,9 @@ pub struct ScenarioSpec {
     /// Checkpoint/restart cost adjustments.
     pub cost: CostTweak,
 
+    /// How trace-engine cells aggregate their replay (full records vs
+    /// streaming summaries).
+    pub metrics: MetricsChoice,
     /// Which jobs feed the aggregation.
     pub sample: SampleFilter,
     /// Restrict aggregation to one job structure.
@@ -176,6 +205,7 @@ impl ScenarioSpec {
             adaptive: false,
             storage: StorageChoice::Auto,
             cost: CostTweak::identity(),
+            metrics: MetricsChoice::Full,
             sample: SampleFilter::FailureProne { fraction: 0.5 },
             structure: None,
             priority: None,
@@ -248,7 +278,7 @@ impl ScenarioSpec {
     /// do not enter the key.
     pub fn run_key(&self) -> String {
         format!(
-            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}",
             self.engine,
             self.seed,
             self.jobs,
@@ -268,6 +298,10 @@ impl ScenarioSpec {
             self.n_checkpoints,
             self.degree,
             self.reps,
+            // Streaming cells produce stream-shaped run data, so the
+            // aggregation mode is part of the replay identity (unlike the
+            // record filters, which never enter the key).
+            self.metrics,
         )
     }
 
@@ -377,6 +411,17 @@ impl ScenarioSpec {
             "ckpt_cost" => self.cost.ckpt_override = Some(positive(value)?),
             "restart_cost" => self.cost.restart_override = Some(positive(value)?),
 
+            "metrics" => {
+                self.metrics = match text_of(key, value)? {
+                    "full" => MetricsChoice::Full,
+                    "streaming" => MetricsChoice::Streaming,
+                    other => {
+                        return Err(format!(
+                            "unknown metrics mode {other:?} (expected full|streaming)"
+                        ))
+                    }
+                }
+            }
             "sample" => {
                 self.sample = match text_of(key, value)? {
                     "all" => SampleFilter::All,

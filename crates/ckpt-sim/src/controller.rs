@@ -5,11 +5,26 @@
 use ckpt_policy::adaptive::{AdaptiveCheckpointer, CheckpointDecision};
 use ckpt_policy::schedule::EquidistantSchedule;
 
-/// A fixed equidistant schedule: positions computed once at task start
+/// A fixed equidistant schedule: positions `i·w` for `i = 1..=count`
 /// (Young, Daly, and the static Formula (3) variant all use this).
+///
+/// Stored as `(segment length, count, cursor)` rather than a materialized
+/// position `Vec`: positions are recomputed on demand with the *same*
+/// float expression [`EquidistantSchedule::positions`] uses (`i·w`), so
+/// the values are bit-identical to the historical Vec-backed schedule
+/// while construction is allocation-free and the next-checkpoint lookup
+/// is O(1) instead of a per-milestone binary search — this sits in the
+/// innermost replay loop (one lookup per checkpoint interval).
 #[derive(Debug, Clone)]
 pub struct FixedSchedule {
-    positions: Vec<f64>,
+    /// Segment length `Te/x`.
+    w: f64,
+    /// Number of checkpoints (`x − 1`).
+    count: u32,
+    /// Index of the first position strictly after `durable` (0-based:
+    /// position `i` is `(i+1)·w`). Maintained so `next_checkpoint` is a
+    /// plain read.
+    next_idx: u32,
     durable: f64,
 }
 
@@ -17,7 +32,9 @@ impl FixedSchedule {
     /// Build from an equidistant schedule.
     pub fn new(schedule: &EquidistantSchedule) -> Self {
         Self {
-            positions: schedule.positions(),
+            w: schedule.segment_len(),
+            count: schedule.checkpoint_count(),
+            next_idx: 0,
             durable: 0.0,
         }
     }
@@ -25,14 +42,38 @@ impl FixedSchedule {
     /// Build with no checkpoints at all.
     pub fn none() -> Self {
         Self {
-            positions: Vec::new(),
+            w: 0.0,
+            count: 0,
+            next_idx: 0,
             durable: 0.0,
         }
     }
 
-    fn next_after(&self, p: f64) -> Option<f64> {
-        let idx = self.positions.partition_point(|&q| q <= p);
-        self.positions.get(idx).copied()
+    /// Position `i` (0-based): `(i+1)·w`, the exact expression
+    /// [`EquidistantSchedule::positions`] evaluates.
+    #[inline]
+    fn position(&self, i: u32) -> f64 {
+        (i + 1) as f64 * self.w
+    }
+
+    /// Re-point the cursor at the first position strictly after `p` —
+    /// the incremental equivalent of the historical
+    /// `partition_point(|&q| q <= p)` over the materialized positions,
+    /// valid for arbitrary `p` (backward moves rescan from 0; they only
+    /// occur on rollbacks past the cursor, which the executors never
+    /// produce, so the forward path is the hot one).
+    #[inline]
+    fn seek(&mut self, p: f64) {
+        if self.next_idx > 0 && self.position(self.next_idx - 1) > p {
+            self.next_idx = 0;
+        }
+        while self.next_idx < self.count && self.position(self.next_idx) <= p {
+            self.next_idx += 1;
+        }
+    }
+
+    fn next_after_durable(&self) -> Option<f64> {
+        (self.next_idx < self.count).then(|| self.position(self.next_idx))
     }
 }
 
@@ -50,7 +91,7 @@ impl Controller {
     /// the durable progress; `None` ⇒ run to completion.
     pub fn next_checkpoint(&self) -> Option<f64> {
         match self {
-            Controller::Fixed(f) => f.next_after(f.durable),
+            Controller::Fixed(f) => f.next_after_durable(),
             Controller::Adaptive(a) => match a.decision() {
                 CheckpointDecision::RunUntil { at_progress } => Some(at_progress),
                 CheckpointDecision::RunToCompletion => None,
@@ -61,7 +102,10 @@ impl Controller {
     /// A checkpoint completed: durable progress is now `pos`.
     pub fn on_checkpoint_complete(&mut self, pos: f64) {
         match self {
-            Controller::Fixed(f) => f.durable = pos,
+            Controller::Fixed(f) => {
+                f.durable = pos;
+                f.seek(pos);
+            }
             Controller::Adaptive(a) => a.on_checkpoint_complete(pos),
         }
     }
@@ -69,7 +113,10 @@ impl Controller {
     /// A failure rolled the task back to durable progress `pos`.
     pub fn on_rollback(&mut self, pos: f64) {
         match self {
-            Controller::Fixed(f) => f.durable = pos,
+            Controller::Fixed(f) => {
+                f.durable = pos;
+                f.seek(pos);
+            }
             Controller::Adaptive(a) => a.on_rollback(pos),
         }
     }
@@ -89,10 +136,7 @@ impl Controller {
     /// position (diagnostic).
     pub fn planned_remaining(&self) -> Option<usize> {
         match self {
-            Controller::Fixed(f) => {
-                let idx = f.positions.partition_point(|&q| q <= f.durable);
-                Some(f.positions.len() - idx)
-            }
+            Controller::Fixed(f) => Some((f.count - f.next_idx) as usize),
             Controller::Adaptive(_) => None,
         }
     }

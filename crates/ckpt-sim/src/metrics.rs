@@ -49,6 +49,75 @@ impl StreamStats {
     }
 }
 
+/// Mergeable constant-memory summary of a value stream: count, total,
+/// min, max. The streaming fast path ([`crate::runner::run_trace_stream`])
+/// folds one of these per metric per fixed job block, then merges block
+/// partials in block order — deterministic for any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub total: f64,
+    /// Smallest observation (`+∞` when empty).
+    pub min: f64,
+    /// Largest observation (`−∞` when empty).
+    pub max: f64,
+}
+
+impl Default for StreamSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            total: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Ingest one observation.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.total += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merge another summary in (callers merge in a fixed order so float
+    /// totals stay deterministic).
+    pub fn merge(&mut self, other: &StreamSummary) {
+        self.count += other.count;
+        self.total += other.total;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Mean of the observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.total / self.count as f64
+        }
+    }
+}
+
 /// Aggregated outcome of one job under one policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
@@ -77,15 +146,10 @@ pub struct JobRecord {
 }
 
 impl JobRecord {
-    /// Assemble a job record from its tasks' outcomes.
-    pub fn from_outcomes(
-        job_id: u64,
-        structure: JobStructure,
-        priority: u8,
-        outcomes: &[TaskOutcome],
-        task_lengths: &[f64],
-    ) -> Self {
-        let mut rec = JobRecord {
+    /// An all-zero record for a job — the seed [`JobRecord::accumulate`]
+    /// folds task outcomes into.
+    pub fn empty(job_id: u64, structure: JobStructure, priority: u8) -> Self {
+        JobRecord {
             job_id,
             structure,
             priority,
@@ -97,18 +161,37 @@ impl JobRecord {
             checkpoint_time: 0.0,
             restart_time: 0.0,
             max_task_length: 0.0,
-        };
-        for o in outcomes {
-            rec.total_work += o.productive;
-            rec.total_wall += o.wall;
-            rec.failures += o.failures;
-            rec.checkpoints += o.checkpoints;
-            rec.rollback_loss += o.rollback_loss;
-            rec.checkpoint_time += o.checkpoint_time;
-            rec.restart_time += o.restart_time;
         }
-        for &l in task_lengths {
-            rec.max_task_length = rec.max_task_length.max(l);
+    }
+
+    /// Fold one task's outcome (and its length) into the record — the
+    /// streaming form of [`JobRecord::from_outcomes`]: folding outcomes in
+    /// task order performs the same additions in the same order, so the
+    /// result is bit-identical while the per-job outcome/length vectors
+    /// the batch form consumes never need to exist.
+    #[inline]
+    pub fn accumulate(&mut self, o: &TaskOutcome, task_length: f64) {
+        self.total_work += o.productive;
+        self.total_wall += o.wall;
+        self.failures += o.failures;
+        self.checkpoints += o.checkpoints;
+        self.rollback_loss += o.rollback_loss;
+        self.checkpoint_time += o.checkpoint_time;
+        self.restart_time += o.restart_time;
+        self.max_task_length = self.max_task_length.max(task_length);
+    }
+
+    /// Assemble a job record from its tasks' outcomes.
+    pub fn from_outcomes(
+        job_id: u64,
+        structure: JobStructure,
+        priority: u8,
+        outcomes: &[TaskOutcome],
+        task_lengths: &[f64],
+    ) -> Self {
+        let mut rec = JobRecord::empty(job_id, structure, priority);
+        for (o, &l) in outcomes.iter().zip(task_lengths) {
+            rec.accumulate(o, l);
         }
         rec
     }

@@ -5,8 +5,22 @@
 //! failures from its own RNG stream ([`ckpt_trace::Trace::failure_stream`]),
 //! so the result is a pure function of `(trace, estimates, config)` no
 //! matter how many worker threads run it. Parallelism uses `std::thread`
-//! scoped threads pulling job indices from an atomic counter (guide-idiom
-//! work stealing without a pool dependency).
+//! scoped threads claiming index chunks from an atomic counter (guide-idiom
+//! work stealing without a pool dependency) and writing results straight
+//! into their final slots.
+//!
+//! ## The fast-path memory model
+//!
+//! The replay hot loop is allocation-free on a warm worker:
+//!
+//! * kill plans come either from a shared [`FailurePlanArena`] (sampled
+//!   once per `(trace, failure model)` and borrowed as `&[f64]` — the
+//!   cross-cell reuse behind sweep throughput) or are sampled into the
+//!   worker's reusable [`ReplayScratch`] buffer;
+//! * task outcomes fold straight into the job's [`JobRecord`]
+//!   ([`JobRecord::accumulate`]) — no per-job outcome/length vectors;
+//! * each worker owns one [`ReplayScratch`], handed out by
+//!   [`parallel_indexed_scratch`], reused across every job it claims.
 //!
 //! Per-task planning goes through [`Estimates`]' memoized group lookups
 //! (see [`crate::policy`]): predictions for a `(priority, limit)` group
@@ -15,11 +29,14 @@
 //! scale and beyond the rescan used to dominate the replay itself.
 
 use crate::blcr::BlcrModel;
-use crate::metrics::JobRecord;
+use crate::metrics::{JobRecord, StreamSummary};
 use crate::policy::{plan_task, Estimates, PolicyConfig};
-use crate::task_sim::{simulate_task_with_plan, ExecFlip, TaskOutcome, TaskSimSpec};
-use ckpt_trace::failure::sample_task_plan;
+use crate::task_sim::{simulate_task_queued, ExecFlip, TaskSimSpec};
+use ckpt_stats::rng::Xoshiro256StarStar;
+use ckpt_trace::failure::sample_task_plan_into;
 use ckpt_trace::gen::{JobSpec, Trace};
+use ckpt_trace::plan::FailurePlanArena;
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run configuration beyond the policy itself.
@@ -37,7 +54,23 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
     t.clamp(1, jobs.max(1))
 }
 
-/// Simulate one job under a policy; returns its record.
+/// Per-worker reusable replay buffers, handed out by
+/// [`parallel_indexed_scratch`]: one kill queue whose backing `Vec` stays
+/// warm across every job a worker claims.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    queue: crate::task_sim::KillQueue,
+}
+
+impl ReplayScratch {
+    /// Fresh scratch (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Simulate one job under a policy; returns its record. Convenience
+/// wrapper over the scratch-reusing core (fresh buffers per call).
 pub fn run_job(
     trace: &Trace,
     job: &JobSpec,
@@ -45,8 +78,30 @@ pub fn run_job(
     cfg: &PolicyConfig,
     blcr: &BlcrModel,
 ) -> JobRecord {
-    let mut outcomes: Vec<TaskOutcome> = Vec::with_capacity(job.tasks.len());
-    let lengths: Vec<f64> = job.tasks.iter().map(|t| t.length_s).collect();
+    run_job_scratch(
+        trace,
+        job,
+        estimates,
+        cfg,
+        blcr,
+        None,
+        &mut ReplayScratch::new(),
+    )
+}
+
+/// Simulate one job, drawing kill plans from `plans` when provided
+/// (bit-identical to fresh sampling: the arena holds the same draws) and
+/// reusing the caller's scratch buffers.
+pub fn run_job_scratch(
+    trace: &Trace,
+    job: &JobSpec,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    blcr: &BlcrModel,
+    plans: Option<&FailurePlanArena>,
+    scratch: &mut ReplayScratch,
+) -> JobRecord {
+    let mut rec = JobRecord::empty(job.id, job.structure, job.priority);
     for task in &job.tasks {
         let mut plan = plan_task(cfg, blcr, estimates, task, job.priority);
         // Mid-run priority flip (Figure 14 scenario): translate the job-level
@@ -77,60 +132,134 @@ pub fn run_job(
         // The kill plan is drawn under the trace's failure model (the
         // default routes through the legacy calibrated sampler on the same
         // stream, so default output is byte-identical to `simulate_task`).
-        let mut rng = trace.failure_stream(task.id);
-        let kills = sample_task_plan(trace.failure_model, job.priority, task.length_s, &mut rng);
-        let outcome = simulate_task_with_plan(&spec, kills, flip, &mut plan.controller, &mut rng);
-        outcomes.push(outcome);
+        // With a plan arena the sampled plan is borrowed instead, and the
+        // RNG — consumed only if a flip re-draws the remaining plan — is
+        // the task's stream resumed from its post-sampling state, so both
+        // paths produce the same bytes.
+        let outcome = match plans {
+            Some(arena) => {
+                scratch.queue.load(arena.kills(task.id));
+                let mut rng = if flip.is_some() {
+                    arena
+                        .resume_stream(task.id)
+                        .expect("plan arena built from a flip trace captures stream states")
+                } else {
+                    // Never consumed: simulate only draws on a flip.
+                    Xoshiro256StarStar::from_state([1, 2, 3, 4])
+                };
+                simulate_task_queued(
+                    &spec,
+                    &mut scratch.queue,
+                    flip,
+                    &mut plan.controller,
+                    &mut rng,
+                )
+            }
+            None => {
+                let mut rng = trace.failure_stream(task.id);
+                let buf = scratch.queue.reset_for_sampling();
+                sample_task_plan_into(
+                    trace.failure_model,
+                    job.priority,
+                    task.length_s,
+                    &mut rng,
+                    buf,
+                );
+                simulate_task_queued(
+                    &spec,
+                    &mut scratch.queue,
+                    flip,
+                    &mut plan.controller,
+                    &mut rng,
+                )
+            }
+        };
+        rec.accumulate(&outcome, task.length_s);
     }
-    JobRecord::from_outcomes(job.id, job.structure, job.priority, &outcomes, &lengths)
+    rec
 }
 
 /// Evaluate `f(0..n)` on `threads` workers (0 ⇒ one per core), returning
-/// results in index order regardless of scheduling: workers pull indices
-/// from a shared atomic counter (guide-idiom work stealing) and keep
-/// results locally; the merge restores index order. This is the parallel
-/// substrate for both trace replay and the sweep engine.
+/// results in index order regardless of scheduling — the parallel
+/// substrate for both trace replay and the sweep engine. Convenience form
+/// of [`parallel_indexed_scratch`] with no per-worker state.
 pub fn parallel_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_indexed_scratch(n, threads, || (), |(), i| f(i))
+}
+
+/// A raw result-slot pointer that may cross thread boundaries: every
+/// claimed index is written by exactly one worker, so writes never alias.
+struct SlotPtr<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Send for SlotPtr<T> {}
+unsafe impl<T: Send> Sync for SlotPtr<T> {}
+
+/// [`parallel_indexed`] with a per-worker scratch value: each worker calls
+/// `init()` once and threads the result through every `f` invocation it
+/// claims — how replay workers reuse their [`ReplayScratch`] buffers.
+///
+/// Workers claim **chunks** of indices from a shared atomic counter and
+/// write each result directly into its final slot (no per-worker
+/// `(index, value)` staging and no `Option<T>` merge pass — the historical
+/// substrate allocated both). Chunk size adapts to `n / threads` and
+/// collapses to 1 for small grids, so coarse sweeps keep perfect load
+/// balancing while fine-grained job replays amortize the counter traffic.
+///
+/// Determinism: `f(i)` lands in slot `i` no matter which worker ran it,
+/// so the output is independent of thread count and scheduling.
+pub fn parallel_indexed_scratch<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = effective_threads(threads, n);
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
 
+    let chunk = (n / (threads * 8)).clamp(1, 64);
+    let mut slots: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit<T> needs no initialization.
+    unsafe { slots.set_len(n) };
+    let ptr = SlotPtr(slots.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (next, f) = (&next, &f);
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (ptr, next, init, f) = (&ptr, &next, &init, &f);
+            s.spawn(move || {
+                let mut scratch = init();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
                     }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_indexed worker panicked"))
-            .collect()
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        let value = f(&mut scratch, i);
+                        // SAFETY: each index in 0..n is claimed by exactly
+                        // one worker (disjoint chunks), so this slot is
+                        // written once with no aliasing; the scope join
+                        // orders all writes before the read below.
+                        unsafe { (*ptr.0.add(i)).write(value) };
+                    }
+                }
+            });
+        }
     });
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in per_worker.into_iter().flatten() {
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index evaluated"))
-        .collect()
+    // The scope joined every worker and the claim counter is exhausted, so
+    // all n slots are initialized. (If a worker panicked, the scope
+    // propagated the panic above and the MaybeUninit vec dropped without
+    // reading — initialized elements leak, which is safe.)
+    let mut slots = std::mem::ManuallyDrop::new(slots);
+    let (ptr, len, cap) = (slots.as_mut_ptr(), slots.len(), slots.capacity());
+    // SAFETY: Vec<MaybeUninit<T>> and Vec<T> have identical layout and
+    // every element is initialized.
+    unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
 }
 
 /// Replay the whole trace under a policy, in parallel. Records are returned
@@ -141,23 +270,156 @@ pub fn run_trace(
     cfg: &PolicyConfig,
     options: RunOptions,
 ) -> Vec<JobRecord> {
+    run_trace_impl(trace, estimates, cfg, options, None)
+}
+
+/// [`run_trace`] drawing every kill plan from a shared
+/// [`FailurePlanArena`] instead of re-sampling — byte-identical output
+/// (the arena holds the exact plans the streams produce, plus the
+/// post-sampling stream states for flip re-draws), minus the whole
+/// sampling pass. This is the sweep engine's cross-cell fast path: one
+/// arena per `(trace, failure model)` serves every policy/cost cell.
+pub fn run_trace_with_plans(
+    trace: &Trace,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    options: RunOptions,
+    plans: &FailurePlanArena,
+) -> Vec<JobRecord> {
+    run_trace_impl(trace, estimates, cfg, options, Some(plans))
+}
+
+fn run_trace_impl(
+    trace: &Trace,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    options: RunOptions,
+    plans: Option<&FailurePlanArena>,
+) -> Vec<JobRecord> {
     let blcr = BlcrModel;
-    parallel_indexed(trace.jobs.len(), options.threads, |i| {
-        run_job(trace, &trace.jobs[i], estimates, cfg, &blcr)
-    })
+    parallel_indexed_scratch(
+        trace.jobs.len(),
+        options.threads,
+        ReplayScratch::new,
+        |scratch, i| run_job_scratch(trace, &trace.jobs[i], estimates, cfg, &blcr, plans, scratch),
+    )
+}
+
+/// Streaming per-metric summaries of one whole-trace replay — the fast
+/// path's [`crate::cluster::MetricsMode::Streaming`] analog: per-job
+/// records fold into constant-size [`StreamSummary`] accumulators as they
+/// are produced, and the record vector never materializes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayStats {
+    /// Jobs replayed.
+    pub jobs: u64,
+    /// Per-job WPR (`total_work / total_wall`).
+    pub wpr: StreamSummary,
+    /// Per-job wall clock (seconds).
+    pub wall: StreamSummary,
+    /// Per-job checkpoint-writing time (seconds).
+    pub checkpoint_time: StreamSummary,
+    /// Per-job rollback loss (seconds).
+    pub rollback_loss: StreamSummary,
+    /// Per-job restart overhead (seconds).
+    pub restart_time: StreamSummary,
+    /// Per-job failure count.
+    pub failures: StreamSummary,
+    /// Per-job durable checkpoint count.
+    pub checkpoints: StreamSummary,
+}
+
+impl ReplayStats {
+    fn new() -> Self {
+        Self {
+            jobs: 0,
+            wpr: StreamSummary::new(),
+            wall: StreamSummary::new(),
+            checkpoint_time: StreamSummary::new(),
+            rollback_loss: StreamSummary::new(),
+            restart_time: StreamSummary::new(),
+            failures: StreamSummary::new(),
+            checkpoints: StreamSummary::new(),
+        }
+    }
+
+    /// Fold one job record in.
+    pub fn add(&mut self, r: &JobRecord) {
+        self.jobs += 1;
+        self.wpr.add(r.wpr());
+        self.wall.add(r.total_wall);
+        self.checkpoint_time.add(r.checkpoint_time);
+        self.rollback_loss.add(r.rollback_loss);
+        self.restart_time.add(r.restart_time);
+        self.failures.add(r.failures as f64);
+        self.checkpoints.add(r.checkpoints as f64);
+    }
+
+    /// Merge another partial in (block order gives determinism).
+    pub fn merge(&mut self, other: &ReplayStats) {
+        self.jobs += other.jobs;
+        self.wpr.merge(&other.wpr);
+        self.wall.merge(&other.wall);
+        self.checkpoint_time.merge(&other.checkpoint_time);
+        self.rollback_loss.merge(&other.rollback_loss);
+        self.restart_time.merge(&other.restart_time);
+        self.failures.merge(&other.failures);
+        self.checkpoints.merge(&other.checkpoints);
+    }
+}
+
+/// Jobs folded per block by [`run_trace_stream`]. Fixed (independent of
+/// thread count), so partial merges happen in a deterministic block order
+/// and the folded totals are invariant to scheduling.
+const STREAM_FOLD_BLOCK: usize = 1024;
+
+/// Replay the whole trace and fold every job record into streaming
+/// summaries without materializing the record vector. Deterministic for
+/// any thread count: jobs fold into fixed 1024-job blocks and block
+/// partials merge in block order.
+pub fn run_trace_stream(
+    trace: &Trace,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    options: RunOptions,
+    plans: Option<&FailurePlanArena>,
+) -> ReplayStats {
+    let blcr = BlcrModel;
+    let n = trace.jobs.len();
+    let blocks = n.div_ceil(STREAM_FOLD_BLOCK);
+    let partials =
+        parallel_indexed_scratch(blocks, options.threads, ReplayScratch::new, |scratch, b| {
+            let mut acc = ReplayStats::new();
+            let lo = b * STREAM_FOLD_BLOCK;
+            let hi = (lo + STREAM_FOLD_BLOCK).min(n);
+            for i in lo..hi {
+                let rec =
+                    run_job_scratch(trace, &trace.jobs[i], estimates, cfg, &blcr, plans, scratch);
+                acc.add(&rec);
+            }
+            acc
+        });
+    let mut total = ReplayStats::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
 }
 
 /// Convenience: run the same trace under several policies, reusing the
-/// estimates (the shape of every multi-line figure in the paper).
+/// estimates *and* one shared kill-plan arena (the shape of every
+/// multi-line figure in the paper: identical kills replayed under every
+/// policy, sampled exactly once).
 pub fn run_policies(
     trace: &Trace,
     estimates: &Estimates,
     configs: &[PolicyConfig],
     options: RunOptions,
 ) -> Vec<Vec<JobRecord>> {
+    let plans = FailurePlanArena::build(trace);
     configs
         .iter()
-        .map(|cfg| run_trace(trace, estimates, cfg, options))
+        .map(|cfg| run_trace_with_plans(trace, estimates, cfg, options, &plans))
         .collect()
 }
 
@@ -213,6 +475,87 @@ mod tests {
                 assert!(w > 0.0 && w <= 1.0, "wpr = {w} under {:?}", cfg.kind);
             }
         }
+    }
+
+    #[test]
+    fn plan_arena_replay_is_byte_identical() {
+        let (trace, est) = setup(150, 21);
+        let plans = FailurePlanArena::build(&trace);
+        for cfg in [
+            PolicyConfig::formula3(),
+            PolicyConfig::young(),
+            PolicyConfig::none(),
+            PolicyConfig::formula3().with_adaptivity(true),
+        ] {
+            let fresh = run_trace(&trace, &est, &cfg, RunOptions { threads: 1 });
+            let cached =
+                run_trace_with_plans(&trace, &est, &cfg, RunOptions { threads: 2 }, &plans);
+            assert_eq!(fresh, cached, "{:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn plan_arena_replay_matches_on_flip_traces() {
+        // Flip traces consume the stream *after* the plan: the arena's
+        // resumed stream state must reproduce the re-draws exactly.
+        let trace = generate(&WorkloadSpec::google_like(80).with_priority_flips(), 14)
+            .expect("valid workload spec");
+        let records = trace_histories(&trace);
+        let est = Estimates::from_records(&records);
+        let plans = FailurePlanArena::build(&trace);
+        for cfg in [
+            PolicyConfig::formula3().with_adaptivity(true),
+            PolicyConfig::young(),
+        ] {
+            let fresh = run_trace(&trace, &est, &cfg, RunOptions { threads: 1 });
+            let cached =
+                run_trace_with_plans(&trace, &est, &cfg, RunOptions { threads: 1 }, &plans);
+            assert_eq!(fresh, cached, "{:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn stream_fold_matches_full_records() {
+        let (trace, est) = setup(130, 33);
+        let cfg = PolicyConfig::formula3();
+        let full = run_trace(&trace, &est, &cfg, RunOptions::default());
+        for threads in [1, 3] {
+            let stats = run_trace_stream(&trace, &est, &cfg, RunOptions { threads }, None);
+            assert_eq!(stats.jobs as usize, full.len());
+            assert_eq!(stats.wall.count, full.len() as u64);
+            let max_wall = full.iter().fold(0.0f64, |m, r| m.max(r.total_wall));
+            assert_eq!(stats.wall.max, max_wall);
+            let mean_wpr = metrics::mean_wpr(&full);
+            assert!((stats.wpr.mean() - mean_wpr).abs() < 1e-9);
+        }
+        // Thread invariance is exact (fixed fold blocks).
+        let a = run_trace_stream(&trace, &est, &cfg, RunOptions { threads: 1 }, None);
+        let b = run_trace_stream(&trace, &est, &cfg, RunOptions { threads: 4 }, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_indexed_chunked_matches_sequential() {
+        let threads_hw = 4;
+        for n in [0usize, 1, 2, 3, 5, 64, 65, 1000] {
+            let seq: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E3779B9))
+                .collect();
+            let par = parallel_indexed(n, threads_hw, |i| (i as u64).wrapping_mul(0x9E3779B9));
+            assert_eq!(seq, par, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_scratch_is_per_worker() {
+        // Scratch state must never leak between indices in observable
+        // output: f returns a pure function of i regardless of the scratch
+        // history it sees.
+        let out = parallel_indexed_scratch(500, 7, Vec::<usize>::new, |scratch, i| {
+            scratch.push(i);
+            i * 2
+        });
+        assert_eq!(out, (0..500).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

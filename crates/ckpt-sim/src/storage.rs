@@ -52,6 +52,16 @@ impl PsResource {
         self.ops.len()
     }
 
+    /// Return the server to its just-constructed state (no ops, time at
+    /// zero, generation 0), keeping the allocated op table — so repeated
+    /// measurement rounds can reuse one server bank instead of
+    /// reallocating it per round.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.last_update = SimTime::ZERO;
+        self.generation = 0;
+    }
+
     /// Current generation; completion events scheduled for an older
     /// generation are stale and must be ignored.
     #[inline]

@@ -28,9 +28,8 @@
 
 use crate::controller::Controller;
 use ckpt_stats::rng::Rng64;
-use ckpt_trace::failure::{sample_task_plan, FailureModelSpec};
+use ckpt_trace::failure::{sample_task_plan_into, FailureModelSpec};
 use ckpt_trace::spec::{FailureModel, FailurePlan};
-use std::collections::VecDeque;
 
 /// A planned mid-execution priority flip, as the executor sees it.
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +97,61 @@ impl TaskOutcome {
     }
 }
 
+/// A reusable kill-event queue: a plain `Vec` buffer behind a head
+/// cursor. The replay hot loop hands one of these out per worker so a
+/// whole-trace replay performs **zero** per-task queue allocations (the
+/// historical code built a fresh `VecDeque` per task); a warm buffer
+/// serves every task of a worker's job stream.
+#[derive(Debug, Default, Clone)]
+pub struct KillQueue {
+    buf: Vec<f64>,
+    head: usize,
+}
+
+impl KillQueue {
+    /// An empty queue (allocates nothing until loaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an owned position vector (no copy).
+    pub fn from_vec(positions: Vec<f64>) -> Self {
+        Self {
+            buf: positions,
+            head: 0,
+        }
+    }
+
+    /// Replace the queue's contents with `kills`, reusing the buffer.
+    pub fn load(&mut self, kills: &[f64]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(kills);
+        self.head = 0;
+    }
+
+    /// The buffer the replay loads fresh samples into (cleared).
+    pub fn reset_for_sampling(&mut self) -> &mut Vec<f64> {
+        self.buf.clear();
+        self.head = 0;
+        &mut self.buf
+    }
+
+    #[inline]
+    fn front(&self) -> Option<f64> {
+        self.buf.get(self.head).copied()
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        self.head += 1;
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
 /// Execute one task to completion, drawing its kill plan from `rng` (the
 /// task's failure stream) — convenience wrapper over
 /// [`simulate_task_with_plan`].
@@ -122,6 +176,21 @@ pub fn simulate_task_with_plan<R: Rng64 + ?Sized>(
     ctl: &mut Controller,
     rng: &mut R,
 ) -> TaskOutcome {
+    let mut pending = KillQueue::from_vec(plan.positions);
+    simulate_task_queued(spec, &mut pending, flip, ctl, rng)
+}
+
+/// Execute one task to completion against a pre-loaded [`KillQueue`] —
+/// the allocation-free core behind [`simulate_task_with_plan`]. The queue
+/// arrives holding the task's kill plan and leaves in an unspecified
+/// state (its buffer stays warm for the caller's next task).
+pub fn simulate_task_queued<R: Rng64 + ?Sized>(
+    spec: &TaskSimSpec,
+    pending: &mut KillQueue,
+    flip: Option<ExecFlip>,
+    ctl: &mut Controller,
+    rng: &mut R,
+) -> TaskOutcome {
     assert!(spec.te > 0.0 && spec.te.is_finite(), "te must be positive");
     assert!(
         spec.ckpt_cost >= 0.0 && spec.restart_cost >= 0.0,
@@ -133,7 +202,6 @@ pub fn simulate_task_with_plan<R: Rng64 + ?Sized>(
         ..TaskOutcome::default()
     };
     let mut flip = flip;
-    let mut pending: VecDeque<f64> = plan.positions.into();
     let mut busy = 0.0f64; // cumulative execution (run + checkpoint) time
     let mut durable = 0.0f64; // checkpointed progress
     let mut live = 0.0f64; // progress since start (≥ durable, volatile)
@@ -190,9 +258,15 @@ pub fn simulate_task_with_plan<R: Rng64 + ?Sized>(
                 pending.clear();
                 let remaining = spec.te - live;
                 if remaining > 0.0 {
-                    let plan = sample_task_plan(f.model, f.new_priority, remaining, rng);
-                    for p in plan.positions {
-                        pending.push_back(busy + p);
+                    sample_task_plan_into(
+                        f.model,
+                        f.new_priority,
+                        remaining,
+                        rng,
+                        &mut pending.buf,
+                    );
+                    for p in &mut pending.buf {
+                        *p += busy;
                     }
                 }
                 if let Some(mnof) = f.new_mnof_full {

@@ -155,6 +155,25 @@ impl Xoshiro256StarStar {
         x.rotate_left(k)
     }
 
+    /// Snapshot the generator's 256-bit state. Together with
+    /// [`Xoshiro256StarStar::from_state`] this lets a caller freeze a
+    /// stream mid-sequence and resume it later *exactly* — the mechanism
+    /// the failure-plan arena uses to replay a task's post-plan draws
+    /// (priority-flip re-plans) without re-consuming the plan's own draws.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by
+    /// [`Xoshiro256StarStar::state`]. The all-zero state is invalid for
+    /// xoshiro (it is a fixed point) and is rejected.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0, 0, 0, 0], "xoshiro256** state must be non-zero");
+        Self { s }
+    }
+
     /// Jump ahead by 2^128 steps (for manual stream splitting, mostly useful
     /// in tests).
     pub fn jump(&mut self) {
@@ -329,6 +348,25 @@ mod tests {
         let mut s1b = Xoshiro256StarStar::stream(42, 0);
         let a2: Vec<u64> = (0..8).map(|_| Rng64::next_u64(&mut s1b)).collect();
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_exactly() {
+        let mut a = Xoshiro256StarStar::new(77);
+        for _ in 0..13 {
+            let _ = Rng64::next_u64(&mut a);
+        }
+        let frozen = a.state();
+        let tail: Vec<u64> = (0..8).map(|_| Rng64::next_u64(&mut a)).collect();
+        let mut resumed = Xoshiro256StarStar::from_state(frozen);
+        let replay: Vec<u64> = (0..8).map(|_| Rng64::next_u64(&mut resumed)).collect();
+        assert_eq!(tail, replay);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256StarStar::from_state([0; 4]);
     }
 
     #[test]

@@ -592,16 +592,32 @@ pub fn sample_task_plan<R: Rng64 + ?Sized>(
     te: f64,
     rng: &mut R,
 ) -> FailurePlan {
+    let mut positions = Vec::new();
+    sample_task_plan_into(model, priority, te, rng, &mut positions);
+    FailurePlan { positions }
+}
+
+/// [`sample_task_plan`] appended to a caller-provided position buffer —
+/// the allocation-free form the replay hot loop and the failure-plan
+/// arena use. Draws are identical, value for value and stream-state for
+/// stream-state, to the allocating form.
+pub fn sample_task_plan_into<R: Rng64 + ?Sized>(
+    model: FailureModelSpec,
+    priority: u8,
+    te: f64,
+    rng: &mut R,
+    out: &mut Vec<f64>,
+) {
     let calibrated = FailureModel::for_priority(priority);
     if model.is_default() {
-        return calibrated.sample_plan(te, rng);
+        calibrated.sample_plan_into(te, rng, out);
+        return;
     }
     let mnof = calibrated.mean_failures(te);
     if !mnof.is_finite() || mnof <= 0.0 || te <= 0.0 {
-        return FailurePlan::default();
+        return;
     }
     let process = model.process(te / mnof);
-    let mut positions = Vec::new();
     let mut at = 0.0f64;
     let mut prev = 0.0f64;
     loop {
@@ -611,11 +627,10 @@ pub fn sample_task_plan<R: Rng64 + ?Sized>(
         }
         // Coalesce sub-second gaps, as in the legacy sampler.
         if at - prev >= 1.0 {
-            positions.push(at);
+            out.push(at);
             prev = at;
         }
     }
-    FailurePlan { positions }
 }
 
 #[cfg(test)]

@@ -35,10 +35,12 @@
 pub mod export;
 pub mod failure;
 pub mod gen;
+pub mod plan;
 pub mod spec;
 pub mod stats;
 
 pub use failure::{FailureKind, FailureModelSpec, FailureProcess, HazardProcess};
 pub use gen::{generate, JobSpec, JobStructure, TaskSpec, Trace, WorkloadError};
+pub use plan::FailurePlanArena;
 pub use spec::{FailureModel, WorkloadSpec, NUM_PRIORITIES};
-pub use stats::{history_for_task, trace_histories};
+pub use stats::{history_for_task, trace_histories, trace_histories_from_plans};

@@ -54,14 +54,21 @@ impl FailurePlan {
     /// inter-failure interval and is excluded, as in MTBF estimation from
     /// event logs).
     pub fn intervals(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.positions.len());
-        let mut prev = 0.0;
-        for &p in &self.positions {
-            out.push(p - prev);
-            prev = p;
-        }
-        out
+        intervals_of(&self.positions)
     }
+}
+
+/// The uninterrupted work intervals induced by a sorted kill-position
+/// slice — [`FailurePlan::intervals`] for plans stored flat (the
+/// failure-plan arena keeps positions in one shared buffer).
+pub fn intervals_of(positions: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(positions.len());
+    let mut prev = 0.0;
+    for &p in positions {
+        out.push(p - prev);
+        prev = p;
+    }
+    out
 }
 
 /// Per-priority failure model: how many kills a task suffers and where.
@@ -153,30 +160,53 @@ impl FailureModel {
     /// second granularity; kills closer than that are coalesced), so
     /// recorded intervals have a natural ≥ 1 s floor.
     pub fn sample_positions<R: Rng64 + ?Sized>(&self, te: f64, k: u32, rng: &mut R) -> Vec<f64> {
+        let mut positions = Vec::with_capacity(k as usize);
+        self.sample_positions_into(te, k, rng, &mut positions);
+        positions
+    }
+
+    /// [`FailureModel::sample_positions`] appended to a caller-provided
+    /// buffer — the allocation-free form the replay hot loop uses. Draws
+    /// are identical, value for value, to the allocating form.
+    ///
+    /// The k+1 stick-breaking weights are staged in the tail of `out`
+    /// itself and compacted into positions in place, so a warm buffer
+    /// costs no allocation at all.
+    pub fn sample_positions_into<R: Rng64 + ?Sized>(
+        &self,
+        te: f64,
+        k: u32,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
         if k == 0 {
-            return Vec::new();
+            return;
         }
         // k failures split (0, te) into k+1 spacings.
-        let mut weights = Vec::with_capacity(k as usize + 1);
+        let start = out.len();
         let mut total = 0.0;
         for _ in 0..=k {
             let w = rng.next_f64_open().powf(-self.spacing_skew);
-            weights.push(w);
+            out.push(w);
             total += w;
         }
-        let mut positions = Vec::with_capacity(k as usize);
         let mut acc = 0.0;
         let mut prev = 0.0;
-        for &w in weights.iter().take(k as usize) {
+        let mut write = start;
+        for i in 0..k as usize {
+            let w = out[start + i];
             acc += w / total;
             let p = acc * te;
             // Coalesce sub-second gaps (and keep positions inside (0, te)).
+            // `write` never overtakes the weight being read (`write ≤
+            // start + i`), so the in-place compaction is safe.
             if p - prev >= 1.0 && p < te {
-                positions.push(p);
+                out[write] = p;
+                write += 1;
                 prev = p;
             }
         }
-        positions
+        out.truncate(write);
     }
 
     /// Draw a full failure plan for a task of length `te`.
@@ -185,6 +215,13 @@ impl FailureModel {
         FailurePlan {
             positions: self.sample_positions(te, k, rng),
         }
+    }
+
+    /// [`FailureModel::sample_plan`] appended to a caller-provided buffer
+    /// (same draws, no allocation on a warm buffer).
+    pub fn sample_plan_into<R: Rng64 + ?Sized>(&self, te: f64, rng: &mut R, out: &mut Vec<f64>) {
+        let k = self.sample_count(te, rng);
+        self.sample_positions_into(te, k, rng, out);
     }
 
     /// Rough expected uninterrupted interval for a task of length `te`

@@ -68,6 +68,34 @@ pub fn trace_histories(trace: &Trace) -> Vec<TaskRecord> {
         .collect()
 }
 
+/// [`trace_histories`] derived from an already-sampled
+/// [`crate::plan::FailurePlanArena`] instead of re-drawing every plan:
+/// the arena holds the exact plans [`history_for_task`] would sample (same
+/// streams, same model), so the derived histories are identical — this is
+/// how the sweep executor shares one sampling pass between the estimator
+/// prep and every replay cell.
+pub fn trace_histories_from_plans(
+    trace: &Trace,
+    plans: &crate::plan::FailurePlanArena,
+) -> Vec<TaskRecord> {
+    trace
+        .tasks()
+        .map(|(job, task)| {
+            let kills = plans.kills(task.id);
+            TaskRecord {
+                task_id: task.id,
+                job_id: job.id,
+                history: TaskHistory {
+                    priority: job.priority,
+                    task_length: task.length_s,
+                    failure_count: kills.len() as u32,
+                    intervals: crate::spec::intervals_of(kills),
+                },
+            }
+        })
+        .collect()
+}
+
 /// Ids of jobs where at least `fraction` of tasks suffered ≥ 1 failure —
 /// the paper's sample-job selection rule ("only jobs half of whose tasks
 /// (at least) suffer from a failure event are selected", §5.1 uses 0.5).

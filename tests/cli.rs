@@ -180,7 +180,7 @@ fn exp_list_enumerates_every_registered_id_uniquely() {
     let ids = cloud_ckpt::bench::registry::ids();
     let set: std::collections::HashSet<_> = ids.iter().collect();
     assert_eq!(set.len(), ids.len(), "duplicate experiment ids: {ids:?}");
-    assert_eq!(ids.len(), 25, "{ids:?}");
+    assert_eq!(ids.len(), 26, "{ids:?}");
     // ...and `exp list` must present all of it.
     let out = cli().args(["exp", "list"]).output().expect("binary runs");
     assert!(out.status.success());
