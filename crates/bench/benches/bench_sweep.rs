@@ -10,8 +10,9 @@
 //! `CKPT_BENCH_ONLY=<substring>` restricts a run to matching bench groups
 //! (the CI smoke uses `CKPT_BENCH_ONLY=sweep_throughput`).
 
-use ckpt_scenario::{run_sweep, SweepOptions, SweepSpec};
-use ckpt_sim::cluster::{ClusterConfig, ClusterSim};
+use ckpt_obs::{Counter, Counters, Observer, Telemetry};
+use ckpt_scenario::{run_sweep, run_sweep_telemetry, SweepOptions, SweepSpec};
+use ckpt_sim::cluster::{ClusterConfig, ClusterSim, SimBudget};
 use ckpt_sim::policy::{Estimates, PolicyConfig};
 use ckpt_stats::rng::Xoshiro256StarStar;
 use ckpt_trace::failure::{sample_task_plan, FailureModelSpec, FailureProcess};
@@ -198,12 +199,28 @@ fn bench_des_throughput(c: &mut Criterion) {
         .unwrap_or(if record { 30_000 } else { 3_000 });
     let (events, tasks, wall) = des_measure(jobs);
     let events_per_sec = events as f64 / wall;
+    // Telemetry counters from an observed, *untimed* run of the same
+    // workload: deterministic, so they describe exactly the run measured
+    // above without a counting observer in the timed path.
+    let (trace, estimates, cfg) = des_bench_setup(jobs);
+    let (_, _, counters) = ClusterSim::new(cfg, &trace, &estimates, PolicyConfig::formula3())
+        .with_observer(Counters::new())
+        .run_observed(SimBudget::UNLIMITED, |_| {});
+    assert_eq!(counters.get(Counter::EventsPopped), events);
+    counters
+        .verify_invariants(true)
+        .expect("counter identities");
     // Pre-rewrite engine on this exact workload (jobs=30000, tasks=128619):
     // 11_420_570 events in 30.49 s end-to-end.
     let (base_events, base_wall) = (11_420_570u64, 30.49f64);
     let base_rate = base_events as f64 / base_wall;
     let json = format!(
-        "{{\n  \"bench\": \"des_throughput\",\n  \"workload\": {{\n    \"spec_shape\": \"specs/stress_fleet.toml\",\n    \"jobs\": {jobs},\n    \"tasks\": {tasks},\n    \"seed\": 20130217\n  }},\n  \"engine\": {{\n    \"events\": {events},\n    \"wall_s\": {wall:.3},\n    \"events_per_sec\": {events_per_sec:.0}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"events\": {base_events},\n    \"wall_s\": {base_wall:.3},\n    \"events_per_sec\": {base_rate:.0},\n    \"note\": \"engine before the TaskStore/FastQueue rewrite, same workload and machine class\"\n  }},\n  \"speedup_events_per_sec\": {:.2},\n  \"speedup_wall\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"des_throughput\",\n  \"workload\": {{\n    \"spec_shape\": \"specs/stress_fleet.toml\",\n    \"jobs\": {jobs},\n    \"tasks\": {tasks},\n    \"seed\": 20130217\n  }},\n  \"engine\": {{\n    \"events\": {events},\n    \"wall_s\": {wall:.3},\n    \"events_per_sec\": {events_per_sec:.0}\n  }},\n  \"counters\": {{\n    \"events_popped\": {},\n    \"task_kills\": {},\n    \"host_failures\": {},\n    \"checkpoints_written\": {},\n    \"heap_peak\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"events\": {base_events},\n    \"wall_s\": {base_wall:.3},\n    \"events_per_sec\": {base_rate:.0},\n    \"note\": \"engine before the TaskStore/FastQueue rewrite, same workload and machine class\"\n  }},\n  \"speedup_events_per_sec\": {:.2},\n  \"speedup_wall\": {:.2}\n}}\n",
+        counters.get(Counter::EventsPopped),
+        counters.get(Counter::TaskKills),
+        counters.get(Counter::HostFailures),
+        counters.get(Counter::CheckpointsWritten),
+        counters.get(Counter::HeapPeak),
         events_per_sec / base_rate,
         base_wall / wall,
     );
@@ -335,6 +352,17 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     });
     let cells_per_sec = cells as f64 / sweep_wall;
 
+    // Telemetry counters from an observed, *untimed* pass over the same
+    // grid: deterministic, so they describe the measured workload without
+    // putting a counting observer in the timed path.
+    let telemetry = Telemetry::new();
+    run_sweep_telemetry(&sweep, SweepOptions::default(), Some(&telemetry)).unwrap();
+    let counters = telemetry.counters.snapshot();
+    assert_eq!(counters.get(Counter::CellsEvaluated), cells as u64);
+    counters
+        .verify_invariants(true)
+        .expect("counter identities");
+
     let hazard = ckpt_bench::registry::find("ext_hazard_robustness").expect("registered");
     let ctx = ckpt_report::RunContext::new(hazard.default_scale());
     let hazard_wall = best_of(3, &|| {
@@ -347,7 +375,13 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let (base_wall, base_hazard_wall) = (0.5651f64, 0.488f64);
     let base_rate = cells as f64 / base_wall;
     let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
+        counters.get(Counter::CellsEvaluated),
+        counters.get(Counter::JobsReplayed),
+        counters.get(Counter::TasksReplayed),
+        counters.get(Counter::CheckpointsWritten),
+        counters.get(Counter::PlanLookups),
+        counters.get(Counter::ArenaHits),
         cells_per_sec / base_rate,
         base_hazard_wall / hazard_wall,
     );

@@ -2,6 +2,8 @@
 //! thread budget, output sink — with strict environment resolution.
 
 use crate::sink::Sink;
+use ckpt_obs::Telemetry;
+use std::sync::Arc;
 
 /// Default seed used by every experiment (override with `CKPT_SEED` or
 /// `--seed`): the paper's submission date.
@@ -97,6 +99,11 @@ pub struct RunContext {
     pub threads: usize,
     /// Where rendered frames go.
     pub sink: Sink,
+    /// Telemetry bundle (counters, timers, optional progress heartbeats).
+    /// `None` — the default — means instrumentation compiles to nothing
+    /// in the engines and outputs are byte-identical to an
+    /// uninstrumented build.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RunContext {
@@ -108,6 +115,7 @@ impl RunContext {
             scale,
             threads: 0,
             sink: Sink::table(),
+            telemetry: None,
         }
     }
 
@@ -120,6 +128,7 @@ impl RunContext {
             scale: Scale::from_env(default_scale)?,
             threads: 0,
             sink: Sink::table(),
+            telemetry: None,
         })
     }
 
@@ -138,6 +147,14 @@ impl RunContext {
     /// Override the output sink.
     pub fn with_sink(mut self, sink: Sink) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Attach a telemetry bundle; sweeps and experiments running under
+    /// this context will count into it (and heartbeat, if it carries a
+    /// progress sink).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 

@@ -19,6 +19,9 @@
 //!   unrecognized values are hard errors naming the accepted set.
 //! * [`Sink`] — where frames go: a stdout format ([`Format`]) and an
 //!   optional directory for per-frame files.
+//! * [`telemetry`] — the observability exports: `ckpt-obs` counter totals
+//!   rendered as a deterministic [`Frame`], and wall-clock phase timings
+//!   as a separate non-deterministic `timings.json`.
 //!
 //! `ckpt-scenario`'s sweep exports and `ckpt-bench`'s experiment registry
 //! both build on these types, so a sweep cell and a standalone experiment
@@ -30,9 +33,11 @@
 pub mod context;
 pub mod frame;
 pub mod sink;
+pub mod telemetry;
 pub mod value;
 
 pub use context::{seed_from_env, RunContext, Scale, DEFAULT_SEED};
 pub use frame::{ExpOutput, Frame};
 pub use sink::{Format, Sink};
+pub use telemetry::{counters_frame, timings_json, write_telemetry};
 pub use value::{compact_f64, csv_field, fmt_f64, json_escape, json_num, Value};

@@ -1,0 +1,121 @@
+//! Telemetry exports: the deterministic counter [`Frame`] and the
+//! non-deterministic timings JSON side-channel.
+//!
+//! The split is the whole point: counter totals are thread-invariant
+//! simulation facts and render through the same deterministic frame
+//! writer as every result table, while wall-clock phase timings are
+//! machine facts and go to a separate `timings.json` that deliberately
+//! shares nothing with the frame path.
+
+use crate::frame::Frame;
+use crate::value::Value;
+use ckpt_obs::{Counters, Telemetry, Timers, ALL_PHASES};
+use std::path::{Path, PathBuf};
+
+/// Build the deterministic counter frame: one `(counter, value)` row per
+/// catalog entry, in catalog order. Byte-identical across thread counts
+/// for the same run inputs.
+pub fn counters_frame(counters: &Counters) -> Frame {
+    let mut frame = Frame::new("telemetry_counters", vec!["counter", "value"])
+        .with_title("telemetry counters (deterministic)");
+    for (c, v) in counters.entries() {
+        frame.push_row(vec![Value::from(c.name()), Value::from(v)]);
+    }
+    frame
+}
+
+/// Render the wall-clock phase breakdown as a small JSON document —
+/// non-deterministic by nature, so it never goes through [`Frame`].
+pub fn timings_json(timers: &Timers) -> String {
+    let snap = timers.snapshot();
+    let mut out = String::from("{\n  \"phase_nanos\": {\n");
+    for (i, p) in ALL_PHASES.into_iter().enumerate() {
+        let nanos = snap.iter().find(|(q, _)| *q == p).map(|(_, n)| *n).unwrap();
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            p.name(),
+            nanos,
+            if i + 1 < ALL_PHASES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Write a run's telemetry under `dir`: the counter frame as
+/// `telemetry_counters.csv` + `telemetry_counters.json` (deterministic)
+/// and the phase timings as `timings.json` (wall-clock). Returns the
+/// written paths.
+pub fn write_telemetry(
+    telemetry: &Telemetry,
+    dir: impl AsRef<Path>,
+) -> std::io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let frame = counters_frame(&telemetry.counters.snapshot());
+    let csv_path = dir.join("telemetry_counters.csv");
+    let json_path = dir.join("telemetry_counters.json");
+    let timings_path = dir.join("timings.json");
+    std::fs::write(&csv_path, frame.to_csv())?;
+    std::fs::write(&json_path, frame.to_json())?;
+    std::fs::write(&timings_path, timings_json(&telemetry.timers))?;
+    Ok(vec![csv_path, json_path, timings_path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_obs::{Counter, Observer};
+
+    #[test]
+    fn counter_frame_lists_catalog_in_order() {
+        let mut c = Counters::new();
+        c.incr(Counter::TaskKills, 7);
+        let frame = counters_frame(&c);
+        assert_eq!(frame.rows.len(), ckpt_obs::N_COUNTERS);
+        let csv = frame.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "counter,value");
+        assert!(csv.contains("task_kills,7"));
+        assert!(csv.contains("events_popped,0"));
+        // Catalog order: events_popped first.
+        assert!(csv.find("events_popped").unwrap() < csv.find("task_kills").unwrap());
+    }
+
+    #[test]
+    fn counter_frame_is_deterministic_bytes() {
+        let mut a = Counters::new();
+        a.incr(Counter::EventsPopped, 3);
+        let mut b = Counters::new();
+        b.incr(Counter::EventsPopped, 3);
+        assert_eq!(counters_frame(&a).to_csv(), counters_frame(&b).to_csv());
+        assert_eq!(counters_frame(&a).to_json(), counters_frame(&b).to_json());
+    }
+
+    #[test]
+    fn timings_json_names_every_phase() {
+        let t = Timers::new();
+        t.add_nanos(ckpt_obs::Phase::Simulate, 123);
+        let json = timings_json(&t);
+        for p in ALL_PHASES {
+            assert!(json.contains(&format!("\"{}\"", p.name())), "{json}");
+        }
+        assert!(json.contains("\"simulate\": 123"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn write_telemetry_creates_all_three_files() {
+        let t = Telemetry::new();
+        t.counters.add(Counter::CellsEvaluated, 4);
+        let dir = std::env::temp_dir().join(format!("ckpt_report_tel_{}", std::process::id()));
+        let paths = write_telemetry(&t, &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let csv = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(csv.contains("cells_evaluated,4"));
+        assert!(std::fs::read_to_string(&paths[2])
+            .unwrap()
+            .contains("phase_nanos"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

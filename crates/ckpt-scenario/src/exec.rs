@@ -18,12 +18,14 @@
 use crate::agg::MetricSummary;
 use crate::spec::{EngineKind, MetricsChoice, SampleFilter, ScenarioSpec};
 use crate::sweep::{SweepError, SweepSpec};
+use ckpt_obs::{Counter, Counters, Phase, Telemetry};
 use ckpt_sim::blcr::{BlcrModel, Device};
-use ckpt_sim::cluster::ClusterSim;
+use ckpt_sim::cluster::{ClusterSim, SimBudget};
 use ckpt_sim::metrics::JobRecord;
 use ckpt_sim::policy::Estimates;
 use ckpt_sim::runner::{
-    parallel_indexed, run_trace_stream, run_trace_with_plans, ReplayStats, RunOptions,
+    parallel_indexed, run_trace_counted, run_trace_stream, run_trace_stream_counted,
+    run_trace_with_plans, ReplayStats, RunOptions,
 };
 use ckpt_sim::storage::{OpId, PsResource};
 use ckpt_sim::time::SimTime;
@@ -200,7 +202,17 @@ fn prepare(spec: &ScenarioSpec) -> Result<PrepData, String> {
     })
 }
 
-fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<RunData, String> {
+/// How often a telemetry-observed cluster replay samples [`SimProgress`]
+/// for the heartbeat sink. Purely a reporting cadence: the simulation's
+/// outputs are identical for any value.
+const CLUSTER_PROGRESS_EVERY: u64 = 65_536;
+
+fn replay(
+    spec: &ScenarioSpec,
+    prep: Arc<PrepData>,
+    threads: usize,
+    telemetry: Option<&Telemetry>,
+) -> Result<RunData, String> {
     let cfg = spec.policy_config();
     match spec.engine {
         EngineKind::Fast => {
@@ -212,13 +224,23 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
             // policy/cost cell.
             if spec.metrics == MetricsChoice::Streaming {
                 validate_streaming(spec)?;
-                let stream = run_trace_stream(
-                    &prep.trace,
-                    &prep.estimates,
-                    &cfg,
-                    RunOptions { threads },
-                    Some(&prep.plans),
-                );
+                let stream = match telemetry {
+                    Some(t) => run_trace_stream_counted(
+                        &prep.trace,
+                        &prep.estimates,
+                        &cfg,
+                        RunOptions { threads },
+                        Some(&prep.plans),
+                        &t.counters,
+                    ),
+                    None => run_trace_stream(
+                        &prep.trace,
+                        &prep.estimates,
+                        &cfg,
+                        RunOptions { threads },
+                        Some(&prep.plans),
+                    ),
+                };
                 return Ok(RunData {
                     jobs: Vec::new(),
                     stream: Some(stream),
@@ -228,13 +250,23 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
                     prep,
                 });
             }
-            let jobs = run_trace_with_plans(
-                &prep.trace,
-                &prep.estimates,
-                &cfg,
-                RunOptions { threads },
-                &prep.plans,
-            );
+            let jobs = match telemetry {
+                Some(t) => run_trace_counted(
+                    &prep.trace,
+                    &prep.estimates,
+                    &cfg,
+                    RunOptions { threads },
+                    Some(&prep.plans),
+                    &t.counters,
+                ),
+                None => run_trace_with_plans(
+                    &prep.trace,
+                    &prep.estimates,
+                    &cfg,
+                    RunOptions { threads },
+                    &prep.plans,
+                ),
+            };
             Ok(RunData {
                 jobs,
                 stream: None,
@@ -254,9 +286,40 @@ fn replay(spec: &ScenarioSpec, prep: Arc<PrepData>, threads: usize) -> Result<Ru
             // checkpoint-duration sample, so stress-scale cells keep
             // constant per-event memory. (Cell outputs are unaffected —
             // the simulation itself is identical in both modes.)
-            let result = ClusterSim::new(cluster_cfg, &prep.trace, &prep.estimates, cfg)
-                .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming)
-                .run();
+            let sim = ClusterSim::new(cluster_cfg, &prep.trace, &prep.estimates, cfg)
+                .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming);
+            let result = match telemetry {
+                Some(t) => {
+                    // Observed run: a Counters cell rides the DES (same
+                    // event stream, bit-identical results) and SimProgress
+                    // snapshots feed the heartbeat sink while long stress
+                    // cells run.
+                    let budget = SimBudget {
+                        progress_every: if t.progress.is_some() {
+                            CLUSTER_PROGRESS_EVERY
+                        } else {
+                            0
+                        },
+                        ..SimBudget::UNLIMITED
+                    };
+                    let mut last_events = 0u64;
+                    let (result, _status, obs) =
+                        sim.with_observer(Counters::new())
+                            .run_observed(budget, |p| {
+                                if let Some(progress) = &t.progress {
+                                    progress.add_events(p.events - last_events);
+                                    last_events = p.events;
+                                    progress.beat();
+                                }
+                            });
+                    if let Some(progress) = &t.progress {
+                        progress.add_events(result.events - last_events);
+                    }
+                    t.counters.absorb(&obs);
+                    result
+                }
+                None => sim.run(),
+            };
             let queue_wait = result.jobs.iter().map(|j| j.queue_wait).collect();
             let events = result.events;
             let jobs = result.jobs.into_iter().map(|j| j.base).collect();
@@ -488,12 +551,24 @@ fn contention_metrics(
     vec![("duration_s", MetricSummary::from_values(&durations))]
 }
 
+/// Time `f` into the telemetry bundle's phase timer (when telemetry is
+/// attached; otherwise just run it). Worker threads time concurrently, so
+/// phase totals are *aggregate worker time*, not wall clock — and they
+/// live strictly outside the deterministic outputs.
+fn timed<T>(telemetry: Option<&Telemetry>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match telemetry {
+        Some(t) => t.timers.time(phase, f),
+        None => f(),
+    }
+}
+
 fn evaluate_cell(
     sweep: &SweepSpec,
     spec: &ScenarioSpec,
     cell_index: usize,
     replay_threads: usize,
     cache: &RunCache,
+    telemetry: Option<&Telemetry>,
 ) -> Result<CellResult, String> {
     // `metrics = "streaming"` is a fast-engine replay mode; any other
     // engine silently ignoring it would leave the user believing it is
@@ -509,15 +584,33 @@ fn evaluate_cell(
     }
     let metrics = match spec.engine {
         EngineKind::Fast | EngineKind::Cluster => {
+            // The cache makes counter totals thread-invariant: counters
+            // tick only inside the fill closure, so each distinct replay
+            // is counted exactly once no matter how many cells share it
+            // or which worker claims the slot.
             let data = get_or_init(&cache.runs, &spec.run_key(), || {
-                let prep = get_or_init(&cache.preps, &prep_key(spec), || prepare(spec))?;
-                replay(spec, prep, replay_threads)
+                let prep = timed(telemetry, Phase::Sample, || {
+                    get_or_init(&cache.preps, &prep_key(spec), || prepare(spec))
+                })?;
+                timed(telemetry, Phase::Simulate, || {
+                    replay(spec, prep, replay_threads, telemetry)
+                })
             })?;
-            replay_metrics(spec, &data, cache)?
+            timed(telemetry, Phase::Aggregate, || {
+                replay_metrics(spec, &data, cache)
+            })?
         }
         EngineKind::CkptCost => ckpt_cost_metrics(spec),
-        EngineKind::Contention => contention_metrics(spec, cell_index),
+        EngineKind::Contention => timed(telemetry, Phase::Simulate, || {
+            contention_metrics(spec, cell_index)
+        }),
     };
+    if let Some(t) = telemetry {
+        t.counters.add(Counter::CellsEvaluated, 1);
+        if let Some(progress) = &t.progress {
+            progress.cell_done();
+        }
+    }
     let params = sweep
         .cell_params(cell_index)
         .into_iter()
@@ -540,14 +633,36 @@ pub fn run_sweep_ctx(
     sweep: &SweepSpec,
     ctx: &ckpt_report::RunContext,
 ) -> Result<SweepResult, SweepError> {
-    run_sweep(&sweep.contextualized(ctx), SweepOptions::from(ctx))
+    run_sweep_telemetry(
+        &sweep.contextualized(ctx),
+        SweepOptions::from(ctx),
+        ctx.telemetry.as_deref(),
+    )
 }
 
 /// Run every cell of a sweep, in parallel, deterministically.
 pub fn run_sweep(sweep: &SweepSpec, options: SweepOptions) -> Result<SweepResult, SweepError> {
+    run_sweep_telemetry(sweep, options, None)
+}
+
+/// [`run_sweep`] with an optional telemetry bundle attached. Counters
+/// accumulate simulation facts (thread-invariant by construction: each
+/// distinct replay counts once, in the cache fill), phase timers
+/// accumulate worker time, and — if the bundle carries a progress sink —
+/// cell completions and DES event counts stream as stderr heartbeats.
+/// With `None` this is exactly [`run_sweep`]: instrumentation compiles
+/// to nothing in the replay loops and outputs are byte-identical.
+pub fn run_sweep_telemetry(
+    sweep: &SweepSpec,
+    options: SweepOptions,
+    telemetry: Option<&Telemetry>,
+) -> Result<SweepResult, SweepError> {
     let n = sweep.grid_size();
-    let cells = sweep.cells()?;
+    let cells = timed(telemetry, Phase::Plan, || sweep.cells())?;
     let cache = RunCache::default();
+    if let Some(progress) = telemetry.and_then(|t| t.progress.as_ref()) {
+        progress.set_cells_total(n as u64);
+    }
 
     // Budget nested parallelism: grids with fewer distinct replays than
     // cells (filter axes) would otherwise leave workers blocked on the
@@ -573,7 +688,7 @@ pub fn run_sweep(sweep: &SweepSpec, options: SweepOptions) -> Result<SweepResult
     let replay_threads = capacity.checked_div(distinct_replays).unwrap_or(1).max(1);
 
     let evaluated: Vec<Result<CellResult, String>> = parallel_indexed(n, options.threads, |i| {
-        evaluate_cell(sweep, &cells[i], i, replay_threads, &cache)
+        evaluate_cell(sweep, &cells[i], i, replay_threads, &cache, telemetry)
     });
 
     let mut cells = Vec::with_capacity(n);

@@ -62,7 +62,9 @@ pub mod spec;
 pub mod sweep;
 
 pub use agg::MetricSummary;
-pub use exec::{run_sweep, run_sweep_ctx, CellResult, SweepOptions, SweepResult};
+pub use exec::{
+    run_sweep, run_sweep_ctx, run_sweep_telemetry, CellResult, SweepOptions, SweepResult,
+};
 pub use export::{csv_string, json_string, to_frame, write_outputs};
 pub use spec::{EngineKind, SampleFilter, ScenarioSpec, WorkloadTweaks};
 pub use sweep::{Axis, SweepError, SweepSpec};

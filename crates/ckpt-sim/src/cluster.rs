@@ -41,7 +41,13 @@
 //!   ([`MetricsMode::Streaming`]) so million-checkpoint runs don't grow
 //!   per-event `Vec`s;
 //! * [`SimBudget`] + [`SimProgress`] make long runs interruptible and
-//!   observable.
+//!   observable — the sweep executor forwards these snapshots into
+//!   `--progress` heartbeats for stress-scale cluster cells;
+//! * the engine is generic over an [`Observer`] (default [`ckpt_obs::NoObs`],
+//!   which compiles every counter hook to nothing); attach a
+//!   [`ckpt_obs::Counters`] cell via [`ClusterSim::with_observer`] and run
+//!   through [`ClusterSim::run_observed`] to collect deterministic event /
+//!   kill / checkpoint counters without perturbing results.
 //!
 //! Staleness discipline: every task-directed event carries the task's
 //! *epoch* at scheduling time; any state transition bumps the epoch, so
@@ -61,6 +67,7 @@ use crate::storage::{OpId, PsResource};
 use crate::task_sim::TaskOutcome;
 use crate::task_store::{TaskState, TaskStore, NO_HOST, NO_TASK};
 use crate::time::{SimDuration, SimTime};
+use ckpt_obs::{Counter, NoObs, Observer};
 use ckpt_stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 use ckpt_trace::failure::{sample_task_plan, FailureModelSpec, FailureProcess, HazardProcess};
 use ckpt_trace::gen::{JobStructure, Trace};
@@ -152,7 +159,11 @@ pub enum RunStatus {
     TimeBudgetExhausted,
 }
 
-/// A progress snapshot handed to the [`ClusterSim::run_with`] callback.
+/// A progress snapshot handed to the [`ClusterSim::run_with`] /
+/// [`ClusterSim::run_observed`] callback every
+/// [`SimBudget::progress_every`] events. The sweep executor wires these
+/// into per-cell `--progress` heartbeats, so stress cluster cells report
+/// partial event counts while they run.
 #[derive(Debug, Clone, Copy)]
 pub struct SimProgress {
     /// Events processed so far.
@@ -220,8 +231,9 @@ enum Ev {
 
 /// The cluster engine. Build with [`ClusterSim::new`], then
 /// [`ClusterSim::run`] (or [`ClusterSim::run_with`] for budgeted,
-/// observable execution).
-pub struct ClusterSim<'a> {
+/// observable execution, or [`ClusterSim::run_observed`] to also collect
+/// the attached observer's counters).
+pub struct ClusterSim<'a, O: Observer = NoObs> {
     cfg: ClusterConfig,
     trace: &'a Trace,
     queue: FastQueue<Ev>,
@@ -263,6 +275,9 @@ pub struct ClusterSim<'a> {
     last_activity: SimTime,
     now: SimTime,
     events: u64,
+    /// Telemetry hook; [`NoObs`] (the default) compiles every counter
+    /// call in the event loop to nothing.
+    obs: O,
 }
 
 impl<'a> ClusterSim<'a> {
@@ -352,6 +367,7 @@ impl<'a> ClusterSim<'a> {
             last_activity: SimTime::ZERO,
             now: SimTime::ZERO,
             events: 0,
+            obs: NoObs,
         };
         sim.tasks_remaining = sim.store.len();
         if cfg.host_mtbf_s.is_some() {
@@ -361,16 +377,74 @@ impl<'a> ClusterSim<'a> {
         }
         sim
     }
+}
 
+impl<'a, O: Observer> ClusterSim<'a, O> {
     /// Set the metrics accumulation mode (default [`MetricsMode::Full`]).
     pub fn with_metrics(mut self, mode: MetricsMode) -> Self {
         self.metrics_mode = mode;
         self
     }
 
+    /// Swap in a different observer (e.g. a [`ckpt_obs::Counters`] cell).
+    /// A counting observer never changes what the simulation computes —
+    /// results stay bit-identical to the [`NoObs`] build; it only records
+    /// what happened. Retrieve the counts via [`ClusterSim::run_observed`].
+    pub fn with_observer<O2: Observer>(self, mut obs: O2) -> ClusterSim<'a, O2> {
+        // Events already in the heap (the initial host-failure wave,
+        // scheduled at construction under the previous observer) transfer
+        // their scheduled-count to the incoming observer, preserving the
+        // popped == scheduled − stale accounting identity.
+        obs.incr(Counter::EventsScheduled, self.queue.len() as u64);
+        ClusterSim {
+            cfg: self.cfg,
+            trace: self.trace,
+            queue: self.queue,
+            store: self.store,
+            job_start: self.job_start,
+            arrivals: self.arrivals,
+            arrival_cursor: self.arrival_cursor,
+            pending: self.pending,
+            host_mem_free: self.host_mem_free,
+            occupants: self.occupants,
+            storage: self.storage,
+            storage_ops: self.storage_ops,
+            next_op_id: self.next_op_id,
+            cluster_rng: self.cluster_rng,
+            host_process: self.host_process,
+            metrics_mode: self.metrics_mode,
+            ckpt_durations: self.ckpt_durations,
+            ckpt_stats: self.ckpt_stats,
+            max_concurrent: self.max_concurrent,
+            host_failures: self.host_failures,
+            tasks_remaining: self.tasks_remaining,
+            last_activity: self.last_activity,
+            now: self.now,
+            events: self.events,
+            obs,
+        }
+    }
+
     /// Number of tasks in the workload.
     pub fn task_count(&self) -> usize {
         self.store.len()
+    }
+
+    /// Schedule a heap event, counting it toward
+    /// [`Counter::EventsScheduled`].
+    #[inline]
+    fn schedule_ev(&mut self, when: SimTime, ev: Ev) {
+        self.obs.tick(Counter::EventsScheduled);
+        self.queue.schedule(when, ev);
+    }
+
+    /// Account a provably-stale kill the engine decided not to enqueue:
+    /// it counts as scheduled *and* stale-skipped, keeping the
+    /// `popped == scheduled − stale_skips` identity exact on completion.
+    #[inline]
+    fn count_stale_skip(&mut self) {
+        self.obs.tick(Counter::EventsScheduled);
+        self.obs.tick(Counter::StaleSkips);
     }
 
     /// Draw the next whole-host failure for `host` from the configured
@@ -381,7 +455,7 @@ impl<'a> ClusterSim<'a> {
             return;
         };
         let dt = process.sample_interval(&mut self.cluster_rng);
-        self.queue.schedule(
+        self.schedule_ev(
             self.now + SimDuration::from_secs_f64(dt),
             Ev::HostFailure { host: host as u32 },
         );
@@ -431,12 +505,13 @@ impl<'a> ClusterSim<'a> {
             if is_restart {
                 // Pay the restore (migration) cost; the task is not busy, so
                 // its failure clock is paused.
+                self.obs.tick(Counter::Restarts);
                 self.store.state[ti] = TaskState::Restoring;
                 let epoch = self.store.bump_epoch(ti);
                 let restart_cost = self.store.restart_cost[ti];
                 self.store.outcome[ti].restart_time += restart_cost;
                 let when = self.now + SimDuration::from_secs_f64(restart_cost);
-                self.queue.schedule(
+                self.schedule_ev(
                     when,
                     Ev::RestoreDone {
                         task: ti as u32,
@@ -470,16 +545,18 @@ impl<'a> ClusterSim<'a> {
             // milestone transition would make it stale. Skip it; the next
             // phase re-schedules against the same kill.
             if fail_at <= milestone_at {
-                self.queue.schedule(
+                self.schedule_ev(
                     fail_at,
                     Ev::Failure {
                         task: ti as u32,
                         epoch,
                     },
                 );
+            } else {
+                self.count_stale_skip();
             }
         }
-        self.queue.schedule(
+        self.schedule_ev(
             milestone_at,
             Ev::Milestone {
                 task: ti as u32,
@@ -510,6 +587,7 @@ impl<'a> ClusterSim<'a> {
     /// exogenous event such as a whole-host failure.
     fn on_failure(&mut self, ti: usize, from_plan: bool) {
         let now = self.now;
+        self.obs.tick(Counter::TaskKills);
         // Abort any in-flight storage op.
         let had_storage_op = if let Some((server, op, started)) = self.store.storage_op[ti].take() {
             let server = server as usize;
@@ -517,6 +595,7 @@ impl<'a> ClusterSim<'a> {
             self.storage_ops.remove(&op.0);
             self.reschedule_storage(server);
             self.store.outcome[ti].aborted_checkpoints += 1;
+            self.obs.tick(Counter::CheckpointsAborted);
             self.store.outcome[ti].checkpoint_time += (now - started).as_secs_f64();
             true
         } else {
@@ -537,6 +616,7 @@ impl<'a> ClusterSim<'a> {
                 if !had_storage_op {
                     self.store.outcome[ti].checkpoint_time += elapsed;
                     self.store.outcome[ti].aborted_checkpoints += 1;
+                    self.obs.tick(Counter::CheckpointsAborted);
                 }
                 run_base
             }
@@ -587,16 +667,18 @@ impl<'a> ClusterSim<'a> {
                     // would arrive stale — skip it (ties keep the kill,
                     // which was always scheduled first).
                     if fail_at <= when {
-                        self.queue.schedule(
+                        self.schedule_ev(
                             fail_at,
                             Ev::Failure {
                                 task: ti as u32,
                                 epoch,
                             },
                         );
+                    } else {
+                        self.count_stale_skip();
                     }
                 }
-                self.queue.schedule(
+                self.schedule_ev(
                     when,
                     Ev::CkptDone {
                         task: ti as u32,
@@ -610,7 +692,7 @@ impl<'a> ClusterSim<'a> {
                 if let Some(kill) = self.store.next_kill(ti) {
                     let fail_at =
                         now + SimDuration::from_secs_f64((kill - self.store.busy[ti]).max(0.0));
-                    self.queue.schedule(
+                    self.schedule_ev(
                         fail_at,
                         Ev::Failure {
                             task: ti as u32,
@@ -634,7 +716,7 @@ impl<'a> ClusterSim<'a> {
     fn reschedule_storage(&mut self, server: usize) {
         if let Some((_, when)) = self.storage[server].next_completion(self.now) {
             let generation = self.storage[server].generation();
-            self.queue.schedule(
+            self.schedule_ev(
                 when,
                 Ev::Storage {
                     server: server as u32,
@@ -649,6 +731,7 @@ impl<'a> ClusterSim<'a> {
         self.store.busy[ti] += (now - self.store.phase_start[ti]).as_secs_f64();
         self.store.outcome[ti].checkpoint_time += duration;
         self.store.outcome[ti].checkpoints += 1;
+        self.obs.tick(Counter::CheckpointsWritten);
         let pos = self.store.run_base[ti];
         self.store.durable[ti] = pos;
         self.store.controller[ti].on_checkpoint_complete(pos);
@@ -690,10 +773,15 @@ impl<'a> ClusterSim<'a> {
         match (arrival, self.queue.peek_time()) {
             (Some(at), Some(qt)) if at <= qt => {
                 self.arrival_cursor += 1;
+                // Arrivals bypass the heap, but they are still events the
+                // loop pops: count them as scheduled at consumption so
+                // the popped/scheduled identity covers them.
+                self.obs.tick(Counter::EventsScheduled);
                 Some((at, None))
             }
             (Some(at), None) => {
                 self.arrival_cursor += 1;
+                self.obs.tick(Counter::EventsScheduled);
                 Some((at, None))
             }
             (_, Some(_)) => self.queue.pop().map(|(t, ev)| (t, Some(ev))),
@@ -723,10 +811,22 @@ impl<'a> ClusterSim<'a> {
     /// the completed tasks' accounting — check
     /// [`ClusterRunResult::tasks_done`] before interpreting them.
     pub fn run_with(
+        self,
+        budget: SimBudget,
+        on_progress: impl FnMut(&SimProgress),
+    ) -> (ClusterRunResult, RunStatus) {
+        let (result, status, _) = self.run_observed(budget, on_progress);
+        (result, status)
+    }
+
+    /// [`ClusterSim::run_with`], additionally returning the observer with
+    /// the counters it collected. The observer never perturbs the
+    /// simulation: results are bit-identical to the [`NoObs`] build.
+    pub fn run_observed(
         mut self,
         budget: SimBudget,
         mut on_progress: impl FnMut(&SimProgress),
-    ) -> (ClusterRunResult, RunStatus) {
+    ) -> (ClusterRunResult, RunStatus, O) {
         let mut status = RunStatus::Completed;
         // Budgets are checked only when another event actually exists, so a
         // budget of exactly the total event count still reports `Completed`.
@@ -749,6 +849,11 @@ impl<'a> ClusterSim<'a> {
             debug_assert!(time >= self.now);
             self.now = time;
             self.events += 1;
+            self.obs.tick(Counter::EventsPopped);
+            if O::ENABLED {
+                self.obs
+                    .record_peak(Counter::HeapPeak, self.queue.len() as u64);
+            }
             if !matches!(ev, Some(Ev::HostFailure { .. })) {
                 self.last_activity = time;
             }
@@ -794,6 +899,7 @@ impl<'a> ClusterSim<'a> {
                             break 'dispatch; // workload done: stop injecting, let the queue drain
                         }
                         self.host_failures += 1;
+                        self.obs.tick(Counter::HostFailures);
                         // Kill every task currently occupying this host; they
                         // restart elsewhere from their last durable checkpoints.
                         // Sorted ascending: the historical engine scanned the
@@ -875,7 +981,18 @@ impl<'a> ClusterSim<'a> {
             }
         }
 
-        (self.into_result(status), status)
+        if O::ENABLED && status == RunStatus::Completed {
+            // The queue drained, so every scheduled event was popped and
+            // every provably-stale skip is accounted: the engine's event
+            // bookkeeping must balance exactly.
+            debug_assert_eq!(
+                self.obs.get(Counter::EventsPopped),
+                self.obs.get(Counter::EventsScheduled) - self.obs.get(Counter::StaleSkips),
+                "DES event accounting identity violated"
+            );
+        }
+        let obs = std::mem::take(&mut self.obs);
+        (self.into_result(status), status, obs)
     }
 
     /// Assemble per-job records from the store (dense ids are trace order,
@@ -1082,6 +1199,23 @@ mod tests {
                 expected,
                 "{name}: output diverged from the pre-rewrite engine"
             );
+            // A counting observer rides the same run without moving a
+            // single output bit — and its totals satisfy the DES
+            // accounting identities.
+            let (observed, status, counters) = ClusterSim::new(cfg, &trace, &est, policy)
+                .with_observer(ckpt_obs::Counters::new())
+                .run_observed(SimBudget::UNLIMITED, |_| {});
+            assert_eq!(status, RunStatus::Completed);
+            assert_eq!(
+                digest(&observed),
+                expected,
+                "{name}: counting observer changed the simulation output"
+            );
+            counters
+                .verify_invariants(true)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(counters.get(Counter::EventsPopped), observed.events);
+            assert_eq!(counters.get(Counter::HostFailures), observed.host_failures);
         }
 
         // The failure-model layer must not perturb the default path: a
@@ -1155,6 +1289,20 @@ mod tests {
             assert_eq!(digest(&r), digest(&again), "{name}: nondeterministic");
             assert_eq!(digest(&r), expected, "{name}: digest drifted");
             assert!(r.host_failures > 0, "{name}: no host failures injected");
+            // Hazard paths under a counting observer: identical bits,
+            // valid accounting.
+            let (observed, _, counters) =
+                ClusterSim::new(cfg, &trace, &est, PolicyConfig::formula3())
+                    .with_observer(ckpt_obs::Counters::new())
+                    .run_observed(SimBudget::UNLIMITED, |_| {});
+            assert_eq!(
+                digest(&observed),
+                expected,
+                "{name}: observer perturbed run"
+            );
+            counters
+                .verify_invariants(true)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

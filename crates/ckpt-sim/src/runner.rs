@@ -32,6 +32,7 @@ use crate::blcr::BlcrModel;
 use crate::metrics::{JobRecord, StreamSummary};
 use crate::policy::{plan_task, Estimates, PolicyConfig};
 use crate::task_sim::{simulate_task_queued, ExecFlip, TaskSimSpec};
+use ckpt_obs::{Counter, Counters, NoObs, Observer, SharedCounters};
 use ckpt_stats::rng::Xoshiro256StarStar;
 use ckpt_trace::failure::sample_task_plan_into;
 use ckpt_trace::gen::{JobSpec, Trace};
@@ -101,6 +102,24 @@ pub fn run_job_scratch(
     plans: Option<&FailurePlanArena>,
     scratch: &mut ReplayScratch,
 ) -> JobRecord {
+    run_job_scratch_obs(trace, job, estimates, cfg, blcr, plans, scratch, &mut NoObs)
+}
+
+/// [`run_job_scratch`] with an [`Observer`] hook. Counting reads the
+/// per-task [`crate::task_sim::TaskOutcome`] *after* simulation — the
+/// innermost simulate loop stays untouched — and with [`NoObs`] (what
+/// [`run_job_scratch`] passes) every hook compiles to nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_scratch_obs<O: Observer>(
+    trace: &Trace,
+    job: &JobSpec,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    blcr: &BlcrModel,
+    plans: Option<&FailurePlanArena>,
+    scratch: &mut ReplayScratch,
+    obs: &mut O,
+) -> JobRecord {
     let mut rec = JobRecord::empty(job.id, job.structure, job.priority);
     for task in &job.tasks {
         let mut plan = plan_task(cfg, blcr, estimates, task, job.priority);
@@ -136,6 +155,12 @@ pub fn run_job_scratch(
         // RNG — consumed only if a flip re-draws the remaining plan — is
         // the task's stream resumed from its post-sampling state, so both
         // paths produce the same bytes.
+        obs.tick(Counter::PlanLookups);
+        obs.tick(if plans.is_some() {
+            Counter::ArenaHits
+        } else {
+            Counter::ArenaMisses
+        });
         let outcome = match plans {
             Some(arena) => {
                 scratch.queue.load(arena.kills(task.id));
@@ -174,8 +199,24 @@ pub fn run_job_scratch(
                 )
             }
         };
+        if O::ENABLED {
+            // Simulation facts only (kills, checkpoints, replans): sums
+            // over tasks are invariant to thread count and job order.
+            obs.tick(Counter::TasksReplayed);
+            obs.incr(Counter::TaskKills, outcome.failures as u64);
+            obs.incr(Counter::Restarts, outcome.failures as u64);
+            obs.incr(Counter::CheckpointsWritten, outcome.checkpoints as u64);
+            obs.incr(
+                Counter::CheckpointsAborted,
+                outcome.aborted_checkpoints as u64,
+            );
+            if outcome.flipped {
+                obs.tick(Counter::Replans);
+            }
+        }
         rec.accumulate(&outcome, task.length_s);
     }
+    obs.tick(Counter::JobsReplayed);
     rec
 }
 
@@ -305,6 +346,58 @@ fn run_trace_impl(
     )
 }
 
+/// A worker's replay scratch plus its local counter cell; the cell
+/// flushes into the shared bank when the worker retires its scratch —
+/// exactly one absorb per worker, outside the hot loop.
+struct CountedScratch<'s> {
+    scratch: ReplayScratch,
+    obs: Counters,
+    shared: &'s SharedCounters,
+}
+
+impl Drop for CountedScratch<'_> {
+    fn drop(&mut self) {
+        self.shared.absorb(&self.obs);
+    }
+}
+
+/// [`run_trace`] / [`run_trace_with_plans`] with telemetry counters:
+/// per-worker [`Counters`] cells (plain adds in the loop) absorbed into
+/// `shared` at worker exit. Counter totals are sums of per-task
+/// simulation facts, so they are invariant to thread count — and the
+/// replay output is byte-identical to the uncounted paths.
+pub fn run_trace_counted(
+    trace: &Trace,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    options: RunOptions,
+    plans: Option<&FailurePlanArena>,
+    shared: &SharedCounters,
+) -> Vec<JobRecord> {
+    let blcr = BlcrModel;
+    parallel_indexed_scratch(
+        trace.jobs.len(),
+        options.threads,
+        || CountedScratch {
+            scratch: ReplayScratch::new(),
+            obs: Counters::new(),
+            shared,
+        },
+        |cs, i| {
+            run_job_scratch_obs(
+                trace,
+                &trace.jobs[i],
+                estimates,
+                cfg,
+                &blcr,
+                plans,
+                &mut cs.scratch,
+                &mut cs.obs,
+            )
+        },
+    )
+}
+
 /// Streaming per-metric summaries of one whole-trace replay — the fast
 /// path's [`crate::cluster::MetricsMode::Streaming`] analog: per-job
 /// records fold into constant-size [`StreamSummary`] accumulators as they
@@ -399,6 +492,56 @@ pub fn run_trace_stream(
             }
             acc
         });
+    let mut total = ReplayStats::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+/// [`run_trace_stream`] with telemetry counters, mirroring
+/// [`run_trace_counted`]: per-worker cells, one absorb per worker at
+/// scratch drop, totals invariant to thread count, streamed stats
+/// byte-for-byte equal to the uncounted path.
+pub fn run_trace_stream_counted(
+    trace: &Trace,
+    estimates: &Estimates,
+    cfg: &PolicyConfig,
+    options: RunOptions,
+    plans: Option<&FailurePlanArena>,
+    shared: &SharedCounters,
+) -> ReplayStats {
+    let blcr = BlcrModel;
+    let n = trace.jobs.len();
+    let blocks = n.div_ceil(STREAM_FOLD_BLOCK);
+    let partials = parallel_indexed_scratch(
+        blocks,
+        options.threads,
+        || CountedScratch {
+            scratch: ReplayScratch::new(),
+            obs: Counters::new(),
+            shared,
+        },
+        |cs, b| {
+            let mut acc = ReplayStats::new();
+            let lo = b * STREAM_FOLD_BLOCK;
+            let hi = (lo + STREAM_FOLD_BLOCK).min(n);
+            for i in lo..hi {
+                let rec = run_job_scratch_obs(
+                    trace,
+                    &trace.jobs[i],
+                    estimates,
+                    cfg,
+                    &blcr,
+                    plans,
+                    &mut cs.scratch,
+                    &mut cs.obs,
+                );
+                acc.add(&rec);
+            }
+            acc
+        },
+    );
     let mut total = ReplayStats::new();
     for p in &partials {
         total.merge(p);
@@ -631,5 +774,91 @@ mod tests {
             m_f3 > m_yg,
             "Formula(3) mean WPR {m_f3} should beat Young {m_yg}"
         );
+    }
+
+    #[test]
+    fn counted_replay_is_byte_identical_and_thread_invariant() {
+        let (trace, est) = setup(150, 21);
+        let cfg = PolicyConfig::formula3();
+        let plans = FailurePlanArena::build(&trace);
+        let plain = run_trace_with_plans(&trace, &est, &cfg, RunOptions { threads: 2 }, &plans);
+
+        let shared1 = SharedCounters::new();
+        let counted1 = run_trace_counted(
+            &trace,
+            &est,
+            &cfg,
+            RunOptions { threads: 1 },
+            Some(&plans),
+            &shared1,
+        );
+        assert_eq!(plain, counted1, "counting changed replay output");
+
+        let shared4 = SharedCounters::new();
+        let counted4 = run_trace_counted(
+            &trace,
+            &est,
+            &cfg,
+            RunOptions { threads: 4 },
+            Some(&plans),
+            &shared4,
+        );
+        assert_eq!(plain, counted4);
+
+        // Counter totals are sums of per-task facts: thread-invariant.
+        let c1 = shared1.snapshot();
+        let c4 = shared4.snapshot();
+        assert_eq!(format!("{c1:?}"), format!("{c4:?}"));
+        assert_eq!(c1.get(Counter::JobsReplayed), trace.jobs.len() as u64);
+        assert_eq!(c1.get(Counter::TasksReplayed), trace.task_count() as u64);
+        c1.verify_invariants(false).expect("arena identity");
+    }
+
+    #[test]
+    fn counted_replay_attributes_arena_hits_and_misses() {
+        let (trace, est) = setup(100, 22);
+        let cfg = PolicyConfig::formula3();
+        let tasks = trace.task_count() as u64;
+
+        // With an arena: every lookup hits.
+        let plans = FailurePlanArena::build(&trace);
+        let shared = SharedCounters::new();
+        run_trace_counted(
+            &trace,
+            &est,
+            &cfg,
+            RunOptions { threads: 2 },
+            Some(&plans),
+            &shared,
+        );
+        let c = shared.snapshot();
+        assert_eq!(c.get(Counter::PlanLookups), tasks);
+        assert_eq!(c.get(Counter::ArenaHits), tasks);
+        assert_eq!(c.get(Counter::ArenaMisses), 0);
+
+        // Without: every lookup misses (plans sampled on the fly).
+        let shared = SharedCounters::new();
+        run_trace_counted(&trace, &est, &cfg, RunOptions { threads: 2 }, None, &shared);
+        let c = shared.snapshot();
+        assert_eq!(c.get(Counter::PlanLookups), tasks);
+        assert_eq!(c.get(Counter::ArenaHits), 0);
+        assert_eq!(c.get(Counter::ArenaMisses), tasks);
+        c.verify_invariants(false).expect("arena identity");
+    }
+
+    #[test]
+    fn counted_stream_matches_uncounted_stream() {
+        let (trace, est) = setup(150, 23);
+        let cfg = PolicyConfig::formula3();
+        let plains = run_trace_stream(&trace, &est, &cfg, RunOptions { threads: 2 }, None);
+        let shared = SharedCounters::new();
+        let counted =
+            run_trace_stream_counted(&trace, &est, &cfg, RunOptions { threads: 2 }, None, &shared);
+        // StreamStats has no PartialEq; the debug rendering carries every
+        // accumulated bit.
+        assert_eq!(format!("{plains:?}"), format!("{counted:?}"));
+        let c = shared.snapshot();
+        assert_eq!(c.get(Counter::JobsReplayed), trace.jobs.len() as u64);
+        assert!(c.get(Counter::TaskKills) > 0, "no failures counted");
     }
 }

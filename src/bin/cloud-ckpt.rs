@@ -15,11 +15,12 @@
 //! flags are hard errors instead of inert map entries.
 
 use cloud_ckpt::bench::registry;
+use cloud_ckpt::obs::{Phase, Telemetry};
 use cloud_ckpt::policy::daly::daly_interval_count;
 use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
 use cloud_ckpt::policy::young::{young_interval, young_interval_count};
-use cloud_ckpt::report::{row, ExpOutput, Format, Frame, RunContext, Scale, Sink};
-use cloud_ckpt::scenario::{run_sweep, write_outputs, SweepOptions, SweepSpec};
+use cloud_ckpt::report::{row, write_telemetry, ExpOutput, Format, Frame, RunContext, Scale, Sink};
+use cloud_ckpt::scenario::{run_sweep_telemetry, write_outputs, SweepOptions, SweepSpec};
 use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
 use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
 use cloud_ckpt::sim::runner::{run_trace, RunOptions};
@@ -47,17 +48,23 @@ USAGE:
       Replay a trace under a policy and report WPR statistics through the
       shared frame writer.
 
-  cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--out <dir>]
+  cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--out <dir>] \\
+                   [--telemetry <dir>] [--progress]
       Expand a declarative sweep spec into a scenario grid, evaluate every
       cell in parallel, and write per-cell CSV + JSON summaries.
+      --telemetry writes a deterministic counter frame plus wall-clock
+      phase timings to <dir>; --progress streams ~2 Hz heartbeats to
+      stderr. Neither changes any simulation output byte.
 
   cloud-ckpt exp list [--format table|csv|json]
       List every registered experiment (id, paper figure/table, claim).
 
   cloud-ckpt exp run <id...> [--scale quick|day|month|stress] [--seed <u64>] \\
-                     [--format table|csv|json] [--out <dir>] [--threads <n>] [--deny-empty]
+                     [--format table|csv|json] [--out <dir>] [--threads <n>] \\
+                     [--deny-empty] [--telemetry <dir>] [--progress]
       Run one or more registered experiments; frames go to stdout in the
-      chosen format and, with --out, to one file per frame.
+      chosen format and, with --out, to one file per frame. --telemetry
+      and --progress work as in `sweep` (one batch-wide telemetry bundle).
 
   cloud-ckpt exp all [same flags as exp run]
       Run the whole registry in paper order.
@@ -96,16 +103,16 @@ const REPLAY_FLAGS: FlagSpec = FlagSpec {
     boolean: &["adaptive"],
 };
 const SWEEP_FLAGS: FlagSpec = FlagSpec {
-    value: &["spec", "threads", "out"],
-    boolean: &[],
+    value: &["spec", "threads", "out", "telemetry"],
+    boolean: &["progress"],
 };
 const EXP_LIST_FLAGS: FlagSpec = FlagSpec {
     value: &["format"],
     boolean: &[],
 };
 const EXP_RUN_FLAGS: FlagSpec = FlagSpec {
-    value: &["scale", "seed", "format", "out", "threads"],
-    boolean: &["deny-empty"],
+    value: &["scale", "seed", "format", "out", "threads", "telemetry"],
+    boolean: &["deny-empty", "progress"],
 };
 
 /// Parse `--flag [value]` arguments against a subcommand's flag spec.
@@ -328,12 +335,55 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the optional telemetry bundle from `--telemetry` / `--progress`.
+/// Returns the bundle (if either flag is present) and the export
+/// directory (if `--telemetry` carried one). `None` means every engine
+/// runs its uninstrumented code path.
+fn telemetry_flags(
+    flags: &HashMap<String, String>,
+) -> (Option<std::sync::Arc<Telemetry>>, Option<String>) {
+    let dir = flags.get("telemetry").cloned();
+    let progress = flags.contains_key("progress");
+    if dir.is_none() && !progress {
+        return (None, None);
+    }
+    let telemetry = if progress {
+        Telemetry::new().with_progress()
+    } else {
+        Telemetry::new()
+    };
+    (Some(std::sync::Arc::new(telemetry)), dir)
+}
+
+/// Flush a telemetry bundle: final heartbeat, then the counter frame and
+/// phase timings to `dir` (when `--telemetry` gave one).
+fn finish_telemetry(telemetry: &Telemetry, dir: Option<&str>) -> Result<(), String> {
+    if let Some(progress) = &telemetry.progress {
+        progress.finish();
+    }
+    if let Some(dir) = dir {
+        let paths = write_telemetry(telemetry, dir)
+            .map_err(|e| format!("cannot write telemetry to {dir:?}: {e}"))?;
+        for p in paths {
+            eprintln!("telemetry: wrote {}", p.display());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     let spec_path: String = need(&flags, "spec")?;
     let out_dir: String = opt(&flags, "out", "results".to_string())?;
-    let text = std::fs::read_to_string(&spec_path)
-        .map_err(|e| format!("cannot read spec {spec_path:?}: {e}"))?;
-    let sweep = SweepSpec::from_str(&text).map_err(|e| e.to_string())?;
+    let (telemetry, telemetry_dir) = telemetry_flags(&flags);
+    let parse_spec = || -> Result<SweepSpec, String> {
+        let text = std::fs::read_to_string(&spec_path)
+            .map_err(|e| format!("cannot read spec {spec_path:?}: {e}"))?;
+        SweepSpec::from_str(&text).map_err(|e| e.to_string())
+    };
+    let sweep = match &telemetry {
+        Some(t) => t.timers.time(Phase::Parse, parse_spec)?,
+        None => parse_spec()?,
+    };
     let threads: usize = opt(&flags, "threads", sweep.threads)?;
 
     let n = sweep.grid_size();
@@ -356,12 +406,20 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let result = run_sweep(&sweep, SweepOptions { threads }).map_err(|e| e.to_string())?;
+    let result = run_sweep_telemetry(&sweep, SweepOptions { threads }, telemetry.as_deref())
+        .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
 
     // Persist before printing the report: the exports must land even if
     // stdout goes away mid-print (e.g. piped through `head`).
-    let (csv, json) = write_outputs(&sweep, &result, &out_dir).map_err(|e| e.to_string())?;
+    let write = || write_outputs(&sweep, &result, &out_dir).map_err(|e| e.to_string());
+    let (csv, json) = match &telemetry {
+        Some(t) => t.timers.time(Phase::Export, write)?,
+        None => write()?,
+    };
+    if let Some(t) = &telemetry {
+        finish_telemetry(t, telemetry_dir.as_deref())?;
+    }
 
     // Compact per-cell report: axis assignments plus the first metric.
     let shown = result.cells.len().min(48);
@@ -421,6 +479,9 @@ fn run_experiments(ids: &[String], flags: &HashMap<String, String>) -> Result<()
     let format = format_flag(flags)?;
     let deny_empty = flags.contains_key("deny-empty");
     let threads: usize = opt(flags, "threads", 0)?;
+    // One bundle for the whole batch: counters and phase timers aggregate
+    // across experiments, and the heartbeat line spans the run.
+    let (telemetry, telemetry_dir) = telemetry_flags(flags);
     // Files keep full precision: table stdout pairs with CSV files (the
     // legacy binary behavior); csv/json stdout pairs with same-format files.
     let mut sink = Sink::new(format);
@@ -451,6 +512,9 @@ fn run_experiments(ids: &[String], flags: &HashMap<String, String>) -> Result<()
                 .map_err(|_| format!("flag --seed: cannot parse {s:?}"))?;
         }
         ctx.sink = sink.clone();
+        if let Some(t) = &telemetry {
+            ctx = ctx.with_telemetry(t.clone());
+        }
 
         if exps.len() > 1 && format == Format::Table {
             println!("\n### {} ({})", exp.id(), exp.paper_ref());
@@ -502,6 +566,9 @@ fn run_experiments(ids: &[String], flags: &HashMap<String, String>) -> Result<()
     }
     if format == Format::Json {
         sink.emit(&combined).map_err(|e| e.to_string())?;
+    }
+    if let Some(t) = &telemetry {
+        finish_telemetry(t, telemetry_dir.as_deref())?;
     }
     if !failures.is_empty() {
         return Err(format!(
@@ -647,5 +714,44 @@ mod tests {
     fn unknown_boolean_like_flag_is_reported_alone() {
         let err = parse_flags(&args(&["--adaptve"]), &REPLAY_FLAGS).unwrap_err();
         assert!(err.starts_with("unknown flag --adaptve"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_sweep_and_exp() {
+        for spec in [&SWEEP_FLAGS, &EXP_RUN_FLAGS] {
+            let flags =
+                parse_flags(&args(&["--telemetry", "tel_dir", "--progress"]), spec).unwrap();
+            assert_eq!(flags["telemetry"], "tel_dir");
+            assert_eq!(flags["progress"], "true");
+            // --telemetry takes a directory; forgetting it is an error,
+            // not a silently-swallowed next flag.
+            let err = parse_flags(&args(&["--telemetry", "--progress"]), spec).unwrap_err();
+            assert!(err.contains("--telemetry needs a value"), "{err}");
+            let err = parse_flags(&args(&["--progress", "--progress"]), spec).unwrap_err();
+            assert!(err.contains("duplicate flag --progress"), "{err}");
+        }
+        // Other subcommands don't grow the flags implicitly.
+        let err = parse_flags(&args(&["--progress"]), &REPLAY_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag --progress"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_flags_build_the_right_bundle() {
+        let (none, dir) = telemetry_flags(&HashMap::new());
+        assert!(none.is_none() && dir.is_none());
+
+        let mut flags = HashMap::new();
+        flags.insert("telemetry".to_string(), "tdir".to_string());
+        let (t, dir) = telemetry_flags(&flags);
+        let t = t.expect("bundle built");
+        assert!(t.progress.is_none(), "--progress off means no heartbeats");
+        assert_eq!(dir.as_deref(), Some("tdir"));
+
+        // --progress alone still instruments (heartbeats without export).
+        let mut flags = HashMap::new();
+        flags.insert("progress".to_string(), "true".to_string());
+        let (t, dir) = telemetry_flags(&flags);
+        assert!(t.expect("bundle built").progress.is_some());
+        assert!(dir.is_none());
     }
 }

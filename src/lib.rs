@@ -15,6 +15,8 @@
 //!   parameter-sweep engine (`cloud-ckpt sweep`).
 //! * [`report`] — shared output frames, run context, and the
 //!   deterministic CSV/JSON/table writer.
+//! * [`obs`] — zero-overhead telemetry: deterministic counters, phase
+//!   timers, and progress heartbeats (`--telemetry` / `--progress`).
 //! * [`bench`](mod@bench) — the typed experiment registry behind
 //!   `cloud-ckpt exp list|run|all` (every paper figure/table as a
 //!   library [`bench::Experiment`]).
@@ -31,6 +33,7 @@
 //! ```
 
 pub use ckpt_bench as bench;
+pub use ckpt_obs as obs;
 pub use ckpt_policy as policy;
 pub use ckpt_report as report;
 pub use ckpt_scenario as scenario;
