@@ -11,7 +11,10 @@
 //! (the CI smoke uses `CKPT_BENCH_ONLY=sweep_throughput`).
 
 use ckpt_obs::{Counter, Counters, Observer, Telemetry};
-use ckpt_scenario::{run_sweep, run_sweep_telemetry, SweepOptions, SweepSpec};
+use ckpt_scenario::{
+    run_sweep, run_sweep_checkpointed, run_sweep_telemetry, CheckpointConfig, SweepOptions,
+    SweepSpec,
+};
 use ckpt_sim::cluster::{ClusterConfig, ClusterSim, SimBudget};
 use ckpt_sim::policy::{Estimates, PolicyConfig};
 use ckpt_stats::rng::Xoshiro256StarStar;
@@ -313,7 +316,9 @@ const ACCEPTANCE_GRID: &str = include_str!("../../../specs/policy_x_ckpt_cost.to
 /// The acceptance bar for the rewrite was ≥ 4× cells/sec over that
 /// baseline. A second record times the `ext_hazard_robustness` experiment
 /// end to end (registry run at its default scale), the sweep-backed
-/// experiment the ISSUE named as the secondary workload.
+/// experiment the ISSUE named as the secondary workload. A third leg runs
+/// the same grid with `--checkpoint-dir` persistence on, so the store's
+/// overhead (bar: ≤ 5% cells/sec regression) is part of the record.
 fn bench_sweep_throughput(c: &mut Criterion) {
     if !bench_enabled("sweep_throughput") {
         return;
@@ -352,6 +357,27 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     });
     let cells_per_sec = cells as f64 / sweep_wall;
 
+    // The same grid with `--checkpoint-dir` persistence on: every cell is
+    // encoded, checksummed, and appended to the store as it completes.
+    // Each iteration recreates the store (resume = false truncates), so
+    // the measured span is the full write path, not an all-skipped replay.
+    // The acceptance bar for the checkpoint subsystem is ≤ 5% cells/sec
+    // regression versus the unpersisted run above.
+    let ckpt_dir = std::env::temp_dir().join(format!("ckpt_sweep_bench_{}", std::process::id()));
+    let ckpt_config = CheckpointConfig {
+        dir: ckpt_dir.clone(),
+        resume: false,
+        crash_after_cells: None,
+    };
+    let ckpt_wall = best_of(5, &|| {
+        let (r, _) =
+            run_sweep_checkpointed(&sweep, SweepOptions::default(), None, &ckpt_config).unwrap();
+        assert_eq!(r.cells.len(), cells);
+    });
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    let ckpt_cells_per_sec = cells as f64 / ckpt_wall;
+    let ckpt_overhead_pct = (ckpt_wall / sweep_wall - 1.0) * 100.0;
+
     // Telemetry counters from an observed, *untimed* pass over the same
     // grid: deterministic, so they describe the measured workload without
     // putting a counting observer in the timed path.
@@ -375,7 +401,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let (base_wall, base_hazard_wall) = (0.5651f64, 0.488f64);
     let base_rate = cells as f64 / base_wall;
     let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"checkpointed\": {{\n    \"wall_s\": {ckpt_wall:.4},\n    \"cells_per_sec\": {ckpt_cells_per_sec:.1},\n    \"overhead_pct\": {ckpt_overhead_pct:.2},\n    \"note\": \"same grid with --checkpoint-dir persistence on (store recreated per run); bar is <= 5% cells/sec regression\"\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
         counters.get(Counter::CellsEvaluated),
         counters.get(Counter::JobsReplayed),
         counters.get(Counter::TasksReplayed),
@@ -391,7 +417,8 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     }
     println!(
         "sweep_throughput: {cells} cells in {sweep_wall:.4}s ({cells_per_sec:.1} cells/s; \
-         {:.2}x the recorded pre-rewrite baseline); ext_hazard_robustness {hazard_wall:.4}s{}",
+         {:.2}x the recorded pre-rewrite baseline); checkpointed {ckpt_wall:.4}s \
+         ({ckpt_overhead_pct:+.2}% overhead); ext_hazard_robustness {hazard_wall:.4}s{}",
         cells_per_sec / base_rate,
         if record {
             " — BENCH_sweep.json updated"

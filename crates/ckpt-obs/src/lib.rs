@@ -83,12 +83,20 @@ pub enum Counter {
     JobsReplayed,
     /// Sweep cells evaluated.
     CellsEvaluated,
+    /// Sweep cells loaded from a checkpoint store instead of evaluated
+    /// (a `--resume` run skipping already-persisted cells).
+    CellsSkipped,
+    /// Sweep cells evaluated *by a resume run* — the missing cells a
+    /// `--resume` replayed after loading the rest from the store.
+    CellsResumed,
+    /// Cell records appended to a checkpoint store.
+    CkptRecordsWritten,
     /// Peak length of the DES future-event heap (max-merged).
     HeapPeak,
 }
 
 /// Number of counters in the catalog.
-pub const N_COUNTERS: usize = 16;
+pub const N_COUNTERS: usize = 19;
 
 /// All counters, in catalog (display/merge) order.
 pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
@@ -107,6 +115,9 @@ pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::TasksReplayed,
     Counter::JobsReplayed,
     Counter::CellsEvaluated,
+    Counter::CellsSkipped,
+    Counter::CellsResumed,
+    Counter::CkptRecordsWritten,
     Counter::HeapPeak,
 ];
 
@@ -129,6 +140,9 @@ impl Counter {
             Counter::TasksReplayed => "tasks_replayed",
             Counter::JobsReplayed => "jobs_replayed",
             Counter::CellsEvaluated => "cells_evaluated",
+            Counter::CellsSkipped => "cells_skipped",
+            Counter::CellsResumed => "cells_resumed",
+            Counter::CkptRecordsWritten => "ckpt_records_written",
             Counter::HeapPeak => "heap_peak",
         }
     }
@@ -277,6 +291,45 @@ impl Counters {
         if hits + misses != lookups {
             return Err(format!(
                 "arena_hits ({hits}) + arena_misses ({misses}) != plan_lookups ({lookups})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Check the sweep-resume accounting identities against a known grid
+    /// size (for runs that executed exactly one sweep):
+    ///
+    /// * `cells_skipped + cells_evaluated == grid_size` — every cell was
+    ///   either loaded from the checkpoint store or evaluated;
+    /// * `cells_resumed <= cells_evaluated` — resumed cells are a subset
+    ///   of the evaluated ones;
+    /// * `ckpt_records_written` is `0` (no store attached) or equals
+    ///   `cells_evaluated` (every evaluated cell was persisted).
+    ///
+    /// Returns a message naming the violated identity.
+    pub fn verify_sweep_invariants(&self, grid_size: u64) -> Result<(), String> {
+        let g = |c: Counter| self.vals[c as usize];
+        let (skipped, evaluated, resumed, written) = (
+            g(Counter::CellsSkipped),
+            g(Counter::CellsEvaluated),
+            g(Counter::CellsResumed),
+            g(Counter::CkptRecordsWritten),
+        );
+        if skipped + evaluated != grid_size {
+            return Err(format!(
+                "cells_skipped ({skipped}) + cells_evaluated ({evaluated}) != \
+                 grid size ({grid_size})"
+            ));
+        }
+        if resumed > evaluated {
+            return Err(format!(
+                "cells_resumed ({resumed}) > cells_evaluated ({evaluated})"
+            ));
+        }
+        if written != 0 && written != evaluated {
+            return Err(format!(
+                "ckpt_records_written ({written}) is neither 0 nor \
+                 cells_evaluated ({evaluated})"
             ));
         }
         Ok(())
@@ -645,6 +698,35 @@ mod tests {
         bad2.incr(Counter::ArenaMisses, 1);
         let err = bad2.verify_invariants(false).unwrap_err();
         assert!(err.contains("arena_hits"), "{err}");
+    }
+
+    #[test]
+    fn sweep_invariants_detect_violations() {
+        // An uncheckpointed run: everything evaluated, nothing written.
+        let mut plain = Counters::new();
+        plain.incr(Counter::CellsEvaluated, 24);
+        assert!(plain.verify_sweep_invariants(24).is_ok());
+
+        // A resume run: 10 loaded, 14 replayed, all 14 persisted.
+        let mut resumed = Counters::new();
+        resumed.incr(Counter::CellsSkipped, 10);
+        resumed.incr(Counter::CellsEvaluated, 14);
+        resumed.incr(Counter::CellsResumed, 14);
+        resumed.incr(Counter::CkptRecordsWritten, 14);
+        assert!(resumed.verify_sweep_invariants(24).is_ok());
+
+        let err = plain.verify_sweep_invariants(25).unwrap_err();
+        assert!(err.contains("cells_skipped"), "{err}");
+
+        let mut bad = resumed;
+        bad.incr(Counter::CellsResumed, 1);
+        let err = bad.verify_sweep_invariants(24).unwrap_err();
+        assert!(err.contains("cells_resumed"), "{err}");
+
+        let mut partial = plain;
+        partial.incr(Counter::CkptRecordsWritten, 23);
+        let err = partial.verify_sweep_invariants(24).unwrap_err();
+        assert!(err.contains("ckpt_records_written"), "{err}");
     }
 
     #[test]

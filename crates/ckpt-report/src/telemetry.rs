@@ -111,8 +111,18 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ckpt_report_tel_{}", std::process::id()));
         let paths = write_telemetry(&t, &dir).unwrap();
         assert_eq!(paths.len(), 3);
+        t.counters.add(Counter::CellsSkipped, 20);
+        t.counters.add(Counter::CellsResumed, 4);
+        t.counters.add(Counter::CkptRecordsWritten, 4);
         let csv = std::fs::read_to_string(&paths[0]).unwrap();
         assert!(csv.contains("cells_evaluated,4"));
+        // The resume counters ride the same catalog-driven frame — no
+        // separate plumbing to forget.
+        let frame = counters_frame(&t.counters.snapshot());
+        let csv = frame.to_csv();
+        assert!(csv.contains("cells_skipped,20"), "{csv}");
+        assert!(csv.contains("cells_resumed,4"), "{csv}");
+        assert!(csv.contains("ckpt_records_written,4"), "{csv}");
         assert!(std::fs::read_to_string(&paths[2])
             .unwrap()
             .contains("phase_nanos"));

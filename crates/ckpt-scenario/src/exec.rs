@@ -16,6 +16,7 @@
 //!   in policy/cost configuration — the common shape of a policy sweep.
 
 use crate::agg::MetricSummary;
+use crate::ckpt::{self, CheckpointConfig, ResumeReport};
 use crate::spec::{EngineKind, MetricsChoice, SampleFilter, ScenarioSpec};
 use crate::sweep::{SweepError, SweepSpec};
 use ckpt_obs::{Counter, Counters, Phase, Telemetry};
@@ -30,6 +31,7 @@ use ckpt_sim::runner::{
 use ckpt_sim::storage::{OpId, PsResource};
 use ckpt_sim::time::SimTime;
 use ckpt_stats::rng::{Rng64, Xoshiro256StarStar};
+use ckpt_store::{CellRecord, StoreHeader, SweepStore};
 use ckpt_trace::export;
 use ckpt_trace::gen::{generate, Trace};
 use ckpt_trace::plan::FailurePlanArena;
@@ -657,11 +659,177 @@ pub fn run_sweep_telemetry(
     options: SweepOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<SweepResult, SweepError> {
+    run_sweep_inner(sweep, options, telemetry, None).map(|(result, _)| result)
+}
+
+/// [`run_sweep_telemetry`] with cell-level checkpointing: each completed
+/// cell is persisted to an append-only [`SweepStore`] as its worker
+/// finishes it, and a resume run loads the persisted cells (validated
+/// against the current spec) and evaluates only the missing ones.
+///
+/// Because every cell is a pure function of `(spec, seed, cell index)`,
+/// the merged result — and therefore every exported byte — is identical
+/// whether the sweep ran straight through or was killed and resumed any
+/// number of times, at any thread count.
+pub fn run_sweep_checkpointed(
+    sweep: &SweepSpec,
+    options: SweepOptions,
+    telemetry: Option<&Telemetry>,
+    config: &CheckpointConfig,
+) -> Result<(SweepResult, ResumeReport), SweepError> {
+    let (result, report) = run_sweep_inner(sweep, options, telemetry, Some(config))?;
+    Ok((result, report.expect("checkpointed run always reports")))
+}
+
+/// The store plus this run's persistence bookkeeping, behind one lock.
+/// Workers take it only *between* cells (appending a finished result),
+/// never inside a replay — the simulation hot path stays lock-free.
+struct CkptWriter {
+    store: SweepStore,
+    /// Records persisted by this run (not counting loaded ones).
+    written: u64,
+    /// Fault injection: abort once `written` reaches this.
+    crash_after: Option<u64>,
+}
+
+impl CkptWriter {
+    /// Append one finished cell; with the crash hook armed, abort the
+    /// process once enough records landed — while still holding the lock,
+    /// so exactly `crash_after` records exist on disk.
+    fn persist(
+        writer: &Mutex<CkptWriter>,
+        spec: &ScenarioSpec,
+        cell: &CellResult,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<(), String> {
+        let record = CellRecord {
+            index: cell.index as u64,
+            key_digest: ckpt::cell_key_digest(&spec.run_key(), &cell.params),
+            payload: ckpt::encode_cell(cell),
+        };
+        let mut w = writer.lock().expect("checkpoint writer poisoned");
+        w.store
+            .append(&record)
+            .map_err(|e| format!("persisting cell {}: {e}", cell.index))?;
+        w.written += 1;
+        if let Some(t) = telemetry {
+            t.counters.add(Counter::CkptRecordsWritten, 1);
+        }
+        if let Some(limit) = w.crash_after {
+            if w.written >= limit {
+                // Simulated preemption for kill-and-resume tests: die hard
+                // (no unwinding, no final sync), like a real kill -9 —
+                // appended records are already in the file.
+                eprintln!(
+                    "ckpt crash hook: aborting after {} persisted cell{}",
+                    w.written,
+                    if w.written == 1 { "" } else { "s" }
+                );
+                std::process::exit(ckpt::CRASH_EXIT_CODE);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Open-or-create the sweep's store per the config, returning the store
+/// positioned to append, the cells loaded from it (resume only), and the
+/// partially filled report.
+fn open_store(
+    sweep: &SweepSpec,
+    cells: &[ScenarioSpec],
+    config: &CheckpointConfig,
+) -> Result<(SweepStore, HashMap<usize, CellResult>, ResumeReport), SweepError> {
+    let fail = |e: ckpt_store::StoreError| SweepError(e.to_string());
+    std::fs::create_dir_all(&config.dir)
+        .map_err(|e| SweepError(format!("checkpoint dir {}: {e}", config.dir.display())))?;
+    let path = config.store_path(&sweep.name);
+    let header = StoreHeader {
+        spec_digest: ckpt::sweep_digest(sweep),
+        seed: sweep.base.seed,
+        scale: sweep.base.jobs as u64,
+        grid_size: cells.len() as u64,
+    };
+    let mut report = ResumeReport {
+        store_path: path.clone(),
+        ..ResumeReport::default()
+    };
+    let mut loaded = HashMap::new();
+    let store = if config.resume && ckpt::store_exists(&path) {
+        let (store, records, open) = SweepStore::open(&path).map_err(fail)?;
+        store.header().validate_against(&header).map_err(fail)?;
+        report.recovered = open.warning;
+        for record in records {
+            // The store guarantees index < grid_size; the digest ties the
+            // record to this exact cell's simulation inputs and rendered
+            // params under the *current* spec.
+            let index = record.index as usize;
+            let cell = ckpt::decode_cell(index, &record.payload)
+                .map_err(|e| SweepError(format!("cell {index} in {}: {e}", path.display())))?;
+            let expect = ckpt::cell_key_digest(&cells[index].run_key(), &cell.params);
+            if record.key_digest != expect {
+                return Err(SweepError(format!(
+                    "cell {index} in {} does not match the current spec \
+                     (rerun without --resume to start fresh)",
+                    path.display()
+                )));
+            }
+            // Duplicate indices: last record wins (a re-run after a crash
+            // that lost the in-memory dedup can legitimately re-append).
+            loaded.insert(index, cell);
+        }
+        store
+    } else {
+        report.fresh_start = config.resume;
+        SweepStore::create(&path, header).map_err(fail)?
+    };
+    report.loaded = loaded.len();
+    Ok((store, loaded, report))
+}
+
+fn run_sweep_inner(
+    sweep: &SweepSpec,
+    options: SweepOptions,
+    telemetry: Option<&Telemetry>,
+    config: Option<&CheckpointConfig>,
+) -> Result<(SweepResult, Option<ResumeReport>), SweepError> {
     let n = sweep.grid_size();
     let cells = timed(telemetry, Phase::Plan, || sweep.cells())?;
     let cache = RunCache::default();
+
+    // Checkpointing: open/create the store and split the grid into cells
+    // already on disk and cells still to evaluate. Without a config this
+    // collapses to "everything is missing" and zero extra work.
+    let (writer, loaded, mut report) = match config {
+        Some(cfg) => {
+            let (store, loaded, report) = open_store(sweep, &cells, cfg)?;
+            let writer = Mutex::new(CkptWriter {
+                store,
+                written: 0,
+                crash_after: cfg.crash_after_cells,
+            });
+            (Some(writer), loaded, Some(report))
+        }
+        None => (None, HashMap::new(), None),
+    };
+    // "Resumed" cells are the ones a resume run evaluates on top of an
+    // existing store (a fresh start under --resume is just a plain run).
+    let resuming =
+        config.is_some_and(|c| c.resume) && report.as_ref().is_some_and(|r| !r.fresh_start);
+    let missing: Vec<usize> = (0..n).filter(|i| !loaded.contains_key(i)).collect();
+    if let Some(r) = report.as_mut() {
+        r.evaluated = missing.len();
+    }
+    if let Some(t) = telemetry {
+        if !loaded.is_empty() {
+            t.counters.add(Counter::CellsSkipped, loaded.len() as u64);
+        }
+    }
     if let Some(progress) = telemetry.and_then(|t| t.progress.as_ref()) {
         progress.set_cells_total(n as u64);
+        for _ in 0..loaded.len() {
+            progress.cell_done();
+        }
     }
 
     // Budget nested parallelism: grids with fewer distinct replays than
@@ -679,30 +847,67 @@ pub fn run_sweep_telemetry(
     };
     // Only fast-engine replays can use extra threads (the cluster DES is
     // inherently sequential), so only they dilute the per-replay budget.
-    let distinct_replays = cells
+    // Resumed runs budget over the cells they actually evaluate.
+    let distinct_replays = missing
         .iter()
-        .filter(|c| matches!(c.engine, EngineKind::Fast))
-        .map(|c| c.run_key())
+        .filter(|&&i| matches!(cells[i].engine, EngineKind::Fast))
+        .map(|&i| cells[i].run_key())
         .collect::<std::collections::HashSet<_>>()
         .len();
     let replay_threads = capacity.checked_div(distinct_replays).unwrap_or(1).max(1);
 
-    let evaluated: Vec<Result<CellResult, String>> = parallel_indexed(n, options.threads, |i| {
-        evaluate_cell(sweep, &cells[i], i, replay_threads, &cache, telemetry)
-    });
+    let evaluated: Vec<Result<CellResult, String>> =
+        parallel_indexed(missing.len(), options.threads, |j| {
+            let i = missing[j];
+            let cell = evaluate_cell(sweep, &cells[i], i, replay_threads, &cache, telemetry)?;
+            if let Some(writer) = &writer {
+                // Persist at the worker's join point, after the replay is
+                // done — the store lock never contends with simulation.
+                CkptWriter::persist(writer, &cells[i], &cell, telemetry)?;
+            }
+            Ok(cell)
+        });
 
-    let mut cells = Vec::with_capacity(n);
-    for (i, result) in evaluated.into_iter().enumerate() {
+    // Merge loaded and evaluated cells back into grid order. Loaded cells
+    // decode to bit-exact copies of their original evaluation, and every
+    // cell is deterministic in (spec, seed, index) — so this vector is
+    // byte-for-byte the uninterrupted run's.
+    let mut slots: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+    for (index, cell) in loaded {
+        slots[index] = Some(cell);
+    }
+    for (j, result) in evaluated.into_iter().enumerate() {
+        let i = missing[j];
         match result {
-            Ok(cell) => cells.push(cell),
+            Ok(cell) => slots[i] = Some(cell),
             Err(e) => return Err(SweepError(format!("cell {i}: {e}"))),
         }
     }
-    Ok(SweepResult {
-        name: sweep.name.clone(),
-        seed: sweep.base.seed,
-        cells,
-    })
+    let result_cells: Vec<CellResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every grid cell is loaded or evaluated"))
+        .collect();
+
+    if let (Some(t), true) = (telemetry, resuming) {
+        t.counters.add(
+            Counter::CellsResumed,
+            report.as_ref().map_or(0, |r| r.evaluated) as u64,
+        );
+    }
+    if let Some(writer) = writer {
+        let w = writer.into_inner().expect("checkpoint writer poisoned");
+        w.store
+            .sync()
+            .map_err(|e| SweepError(format!("syncing checkpoint store: {e}")))?;
+    }
+    Ok((
+        SweepResult {
+            name: sweep.name.clone(),
+            seed: sweep.base.seed,
+            cells: result_cells,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -1117,6 +1322,165 @@ mod tests {
         .unwrap();
         let err = run_sweep(&cluster, SweepOptions::default()).unwrap_err();
         assert!(err.0.contains("fast-engine"), "{err}");
+    }
+
+    use ckpt_obs::Observer;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ckpt_exec_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_full_resume_skips_everything() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let plain = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+
+        let dir = tmp_dir("fresh");
+        let cfg = CheckpointConfig {
+            dir: dir.clone(),
+            resume: false,
+            crash_after_cells: None,
+        };
+        let (fresh, report) =
+            run_sweep_checkpointed(&sweep, SweepOptions { threads: 2 }, None, &cfg).unwrap();
+        assert_eq!(fresh.cells, plain.cells);
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.evaluated, 4);
+
+        // Resuming a completed store evaluates nothing and reproduces the
+        // run bit-exactly, even at a different thread count.
+        let telemetry = Telemetry::new();
+        let resume = CheckpointConfig {
+            resume: true,
+            ..cfg
+        };
+        let (resumed, report) = run_sweep_checkpointed(
+            &sweep,
+            SweepOptions { threads: 1 },
+            Some(&telemetry),
+            &resume,
+        )
+        .unwrap();
+        assert_eq!(resumed.cells, plain.cells);
+        assert_eq!(report.loaded, 4);
+        assert_eq!(report.evaluated, 0);
+        let snap = telemetry.counters.snapshot();
+        assert_eq!(snap.get(Counter::CellsSkipped), 4);
+        assert_eq!(snap.get(Counter::CellsEvaluated), 0);
+        assert_eq!(snap.get(Counter::CkptRecordsWritten), 0);
+        snap.verify_sweep_invariants(4).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_store_resumes_only_missing_cells_with_identical_results() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let plain = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+
+        // Hand-build a store holding only cells {0, 2}, as a killed run
+        // would have left it.
+        let dir = tmp_dir("partial");
+        let cfg = CheckpointConfig {
+            dir: dir.clone(),
+            resume: true,
+            crash_after_cells: None,
+        };
+        let cells = sweep.cells().unwrap();
+        let header = StoreHeader {
+            spec_digest: ckpt::sweep_digest(&sweep),
+            seed: sweep.base.seed,
+            scale: sweep.base.jobs as u64,
+            grid_size: 4,
+        };
+        let path = cfg.store_path(&sweep.name);
+        let mut store = SweepStore::create(&path, header).unwrap();
+        for &i in &[0usize, 2] {
+            store
+                .append(&CellRecord {
+                    index: i as u64,
+                    key_digest: ckpt::cell_key_digest(&cells[i].run_key(), &plain.cells[i].params),
+                    payload: ckpt::encode_cell(&plain.cells[i]),
+                })
+                .unwrap();
+        }
+        drop(store);
+
+        let telemetry = Telemetry::new();
+        let (resumed, report) =
+            run_sweep_checkpointed(&sweep, SweepOptions { threads: 4 }, Some(&telemetry), &cfg)
+                .unwrap();
+        assert_eq!(resumed.cells, plain.cells);
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.evaluated, 2);
+        let snap = telemetry.counters.snapshot();
+        assert_eq!(snap.get(Counter::CellsSkipped), 2);
+        assert_eq!(snap.get(Counter::CellsEvaluated), 2);
+        assert_eq!(snap.get(Counter::CellsResumed), 2);
+        assert_eq!(snap.get(Counter::CkptRecordsWritten), 2);
+        snap.verify_sweep_invariants(4).unwrap();
+
+        // The store is now complete: a further resume loads all four.
+        let (_, report) =
+            run_sweep_checkpointed(&sweep, SweepOptions::default(), None, &cfg).unwrap();
+        assert_eq!(report.loaded, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_against_changed_spec_is_rejected_by_name() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let dir = tmp_dir("mismatch");
+        let cfg = CheckpointConfig {
+            dir: dir.clone(),
+            resume: false,
+            crash_after_cells: None,
+        };
+        run_sweep_checkpointed(&sweep, SweepOptions::default(), None, &cfg).unwrap();
+
+        // Same name, different seed ⇒ different spec digest: the resume
+        // must refuse rather than merge incompatible cells.
+        let mut other = sweep.clone();
+        other.base.seed = 1234;
+        let resume = CheckpointConfig {
+            resume: true,
+            ..cfg.clone()
+        };
+        let err =
+            run_sweep_checkpointed(&other, SweepOptions::default(), None, &resume).unwrap_err();
+        assert!(err.0.contains("spec digest"), "{err}");
+
+        // Without --resume the same store is simply overwritten.
+        let (result, report) =
+            run_sweep_checkpointed(&other, SweepOptions::default(), None, &cfg).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert_eq!(result.cells.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_a_store_starts_fresh() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let dir = tmp_dir("freshstart");
+        let cfg = CheckpointConfig {
+            dir: dir.clone(),
+            resume: true,
+            crash_after_cells: None,
+        };
+        let telemetry = Telemetry::new();
+        let (result, report) =
+            run_sweep_checkpointed(&sweep, SweepOptions::default(), Some(&telemetry), &cfg)
+                .unwrap();
+        assert!(report.fresh_start);
+        assert_eq!(report.loaded, 0);
+        assert_eq!(result.cells.len(), 4);
+        // A fresh start is not a resume: nothing counts as resumed.
+        let snap = telemetry.counters.snapshot();
+        assert_eq!(snap.get(Counter::CellsResumed), 0);
+        assert_eq!(snap.get(Counter::CkptRecordsWritten), 4);
+        snap.verify_sweep_invariants(4).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   filters share a single replay.
 //! * [`agg`] — streaming per-cell reduction to mean/p50/p99/min/max
 //!   summaries.
+//! * [`ckpt`] — checkpointed sweeps, the paper's own mechanism applied to
+//!   the executor: completed cells persist to an append-only
+//!   `ckpt-store` file as workers finish them, and
+//!   [`run_sweep_checkpointed`] resumes a killed sweep by loading
+//!   persisted cells and replaying only the missing ones — with exports
+//!   byte-identical to an uninterrupted run.
 //! * [`export`] — the per-cell results as a shared [`ckpt_report::Frame`],
 //!   rendered by the workspace's one deterministic CSV/JSON/table writer.
 //!
@@ -55,6 +61,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agg;
+pub mod ckpt;
 pub mod exec;
 pub mod export;
 pub mod parse;
@@ -62,8 +69,10 @@ pub mod spec;
 pub mod sweep;
 
 pub use agg::MetricSummary;
+pub use ckpt::{CheckpointConfig, ResumeReport, CRASH_EXIT_CODE};
 pub use exec::{
-    run_sweep, run_sweep_ctx, run_sweep_telemetry, CellResult, SweepOptions, SweepResult,
+    run_sweep, run_sweep_checkpointed, run_sweep_ctx, run_sweep_telemetry, CellResult,
+    SweepOptions, SweepResult,
 };
 pub use export::{csv_string, json_string, to_frame, write_outputs};
 pub use spec::{EngineKind, SampleFilter, ScenarioSpec, WorkloadTweaks};

@@ -20,7 +20,10 @@ use cloud_ckpt::policy::daly::daly_interval_count;
 use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
 use cloud_ckpt::policy::young::{young_interval, young_interval_count};
 use cloud_ckpt::report::{row, write_telemetry, ExpOutput, Format, Frame, RunContext, Scale, Sink};
-use cloud_ckpt::scenario::{run_sweep_telemetry, write_outputs, SweepOptions, SweepSpec};
+use cloud_ckpt::scenario::{
+    ckpt, run_sweep_checkpointed, run_sweep_telemetry, write_outputs, CheckpointConfig,
+    SweepOptions, SweepSpec,
+};
 use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
 use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
 use cloud_ckpt::sim::runner::{run_trace, RunOptions};
@@ -49,9 +52,14 @@ USAGE:
       shared frame writer.
 
   cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--out <dir>] \\
+                   [--checkpoint-dir <dir>] [--resume] \\
                    [--telemetry <dir>] [--progress]
       Expand a declarative sweep spec into a scenario grid, evaluate every
       cell in parallel, and write per-cell CSV + JSON summaries.
+      --checkpoint-dir persists each cell to an append-only store as it
+      completes; --resume reopens that store, skips persisted cells, and
+      evaluates only the missing ones — outputs are byte-identical to an
+      uninterrupted run at any thread count.
       --telemetry writes a deterministic counter frame plus wall-clock
       phase timings to <dir>; --progress streams ~2 Hz heartbeats to
       stderr. Neither changes any simulation output byte.
@@ -103,8 +111,8 @@ const REPLAY_FLAGS: FlagSpec = FlagSpec {
     boolean: &["adaptive"],
 };
 const SWEEP_FLAGS: FlagSpec = FlagSpec {
-    value: &["spec", "threads", "out", "telemetry"],
-    boolean: &["progress"],
+    value: &["spec", "threads", "out", "telemetry", "checkpoint-dir"],
+    boolean: &["progress", "resume"],
 };
 const EXP_LIST_FLAGS: FlagSpec = FlagSpec {
     value: &["format"],
@@ -371,9 +379,44 @@ fn finish_telemetry(telemetry: &Telemetry, dir: Option<&str>) -> Result<(), Stri
     Ok(())
 }
 
+/// Build the optional [`CheckpointConfig`] from `--checkpoint-dir` /
+/// `--resume` and the `CKPT_CRASH_AFTER_CELLS` fault-injection knob
+/// (test-only: aborts the sweep with exit code
+/// [`cloud_ckpt::scenario::CRASH_EXIT_CODE`] after n persisted cells).
+fn checkpoint_flags(flags: &HashMap<String, String>) -> Result<Option<CheckpointConfig>, String> {
+    let dir = flags.get("checkpoint-dir");
+    let resume = flags.contains_key("resume");
+    let crash_after = match std::env::var("CKPT_CRASH_AFTER_CELLS") {
+        Ok(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("CKPT_CRASH_AFTER_CELLS: expected a cell count, got {v:?}"))?,
+        ),
+        Err(_) => None,
+    };
+    let Some(dir) = dir else {
+        if resume {
+            return Err("--resume needs --checkpoint-dir (nowhere to resume from)".into());
+        }
+        if crash_after.is_some() {
+            return Err(
+                "CKPT_CRASH_AFTER_CELLS is set but --checkpoint-dir is not; \
+                 the crash hook only makes sense for a checkpointed sweep"
+                    .into(),
+            );
+        }
+        return Ok(None);
+    };
+    Ok(Some(CheckpointConfig {
+        dir: dir.into(),
+        resume,
+        crash_after_cells: crash_after,
+    }))
+}
+
 fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     let spec_path: String = need(&flags, "spec")?;
     let out_dir: String = opt(&flags, "out", "results".to_string())?;
+    let checkpoint = checkpoint_flags(&flags)?;
     let (telemetry, telemetry_dir) = telemetry_flags(&flags);
     let parse_spec = || -> Result<SweepSpec, String> {
         let text = std::fs::read_to_string(&spec_path)
@@ -406,8 +449,27 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let result = run_sweep_telemetry(&sweep, SweepOptions { threads }, telemetry.as_deref())
-        .map_err(|e| e.to_string())?;
+    let result = match &checkpoint {
+        Some(cfg) => {
+            let (result, report) =
+                run_sweep_checkpointed(&sweep, SweepOptions { threads }, telemetry.as_deref(), cfg)
+                    .map_err(|e| e.to_string())?;
+            let mut lines = Vec::new();
+            ckpt::report_lines(&report, &mut lines);
+            for line in lines {
+                eprintln!("checkpoint: {line}");
+            }
+            println!(
+                "checkpoint: {} ({} loaded, {} evaluated)",
+                report.store_path.display(),
+                report.loaded,
+                report.evaluated,
+            );
+            result
+        }
+        None => run_sweep_telemetry(&sweep, SweepOptions { threads }, telemetry.as_deref())
+            .map_err(|e| e.to_string())?,
+    };
     let elapsed = start.elapsed();
 
     // Persist before printing the report: the exports must land even if
@@ -733,6 +795,23 @@ mod tests {
         // Other subcommands don't grow the flags implicitly.
         let err = parse_flags(&args(&["--progress"]), &REPLAY_FLAGS).unwrap_err();
         assert!(err.contains("unknown flag --progress"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_flags_require_a_directory() {
+        // --resume alone has nowhere to resume from.
+        let flags = parse_flags(&args(&["--resume"]), &SWEEP_FLAGS).unwrap();
+        let err = checkpoint_flags(&flags).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+
+        let flags =
+            parse_flags(&args(&["--checkpoint-dir", "ck", "--resume"]), &SWEEP_FLAGS).unwrap();
+        let cfg = checkpoint_flags(&flags).unwrap().expect("config built");
+        assert_eq!(cfg.dir, std::path::PathBuf::from("ck"));
+        assert!(cfg.resume);
+
+        // No flags, no config (and no store is ever touched).
+        assert!(checkpoint_flags(&HashMap::new()).unwrap().is_none());
     }
 
     #[test]

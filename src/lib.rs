@@ -17,6 +17,9 @@
 //!   deterministic CSV/JSON/table writer.
 //! * [`obs`] — zero-overhead telemetry: deterministic counters, phase
 //!   timers, and progress heartbeats (`--telemetry` / `--progress`).
+//! * [`store`] — the append-only, crash-safe checkpoint store behind
+//!   `sweep --checkpoint-dir` / `--resume` (the paper's own mechanism,
+//!   applied to the sweep executor itself).
 //! * [`bench`](mod@bench) — the typed experiment registry behind
 //!   `cloud-ckpt exp list|run|all` (every paper figure/table as a
 //!   library [`bench::Experiment`]).
@@ -39,4 +42,5 @@ pub use ckpt_report as report;
 pub use ckpt_scenario as scenario;
 pub use ckpt_sim as sim;
 pub use ckpt_stats as stats;
+pub use ckpt_store as store;
 pub use ckpt_trace as trace;

@@ -1,0 +1,386 @@
+//! Kill-and-resume integration tests: the `sweep --checkpoint-dir` /
+//! `--resume` path driven through the real binary, with the
+//! `CKPT_CRASH_AFTER_CELLS` fault-injection hook standing in for a
+//! preemption.
+//!
+//! The headline assertion is the tentpole contract: a sweep killed after
+//! k persisted cells and resumed produces CSV/JSON **byte-identical** to
+//! an uninterrupted run, for k at the start, middle, and end of the grid,
+//! at both 1 and 4 threads.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Exit code of the injected crash (ckpt_scenario::CRASH_EXIT_CODE).
+const CRASH_CODE: i32 = 86;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cloud-ckpt"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ckpt_resume_{}_{name}", std::process::id()))
+}
+
+/// The acceptance grid (specs/policy_x_ckpt_cost.toml) at a debug-profile
+/// job count: same 4 x 6 = 24-cell shape, same seed, same axes.
+const GRID: &str = r#"
+[sweep]
+name = "policy_x_ckpt_cost"
+engine = "fast"
+seed = 20130217
+jobs = 120
+
+[scenario]
+sample = "failure-prone"
+
+[axes]
+policy = ["formula3", "young", "daly", "none"]
+ckpt_cost_scale = { from = 0.25, to = 8.0, steps = 6, log = true }
+"#;
+
+/// A small grid for the failure-path tests.
+const SMALL: &str = r#"
+[sweep]
+name = "small"
+engine = "fast"
+seed = 9
+jobs = 60
+
+[axes]
+policy = ["formula3", "none"]
+ckpt_cost_scale = { from = 0.5, to = 2.0, steps = 2 }
+"#;
+
+fn write_spec(name: &str, body: &str) -> PathBuf {
+    let path = tmp(name).with_extension("toml");
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn read_outputs(dir: &Path, sweep_name: &str) -> (Vec<u8>, Vec<u8>) {
+    let csv = std::fs::read(dir.join(format!("{sweep_name}_cells.csv"))).expect("cells csv");
+    let json = std::fs::read(dir.join(format!("{sweep_name}_summary.json"))).expect("summary json");
+    (csv, json)
+}
+
+fn counter_value(telemetry_dir: &Path, counter: &str) -> u64 {
+    let csv = std::fs::read_to_string(telemetry_dir.join("telemetry_counters.csv"))
+        .expect("telemetry counters");
+    csv.lines()
+        .find_map(|l| l.strip_prefix(&format!("{counter},")))
+        .unwrap_or_else(|| panic!("counter {counter} missing:\n{csv}"))
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn killed_sweeps_resume_to_byte_identical_outputs() {
+    let spec = write_spec("grid_spec", GRID);
+
+    // The reference: one uninterrupted run (outputs are thread-invariant,
+    // so one clean run serves every thread count below).
+    let clean_dir = tmp("grid_clean");
+    let out = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&clean_dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (clean_csv, clean_json) = read_outputs(&clean_dir, "policy_x_ckpt_cost");
+
+    // Kill after k cells at one thread count, resume at the other: first
+    // cell, mid-grid, and all-but-one, in both thread directions.
+    for (k, crash_threads, resume_threads) in [
+        (1u64, "4", "1"),
+        (1, "1", "4"),
+        (12, "4", "1"),
+        (12, "1", "4"),
+        (23, "4", "1"),
+        (23, "1", "4"),
+    ] {
+        let case = format!("k{k}_t{resume_threads}");
+        let ckpt_dir = tmp(&format!("grid_ckpt_{case}"));
+        let out_dir = tmp(&format!("grid_out_{case}"));
+        let tel_dir = tmp(&format!("grid_tel_{case}"));
+
+        let crash = cli()
+            .args(["sweep", "--threads", crash_threads, "--spec"])
+            .arg(&spec)
+            .arg("--out")
+            .arg(&out_dir)
+            .arg("--checkpoint-dir")
+            .arg(&ckpt_dir)
+            .env("CKPT_CRASH_AFTER_CELLS", k.to_string())
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            crash.status.code(),
+            Some(CRASH_CODE),
+            "case {case}: crash hook should abort with the injected code\n{}",
+            String::from_utf8_lossy(&crash.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&crash.stderr).contains("crash hook"),
+            "case {case}: stderr should name the hook"
+        );
+        // The killed run must not have exported results.
+        assert!(
+            !out_dir.join("policy_x_ckpt_cost_cells.csv").exists(),
+            "case {case}: a killed sweep must not write outputs"
+        );
+
+        let resume = cli()
+            .args(["sweep", "--threads", resume_threads, "--spec"])
+            .arg(&spec)
+            .arg("--out")
+            .arg(&out_dir)
+            .arg("--checkpoint-dir")
+            .arg(&ckpt_dir)
+            .arg("--resume")
+            .arg("--telemetry")
+            .arg(&tel_dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            resume.status.success(),
+            "case {case}: {}",
+            String::from_utf8_lossy(&resume.stderr)
+        );
+        let text = String::from_utf8_lossy(&resume.stdout);
+        assert!(
+            text.contains(&format!("({k} loaded, {} evaluated)", 24 - k)),
+            "case {case}: resume accounting wrong\n{text}"
+        );
+
+        let (csv, json) = read_outputs(&out_dir, "policy_x_ckpt_cost");
+        assert_eq!(
+            csv, clean_csv,
+            "case {case}: resumed CSV must be byte-identical to the clean run"
+        );
+        assert_eq!(
+            json, clean_json,
+            "case {case}: resumed JSON must be byte-identical to the clean run"
+        );
+
+        // Resume efficacy is observable: skipped + evaluated == grid.
+        assert_eq!(counter_value(&tel_dir, "cells_skipped"), k, "case {case}");
+        assert_eq!(
+            counter_value(&tel_dir, "cells_evaluated"),
+            24 - k,
+            "case {case}"
+        );
+        assert_eq!(
+            counter_value(&tel_dir, "cells_resumed"),
+            24 - k,
+            "case {case}"
+        );
+        assert_eq!(
+            counter_value(&tel_dir, "ckpt_records_written"),
+            24 - k,
+            "case {case}"
+        );
+
+        for d in [&ckpt_dir, &out_dir, &tel_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+#[test]
+fn resuming_a_completed_sweep_reexports_identical_bytes() {
+    let spec = write_spec("done_spec", SMALL);
+    let ckpt_dir = tmp("done_ckpt");
+    let out_a = tmp("done_out_a");
+    let out_b = tmp("done_out_b");
+
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_a)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Every cell loads from the store; nothing is evaluated.
+    let tel_dir = tmp("done_tel");
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_b)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--resume")
+        .arg("--telemetry")
+        .arg(&tel_dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(counter_value(&tel_dir, "cells_skipped"), 4);
+    assert_eq!(counter_value(&tel_dir, "cells_evaluated"), 0);
+
+    assert_eq!(read_outputs(&out_a, "small"), read_outputs(&out_b, "small"));
+    for d in [&ckpt_dir, &out_a, &out_b, &tel_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn resume_with_a_changed_spec_is_rejected_naming_the_digest() {
+    let spec = write_spec("mismatch_spec", SMALL);
+    let ckpt_dir = tmp("mismatch_ckpt");
+    let out_dir = tmp("mismatch_out");
+
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Same sweep name, different seed: the store must be refused, not
+    // silently merged.
+    let changed = write_spec("mismatch_spec2", &SMALL.replace("seed = 9", "seed = 10"));
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&changed)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "changed spec must not resume");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("spec digest"), "{err}");
+    assert!(err.contains("--resume"), "{err}");
+
+    for d in [&ckpt_dir, &out_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&changed).ok();
+}
+
+#[test]
+fn torn_store_tail_is_recovered_on_resume() {
+    let spec = write_spec("torn_spec", SMALL);
+    let ckpt_dir = tmp("torn_ckpt");
+    let out_a = tmp("torn_out_a");
+    let out_b = tmp("torn_out_b");
+
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_a)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Simulate a crash mid-append: garbage half-frame at the tail.
+    let store_path = ckpt_dir.join("small.sweepckpt");
+    let mut bytes = std::fs::read(&store_path).expect("store exists");
+    bytes.extend_from_slice(&[0x2a; 9]);
+    std::fs::write(&store_path, &bytes).unwrap();
+
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_b)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("recovered") && err.contains("9 corrupt tail bytes"),
+        "{err}"
+    );
+    assert_eq!(read_outputs(&out_a, "small"), read_outputs(&out_b, "small"));
+
+    for d in [&ckpt_dir, &out_a, &out_b] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_a_named_error() {
+    let spec = write_spec("orphan_spec", SMALL);
+    let out = cli()
+        .args(["sweep", "--resume", "--spec"])
+        .arg(&spec)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--checkpoint-dir"),
+        "error must name the missing flag"
+    );
+
+    // The crash knob without a store to crash into is equally a mistake.
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .env("CKPT_CRASH_AFTER_CELLS", "3")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("CKPT_CRASH_AFTER_CELLS"),
+        "error must name the env knob"
+    );
+
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--checkpoint-dir")
+        .arg(tmp("orphan_ckpt"))
+        .env("CKPT_CRASH_AFTER_CELLS", "three")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("expected a cell count"),
+        "bad knob values must be named"
+    );
+
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_dir_all(tmp("orphan_ckpt")).ok();
+}
