@@ -318,7 +318,10 @@ const ACCEPTANCE_GRID: &str = include_str!("../../../specs/policy_x_ckpt_cost.to
 /// end to end (registry run at its default scale), the sweep-backed
 /// experiment the ISSUE named as the secondary workload. A third leg runs
 /// the same grid with `--checkpoint-dir` persistence on, so the store's
-/// overhead (bar: ≤ 5% cells/sec regression) is part of the record.
+/// overhead (bar: ≤ 5% cells/sec regression) is part of the record. A
+/// fourth leg runs the grid in `metrics = "streaming"` mode against its
+/// full-mode twin (both at `sample = "all"`, which streaming requires),
+/// so the quantile-sketch fold's overhead (same ≤ 5% bar) is too.
 fn bench_sweep_throughput(c: &mut Criterion) {
     if !bench_enabled("sweep_throughput") {
         return;
@@ -378,6 +381,26 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let ckpt_cells_per_sec = cells as f64 / ckpt_wall;
     let ckpt_overhead_pct = (ckpt_wall / sweep_wall - 1.0) * 100.0;
 
+    // The same grid in streaming-metrics mode versus its full-mode twin,
+    // both at `sample = "all"` (streaming requires the pass-through
+    // filter settings, and the twin keeps the comparison apples-to-
+    // apples): the quantile-sketch fold must cost ≤ 5% cells/sec versus
+    // materializing and sorting the full record vectors.
+    let mut full_all = sweep.clone();
+    full_all.base.sample = ckpt_scenario::SampleFilter::All;
+    let mut streaming = full_all.clone();
+    streaming.base.metrics = ckpt_scenario::spec::MetricsChoice::Streaming;
+    let full_all_wall = best_of(5, &|| {
+        let r = run_sweep(&full_all, SweepOptions::default()).unwrap();
+        assert_eq!(r.cells.len(), cells);
+    });
+    let stream_wall = best_of(5, &|| {
+        let r = run_sweep(&streaming, SweepOptions::default()).unwrap();
+        assert_eq!(r.cells.len(), cells);
+    });
+    let stream_cells_per_sec = cells as f64 / stream_wall;
+    let stream_overhead_pct = (stream_wall / full_all_wall - 1.0) * 100.0;
+
     // Telemetry counters from an observed, *untimed* pass over the same
     // grid: deterministic, so they describe the measured workload without
     // putting a counting observer in the timed path.
@@ -401,7 +424,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let (base_wall, base_hazard_wall) = (0.5651f64, 0.488f64);
     let base_rate = cells as f64 / base_wall;
     let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"checkpointed\": {{\n    \"wall_s\": {ckpt_wall:.4},\n    \"cells_per_sec\": {ckpt_cells_per_sec:.1},\n    \"overhead_pct\": {ckpt_overhead_pct:.2},\n    \"note\": \"same grid with --checkpoint-dir persistence on (store recreated per run); bar is <= 5% cells/sec regression\"\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"checkpointed\": {{\n    \"wall_s\": {ckpt_wall:.4},\n    \"cells_per_sec\": {ckpt_cells_per_sec:.1},\n    \"overhead_pct\": {ckpt_overhead_pct:.2},\n    \"note\": \"same grid with --checkpoint-dir persistence on (store recreated per run); bar is <= 5% cells/sec regression\"\n  }},\n  \"streaming\": {{\n    \"wall_s\": {stream_wall:.4},\n    \"cells_per_sec\": {stream_cells_per_sec:.1},\n    \"full_mode_wall_s\": {full_all_wall:.4},\n    \"overhead_pct\": {stream_overhead_pct:.2},\n    \"note\": \"same grid at metrics=streaming vs its full-mode twin, both at sample=all; sketch-backed p50/p99, bar is <= 5% cells/sec regression\"\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
         counters.get(Counter::CellsEvaluated),
         counters.get(Counter::JobsReplayed),
         counters.get(Counter::TasksReplayed),
@@ -418,7 +441,9 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     println!(
         "sweep_throughput: {cells} cells in {sweep_wall:.4}s ({cells_per_sec:.1} cells/s; \
          {:.2}x the recorded pre-rewrite baseline); checkpointed {ckpt_wall:.4}s \
-         ({ckpt_overhead_pct:+.2}% overhead); ext_hazard_robustness {hazard_wall:.4}s{}",
+         ({ckpt_overhead_pct:+.2}% overhead); streaming {stream_wall:.4}s \
+         ({stream_overhead_pct:+.2}% vs full at sample=all); \
+         ext_hazard_robustness {hazard_wall:.4}s{}",
         cells_per_sec / base_rate,
         if record {
             " — BENCH_sweep.json updated"

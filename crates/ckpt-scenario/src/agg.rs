@@ -59,19 +59,22 @@ impl MetricSummary {
         Self::from_values(&[v])
     }
 
-    /// Summarize a streaming fold ([`ckpt_sim::metrics::StreamSummary`]):
-    /// count/mean/min/max are exact; p50/p99 are not computable from a
-    /// stream and stay NaN (exported as nulls), matching the empty-cell
-    /// convention.
-    pub fn from_stream(s: &ckpt_sim::metrics::StreamSummary) -> Self {
+    /// Summarize a streaming fold ([`ckpt_sim::metrics::StreamDist`]):
+    /// count/mean/min/max are exact, and p50/p99 come from the fold's
+    /// mergeable quantile sketch — exact in rank (the same nearest-rank
+    /// rule as [`MetricSummary::from_values`]) and within the sketch's
+    /// documented relative value-error bound (≈ 1 %; see
+    /// [`ckpt_stats::sketch`]).
+    pub fn from_stream(d: &ckpt_sim::metrics::StreamDist) -> Self {
+        let s = &d.stats;
         if s.count == 0 {
             return Self::from_values(&[]);
         }
         Self {
             count: s.count as usize,
             mean: s.mean(),
-            p50: f64::NAN,
-            p99: f64::NAN,
+            p50: d.sketch.quantile(0.50),
+            p99: d.sketch.quantile(0.99),
             min: s.min,
             max: s.max,
         }

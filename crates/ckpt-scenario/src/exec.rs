@@ -22,7 +22,7 @@ use crate::sweep::{SweepError, SweepSpec};
 use ckpt_obs::{Counter, Counters, Phase, Telemetry};
 use ckpt_sim::blcr::{BlcrModel, Device};
 use ckpt_sim::cluster::{ClusterSim, SimBudget};
-use ckpt_sim::metrics::JobRecord;
+use ckpt_sim::metrics::{JobRecord, StreamDist};
 use ckpt_sim::policy::Estimates;
 use ckpt_sim::runner::{
     parallel_indexed, run_trace_counted, run_trace_stream, run_trace_stream_counted,
@@ -119,9 +119,12 @@ struct PrepData {
 /// only differs in aggregation filters.
 struct RunData {
     jobs: Vec<JobRecord>,
-    /// Streaming-mode summaries (fast engine, `metrics = "streaming"`):
-    /// the record vector above stays empty and cells read these instead.
+    /// Streaming-mode summaries (`metrics = "streaming"`, both replay
+    /// engines): the record vector above stays empty and cells read these
+    /// instead — including sketch-backed p50/p99.
     stream: Option<ReplayStats>,
+    /// Streaming-mode queue-wait fold (cluster engine only).
+    stream_queue: Option<StreamDist>,
     /// Per-job queue wait (cluster engine only, aligned with `jobs`).
     queue_wait: Option<Vec<f64>>,
     /// Cluster makespan (cluster engine only).
@@ -246,6 +249,7 @@ fn replay(
                 return Ok(RunData {
                     jobs: Vec::new(),
                     stream: Some(stream),
+                    stream_queue: None,
                     queue_wait: None,
                     makespan_s: None,
                     events: None,
@@ -272,6 +276,7 @@ fn replay(
             Ok(RunData {
                 jobs,
                 stream: None,
+                stream_queue: None,
                 queue_wait: None,
                 makespan_s: None,
                 events: None,
@@ -288,8 +293,12 @@ fn replay(
             // checkpoint-duration sample, so stress-scale cells keep
             // constant per-event memory. (Cell outputs are unaffected —
             // the simulation itself is identical in both modes.)
-            let sim = ClusterSim::new(cluster_cfg, &prep.trace, &prep.estimates, cfg)
-                .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming);
+            // Task kill plans come from the prep slot's shared arena —
+            // one sampling pass per (trace, failure model), reused by
+            // every policy/cost cell, byte-identical to fresh sampling.
+            let sim =
+                ClusterSim::with_plans(cluster_cfg, &prep.trace, &prep.estimates, cfg, &prep.plans)
+                    .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming);
             let result = match telemetry {
                 Some(t) => {
                     // Observed run: a Counters cell rides the DES (same
@@ -322,12 +331,35 @@ fn replay(
                 }
                 None => sim.run(),
             };
+            if spec.metrics == MetricsChoice::Streaming {
+                validate_streaming(spec)?;
+                // Fold job records in job order. The DES emits jobs in a
+                // deterministic order that does not depend on the sweep's
+                // replay-thread budget, so the fold (and the sketches it
+                // fills) is byte-identical at any thread count.
+                let mut stream = ReplayStats::new();
+                let mut queue = StreamDist::new();
+                for j in &result.jobs {
+                    stream.add(&j.base);
+                    queue.add(j.queue_wait);
+                }
+                return Ok(RunData {
+                    jobs: Vec::new(),
+                    stream: Some(stream),
+                    stream_queue: Some(queue),
+                    queue_wait: None,
+                    makespan_s: Some(result.makespan.as_secs_f64()),
+                    events: Some(result.events),
+                    prep,
+                });
+            }
             let queue_wait = result.jobs.iter().map(|j| j.queue_wait).collect();
             let events = result.events;
             let jobs = result.jobs.into_iter().map(|j| j.base).collect();
             Ok(RunData {
                 jobs,
                 stream: None,
+                stream_queue: None,
                 queue_wait: Some(queue_wait),
                 makespan_s: Some(result.makespan.as_secs_f64()),
                 events: Some(events),
@@ -367,8 +399,10 @@ fn validate_streaming(spec: &ScenarioSpec) -> Result<(), String> {
 }
 
 /// The streaming-mode metric set: same names and order as the full-record
-/// path, summarized from the fold (p50/p99 are not computable from a
-/// stream and export as null).
+/// path, summarized from the fold. p50/p99 come from each stream's
+/// mergeable quantile sketch — exact in rank, within the sketch's
+/// documented ≈ 1 % relative value-error bound of the full-record
+/// percentiles (see [`ckpt_stats::sketch`]).
 fn stream_metrics(stats: &ReplayStats) -> Vec<(&'static str, MetricSummary)> {
     vec![
         ("wpr", MetricSummary::from_stream(&stats.wpr)),
@@ -423,7 +457,17 @@ fn replay_metrics(
     cache: &RunCache,
 ) -> Result<Vec<(&'static str, MetricSummary)>, String> {
     if let Some(stats) = &data.stream {
-        return Ok(stream_metrics(stats));
+        let mut metrics = stream_metrics(stats);
+        if let Some(queue) = &data.stream_queue {
+            metrics.push(("queue_wait_s", MetricSummary::from_stream(queue)));
+        }
+        if let Some(makespan) = data.makespan_s {
+            metrics.push(("makespan_s", MetricSummary::from_value(makespan)));
+        }
+        if let Some(events) = data.events {
+            metrics.push(("events", MetricSummary::from_value(events as f64)));
+        }
+        return Ok(metrics);
     }
     let idx = filtered_indices(spec, data, cache)?;
     let collect = |f: &dyn Fn(&JobRecord) -> f64| -> Vec<f64> {
@@ -572,15 +616,17 @@ fn evaluate_cell(
     cache: &RunCache,
     telemetry: Option<&Telemetry>,
 ) -> Result<CellResult, String> {
-    // `metrics = "streaming"` is a fast-engine replay mode; any other
-    // engine silently ignoring it would leave the user believing it is
-    // active, so reject the combination by name for every engine here
-    // (not per-branch, where the analytic engines would skip the check).
-    if spec.metrics == MetricsChoice::Streaming && spec.engine != EngineKind::Fast {
+    // `metrics = "streaming"` is a replay-engine mode (fast and cluster);
+    // an analytic engine silently ignoring it would leave the user
+    // believing it is active, so reject that combination by name for
+    // every engine here (not per-branch, where the analytic engines
+    // would skip the check).
+    if spec.metrics == MetricsChoice::Streaming
+        && !matches!(spec.engine, EngineKind::Fast | EngineKind::Cluster)
+    {
         return Err(format!(
-            "key \"metrics\": streaming summaries are a fast-engine mode (engine is {:?}; \
-             the cluster engine already streams its per-event metrics internally, and the \
-             analytic engines have no replay to stream)",
+            "key \"metrics\": streaming summaries are a replay-engine mode (engine is {:?}; \
+             the analytic engines have no replay to stream)",
             spec.engine.label()
         ));
     }
@@ -1233,8 +1279,9 @@ mod tests {
     #[test]
     fn streaming_metrics_match_full_mode_where_defined() {
         // Streaming cells fold the same replay the full-record cells
-        // materialize: count/mean/min/max must agree exactly; p50/p99 are
-        // NaN (not computable from a stream).
+        // materialize: count/mean/min/max must agree exactly; p50/p99
+        // come from the fold's quantile sketch and must land within its
+        // documented relative error bound of the full-record percentiles.
         let full = SweepSpec::from_str(
             r#"
             [sweep]
@@ -1278,18 +1325,26 @@ mod tests {
                 assert_eq!(ma.max.to_bits(), mb.max.to_bits(), "{name_a}");
                 let tol = 1e-12 * ma.mean.abs().max(1.0);
                 assert!((ma.mean - mb.mean).abs() <= tol, "{name_a}");
-                assert!(mb.p50.is_nan() && mb.p99.is_nan(), "{name_a}");
+                // Sketch percentiles: populated, within the documented
+                // relative error bound of the exact nearest-rank values.
+                let bound = ckpt_stats::QuantileSketch::new().relative_error_bound();
+                for (exact, sketched) in [(ma.p50, mb.p50), (ma.p99, mb.p99)] {
+                    assert!(!sketched.is_nan(), "{name_a}: sketch percentile is NaN");
+                    assert!(
+                        (sketched - exact).abs() <= bound * exact.abs() + 1e-9,
+                        "{name_a}: sketched {sketched} vs exact {exact}"
+                    );
+                }
             }
         }
-        // And the mode is thread-invariant (fixed fold blocks). NaN
-        // p50/p99 make PartialEq useless here; the rendered form is the
-        // byte-level contract anyway.
+        // And the mode is thread-invariant (fixed fold blocks, mergeable
+        // sketches): byte-identical cells at any thread count.
         let b4 = run_sweep(&streaming, SweepOptions { threads: 4 }).unwrap();
-        assert_eq!(format!("{:?}", b.cells), format!("{:?}", b4.cells));
+        assert_eq!(b.cells, b4.cells);
     }
 
     #[test]
-    fn streaming_metrics_reject_filters_and_cluster_by_name() {
+    fn streaming_metrics_reject_filters_and_analytic_by_name() {
         let filtered = SweepSpec::from_str(
             r#"
             [sweep]
@@ -1309,6 +1364,8 @@ mod tests {
             "{err}"
         );
 
+        // Cluster + streaming is now a supported combination: the DES job
+        // records fold into the same sketch-backed summaries.
         let cluster = SweepSpec::from_str(
             r#"
             [sweep]
@@ -1320,8 +1377,61 @@ mod tests {
         "#,
         )
         .unwrap();
-        let err = run_sweep(&cluster, SweepOptions::default()).unwrap_err();
-        assert!(err.0.contains("fast-engine"), "{err}");
+        let result = run_sweep(&cluster, SweepOptions::default()).unwrap();
+        let (_, wpr) = result.cells[0]
+            .metrics
+            .iter()
+            .find(|(name, _)| *name == "wpr")
+            .unwrap();
+        assert!(wpr.count > 0 && !wpr.p50.is_nan() && !wpr.p99.is_nan());
+        assert!(result.cells[0]
+            .metrics
+            .iter()
+            .any(|(name, _)| *name == "queue_wait_s"));
+
+        // Analytic engines have no replay to stream and are rejected.
+        let analytic = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "m_analytic"
+            engine = "ckpt-cost"
+            metrics = "streaming"
+        "#,
+        )
+        .unwrap();
+        let err = run_sweep(&analytic, SweepOptions::default()).unwrap_err();
+        assert!(err.0.contains("replay-engine"), "{err}");
+    }
+
+    #[test]
+    fn cluster_cells_draw_kill_plans_from_the_shared_arena() {
+        // Every cluster cell replays through the prep slot's plan arena:
+        // one sampling pass per (trace, failure model), shared by every
+        // policy cell. Observable as all-hit arena counters satisfying
+        // `arena_hits + arena_misses == plan_lookups`.
+        let sweep = SweepSpec::from_str(
+            r#"
+            [sweep]
+            name = "cluster_arena"
+            engine = "cluster"
+            seed = 11
+            jobs = 40
+
+            [axes]
+            policy = ["formula3", "young", "none"]
+        "#,
+        )
+        .unwrap();
+        let telemetry = Telemetry::new();
+        let result =
+            run_sweep_telemetry(&sweep, SweepOptions { threads: 2 }, Some(&telemetry)).unwrap();
+        assert_eq!(result.cells.len(), 3);
+        let snap = telemetry.counters.snapshot();
+        snap.verify_invariants(true).unwrap();
+        let lookups = snap.get(Counter::PlanLookups);
+        assert!(lookups > 0, "cluster cells must register plan lookups");
+        assert_eq!(snap.get(Counter::ArenaHits), lookups);
+        assert_eq!(snap.get(Counter::ArenaMisses), 0);
     }
 
     use ckpt_obs::Observer;

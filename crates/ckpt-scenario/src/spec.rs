@@ -67,10 +67,13 @@ pub enum MetricsChoice {
     #[default]
     Full,
     /// Fold records into constant-memory streaming summaries as the
-    /// replay produces them (fast engine only; `sample = "all"` and no
-    /// record filters). Exports count/mean/min/max; p50/p99 are null.
-    /// The fast-path mirror of the cluster engine's streaming mode, for
-    /// stress-scale sweeps where the per-cell record vector is the
+    /// replay produces them (replay engines — fast and cluster;
+    /// `sample = "all"` and no record filters). Exports exact
+    /// count/mean/min/max plus p50/p99 from a deterministic mergeable
+    /// quantile sketch ([`ckpt_stats::sketch`]): exact in rank, within
+    /// the sketch's documented ≈ 1 % relative value error of the
+    /// full-record percentiles, and byte-identical at any thread count.
+    /// For stress-scale sweeps where the per-cell record vector is the
     /// dominant allocation.
     Streaming,
 }

@@ -69,8 +69,10 @@ use crate::task_store::{TaskState, TaskStore, NO_HOST, NO_TASK};
 use crate::time::{SimDuration, SimTime};
 use ckpt_obs::{Counter, NoObs, Observer};
 use ckpt_stats::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use ckpt_stats::sketch::QuantileSketch;
 use ckpt_trace::failure::{sample_task_plan, FailureModelSpec, FailureProcess, HazardProcess};
 use ckpt_trace::gen::{JobStructure, Trace};
+use ckpt_trace::plan::FailurePlanArena;
 use std::collections::{HashMap, VecDeque};
 
 /// Cluster topology and storage parameters (defaults = the paper's testbed).
@@ -121,9 +123,11 @@ pub enum MetricsMode {
     /// historical engine.
     #[default]
     Full,
-    /// Stream durations into [`StreamStats`] only — constant memory, for
-    /// stress-scale runs where a raw `Vec` would grow per event.
-    /// [`ClusterRunResult::checkpoint_durations`] stays empty.
+    /// Stream durations into [`StreamStats`] plus a mergeable quantile
+    /// sketch only — constant memory, for stress-scale runs where a raw
+    /// `Vec` would grow per event.
+    /// [`ClusterRunResult::checkpoint_durations`] stays empty;
+    /// [`ClusterRunResult::checkpoint_sketch`] keeps the order statistics.
     Streaming,
 }
 
@@ -199,6 +203,11 @@ pub struct ClusterRunResult {
     /// Streaming summary of completed checkpoint durations (populated in
     /// both metrics modes).
     pub checkpoint_stats: StreamStats,
+    /// Mergeable quantile sketch of completed checkpoint durations
+    /// (populated in both metrics modes), so order statistics survive
+    /// [`MetricsMode::Streaming`] runs where the raw duration `Vec` never
+    /// materializes.
+    pub checkpoint_sketch: QuantileSketch,
     /// Highest number of simultaneously in-flight shared-disk checkpoints.
     pub max_concurrent_checkpoints: usize,
     /// Total simulated time.
@@ -265,8 +274,15 @@ pub struct ClusterSim<'a, O: Observer = NoObs> {
     metrics_mode: MetricsMode,
     ckpt_durations: Vec<f64>,
     ckpt_stats: StreamStats,
+    ckpt_sketch: QuantileSketch,
     max_concurrent: usize,
     host_failures: u64,
+    /// Kill-plan provenance recorded at build time (one lookup per task):
+    /// transferred to the observer by [`ClusterSim::with_observer`] so the
+    /// arena-identity telemetry invariant covers cluster cells too.
+    plan_lookups: u64,
+    arena_hits: u64,
+    arena_misses: u64,
     /// Tasks not yet completed; host-failure injection stops at zero so the
     /// event queue can drain.
     tasks_remaining: usize,
@@ -281,12 +297,40 @@ pub struct ClusterSim<'a, O: Observer = NoObs> {
 }
 
 impl<'a> ClusterSim<'a> {
-    /// Build a cluster simulation over a trace with a policy.
+    /// Build a cluster simulation over a trace with a policy, sampling
+    /// every task's kill plan fresh from its failure stream.
     pub fn new(
         cfg: ClusterConfig,
         trace: &'a Trace,
         estimates: &'a Estimates,
         policy: PolicyConfig,
+    ) -> Self {
+        Self::build(cfg, trace, estimates, policy, None)
+    }
+
+    /// [`ClusterSim::new`] drawing kill plans from a shared
+    /// [`FailurePlanArena`] instead of re-sampling — byte-identical output
+    /// (the arena holds the exact positions the per-task streams produce),
+    /// minus the whole per-cell sampling pass. This is the sweep engine's
+    /// cross-cell fast path, now shared with the fast engine: one arena
+    /// per `(trace, failure model)` serves every policy/cost cell. The
+    /// arena is only read during construction; nothing borrows it after.
+    pub fn with_plans(
+        cfg: ClusterConfig,
+        trace: &'a Trace,
+        estimates: &'a Estimates,
+        policy: PolicyConfig,
+        plans: &FailurePlanArena,
+    ) -> Self {
+        Self::build(cfg, trace, estimates, policy, Some(plans))
+    }
+
+    fn build(
+        cfg: ClusterConfig,
+        trace: &'a Trace,
+        estimates: &'a Estimates,
+        policy: PolicyConfig,
+        plans: Option<&FailurePlanArena>,
     ) -> Self {
         let blcr = BlcrModel;
         let n_tasks: usize = trace.jobs.iter().map(|j| j.tasks.len()).sum();
@@ -297,20 +341,43 @@ impl<'a> ClusterSim<'a> {
             for t in &job.tasks {
                 let plan = plan_task(&policy, &blcr, estimates, t, job.priority);
                 // The same kill plan the history/estimator saw (common
-                // random numbers across policies and with the fast path).
-                let kills = {
-                    let mut rng = trace.failure_stream(t.id);
-                    sample_task_plan(trace.failure_model, job.priority, t.length_s, &mut rng)
-                };
-                store.push(
-                    t.length_s,
-                    t.mem_mb,
-                    plan.device,
-                    plan.ckpt_cost,
-                    plan.restart_cost,
-                    plan.controller,
-                    &kills.positions,
-                );
+                // random numbers across policies and with the fast path):
+                // borrowed from the shared arena when one is provided —
+                // it holds exactly the positions the stream produces —
+                // or sampled fresh from the task's own stream.
+                match plans {
+                    Some(arena) => {
+                        store.push(
+                            t.length_s,
+                            t.mem_mb,
+                            plan.device,
+                            plan.ckpt_cost,
+                            plan.restart_cost,
+                            plan.controller,
+                            arena.kills(t.id),
+                        );
+                    }
+                    None => {
+                        let kills = {
+                            let mut rng = trace.failure_stream(t.id);
+                            sample_task_plan(
+                                trace.failure_model,
+                                job.priority,
+                                t.length_s,
+                                &mut rng,
+                            )
+                        };
+                        store.push(
+                            t.length_s,
+                            t.mem_mb,
+                            plan.device,
+                            plan.ckpt_cost,
+                            plan.restart_cost,
+                            plan.controller,
+                            &kills.positions,
+                        );
+                    }
+                }
             }
             // Successor links for sequential release (idx k → idx k+1).
             let base = job_start[job_idx] as usize;
@@ -361,8 +428,12 @@ impl<'a> ClusterSim<'a> {
             metrics_mode: MetricsMode::Full,
             ckpt_durations: Vec::new(),
             ckpt_stats: StreamStats::default(),
+            ckpt_sketch: QuantileSketch::new(),
             max_concurrent: 0,
             host_failures: 0,
+            plan_lookups: 0,
+            arena_hits: 0,
+            arena_misses: 0,
             tasks_remaining: 0,
             last_activity: SimTime::ZERO,
             now: SimTime::ZERO,
@@ -370,6 +441,12 @@ impl<'a> ClusterSim<'a> {
             obs: NoObs,
         };
         sim.tasks_remaining = sim.store.len();
+        sim.plan_lookups = sim.store.len() as u64;
+        if plans.is_some() {
+            sim.arena_hits = sim.plan_lookups;
+        } else {
+            sim.arena_misses = sim.plan_lookups;
+        }
         if cfg.host_mtbf_s.is_some() {
             for host in 0..cfg.n_hosts {
                 sim.schedule_host_failure(host);
@@ -394,8 +471,13 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
         // Events already in the heap (the initial host-failure wave,
         // scheduled at construction under the previous observer) transfer
         // their scheduled-count to the incoming observer, preserving the
-        // popped == scheduled − stale accounting identity.
+        // popped == scheduled − stale accounting identity. Build-time
+        // kill-plan lookups transfer the same way, so the arena identity
+        // (hits + misses == lookups) holds for cluster cells.
         obs.incr(Counter::EventsScheduled, self.queue.len() as u64);
+        obs.incr(Counter::PlanLookups, self.plan_lookups);
+        obs.incr(Counter::ArenaHits, self.arena_hits);
+        obs.incr(Counter::ArenaMisses, self.arena_misses);
         ClusterSim {
             cfg: self.cfg,
             trace: self.trace,
@@ -415,8 +497,12 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
             metrics_mode: self.metrics_mode,
             ckpt_durations: self.ckpt_durations,
             ckpt_stats: self.ckpt_stats,
+            ckpt_sketch: self.ckpt_sketch,
             max_concurrent: self.max_concurrent,
             host_failures: self.host_failures,
+            plan_lookups: self.plan_lookups,
+            arena_hits: self.arena_hits,
+            arena_misses: self.arena_misses,
             tasks_remaining: self.tasks_remaining,
             last_activity: self.last_activity,
             now: self.now,
@@ -736,6 +822,7 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
         self.store.durable[ti] = pos;
         self.store.controller[ti].on_checkpoint_complete(pos);
         self.ckpt_stats.add(duration);
+        self.ckpt_sketch.add(duration);
         if self.metrics_mode == MetricsMode::Full {
             self.ckpt_durations.push(duration);
         }
@@ -1030,6 +1117,7 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
             jobs,
             checkpoint_durations: self.ckpt_durations,
             checkpoint_stats: self.ckpt_stats,
+            checkpoint_sketch: self.ckpt_sketch,
             max_concurrent_checkpoints: self.max_concurrent,
             makespan: self.last_activity,
             host_failures: self.host_failures,
@@ -1135,6 +1223,7 @@ mod tests {
         }
 
         let (trace, est) = setup(60, 31);
+        let plans = FailurePlanArena::build(&trace);
         let cases: Vec<(&str, ClusterConfig, PolicyConfig, u64)> = vec![
             (
                 "default_formula3",
@@ -1216,6 +1305,33 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(counters.get(Counter::EventsPopped), observed.events);
             assert_eq!(counters.get(Counter::HostFailures), observed.host_failures);
+            // Fresh sampling attributes every build-time kill-plan lookup
+            // as a miss (one lookup per task), satisfying the arena
+            // identity `hits + misses == lookups` on cluster cells.
+            let tasks = trace.task_count() as u64;
+            assert_eq!(counters.get(Counter::PlanLookups), tasks, "{name}");
+            assert_eq!(counters.get(Counter::ArenaMisses), tasks, "{name}");
+            assert_eq!(counters.get(Counter::ArenaHits), 0, "{name}");
+
+            // Routing kills through the shared plan arena is byte-identical
+            // (the arena holds the same draws from the same streams), and
+            // every lookup becomes a hit.
+            let (arena_run, arena_status, arena_counters) =
+                ClusterSim::with_plans(cfg, &trace, &est, policy, &plans)
+                    .with_observer(ckpt_obs::Counters::new())
+                    .run_observed(SimBudget::UNLIMITED, |_| {});
+            assert_eq!(arena_status, RunStatus::Completed);
+            assert_eq!(
+                digest(&arena_run),
+                expected,
+                "{name}: arena-routed kills diverged from fresh sampling"
+            );
+            arena_counters
+                .verify_invariants(true)
+                .unwrap_or_else(|e| panic!("{name} (arena): {e}"));
+            assert_eq!(arena_counters.get(Counter::PlanLookups), tasks, "{name}");
+            assert_eq!(arena_counters.get(Counter::ArenaHits), tasks, "{name}");
+            assert_eq!(arena_counters.get(Counter::ArenaMisses), 0, "{name}");
         }
 
         // The failure-model layer must not perturb the default path: a
@@ -1289,6 +1405,11 @@ mod tests {
             assert_eq!(digest(&r), digest(&again), "{name}: nondeterministic");
             assert_eq!(digest(&r), expected, "{name}: digest drifted");
             assert!(r.host_failures > 0, "{name}: no host failures injected");
+            // Arena-routed kills reproduce the hazard-model digests too.
+            let plans = FailurePlanArena::build(&trace);
+            let arena_run =
+                ClusterSim::with_plans(cfg, &trace, &est, PolicyConfig::formula3(), &plans).run();
+            assert_eq!(digest(&arena_run), expected, "{name}: arena diverged");
             // Hazard paths under a counting observer: identical bits,
             // valid accounting.
             let (observed, _, counters) =
@@ -1334,6 +1455,18 @@ mod tests {
         );
         let naive_sum: f64 = full.checkpoint_durations.iter().sum();
         assert!((full.checkpoint_stats.total - naive_sum).abs() < 1e-9);
+        // The duration sketch is identical in both modes and its median
+        // tracks the exact one within the documented bound.
+        assert_eq!(full.checkpoint_sketch, streaming.checkpoint_sketch);
+        let mut sorted = full.checkpoint_durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact_p50 = sorted[((0.5 * sorted.len() as f64).ceil() as usize).max(1) - 1];
+        let p50 = streaming.checkpoint_sketch.quantile(0.5);
+        assert!(
+            (p50 - exact_p50).abs()
+                <= streaming.checkpoint_sketch.relative_error_bound() * exact_p50,
+            "sketch p50 {p50} vs exact {exact_p50}"
+        );
     }
 
     #[test]

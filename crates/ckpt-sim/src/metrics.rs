@@ -11,6 +11,7 @@
 
 use crate::task_sim::TaskOutcome;
 use ckpt_stats::ecdf::Ecdf;
+use ckpt_stats::sketch::QuantileSketch;
 use ckpt_stats::summary::OnlineStats;
 use ckpt_trace::gen::JobStructure;
 use std::collections::HashMap;
@@ -115,6 +116,40 @@ impl StreamSummary {
         } else {
             self.total / self.count as f64
         }
+    }
+}
+
+/// A [`StreamSummary`] paired with a mergeable quantile sketch: the
+/// constant-memory per-metric accumulator the streaming sweep path folds,
+/// now carrying real p50/p99. Merging is deterministic for any thread
+/// count: the summary is merged in fixed block order and the sketch's
+/// merge is exactly associative/commutative (integer bucket counts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamDist {
+    /// Count/total/min/max moments.
+    pub stats: StreamSummary,
+    /// Log-spaced quantile sketch over the same observations.
+    pub sketch: QuantileSketch,
+}
+
+impl StreamDist {
+    /// An empty distribution accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one observation into both the moments and the sketch.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        self.stats.add(v);
+        self.sketch.add(v);
+    }
+
+    /// Merge another accumulator in (callers merge in a fixed order so
+    /// float totals stay deterministic; the sketch merge is order-free).
+    pub fn merge(&mut self, other: &StreamDist) {
+        self.stats.merge(&other.stats);
+        self.sketch.merge(&other.sketch);
     }
 }
 

@@ -29,7 +29,7 @@
 //! scale and beyond the rescan used to dominate the replay itself.
 
 use crate::blcr::BlcrModel;
-use crate::metrics::{JobRecord, StreamSummary};
+use crate::metrics::{JobRecord, StreamDist};
 use crate::policy::{plan_task, Estimates, PolicyConfig};
 use crate::task_sim::{simulate_task_queued, ExecFlip, TaskSimSpec};
 use ckpt_obs::{Counter, Counters, NoObs, Observer, SharedCounters};
@@ -400,39 +400,49 @@ pub fn run_trace_counted(
 
 /// Streaming per-metric summaries of one whole-trace replay — the fast
 /// path's [`crate::cluster::MetricsMode::Streaming`] analog: per-job
-/// records fold into constant-size [`StreamSummary`] accumulators as they
+/// records fold into constant-size [`StreamDist`] accumulators (moments
+/// plus a mergeable quantile sketch, so p50/p99 survive the fold) as they
 /// are produced, and the record vector never materializes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayStats {
     /// Jobs replayed.
     pub jobs: u64,
     /// Per-job WPR (`total_work / total_wall`).
-    pub wpr: StreamSummary,
+    pub wpr: StreamDist,
     /// Per-job wall clock (seconds).
-    pub wall: StreamSummary,
+    pub wall: StreamDist,
     /// Per-job checkpoint-writing time (seconds).
-    pub checkpoint_time: StreamSummary,
+    pub checkpoint_time: StreamDist,
     /// Per-job rollback loss (seconds).
-    pub rollback_loss: StreamSummary,
+    pub rollback_loss: StreamDist,
     /// Per-job restart overhead (seconds).
-    pub restart_time: StreamSummary,
+    pub restart_time: StreamDist,
     /// Per-job failure count.
-    pub failures: StreamSummary,
+    pub failures: StreamDist,
     /// Per-job durable checkpoint count.
-    pub checkpoints: StreamSummary,
+    pub checkpoints: StreamDist,
+}
+
+impl Default for ReplayStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ReplayStats {
-    fn new() -> Self {
+    /// An empty accumulator (zero jobs, every stream empty) — the fold
+    /// seed for both the fast streaming path and the sweep executor's
+    /// cluster streaming fold.
+    pub fn new() -> Self {
         Self {
             jobs: 0,
-            wpr: StreamSummary::new(),
-            wall: StreamSummary::new(),
-            checkpoint_time: StreamSummary::new(),
-            rollback_loss: StreamSummary::new(),
-            restart_time: StreamSummary::new(),
-            failures: StreamSummary::new(),
-            checkpoints: StreamSummary::new(),
+            wpr: StreamDist::new(),
+            wall: StreamDist::new(),
+            checkpoint_time: StreamDist::new(),
+            rollback_loss: StreamDist::new(),
+            restart_time: StreamDist::new(),
+            failures: StreamDist::new(),
+            checkpoints: StreamDist::new(),
         }
     }
 
@@ -665,11 +675,21 @@ mod tests {
         for threads in [1, 3] {
             let stats = run_trace_stream(&trace, &est, &cfg, RunOptions { threads }, None);
             assert_eq!(stats.jobs as usize, full.len());
-            assert_eq!(stats.wall.count, full.len() as u64);
+            assert_eq!(stats.wall.stats.count, full.len() as u64);
             let max_wall = full.iter().fold(0.0f64, |m, r| m.max(r.total_wall));
-            assert_eq!(stats.wall.max, max_wall);
+            assert_eq!(stats.wall.stats.max, max_wall);
+            assert_eq!(stats.wall.sketch.max(), max_wall);
             let mean_wpr = metrics::mean_wpr(&full);
-            assert!((stats.wpr.mean() - mean_wpr).abs() < 1e-9);
+            assert!((stats.wpr.stats.mean() - mean_wpr).abs() < 1e-9);
+            // Sketch-backed p50 tracks the exact median within the bound.
+            let mut walls: Vec<f64> = full.iter().map(|r| r.total_wall).collect();
+            walls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let exact_p50 = walls[((0.5 * walls.len() as f64).ceil() as usize).max(1) - 1];
+            let p50 = stats.wall.sketch.quantile(0.5);
+            assert!(
+                (p50 - exact_p50).abs() <= stats.wall.sketch.relative_error_bound() * exact_p50,
+                "p50 {p50} vs exact {exact_p50}"
+            );
         }
         // Thread invariance is exact (fixed fold blocks).
         let a = run_trace_stream(&trace, &est, &cfg, RunOptions { threads: 1 }, None);

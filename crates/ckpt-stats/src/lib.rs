@@ -23,6 +23,10 @@
 //! * **Empirical machinery** ([`ecdf`], [`histogram`], [`summary`]) —
 //!   empirical CDFs and quantiles (every CDF plot in the paper), histograms,
 //!   and numerically stable online moments.
+//! * **Quantile sketch** ([`sketch`]) — a deterministic mergeable
+//!   log-spaced histogram with exact rank selection and a documented
+//!   relative value-error bound, so streaming sweeps can export p50/p99
+//!   that are bit-identical at any thread count.
 //! * **Mixtures** ([`mixture`]) — two-component mixtures used by the trace
 //!   generator to reproduce the paper's observation that failure intervals
 //!   have a short-interval body (63 % below 1000 s) and a Pareto tail that
@@ -55,12 +59,14 @@ pub mod fit;
 pub mod histogram;
 pub mod mixture;
 pub mod rng;
+pub mod sketch;
 pub mod solve;
 pub mod summary;
 
 pub use dist::{ContinuousDist, DiscreteDist};
 pub use ecdf::Ecdf;
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+pub use sketch::QuantileSketch;
 pub use summary::{OnlineStats, Summary};
 
 /// Crate-wide error type for invalid statistical parameters or inputs.

@@ -1,0 +1,180 @@
+//! Property-based tests of the mergeable quantile sketch behind
+//! `metrics = "streaming"`: the merge-monoid laws that make per-worker
+//! folds thread-count-invariant, the documented rank-error bound against
+//! exact nearest-rank quantiles on heavy-tailed samples, and byte-level
+//! round-trips through both the sketch codec and the sweep cell codec.
+
+use cloud_ckpt::scenario::ckpt::{decode_cell, encode_cell};
+use cloud_ckpt::scenario::{CellResult, MetricSummary};
+use cloud_ckpt::sim::metrics::StreamDist;
+use cloud_ckpt::stats::rng::{Rng64, Xoshiro256StarStar};
+use cloud_ckpt::stats::QuantileSketch;
+use proptest::prelude::*;
+
+/// Inverse-transform samples from the paper's heavy-tailed family —
+/// exponential, Weibull, Pareto — plus a signed variant that exercises
+/// the sketch's negative store and zero bucket.
+fn sample(dist: usize, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::stream(seed, dist as u64);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64_open();
+            match dist % 4 {
+                0 => -u.ln() * 3.5,                   // exponential, scale 3.5
+                1 => 2.0 * (-u.ln()).powf(1.0 / 0.7), // Weibull, shape 0.7
+                2 => 1.5 * u.powf(-1.0 / 1.5),        // Pareto, shape 1.5
+                _ => {
+                    // Signed + exact zeros: exponential magnitudes with a
+                    // random sign, one value in eight forced to 0.
+                    let v = -u.ln() * 2.0;
+                    match rng.next_range(8) {
+                        0 => 0.0,
+                        r if r < 4 => -v,
+                        _ => v,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Exact nearest-rank quantile (the same rule `MetricSummary` uses).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[idx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merge is a commutative monoid with the empty sketch as identity:
+    /// the exact algebraic contract that makes folding per-worker
+    /// sketches at join points order- and thread-count-invariant.
+    #[test]
+    fn merge_is_commutative_associative_with_identity(
+        seed in 0u64..1_000,
+        dist in 0usize..4,
+        na in 0usize..200,
+        nb in 0usize..200,
+        nc in 0usize..200,
+    ) {
+        let a = QuantileSketch::from_values(&sample(dist, na, seed));
+        let b = QuantileSketch::from_values(&sample(dist, nb, seed ^ 0x9E37));
+        let c = QuantileSketch::from_values(&sample(dist, nc, seed ^ 0x79B9));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut a_e = a.clone();
+        a_e.merge(&QuantileSketch::new());
+        prop_assert_eq!(&a_e, &a);
+        let mut e_a = QuantileSketch::new();
+        e_a.merge(&a);
+        prop_assert_eq!(&e_a, &a);
+    }
+
+    /// Sketch-of-concatenation == merge-of-sketches, byte for byte — so
+    /// any blocking of a stream (the fast path's fold blocks, the cluster
+    /// fold, a future distributed fold) yields the identical sketch.
+    #[test]
+    fn sketch_of_concat_equals_merge_of_sketches(
+        seed in 0u64..1_000,
+        dist in 0usize..4,
+        split in 0usize..400,
+        n in 0usize..400,
+    ) {
+        let values = sample(dist, n, seed);
+        let cut = split.min(values.len());
+        let whole = QuantileSketch::from_values(&values);
+        let mut parts = QuantileSketch::from_values(&values[..cut]);
+        parts.merge(&QuantileSketch::from_values(&values[cut..]));
+        prop_assert_eq!(&whole, &parts);
+        prop_assert_eq!(whole.to_bytes(), parts.to_bytes());
+    }
+
+    /// Every quantile of every heavy-tailed sample lands within the
+    /// documented relative error bound of the exact nearest-rank value
+    /// (rank is exact; only the reported value is quantized).
+    #[test]
+    fn quantiles_within_documented_rank_error_bound(
+        seed in 0u64..1_000,
+        dist in 0usize..3,
+        n in 1usize..500,
+    ) {
+        let values = sample(dist, n, seed);
+        let sketch = QuantileSketch::from_values(&values);
+        let bound = sketch.relative_error_bound();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = sketch.quantile(q);
+            prop_assert!(
+                (got - exact).abs() <= bound * exact.abs() + 1e-11,
+                "q={} got={} exact={} bound={}", q, got, exact, bound
+            );
+        }
+    }
+
+    /// The sketch codec round-trips exactly: `from_bytes(to_bytes(s))`
+    /// reproduces the sketch (and its serialization) byte for byte.
+    #[test]
+    fn bytes_round_trip_is_exact(
+        seed in 0u64..1_000,
+        dist in 0usize..4,
+        n in 0usize..400,
+    ) {
+        let sketch = QuantileSketch::from_values(&sample(dist, n, seed));
+        let bytes = sketch.to_bytes();
+        let back = QuantileSketch::from_bytes(&bytes).expect("valid codec bytes");
+        prop_assert_eq!(&back, &sketch);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// Sketch-backed streaming summaries survive the sweep cell codec —
+    /// the exact path a checkpointed streaming sweep takes through
+    /// ckpt-store on kill-and-resume.
+    #[test]
+    fn sketch_summaries_round_trip_through_cell_codec(
+        seed in 0u64..1_000,
+        dist in 0usize..3,
+        n in 1usize..300,
+        index in 0usize..64,
+    ) {
+        let mut stream = StreamDist::new();
+        for v in sample(dist, n, seed) {
+            stream.add(v);
+        }
+        let cell = CellResult {
+            index,
+            params: vec![("policy".into(), "formula3".into())],
+            metrics: vec![
+                ("wpr", MetricSummary::from_stream(&stream)),
+                ("queue_wait_s", MetricSummary::from_stream(&stream)),
+            ],
+        };
+        let decoded = decode_cell(index, &encode_cell(&cell)).expect("payload decodes");
+        prop_assert_eq!(&decoded, &cell);
+        // Bit-exact percentiles, not just PartialEq (NaN-free here).
+        prop_assert_eq!(
+            decoded.metrics[0].1.p50.to_bits(),
+            cell.metrics[0].1.p50.to_bits()
+        );
+        prop_assert_eq!(
+            decoded.metrics[0].1.p99.to_bits(),
+            cell.metrics[0].1.p99.to_bits()
+        );
+    }
+}

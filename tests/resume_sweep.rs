@@ -39,6 +39,25 @@ policy = ["formula3", "young", "daly", "none"]
 ckpt_cost_scale = { from = 0.25, to = 8.0, steps = 6, log = true }
 "#;
 
+/// The acceptance-grid shape in streaming-metrics mode (`sample = "all"`
+/// as streaming requires): exercises the sketch-backed p50/p99 through
+/// the checkpoint store on kill-and-resume.
+const GRID_STREAMING: &str = r#"
+[sweep]
+name = "policy_x_ckpt_cost"
+engine = "fast"
+seed = 20130217
+jobs = 120
+
+[scenario]
+sample = "all"
+metrics = "streaming"
+
+[axes]
+policy = ["formula3", "young", "daly", "none"]
+ckpt_cost_scale = { from = 0.25, to = 8.0, steps = 6, log = true }
+"#;
+
 /// A small grid for the failure-path tests.
 const SMALL: &str = r#"
 [sweep]
@@ -188,6 +207,96 @@ fn killed_sweeps_resume_to_byte_identical_outputs() {
         );
 
         for d in [&ckpt_dir, &out_dir, &tel_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+#[test]
+fn killed_streaming_sweeps_resume_to_byte_identical_outputs() {
+    let spec = write_spec("stream_grid_spec", GRID_STREAMING);
+
+    // Uninterrupted streaming reference run. The sketch-backed p50/p99
+    // must be populated in the export (non-empty, no nulls for wpr).
+    let clean_dir = tmp("stream_grid_clean");
+    let out = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&clean_dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (clean_csv, clean_json) = read_outputs(&clean_dir, "policy_x_ckpt_cost");
+    let csv_text = String::from_utf8_lossy(&clean_csv);
+    let wpr_row = csv_text
+        .lines()
+        .find(|l| l.contains(",wpr,"))
+        .expect("wpr metric row present");
+    for col in wpr_row.split(',').skip(4) {
+        assert!(
+            col.parse::<f64>().map(|v| !v.is_nan()).unwrap_or(false),
+            "streaming export must carry populated statistics: {wpr_row}"
+        );
+    }
+
+    // Kill mid-grid and at the tail, resuming across thread counts: the
+    // sketch-derived summaries must round-trip the store byte-exactly.
+    for (k, crash_threads, resume_threads) in [(12u64, "4", "1"), (23, "1", "4")] {
+        let case = format!("stream_k{k}_t{resume_threads}");
+        let ckpt_dir = tmp(&format!("stream_ckpt_{case}"));
+        let out_dir = tmp(&format!("stream_out_{case}"));
+
+        let crash = cli()
+            .args(["sweep", "--threads", crash_threads, "--spec"])
+            .arg(&spec)
+            .arg("--out")
+            .arg(&out_dir)
+            .arg("--checkpoint-dir")
+            .arg(&ckpt_dir)
+            .env("CKPT_CRASH_AFTER_CELLS", k.to_string())
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            crash.status.code(),
+            Some(CRASH_CODE),
+            "case {case}: {}",
+            String::from_utf8_lossy(&crash.stderr)
+        );
+
+        let resume = cli()
+            .args(["sweep", "--threads", resume_threads, "--spec"])
+            .arg(&spec)
+            .arg("--out")
+            .arg(&out_dir)
+            .arg("--checkpoint-dir")
+            .arg(&ckpt_dir)
+            .arg("--resume")
+            .output()
+            .expect("binary runs");
+        assert!(
+            resume.status.success(),
+            "case {case}: {}",
+            String::from_utf8_lossy(&resume.stderr)
+        );
+
+        let (csv, json) = read_outputs(&out_dir, "policy_x_ckpt_cost");
+        assert_eq!(
+            csv, clean_csv,
+            "case {case}: resumed streaming CSV must be byte-identical"
+        );
+        assert_eq!(
+            json, clean_json,
+            "case {case}: resumed streaming JSON must be byte-identical"
+        );
+
+        for d in [&ckpt_dir, &out_dir] {
             std::fs::remove_dir_all(d).ok();
         }
     }

@@ -8,7 +8,8 @@
 //! the full-size runs are `--scale stress` / direct `cloud-ckpt sweep`.
 
 use ckpt_report::{RunContext, Scale};
-use ckpt_scenario::{run_sweep_ctx, to_frame, SweepSpec};
+use ckpt_scenario::spec::MetricsChoice;
+use ckpt_scenario::{run_sweep_ctx, to_frame, SampleFilter, SweepSpec};
 
 fn spec_frames(path: &str, threads: usize) -> (String, String) {
     let text = std::fs::read_to_string(path).expect("spec file readable");
@@ -17,6 +18,77 @@ fn spec_frames(path: &str, threads: usize) -> (String, String) {
     let result = run_sweep_ctx(&sweep, &ctx).expect("sweep runs");
     let frame = to_frame(&sweep, &result);
     (frame.to_csv(), frame.to_json())
+}
+
+/// Load a spec and force the pass-through aggregation settings streaming
+/// mode requires (`sample = "all"`, no record filters), returning
+/// otherwise-identical full and streaming variants of the same sweep.
+fn streaming_pair(path: &str) -> (SweepSpec, SweepSpec) {
+    let text = std::fs::read_to_string(path).expect("spec file readable");
+    let mut sweep = SweepSpec::from_str(&text).expect("spec parses");
+    sweep.base.sample = SampleFilter::All;
+    sweep.base.structure = None;
+    sweep.base.priority = None;
+    sweep.base.max_task_length = None;
+    let mut full = sweep.clone();
+    full.base.metrics = MetricsChoice::Full;
+    sweep.base.metrics = MetricsChoice::Streaming;
+    (full, sweep)
+}
+
+/// Differential guard: streaming cells must agree with full-record cells
+/// exactly on count/min/max, to float-association noise on the mean, and
+/// within the sketch's documented relative error bound on p50/p99 — and
+/// the streaming frames must be byte-identical across thread counts.
+fn assert_streaming_matches_full(path: &str) {
+    let (full, streaming) = streaming_pair(path);
+    let ctx = RunContext::new(Scale::Quick).with_threads(1);
+    let a = run_sweep_ctx(&full, &ctx).expect("full sweep runs");
+    let b = run_sweep_ctx(&streaming, &ctx).expect("streaming sweep runs");
+    let bound = cloud_ckpt::stats::QuantileSketch::new().relative_error_bound();
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.metrics.len(), cb.metrics.len(), "{path}");
+        for ((name_a, ma), (name_b, mb)) in ca.metrics.iter().zip(&cb.metrics) {
+            assert_eq!(name_a, name_b, "{path}");
+            assert_eq!(ma.count, mb.count, "{path}:{name_a}");
+            assert_eq!(ma.min.to_bits(), mb.min.to_bits(), "{path}:{name_a}");
+            assert_eq!(ma.max.to_bits(), mb.max.to_bits(), "{path}:{name_a}");
+            let mean_tol = 1e-12 * ma.mean.abs().max(1.0);
+            assert!(
+                (ma.mean - mb.mean).abs() <= mean_tol,
+                "{path}:{name_a} mean {} vs {}",
+                ma.mean,
+                mb.mean
+            );
+            for (exact, sketched) in [(ma.p50, mb.p50), (ma.p99, mb.p99)] {
+                assert!(
+                    (sketched - exact).abs() <= bound * exact.abs() + 1e-9,
+                    "{path}:{name_a} sketched {sketched} vs exact {exact}"
+                );
+            }
+        }
+    }
+    // Byte-identity of the rendered streaming frames at 1/4/8 threads.
+    let frame1 = {
+        let f = to_frame(&streaming, &b);
+        (f.to_csv(), f.to_json())
+    };
+    for threads in [4, 8] {
+        let ctx_t = RunContext::new(Scale::Quick).with_threads(threads);
+        let bt = run_sweep_ctx(&streaming, &ctx_t).expect("streaming sweep runs");
+        let ft = to_frame(&streaming, &bt);
+        assert_eq!(
+            frame1.0,
+            ft.to_csv(),
+            "{path} CSV differs at {threads} threads"
+        );
+        assert_eq!(
+            frame1.1,
+            ft.to_json(),
+            "{path} JSON differs at {threads} threads"
+        );
+    }
 }
 
 #[test]
@@ -46,6 +118,25 @@ fn stress_long_tasks_frames_are_thread_invariant() {
         mean > 10_000.0,
         "long-task mean wall {mean} suspiciously low"
     );
+}
+
+#[test]
+fn streaming_differential_acceptance_grid() {
+    // The acceptance grid (fast engine, 24 cells), with its
+    // failure-prone filter lifted to the pass-through settings streaming
+    // requires.
+    assert_streaming_matches_full("specs/policy_x_ckpt_cost.toml");
+}
+
+#[test]
+fn streaming_differential_stress_fleet() {
+    // Cluster engine: the DES job records fold through the same sketch.
+    assert_streaming_matches_full("specs/stress_fleet.toml");
+}
+
+#[test]
+fn streaming_differential_stress_long_tasks() {
+    assert_streaming_matches_full("specs/stress_long_tasks.toml");
 }
 
 #[test]
