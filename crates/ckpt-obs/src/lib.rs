@@ -91,12 +91,18 @@ pub enum Counter {
     CellsResumed,
     /// Cell records appended to a checkpoint store.
     CkptRecordsWritten,
+    /// Conservative time windows completed by a sharded cluster run
+    /// (one per barrier, regardless of shard count).
+    ShardWindows,
+    /// Per-shard metric folds performed at window barriers
+    /// (`shards − 1` per window: shard 0 is the fold seed).
+    ShardMerges,
     /// Peak length of the DES future-event heap (max-merged).
     HeapPeak,
 }
 
 /// Number of counters in the catalog.
-pub const N_COUNTERS: usize = 19;
+pub const N_COUNTERS: usize = 21;
 
 /// All counters, in catalog (display/merge) order.
 pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
@@ -118,6 +124,8 @@ pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::CellsSkipped,
     Counter::CellsResumed,
     Counter::CkptRecordsWritten,
+    Counter::ShardWindows,
+    Counter::ShardMerges,
     Counter::HeapPeak,
 ];
 
@@ -143,6 +151,8 @@ impl Counter {
             Counter::CellsSkipped => "cells_skipped",
             Counter::CellsResumed => "cells_resumed",
             Counter::CkptRecordsWritten => "ckpt_records_written",
+            Counter::ShardWindows => "shard_windows",
+            Counter::ShardMerges => "shard_merges",
             Counter::HeapPeak => "heap_peak",
         }
     }
@@ -176,6 +186,12 @@ pub trait Observer: Default + Send {
 
     /// Current value of a counter (0 for [`NoObs`]).
     fn get(&self, c: Counter) -> u64;
+
+    /// Fold another cell of the same observer type in (sum / max per
+    /// counter kind). The sharded cluster runner drains per-shard cells
+    /// through this at every window barrier, in shard order; a no-op for
+    /// [`NoObs`].
+    fn merge_from(&mut self, other: &Self);
 }
 
 /// The disabled observer: zero-sized, every method compiles to nothing.
@@ -195,6 +211,9 @@ impl Observer for NoObs {
     fn get(&self, _c: Counter) -> u64 {
         0
     }
+
+    #[inline(always)]
+    fn merge_from(&mut self, _other: &Self) {}
 }
 
 /// A per-worker counter cell: a plain `u64` array, allocation-free and
@@ -232,6 +251,11 @@ impl Observer for Counters {
     #[inline(always)]
     fn get(&self, c: Counter) -> u64 {
         self.vals[c as usize]
+    }
+
+    #[inline(always)]
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
     }
 }
 
@@ -291,6 +315,48 @@ impl Counters {
         if hits + misses != lookups {
             return Err(format!(
                 "arena_hits ({hits}) + arena_misses ({misses}) != plan_lookups ({lookups})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Check the sharded-run accounting identities against a known shard
+    /// count and total cluster event count (for runs that executed
+    /// exactly one sharded cluster simulation):
+    ///
+    /// * `shard_merges == shard_windows × (shards − 1)` — every window
+    ///   barrier folds every non-seed shard exactly once;
+    /// * `events_popped == cluster_events` — the per-shard
+    ///   `events_popped` cells sum (commutatively) to the cluster total;
+    /// * an unsharded run (`shards <= 1`) records no windows or merges.
+    ///
+    /// Returns a message naming the violated identity.
+    pub fn verify_shard_invariants(&self, shards: u64, cluster_events: u64) -> Result<(), String> {
+        let g = |c: Counter| self.vals[c as usize];
+        let (windows, merges, popped) = (
+            g(Counter::ShardWindows),
+            g(Counter::ShardMerges),
+            g(Counter::EventsPopped),
+        );
+        if shards <= 1 {
+            if windows != 0 || merges != 0 {
+                return Err(format!(
+                    "unsharded run recorded shard_windows ({windows}) / \
+                     shard_merges ({merges})"
+                ));
+            }
+            return Ok(());
+        }
+        if merges != windows * (shards - 1) {
+            return Err(format!(
+                "shard_merges ({merges}) != shard_windows ({windows}) * \
+                 (shards - 1) ({})",
+                shards - 1
+            ));
+        }
+        if popped != cluster_events {
+            return Err(format!(
+                "events_popped ({popped}) != cluster event total ({cluster_events})"
             ));
         }
         Ok(())
@@ -727,6 +793,30 @@ mod tests {
         partial.incr(Counter::CkptRecordsWritten, 23);
         let err = partial.verify_sweep_invariants(24).unwrap_err();
         assert!(err.contains("ckpt_records_written"), "{err}");
+    }
+
+    #[test]
+    fn shard_invariants_detect_violations() {
+        // A 4-shard run over 3 windows: 3 × (4 − 1) = 9 merges.
+        let mut ok = Counters::new();
+        ok.incr(Counter::ShardWindows, 3);
+        ok.incr(Counter::ShardMerges, 9);
+        ok.incr(Counter::EventsPopped, 1000);
+        assert!(ok.verify_shard_invariants(4, 1000).is_ok());
+
+        let err = ok.verify_shard_invariants(4, 999).unwrap_err();
+        assert!(err.contains("events_popped"), "{err}");
+
+        let mut bad = ok;
+        bad.incr(Counter::ShardMerges, 1);
+        let err = bad.verify_shard_invariants(4, 1000).unwrap_err();
+        assert!(err.contains("shard_merges"), "{err}");
+
+        // Unsharded runs must record no window machinery at all.
+        let plain = Counters::new();
+        assert!(plain.verify_shard_invariants(1, 42).is_ok());
+        let err = ok.verify_shard_invariants(1, 1000).unwrap_err();
+        assert!(err.contains("unsharded"), "{err}");
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct RunContext {
     /// in the engines and outputs are byte-identical to an
     /// uninstrumented build.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Cluster shard count override (`--shards`). `None` leaves whatever
+    /// the spec says; `Some(s)` forces every cluster replay under this
+    /// context to partition its host fleet into `s` shards. Results
+    /// depend on the shard count (it is part of the replay identity),
+    /// never on the thread count.
+    pub shards: Option<usize>,
 }
 
 impl RunContext {
@@ -116,6 +122,7 @@ impl RunContext {
             threads: 0,
             sink: Sink::table(),
             telemetry: None,
+            shards: None,
         }
     }
 
@@ -129,6 +136,7 @@ impl RunContext {
             threads: 0,
             sink: Sink::table(),
             telemetry: None,
+            shards: None,
         })
     }
 
@@ -155,6 +163,13 @@ impl RunContext {
     /// progress sink).
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Override the cluster shard count for every cluster replay run
+    /// under this context.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
         self
     }
 

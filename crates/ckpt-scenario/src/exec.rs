@@ -28,6 +28,7 @@ use ckpt_sim::runner::{
     parallel_indexed, run_trace_counted, run_trace_stream, run_trace_stream_counted,
     run_trace_with_plans, ReplayStats, RunOptions,
 };
+use ckpt_sim::shard::ShardedClusterSim;
 use ckpt_sim::storage::{OpId, PsResource};
 use ckpt_sim::time::SimTime;
 use ckpt_stats::rng::{Rng64, Xoshiro256StarStar};
@@ -296,26 +297,68 @@ fn replay(
             // Task kill plans come from the prep slot's shared arena —
             // one sampling pass per (trace, failure model), reused by
             // every policy/cost cell, byte-identical to fresh sampling.
-            let sim =
-                ClusterSim::with_plans(cluster_cfg, &prep.trace, &prep.estimates, cfg, &prep.plans)
-                    .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming);
-            let result = match telemetry {
-                Some(t) => {
-                    // Observed run: a Counters cell rides the DES (same
-                    // event stream, bit-identical results) and SimProgress
-                    // snapshots feed the heartbeat sink while long stress
-                    // cells run.
-                    let budget = SimBudget {
-                        progress_every: if t.progress.is_some() {
-                            CLUSTER_PROGRESS_EVERY
-                        } else {
-                            0
-                        },
-                        ..SimBudget::UNLIMITED
-                    };
-                    let mut last_events = 0u64;
-                    let (result, _status, obs) =
-                        sim.with_observer(Counters::new())
+            let result = if spec.shards > 1 {
+                // Sharded path: the host fleet splits into contiguous
+                // groups, one engine per shard on the work-stealing
+                // substrate, metric/counter folds at window barriers in
+                // shard order — results depend on `shards`, never on
+                // `threads`. `shards = 1` must stay byte-identical to the
+                // historical engine, so it takes the branch below.
+                let sim = ShardedClusterSim::new(
+                    cluster_cfg,
+                    &prep.trace,
+                    &prep.estimates,
+                    cfg,
+                    spec.shards,
+                )
+                .with_plans(&prep.plans)
+                .with_threads(threads)
+                .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming);
+                match telemetry {
+                    Some(t) => {
+                        let mut last_events = 0u64;
+                        let (result, obs) = sim
+                            .run_observed::<Counters>(|p| {
+                                if let Some(progress) = &t.progress {
+                                    progress.add_events(p.events - last_events);
+                                    last_events = p.events;
+                                    progress.beat();
+                                }
+                            })
+                            .map_err(|e| format!("key \"shards\": {e}"))?;
+                        obs.verify_shard_invariants(spec.shards as u64, result.events)
+                            .map_err(|e| format!("sharded run accounting violated: {e}"))?;
+                        t.counters.absorb(&obs);
+                        result
+                    }
+                    None => sim.run().map_err(|e| format!("key \"shards\": {e}"))?,
+                }
+            } else {
+                let sim = ClusterSim::with_plans(
+                    cluster_cfg,
+                    &prep.trace,
+                    &prep.estimates,
+                    cfg,
+                    &prep.plans,
+                )
+                .with_metrics(ckpt_sim::cluster::MetricsMode::Streaming);
+                match telemetry {
+                    Some(t) => {
+                        // Observed run: a Counters cell rides the DES (same
+                        // event stream, bit-identical results) and SimProgress
+                        // snapshots feed the heartbeat sink while long stress
+                        // cells run.
+                        let budget = SimBudget {
+                            progress_every: if t.progress.is_some() {
+                                CLUSTER_PROGRESS_EVERY
+                            } else {
+                                0
+                            },
+                            ..SimBudget::UNLIMITED
+                        };
+                        let mut last_events = 0u64;
+                        let (result, _status, obs) = sim
+                            .with_observer(Counters::new())
                             .run_observed(budget, |p| {
                                 if let Some(progress) = &t.progress {
                                     progress.add_events(p.events - last_events);
@@ -323,13 +366,14 @@ fn replay(
                                     progress.beat();
                                 }
                             });
-                    if let Some(progress) = &t.progress {
-                        progress.add_events(result.events - last_events);
+                        if let Some(progress) = &t.progress {
+                            progress.add_events(result.events - last_events);
+                        }
+                        t.counters.absorb(&obs);
+                        result
                     }
-                    t.counters.absorb(&obs);
-                    result
+                    None => sim.run(),
                 }
-                None => sim.run(),
             };
             if spec.metrics == MetricsChoice::Streaming {
                 validate_streaming(spec)?;
@@ -891,12 +935,18 @@ fn run_sweep_inner(
     } else {
         options.threads
     };
-    // Only fast-engine replays can use extra threads (the cluster DES is
-    // inherently sequential), so only they dilute the per-replay budget.
-    // Resumed runs budget over the cells they actually evaluate.
+    // Only replays that can use extra threads dilute the per-replay
+    // budget: fast-engine cells (the parallel trace runner) and sharded
+    // cluster cells (one engine per shard). Unsharded cluster DES cells
+    // are inherently sequential. Resumed runs budget over the cells they
+    // actually evaluate.
     let distinct_replays = missing
         .iter()
-        .filter(|&&i| matches!(cells[i].engine, EngineKind::Fast))
+        .filter(|&&i| match cells[i].engine {
+            EngineKind::Fast => true,
+            EngineKind::Cluster => cells[i].shards > 1,
+            _ => false,
+        })
         .map(|&i| cells[i].run_key())
         .collect::<std::collections::HashSet<_>>()
         .len();

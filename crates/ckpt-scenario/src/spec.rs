@@ -173,6 +173,12 @@ pub struct ScenarioSpec {
 
     /// Cluster engine topology/storage parameters.
     pub cluster: ClusterConfig,
+    /// Cluster engine host-group shards: 1 (the default) takes the exact
+    /// legacy single-engine path; `S > 1` partitions the host fleet into
+    /// `S` contiguous groups and runs one engine per shard in parallel
+    /// (`ckpt_sim::shard`). Must not exceed `n_hosts` — validated at
+    /// execution time, when both final values are known.
+    pub shards: usize,
 
     /// `ckpt-cost` / `contention` engines: checkpoint device.
     pub device: Device,
@@ -214,6 +220,7 @@ impl ScenarioSpec {
             priority: None,
             max_task_length: None,
             cluster: ClusterConfig::default(),
+            shards: 1,
             device: Device::Ramdisk,
             mem_mb: 160.0,
             n_checkpoints: 1,
@@ -281,7 +288,7 @@ impl ScenarioSpec {
     /// do not enter the key.
     pub fn run_key(&self) -> String {
         format!(
-            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}",
+            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{}|{:?}",
             self.engine,
             self.seed,
             self.jobs,
@@ -296,6 +303,9 @@ impl ScenarioSpec {
             self.storage,
             self.cost,
             self.cluster,
+            // Sharding changes the simulation (shard-local scheduling and
+            // per-shard RNG streams), so it is replay identity.
+            self.shards,
             self.device,
             self.mem_mb,
             self.n_checkpoints,
@@ -498,6 +508,17 @@ impl ScenarioSpec {
             // same instant forever); reject at spec time by name.
             "storage_rate" => self.cluster.storage_rate = positive(value)?,
             "host_mtbf_s" => self.cluster.host_mtbf_s = Some(positive(value)?),
+            // Zero shards has no meaning (who owns the hosts?); the upper
+            // bound (shards <= n_hosts) is checked at execution time,
+            // where the final n_hosts is known even when the two values
+            // arrive via different sweep axes.
+            "shards" => {
+                let n = count(value)? as usize;
+                if n == 0 {
+                    return Err(format!("key {key:?}: must be >= 1, got 0"));
+                }
+                self.shards = n;
+            }
 
             "device" => self.device = parse_device(text_of(key, value)?)?,
             "mem_mb" => self.mem_mb = positive(value)?,
@@ -668,6 +689,21 @@ mod tests {
         assert!(s.apply("host_mtbf_s", &Value::Num(0.0)).is_err());
         assert!(s.apply("storage_rate", &Value::Num(-1.0)).is_err());
         assert!(s.apply("host_mtbf_s", &Value::Num(3600.0)).is_ok());
+    }
+
+    #[test]
+    fn shards_key_validates_and_enters_the_run_key() {
+        let mut s = ScenarioSpec::new("c");
+        assert_eq!(s.shards, 1);
+        assert!(s.apply("shards", &Value::Num(0.0)).is_err());
+        assert!(s.apply("shards", &Value::Num(2.5)).is_err());
+        assert!(s.apply("shards", &Value::Str("four".into())).is_err());
+        let unsharded_key = s.run_key();
+        s.apply("shards", &Value::Num(4.0)).unwrap();
+        assert_eq!(s.shards, 4);
+        // Sharding changes the simulation, so cells with different shard
+        // counts must never share a replay.
+        assert_ne!(s.run_key(), unsharded_key);
     }
 
     #[test]

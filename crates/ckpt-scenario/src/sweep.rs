@@ -127,6 +127,9 @@ impl SweepSpec {
         let mut spec = self.clone();
         spec.base.seed = ctx.seed;
         spec.base.jobs = ctx.scale.jobs();
+        if let Some(shards) = ctx.shards {
+            spec.base.shards = shards;
+        }
         spec
     }
 

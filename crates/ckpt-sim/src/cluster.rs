@@ -238,6 +238,12 @@ enum Ev {
     HostFailure { host: u32 },
 }
 
+/// Stream selector of the cluster-level RNG (host-failure draws, DM-NFS
+/// server picks). The sharded runner derives per-shard streams as
+/// `CLUSTER_STREAM + shard_index`, so shard 0 reproduces the unsharded
+/// engine's stream bit-for-bit.
+pub(crate) const CLUSTER_STREAM: u64 = 0xC105;
+
 /// The cluster engine. Build with [`ClusterSim::new`], then
 /// [`ClusterSim::run`] (or [`ClusterSim::run_with`] for budgeted,
 /// observable execution, or [`ClusterSim::run_observed`] to also collect
@@ -305,7 +311,7 @@ impl<'a> ClusterSim<'a> {
         estimates: &'a Estimates,
         policy: PolicyConfig,
     ) -> Self {
-        Self::build(cfg, trace, estimates, policy, None)
+        Self::build(cfg, trace, estimates, policy, None, CLUSTER_STREAM)
     }
 
     /// [`ClusterSim::new`] drawing kill plans from a shared
@@ -322,7 +328,31 @@ impl<'a> ClusterSim<'a> {
         policy: PolicyConfig,
         plans: &FailurePlanArena,
     ) -> Self {
-        Self::build(cfg, trace, estimates, policy, Some(plans))
+        Self::build(cfg, trace, estimates, policy, Some(plans), CLUSTER_STREAM)
+    }
+
+    /// [`ClusterSim::build`] for one shard of a sharded run: the cluster
+    /// RNG stream selector is `CLUSTER_STREAM + shard_index` — derived
+    /// `(seed, shard)`-style like sweep cells — so shard 0 consumes the
+    /// exact legacy stream and every shard's draws are independent of
+    /// thread count. The stream must be fixed at construction because the
+    /// initial host-failure wave draws from it before the run starts.
+    pub(crate) fn for_shard(
+        cfg: ClusterConfig,
+        trace: &'a Trace,
+        estimates: &'a Estimates,
+        policy: PolicyConfig,
+        plans: Option<&FailurePlanArena>,
+        shard_index: u64,
+    ) -> Self {
+        Self::build(
+            cfg,
+            trace,
+            estimates,
+            policy,
+            plans,
+            CLUSTER_STREAM + shard_index,
+        )
     }
 
     fn build(
@@ -331,6 +361,7 @@ impl<'a> ClusterSim<'a> {
         estimates: &'a Estimates,
         policy: PolicyConfig,
         plans: Option<&FailurePlanArena>,
+        stream: u64,
     ) -> Self {
         let blcr = BlcrModel;
         let n_tasks: usize = trace.jobs.iter().map(|j| j.tasks.len()).sum();
@@ -423,7 +454,7 @@ impl<'a> ClusterSim<'a> {
                 .collect(),
             storage_ops: HashMap::new(),
             next_op_id: 0,
-            cluster_rng: Xoshiro256StarStar::stream(SplitMix64::mix(trace.seed), 0xC105),
+            cluster_rng: Xoshiro256StarStar::stream(SplitMix64::mix(trace.seed), stream),
             host_process: cfg.host_mtbf_s.map(|mtbf| cfg.failure_model.process(mtbf)),
             metrics_mode: MetricsMode::Full,
             ckpt_durations: Vec::new(),
@@ -877,7 +908,7 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
     }
 
     /// Peek the next event time without consuming it.
-    fn next_event_time(&self) -> Option<SimTime> {
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
         let arrival = self.arrivals.get(self.arrival_cursor).map(|&(t, _)| t);
         match (arrival, self.queue.peek_time()) {
             (Some(at), Some(qt)) => Some(at.min(qt)),
@@ -914,6 +945,32 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
         budget: SimBudget,
         mut on_progress: impl FnMut(&SimProgress),
     ) -> (ClusterRunResult, RunStatus, O) {
+        let status = self.step_budget(budget, &mut on_progress);
+        if O::ENABLED && status == RunStatus::Completed {
+            // The queue drained, so every scheduled event was popped and
+            // every provably-stale skip is accounted: the engine's event
+            // bookkeeping must balance exactly.
+            debug_assert_eq!(
+                self.obs.get(Counter::EventsPopped),
+                self.obs.get(Counter::EventsScheduled) - self.obs.get(Counter::StaleSkips),
+                "DES event accounting identity violated"
+            );
+        }
+        let obs = std::mem::take(&mut self.obs);
+        (self.into_result(status), status, obs)
+    }
+
+    /// Advance the simulation in place under a [`SimBudget`]. The engine
+    /// stays resumable after a budget stop: the sharded runner drives one
+    /// engine per shard through successive conservative time windows by
+    /// calling this with increasing `max_sim_time` horizons. Exactly the
+    /// historical event loop — a single unlimited call is the legacy
+    /// [`ClusterSim::run`] path.
+    pub(crate) fn step_budget(
+        &mut self,
+        budget: SimBudget,
+        on_progress: &mut impl FnMut(&SimProgress),
+    ) -> RunStatus {
         let mut status = RunStatus::Completed;
         // Budgets are checked only when another event actually exists, so a
         // budget of exactly the total event count still reports `Completed`.
@@ -1067,24 +1124,39 @@ impl<'a, O: Observer> ClusterSim<'a, O> {
                 });
             }
         }
+        status
+    }
 
-        if O::ENABLED && status == RunStatus::Completed {
-            // The queue drained, so every scheduled event was popped and
-            // every provably-stale skip is accounted: the engine's event
-            // bookkeeping must balance exactly.
-            debug_assert_eq!(
-                self.obs.get(Counter::EventsPopped),
-                self.obs.get(Counter::EventsScheduled) - self.obs.get(Counter::StaleSkips),
-                "DES event accounting identity violated"
-            );
-        }
-        let obs = std::mem::take(&mut self.obs);
-        (self.into_result(status), status, obs)
+    /// Drain the observer cell, leaving a fresh default in place. Window
+    /// barriers fold these drained cells into the run-level accumulator
+    /// in shard order.
+    pub(crate) fn take_obs(&mut self) -> O {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Cumulative checkpoint-duration summary so far (both metric modes).
+    pub(crate) fn ckpt_stats(&self) -> StreamStats {
+        self.ckpt_stats
+    }
+
+    /// Cumulative checkpoint-duration sketch so far (both metric modes).
+    pub(crate) fn ckpt_sketch(&self) -> &QuantileSketch {
+        &self.ckpt_sketch
+    }
+
+    /// Events processed so far.
+    pub(crate) fn events_so_far(&self) -> u64 {
+        self.events
+    }
+
+    /// Tasks completed so far.
+    pub(crate) fn tasks_done(&self) -> usize {
+        self.store.len() - self.tasks_remaining
     }
 
     /// Assemble per-job records from the store (dense ids are trace order,
     /// so one running cursor walks every job's tasks without lookups).
-    fn into_result(self, status: RunStatus) -> ClusterRunResult {
+    pub(crate) fn into_result(self, status: RunStatus) -> ClusterRunResult {
         let mut jobs = Vec::with_capacity(self.trace.jobs.len());
         let mut outcomes: Vec<TaskOutcome> = Vec::new();
         let mut lengths: Vec<f64> = Vec::new();

@@ -26,6 +26,10 @@
 //!   scheduling, VM placement, checkpoint storage contention, restart
 //!   migration — used for the contention experiments and end-to-end
 //!   validation of the fast path.
+//! * [`shard`] — the sharded cluster DES: the host fleet partitioned into
+//!   contiguous host groups, one engine per shard advancing through
+//!   conservative time windows on the work-stealing substrate, metric and
+//!   counter state folded deterministically at window barriers.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +41,7 @@ pub mod event;
 pub mod metrics;
 pub mod policy;
 pub mod runner;
+pub mod shard;
 pub mod storage;
 pub mod task_sim;
 pub mod task_store;
@@ -47,4 +52,5 @@ pub use cluster::{ClusterSim, MetricsMode, RunStatus, SimBudget, SimProgress};
 pub use metrics::{JobRecord, StreamStats};
 pub use policy::{CostTweak, Estimates, EstimatorKind, PolicyConfig, StorageChoice};
 pub use runner::{parallel_indexed, run_trace, RunOptions};
+pub use shard::{shard_of, ShardPlan, ShardedClusterSim};
 pub use time::{SimDuration, SimTime};

@@ -48,6 +48,17 @@ impl StreamStats {
             self.total / self.count as f64
         }
     }
+
+    /// Fold another summary in. Count and max merge order-free; the total
+    /// is a float sum, so deterministic consumers (the sharded cluster
+    /// runner's window barriers) must merge in a fixed order.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.count += other.count;
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
 }
 
 /// Mergeable constant-memory summary of a value stream: count, total,

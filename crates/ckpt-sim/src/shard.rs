@@ -1,0 +1,681 @@
+//! Sharded cluster DES: one simulation across all cores.
+//!
+//! The cluster engine ([`crate::cluster`]) is strictly sequential — one
+//! event loop, one core. This module partitions the host fleet into `S`
+//! contiguous host groups ("shards") and runs one [`ClusterSim`] per shard
+//! on the work-stealing substrate ([`crate::runner::parallel_indexed`]),
+//! so a single stress-scale simulation saturates the machine instead of
+//! one core.
+//!
+//! ## Partition rule
+//!
+//! * **Jobs** are assigned to shards at *trace* level: shard =
+//!   `SplitMix64::mix(job_id ^ SHARD_SALT) % S` ([`shard_of`]). The
+//!   assignment depends only on the job id and the shard count — never on
+//!   thread count or scheduling — so a fixed `shards` value produces
+//!   byte-identical results at any thread count.
+//! * **Hosts** split into contiguous groups: shard `s` owns hosts
+//!   `⌊H·s/S⌋ .. ⌊H·(s+1)/S⌋` (sizes differ by at most one). Each shard's
+//!   engine sees only its own host count, VM slots, and per-host storage
+//!   servers, so scheduling and NFS contention stay shard-local.
+//! * **RNG**: each shard's cluster-level stream is
+//!   `stream(mix(seed), CLUSTER_STREAM + shard_index)` — derived
+//!   `(seed, shard)`-style like sweep cells. Shard 0 consumes the exact
+//!   legacy stream, so a 1-shard run is bit-identical to the unsharded
+//!   engine by construction.
+//! * **Kill plans** come from the shared [`FailurePlanArena`] unchanged:
+//!   the arena is keyed by *global* task id, so per-shard sub-traces
+//!   slice it for free.
+//!
+//! ## Conservative time windows
+//!
+//! Shards exchange no events today (no cross-shard task migration), so
+//! they could run to completion independently; instead they advance
+//! through **conservative time windows**: each round, every live shard
+//! steps to a shared horizon (`earliest pending event + window`), then a
+//! barrier folds per-shard [`StreamStats`]/[`QuantileSketch`] state and
+//! `ckpt-obs` counter cells **in shard order**. The fold order is fixed,
+//! so merged frames are byte-identical at any thread count — and the
+//! window barrier is the seam where future cross-shard migration plugs
+//! in (a migrating task would be handed over between windows, keeping
+//! the no-look-ahead guarantee).
+//!
+//! Every barrier ticks [`Counter::ShardWindows`] once and
+//! [`Counter::ShardMerges`] `S − 1` times (shard 0 seeds the fold), so
+//! `shard_merges == shard_windows × (S − 1)` is a checkable invariant
+//! (`ckpt_obs::Counters::verify_shard_invariants`).
+//!
+//! ## Semantics vs. the unsharded engine
+//!
+//! With `S > 1` the simulation itself changes (that is the point —
+//! results get their own pinned digests): scheduling is shard-local
+//! (a job queues only against its own host group), DM-NFS server picks
+//! draw from per-shard streams, and whole-host failures are injected per
+//! shard. Aggregates merge deterministically: job records scatter back
+//! to global trace order, event counts and host failures sum, makespan
+//! is the max across shards, and `max_concurrent_checkpoints` is the max
+//! of the per-shard peaks (shard-local storage has no cross-shard
+//! contention to measure). Under [`MetricsMode::Full`],
+//! `checkpoint_durations` concatenates shard-major (chronological within
+//! a shard).
+
+use crate::cluster::{
+    ClusterConfig, ClusterJobRecord, ClusterRunResult, ClusterSim, MetricsMode, RunStatus,
+    SimBudget, SimProgress,
+};
+use crate::metrics::StreamStats;
+use crate::policy::{Estimates, PolicyConfig};
+use crate::runner::parallel_indexed;
+use crate::time::SimDuration;
+use ckpt_obs::{Counter, NoObs, Observer};
+use ckpt_stats::rng::SplitMix64;
+use ckpt_stats::sketch::QuantileSketch;
+use ckpt_trace::gen::Trace;
+use ckpt_trace::plan::FailurePlanArena;
+use std::sync::Mutex;
+
+/// Salt folded into the job-id hash so shard assignment is independent of
+/// every other consumer of the id space (failure streams, sweep cells).
+const SHARD_SALT: u64 = 0x5AAD_C105;
+
+/// Default conservative window width (simulated seconds). Shards exchange
+/// no events, so the width only sets the barrier (fold/progress) cadence;
+/// one simulated hour keeps barriers far rarer than events.
+pub const DEFAULT_WINDOW_S: f64 = 3_600.0;
+
+/// The shard owning a job: a pure function of `(job_id, shards)` —
+/// independent of thread count, host count, and trace order.
+pub fn shard_of(job_id: u64, shards: usize) -> usize {
+    (SplitMix64::mix(job_id ^ SHARD_SALT) % shards as u64) as usize
+}
+
+/// The trace-level partition of a sharded run: per-shard sub-traces (job
+/// subsets in original arrival order), the scatter map back to global job
+/// indices, and the contiguous host split.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// Number of shards.
+    pub shards: usize,
+    /// Per-shard sub-traces (same seed and failure model as the parent,
+    /// so global task ids keep their failure streams and arena slots).
+    pub sub_traces: Vec<Trace>,
+    /// `job_origin[s][local]` = global job index of shard `s`'s
+    /// `local`-th job.
+    pub job_origin: Vec<Vec<usize>>,
+    /// Hosts owned by each shard (contiguous groups; sums to `n_hosts`).
+    pub host_counts: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partition `trace` and `n_hosts` into `shards` groups.
+    ///
+    /// Errors when `shards == 0` or `shards > n_hosts` (a shard with zero
+    /// hosts could never place a task).
+    pub fn new(trace: &Trace, shards: usize, n_hosts: usize) -> Result<ShardPlan, String> {
+        if shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if shards > n_hosts {
+            return Err(format!(
+                "shards ({shards}) exceeds n_hosts ({n_hosts}): a shard would own zero hosts"
+            ));
+        }
+        let mut sub_jobs: Vec<Vec<_>> = vec![Vec::new(); shards];
+        let mut job_origin: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (global, job) in trace.jobs.iter().enumerate() {
+            let s = shard_of(job.id, shards);
+            sub_jobs[s].push(job.clone());
+            job_origin[s].push(global);
+        }
+        let sub_traces = sub_jobs
+            .into_iter()
+            .map(|jobs| Trace {
+                jobs,
+                seed: trace.seed,
+                failure_model: trace.failure_model,
+            })
+            .collect();
+        let host_counts = (0..shards)
+            .map(|s| n_hosts * (s + 1) / shards - n_hosts * s / shards)
+            .collect();
+        Ok(ShardPlan {
+            shards,
+            sub_traces,
+            job_origin,
+            host_counts,
+        })
+    }
+}
+
+/// A sharded cluster simulation: build with [`ShardedClusterSim::new`],
+/// configure, then [`ShardedClusterSim::run`] /
+/// [`ShardedClusterSim::run_observed`].
+pub struct ShardedClusterSim<'a> {
+    cfg: ClusterConfig,
+    trace: &'a Trace,
+    estimates: &'a Estimates,
+    policy: PolicyConfig,
+    plans: Option<&'a FailurePlanArena>,
+    shards: usize,
+    threads: usize,
+    metrics_mode: MetricsMode,
+    window_s: f64,
+}
+
+impl<'a> ShardedClusterSim<'a> {
+    /// A sharded simulation over `shards` host groups. `threads` defaults
+    /// to the shard count (capped by the substrate at available cores).
+    pub fn new(
+        cfg: ClusterConfig,
+        trace: &'a Trace,
+        estimates: &'a Estimates,
+        policy: PolicyConfig,
+        shards: usize,
+    ) -> Self {
+        ShardedClusterSim {
+            cfg,
+            trace,
+            estimates,
+            policy,
+            plans: None,
+            shards,
+            threads: shards,
+            metrics_mode: MetricsMode::Full,
+            window_s: DEFAULT_WINDOW_S,
+        }
+    }
+
+    /// Draw kill plans from a shared [`FailurePlanArena`] (keyed by global
+    /// task id, so the per-shard sub-traces slice it without copying).
+    pub fn with_plans(mut self, plans: &'a FailurePlanArena) -> Self {
+        self.plans = Some(plans);
+        self
+    }
+
+    /// Worker threads for the per-window shard advance (0 ⇒ one per
+    /// core). Thread count never changes results — only wall clock.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Metrics accumulation mode for every shard engine.
+    pub fn with_metrics(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
+        self
+    }
+
+    /// Conservative window width in simulated seconds
+    /// (default [`DEFAULT_WINDOW_S`]).
+    pub fn with_window_s(mut self, window_s: f64) -> Self {
+        self.window_s = window_s.max(1e-6);
+        self
+    }
+
+    /// Run to completion without an observer.
+    pub fn run(self) -> Result<ClusterRunResult, String> {
+        self.run_observed::<NoObs>(|_| {}).map(|(r, _)| r)
+    }
+
+    /// Run to completion, collecting merged `ckpt-obs` counters. The
+    /// window callback fires once per barrier with aggregate progress
+    /// (events and completed tasks summed across shards).
+    ///
+    /// `shards == 1` skips the window machinery entirely (one unlimited
+    /// run, no `shard_windows`/`shard_merges` ticks) and is bit-identical
+    /// to the unsharded engine.
+    pub fn run_observed<O: Observer>(
+        self,
+        mut on_window: impl FnMut(&SimProgress),
+    ) -> Result<(ClusterRunResult, O), String> {
+        let plan = ShardPlan::new(self.trace, self.shards, self.cfg.n_hosts)?;
+        let shards = plan.shards;
+        let tasks_total: usize = self.trace.jobs.iter().map(|j| j.tasks.len()).sum();
+
+        let build = |s: usize| {
+            let cfg_s = ClusterConfig {
+                n_hosts: plan.host_counts[s],
+                ..self.cfg
+            };
+            ClusterSim::for_shard(
+                cfg_s,
+                &plan.sub_traces[s],
+                self.estimates,
+                self.policy,
+                self.plans,
+                s as u64,
+            )
+            .with_metrics(self.metrics_mode)
+            .with_observer(O::default())
+        };
+
+        if shards == 1 {
+            // The exact legacy path: same trace, same stream, one engine.
+            let (result, status, obs) = build(0).run_observed(SimBudget::UNLIMITED, |_| {});
+            debug_assert_eq!(status, RunStatus::Completed);
+            on_window(&SimProgress {
+                events: result.events,
+                sim_time: result.makespan,
+                tasks_done: result.tasks_done,
+                tasks_total,
+            });
+            return Ok((result, obs));
+        }
+
+        let sims: Vec<Mutex<ClusterSim<'_, O>>> =
+            (0..shards).map(|s| Mutex::new(build(s))).collect();
+
+        let mut master = O::default();
+        let mut done = vec![false; shards];
+        loop {
+            // The conservative horizon: no shard may advance past the
+            // earliest pending event plus one window width. Shards are
+            // independent today, so this is a cadence, not a correctness
+            // bound — but it is exactly the bound cross-shard migration
+            // will need.
+            let mut earliest = None;
+            for (s, slot) in sims.iter().enumerate() {
+                if done[s] {
+                    continue;
+                }
+                if let Some(t) = slot.lock().unwrap().next_event_time() {
+                    earliest = Some(match earliest {
+                        Some(e) if e <= t => e,
+                        _ => t,
+                    });
+                }
+            }
+            let Some(earliest) = earliest else { break };
+            let horizon = earliest + SimDuration::from_secs_f64(self.window_s);
+            let budget = SimBudget {
+                max_events: None,
+                max_sim_time: Some(horizon),
+                progress_every: 0,
+            };
+
+            // Advance every live shard to the horizon in parallel. The
+            // substrate assigns indices dynamically, but each index locks
+            // exactly one engine, so results are index-deterministic.
+            let statuses = parallel_indexed(shards, self.threads, |s| {
+                if done[s] {
+                    return RunStatus::Completed;
+                }
+                sims[s].lock().unwrap().step_budget(budget, &mut |_| {})
+            });
+
+            // Barrier: fold per-shard state in shard order. Counter cells
+            // are drained (sums accumulate across windows, peaks
+            // max-merge); metric state folds cumulatively into a fresh
+            // accumulator, so `merged` is the whole-cluster view at this
+            // barrier — the frame a future cross-window exporter would
+            // emit.
+            master.tick(Counter::ShardWindows);
+            let mut merged_stats = StreamStats::default();
+            let mut merged_sketch = QuantileSketch::new();
+            let mut events_total = 0u64;
+            let mut tasks_done_total = 0usize;
+            for (s, status) in statuses.iter().enumerate() {
+                let mut sim = sims[s].lock().unwrap();
+                if s > 0 {
+                    master.tick(Counter::ShardMerges);
+                }
+                let cell = sim.take_obs();
+                master.merge_from(&cell);
+                merged_stats.merge(&sim.ckpt_stats());
+                merged_sketch.merge(sim.ckpt_sketch());
+                events_total += sim.events_so_far();
+                tasks_done_total += sim.tasks_done();
+                if !done[s] && *status == RunStatus::Completed {
+                    done[s] = true;
+                }
+            }
+            debug_assert_eq!(merged_stats.count, merged_sketch.count());
+            on_window(&SimProgress {
+                events: events_total,
+                sim_time: horizon,
+                tasks_done: tasks_done_total,
+                tasks_total,
+            });
+            if done.iter().all(|&d| d) {
+                break;
+            }
+        }
+
+        // Final merge: scatter job records back to global trace order and
+        // fold the aggregate fields in shard order.
+        let mut jobs: Vec<Option<ClusterJobRecord>> = vec![None; self.trace.jobs.len()];
+        let mut durations = Vec::new();
+        let mut stats = StreamStats::default();
+        let mut sketch = QuantileSketch::new();
+        let mut max_concurrent = 0usize;
+        let mut makespan = crate::time::SimTime::ZERO;
+        let mut host_failures = 0u64;
+        let mut events = 0u64;
+        let mut tasks_done = 0usize;
+        for (s, slot) in sims.into_iter().enumerate() {
+            let sim = slot.into_inner().unwrap();
+            let res = sim.into_result(RunStatus::Completed);
+            stats.merge(&res.checkpoint_stats);
+            sketch.merge(&res.checkpoint_sketch);
+            durations.extend(res.checkpoint_durations);
+            max_concurrent = max_concurrent.max(res.max_concurrent_checkpoints);
+            makespan = makespan.max(res.makespan);
+            host_failures += res.host_failures;
+            events += res.events;
+            tasks_done += res.tasks_done;
+            for (local, rec) in res.jobs.into_iter().enumerate() {
+                let global = plan.job_origin[s][local];
+                debug_assert!(jobs[global].is_none());
+                jobs[global] = Some(rec);
+            }
+        }
+        let jobs = jobs
+            .into_iter()
+            .map(|j| j.expect("every job belongs to exactly one shard"))
+            .collect();
+        if O::ENABLED {
+            // Per-shard `events_popped` cells sum to the cluster total.
+            debug_assert_eq!(master.get(Counter::EventsPopped), events);
+        }
+        Ok((
+            ClusterRunResult {
+                jobs,
+                checkpoint_durations: durations,
+                checkpoint_stats: stats,
+                checkpoint_sketch: sketch,
+                max_concurrent_checkpoints: max_concurrent,
+                makespan,
+                host_failures,
+                events,
+                status: RunStatus::Completed,
+                tasks_done,
+            },
+            master,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Estimates, PolicyConfig};
+    use ckpt_obs::Counters;
+    use ckpt_trace::failure::FailureModelSpec;
+    use ckpt_trace::gen::generate;
+    use ckpt_trace::spec::WorkloadSpec;
+    use ckpt_trace::stats::trace_histories;
+
+    fn setup(n: usize, seed: u64) -> (Trace, Estimates) {
+        let mut spec = WorkloadSpec::google_like(n);
+        spec.long_task_fraction = 0.0;
+        let trace = generate(&spec, seed).expect("valid workload spec");
+        let records = trace_histories(&trace);
+        (trace, Estimates::from_records(&records))
+    }
+
+    fn digest(result: &ClusterRunResult) -> u64 {
+        fn fnv(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100000001b3)
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        for j in &result.jobs {
+            h = fnv(h, j.base.job_id);
+            h = fnv(h, j.base.total_work.to_bits());
+            h = fnv(h, j.base.total_wall.to_bits());
+            h = fnv(h, j.base.failures as u64);
+            h = fnv(h, j.base.checkpoints as u64);
+            h = fnv(h, j.base.rollback_loss.to_bits());
+            h = fnv(h, j.base.checkpoint_time.to_bits());
+            h = fnv(h, j.base.restart_time.to_bits());
+            h = fnv(h, j.queue_wait.to_bits());
+            h = fnv(h, j.span.to_bits());
+        }
+        for &d in &result.checkpoint_durations {
+            h = fnv(h, d.to_bits());
+        }
+        h = fnv(h, result.max_concurrent_checkpoints as u64);
+        h = fnv(h, result.makespan.0);
+        h = fnv(h, result.host_failures);
+        h
+    }
+
+    #[test]
+    fn shard_assignment_is_a_pure_function() {
+        for shards in [1usize, 2, 3, 8] {
+            for id in 0..64u64 {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards));
+            }
+        }
+        // Not degenerate: 64 ids over 4 shards hit every shard.
+        let mut seen = [false; 4];
+        for id in 0..64u64 {
+            seen[shard_of(id, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash never reaches some shard");
+    }
+
+    #[test]
+    fn host_partition_is_contiguous_and_complete() {
+        for (hosts, shards) in [(32, 4), (128, 8), (7, 3), (5, 5)] {
+            let (trace, _) = setup(8, 1);
+            let plan = ShardPlan::new(&trace, shards, hosts).unwrap();
+            assert_eq!(plan.host_counts.len(), shards);
+            assert_eq!(plan.host_counts.iter().sum::<usize>(), hosts);
+            let (min, max) = (
+                plan.host_counts.iter().min().unwrap(),
+                plan.host_counts.iter().max().unwrap(),
+            );
+            assert!(max - min <= 1, "{hosts}/{shards}: {:?}", plan.host_counts);
+            // Every job lands in exactly one shard.
+            let assigned: usize = plan.job_origin.iter().map(Vec::len).sum();
+            assert_eq!(assigned, trace.jobs.len());
+        }
+    }
+
+    #[test]
+    fn invalid_shard_counts_are_rejected() {
+        let (trace, _) = setup(4, 2);
+        assert!(ShardPlan::new(&trace, 0, 32).is_err());
+        let err = ShardPlan::new(&trace, 33, 32).unwrap_err();
+        assert!(err.contains("n_hosts"), "{err}");
+    }
+
+    /// `shards = 1` must be bit-identical to the unsharded engine — for
+    /// every failure model, with and without a plan arena, across seeds.
+    /// Non-vacuous by construction: the 1-shard path still goes through
+    /// `ShardPlan` + `ClusterSim::for_shard`, so this pins that shard 0's
+    /// RNG stream, sub-trace, and host split reproduce the legacy run.
+    #[test]
+    fn one_shard_matches_unsharded_engine_across_failure_models() {
+        let models = [
+            FailureModelSpec::Exponential,
+            FailureModelSpec::Weibull {
+                shape: 0.7,
+                scale: 1.0,
+            },
+            FailureModelSpec::LogNormal {
+                sigma: 1.2,
+                scale: 1.0,
+            },
+            FailureModelSpec::Pareto {
+                shape: 1.5,
+                scale: 1.0,
+            },
+            FailureModelSpec::TraceReplay { scale: 1.0 },
+        ];
+        for (i, model) in models.into_iter().enumerate() {
+            let mut spec = WorkloadSpec::google_like(40);
+            spec.long_task_fraction = 0.0;
+            let seed = 77 + i as u64;
+            let trace = generate(&spec.with_failure_model(model), seed).expect("valid spec");
+            let records = trace_histories(&trace);
+            let est = Estimates::from_records(&records);
+            let cfg = ClusterConfig {
+                host_mtbf_s: Some(3_600.0),
+                failure_model: model,
+                ..ClusterConfig::default()
+            };
+            let policy = PolicyConfig::formula3();
+            let plans = FailurePlanArena::build(&trace);
+
+            let legacy = ClusterSim::with_plans(cfg, &trace, &est, policy, &plans).run();
+            let sharded = ShardedClusterSim::new(cfg, &trace, &est, policy, 1)
+                .with_plans(&plans)
+                .run()
+                .unwrap();
+            assert_eq!(
+                digest(&legacy),
+                digest(&sharded),
+                "model {model:?}: 1-shard run diverged from the unsharded engine"
+            );
+            assert_eq!(legacy.events, sharded.events, "model {model:?}");
+
+            // Fresh-sampling path too (no arena).
+            let legacy_fresh = ClusterSim::new(cfg, &trace, &est, policy).run();
+            let sharded_fresh = ShardedClusterSim::new(cfg, &trace, &est, policy, 1)
+                .run()
+                .unwrap();
+            assert_eq!(digest(&legacy_fresh), digest(&sharded_fresh), "{model:?}");
+        }
+    }
+
+    /// Fixed `shards > 1` is thread-count invariant: the partition, RNG
+    /// streams, and fold order all key off shard index, never workers.
+    #[test]
+    fn sharded_runs_are_thread_invariant() {
+        let (trace, est) = setup(60, 31);
+        let policy = PolicyConfig::formula3();
+        let cfg = ClusterConfig::default();
+        let baseline = ShardedClusterSim::new(cfg, &trace, &est, policy, 4)
+            .with_threads(1)
+            .run()
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let run = ShardedClusterSim::new(cfg, &trace, &est, policy, 4)
+                .with_threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(
+                digest(&baseline),
+                digest(&run),
+                "4-shard digest differs at {threads} threads"
+            );
+        }
+    }
+
+    /// The sharded configuration gets its own pinned digests (captured at
+    /// introduction): sharded semantics are a deliberate, stable contract,
+    /// not an accident of fold order.
+    #[test]
+    fn golden_digests_sharded() {
+        let (trace, est) = setup(60, 31);
+        let plans = FailurePlanArena::build(&trace);
+        let cases: Vec<(&str, usize, u64)> = vec![
+            ("two_shards", 2, 0x5b376b001a74cf16),
+            ("four_shards", 4, 0x21a8086bd3cc2515),
+        ];
+        for (name, shards, expected) in cases {
+            let r = ShardedClusterSim::new(
+                ClusterConfig::default(),
+                &trace,
+                &est,
+                PolicyConfig::formula3(),
+                shards,
+            )
+            .with_plans(&plans)
+            .run()
+            .unwrap();
+            assert_eq!(r.tasks_done, trace.task_count(), "{name}");
+            assert_eq!(
+                digest(&r),
+                expected,
+                "{name}: sharded digest drifted (got {:#x})",
+                digest(&r)
+            );
+        }
+    }
+
+    /// Window accounting: `shard_merges == shard_windows × (S − 1)`,
+    /// merged `events_popped` equals the cluster event total, and the
+    /// merged counters satisfy the per-shard DES identities summed.
+    #[test]
+    fn window_barriers_satisfy_shard_invariants() {
+        let (trace, est) = setup(60, 31);
+        let cfg = ClusterConfig {
+            host_mtbf_s: Some(3_600.0),
+            ..ClusterConfig::default()
+        };
+        let mut windows_seen = 0u64;
+        let (result, counters) =
+            ShardedClusterSim::new(cfg, &trace, &est, PolicyConfig::young(), 4)
+                .with_window_s(600.0)
+                .run_observed::<Counters>(|_| windows_seen += 1)
+                .unwrap();
+        assert_eq!(result.status, RunStatus::Completed);
+        counters
+            .verify_shard_invariants(4, result.events)
+            .unwrap_or_else(|e| panic!("{e}"));
+        counters
+            .verify_invariants(true)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(counters.get(Counter::ShardWindows), windows_seen);
+        assert!(windows_seen > 1, "window width too coarse to test barriers");
+        assert_eq!(
+            counters.get(Counter::ShardMerges),
+            windows_seen * 3,
+            "merges != windows * (shards - 1)"
+        );
+        assert_eq!(counters.get(Counter::EventsPopped), result.events);
+        assert_eq!(counters.get(Counter::HostFailures), result.host_failures);
+    }
+
+    /// Streaming metrics fold across shards exactly like the unsharded
+    /// streaming mode folds within one engine: identical count/total/max
+    /// and an identical merged sketch versus the full-metrics run.
+    #[test]
+    fn streaming_sharded_matches_full_sharded() {
+        let (trace, est) = setup(60, 31);
+        let full = ShardedClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+            3,
+        )
+        .run()
+        .unwrap();
+        let streaming = ShardedClusterSim::new(
+            ClusterConfig::default(),
+            &trace,
+            &est,
+            PolicyConfig::formula3(),
+            3,
+        )
+        .with_metrics(MetricsMode::Streaming)
+        .run()
+        .unwrap();
+        assert!(streaming.checkpoint_durations.is_empty());
+        assert_eq!(
+            full.checkpoint_stats.count,
+            streaming.checkpoint_stats.count
+        );
+        assert_eq!(
+            full.checkpoint_stats.total.to_bits(),
+            streaming.checkpoint_stats.total.to_bits()
+        );
+        assert_eq!(
+            full.checkpoint_stats.max.to_bits(),
+            streaming.checkpoint_stats.max.to_bits()
+        );
+        assert_eq!(
+            full.checkpoint_sketch.quantile(0.99),
+            streaming.checkpoint_sketch.quantile(0.99)
+        );
+        assert_eq!(
+            full.checkpoint_durations.len() as u64,
+            full.checkpoint_stats.count
+        );
+    }
+}

@@ -51,7 +51,7 @@ USAGE:
       Replay a trace under a policy and report WPR statistics through the
       shared frame writer.
 
-  cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--out <dir>] \\
+  cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--shards <n>] [--out <dir>] \\
                    [--checkpoint-dir <dir>] [--resume] \\
                    [--telemetry <dir>] [--progress]
       Expand a declarative sweep spec into a scenario grid, evaluate every
@@ -63,16 +63,21 @@ USAGE:
       --telemetry writes a deterministic counter frame plus wall-clock
       phase timings to <dir>; --progress streams ~2 Hz heartbeats to
       stderr. Neither changes any simulation output byte.
+      --shards partitions every cluster-engine replay into <n> host-group
+      shards that advance in parallel through conservative time windows.
+      Results depend on the shard count (it is replay identity), never on
+      the thread count; --shards 1 is the exact legacy single-engine path.
 
   cloud-ckpt exp list [--format table|csv|json]
       List every registered experiment (id, paper figure/table, claim).
 
   cloud-ckpt exp run <id...> [--scale quick|day|month|stress] [--seed <u64>] \\
                      [--format table|csv|json] [--out <dir>] [--threads <n>] \\
-                     [--deny-empty] [--telemetry <dir>] [--progress]
+                     [--shards <n>] [--deny-empty] [--telemetry <dir>] [--progress]
       Run one or more registered experiments; frames go to stdout in the
-      chosen format and, with --out, to one file per frame. --telemetry
-      and --progress work as in `sweep` (one batch-wide telemetry bundle).
+      chosen format and, with --out, to one file per frame. --telemetry,
+      --progress and --shards work as in `sweep` (one batch-wide telemetry
+      bundle; --shards applies to every cluster-engine replay).
 
   cloud-ckpt exp all [same flags as exp run]
       Run the whole registry in paper order.
@@ -111,7 +116,14 @@ const REPLAY_FLAGS: FlagSpec = FlagSpec {
     boolean: &["adaptive"],
 };
 const SWEEP_FLAGS: FlagSpec = FlagSpec {
-    value: &["spec", "threads", "out", "telemetry", "checkpoint-dir"],
+    value: &[
+        "spec",
+        "threads",
+        "shards",
+        "out",
+        "telemetry",
+        "checkpoint-dir",
+    ],
     boolean: &["progress", "resume"],
 };
 const EXP_LIST_FLAGS: FlagSpec = FlagSpec {
@@ -119,7 +131,15 @@ const EXP_LIST_FLAGS: FlagSpec = FlagSpec {
     boolean: &[],
 };
 const EXP_RUN_FLAGS: FlagSpec = FlagSpec {
-    value: &["scale", "seed", "format", "out", "threads", "telemetry"],
+    value: &[
+        "scale",
+        "seed",
+        "format",
+        "out",
+        "threads",
+        "shards",
+        "telemetry",
+    ],
     boolean: &["deny-empty", "progress"],
 };
 
@@ -413,6 +433,19 @@ fn checkpoint_flags(flags: &HashMap<String, String>) -> Result<Option<Checkpoint
     }))
 }
 
+/// Parse a `--shards` value: a positive shard count (the per-shard
+/// host-count upper bound is checked at execution time, where the final
+/// fleet size is known).
+fn parse_shards_flag(s: &str) -> Result<usize, String> {
+    let shards: usize = s
+        .parse()
+        .map_err(|_| format!("flag --shards: cannot parse {s:?} as a shard count"))?;
+    if shards == 0 {
+        return Err("flag --shards: must be >= 1".to_string());
+    }
+    Ok(shards)
+}
+
 fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     let spec_path: String = need(&flags, "spec")?;
     let out_dir: String = opt(&flags, "out", "results".to_string())?;
@@ -423,11 +456,14 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("cannot read spec {spec_path:?}: {e}"))?;
         SweepSpec::from_str(&text).map_err(|e| e.to_string())
     };
-    let sweep = match &telemetry {
+    let mut sweep = match &telemetry {
         Some(t) => t.timers.time(Phase::Parse, parse_spec)?,
         None => parse_spec()?,
     };
     let threads: usize = opt(&flags, "threads", sweep.threads)?;
+    if let Some(s) = flags.get("shards") {
+        sweep.base.shards = parse_shards_flag(s)?;
+    }
 
     let n = sweep.grid_size();
     let axes: Vec<String> = sweep
@@ -541,6 +577,10 @@ fn run_experiments(ids: &[String], flags: &HashMap<String, String>) -> Result<()
     let format = format_flag(flags)?;
     let deny_empty = flags.contains_key("deny-empty");
     let threads: usize = opt(flags, "threads", 0)?;
+    let shards = match flags.get("shards") {
+        Some(s) => Some(parse_shards_flag(s)?),
+        None => None,
+    };
     // One bundle for the whole batch: counters and phase timers aggregate
     // across experiments, and the heartbeat line spans the run.
     let (telemetry, telemetry_dir) = telemetry_flags(flags);
@@ -576,6 +616,9 @@ fn run_experiments(ids: &[String], flags: &HashMap<String, String>) -> Result<()
         ctx.sink = sink.clone();
         if let Some(t) = &telemetry {
             ctx = ctx.with_telemetry(t.clone());
+        }
+        if let Some(s) = shards {
+            ctx = ctx.with_shards(s);
         }
 
         if exps.len() > 1 && format == Format::Table {
@@ -795,6 +838,23 @@ mod tests {
         // Other subcommands don't grow the flags implicitly.
         let err = parse_flags(&args(&["--progress"]), &REPLAY_FLAGS).unwrap_err();
         assert!(err.contains("unknown flag --progress"), "{err}");
+    }
+
+    #[test]
+    fn shards_flag_parses_on_sweep_and_exp() {
+        for spec in [&SWEEP_FLAGS, &EXP_RUN_FLAGS] {
+            let flags = parse_flags(&args(&["--shards", "4"]), spec).unwrap();
+            assert_eq!(flags["shards"], "4");
+        }
+        assert_eq!(parse_shards_flag("4").unwrap(), 4);
+        assert_eq!(parse_shards_flag("1").unwrap(), 1);
+        let err = parse_shards_flag("0").unwrap_err();
+        assert!(err.contains("must be >= 1"), "{err}");
+        let err = parse_shards_flag("four").unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+        // Subcommands with no cluster replays don't accept the flag.
+        let err = parse_flags(&args(&["--shards", "4"]), &REPLAY_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag --shards"), "{err}");
     }
 
     #[test]

@@ -12,12 +12,46 @@ use ckpt_scenario::spec::MetricsChoice;
 use ckpt_scenario::{run_sweep_ctx, to_frame, SampleFilter, SweepSpec};
 
 fn spec_frames(path: &str, threads: usize) -> (String, String) {
+    sharded_spec_frames(path, threads, 1)
+}
+
+/// Render a spec's frames with the cluster replays partitioned into
+/// `shards` host-group shards (1 = the legacy unsharded path).
+fn sharded_spec_frames(path: &str, threads: usize, shards: usize) -> (String, String) {
     let text = std::fs::read_to_string(path).expect("spec file readable");
     let sweep = SweepSpec::from_str(&text).expect("spec parses");
-    let ctx = RunContext::new(Scale::Quick).with_threads(threads);
+    let mut ctx = RunContext::new(Scale::Quick).with_threads(threads);
+    if shards > 1 {
+        ctx = ctx.with_shards(shards);
+    }
     let result = run_sweep_ctx(&sweep, &ctx).expect("sweep runs");
     let frame = to_frame(&sweep, &result);
     (frame.to_csv(), frame.to_json())
+}
+
+/// Sharded replays are part of the replay identity, not an execution
+/// detail: a fixed shard count must render byte-identical frames at any
+/// thread count, and a different shard count must render different ones.
+fn assert_sharded_frames_thread_invariant(path: &str) {
+    let (csv1, json1) = sharded_spec_frames(path, 1, 4);
+    for threads in [4, 8] {
+        let (csv_t, json_t) = sharded_spec_frames(path, threads, 4);
+        assert_eq!(
+            csv1, csv_t,
+            "{path} sharded CSV differs at {threads} threads"
+        );
+        assert_eq!(
+            json1, json_t,
+            "{path} sharded JSON differs at {threads} threads"
+        );
+    }
+    // Shard-local scheduling really changed the simulation (otherwise the
+    // axis would be dead weight in the run key).
+    let (unsharded_csv, _) = spec_frames(path, 1);
+    assert_ne!(
+        csv1, unsharded_csv,
+        "{path}: 4-shard frames unexpectedly identical to unsharded"
+    );
 }
 
 /// Load a spec and force the pass-through aggregation settings streaming
@@ -118,6 +152,16 @@ fn stress_long_tasks_frames_are_thread_invariant() {
         mean > 10_000.0,
         "long-task mean wall {mean} suspiciously low"
     );
+}
+
+#[test]
+fn stress_fleet_sharded_frames_are_thread_invariant() {
+    assert_sharded_frames_thread_invariant("specs/stress_fleet.toml");
+}
+
+#[test]
+fn stress_long_tasks_sharded_frames_are_thread_invariant() {
+    assert_sharded_frames_thread_invariant("specs/stress_long_tasks.toml");
 }
 
 #[test]
