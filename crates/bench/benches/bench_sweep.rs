@@ -10,10 +10,11 @@
 //! `CKPT_BENCH_ONLY=<substring>` restricts a run to matching bench groups
 //! (the CI smoke uses `CKPT_BENCH_ONLY=sweep_throughput`).
 
+use ckpt_faults::{FaultPlan, FaultState};
 use ckpt_obs::{Counter, Counters, Observer, Telemetry};
 use ckpt_scenario::{
-    run_sweep, run_sweep_checkpointed, run_sweep_telemetry, CheckpointConfig, SweepOptions,
-    SweepSpec,
+    run_sweep, run_sweep_checkpointed, run_sweep_guarded, run_sweep_telemetry, CheckpointConfig,
+    FaultPolicy, SweepOptions, SweepSpec,
 };
 use ckpt_sim::cluster::{ClusterConfig, ClusterSim, SimBudget};
 use ckpt_sim::policy::{Estimates, PolicyConfig};
@@ -374,7 +375,10 @@ const ACCEPTANCE_GRID: &str = include_str!("../../../specs/policy_x_ckpt_cost.to
 /// overhead (bar: ≤ 5% cells/sec regression) is part of the record. A
 /// fourth leg runs the grid in `metrics = "streaming"` mode against its
 /// full-mode twin (both at `sample = "all"`, which streaming requires),
-/// so the quantile-sketch fold's overhead (same ≤ 5% bar) is too.
+/// so the quantile-sketch fold's overhead (same ≤ 5% bar) is too. A
+/// fifth leg re-runs the checkpointed grid through `run_sweep_guarded`
+/// with a never-firing fault plan armed, pinning the fault-isolation
+/// layer's guard overhead to the same ≤ 5% bar.
 fn bench_sweep_throughput(c: &mut Criterion) {
     if !bench_enabled("sweep_throughput") {
         return;
@@ -440,6 +444,40 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let ckpt_cells_per_sec = cells as f64 / ckpt_wall;
     let ckpt_overhead_pct = (ckpt_wall / sweep_wall - 1.0) * 100.0;
 
+    // The same checkpointed grid through the fault-isolation layer with a
+    // parsed-but-never-firing plan armed: every cell pays the guard
+    // (catch_unwind, per-cell fault lookup, write-ordinal ticks) without
+    // any fault actually firing — the overhead a cautious operator pays
+    // for always running with `--inject` ready. Same ≤ 5% bar, measured
+    // against the checkpointed leg it wraps.
+    let fault_dir = std::env::temp_dir().join(format!("fault_sweep_bench_{}", std::process::id()));
+    let fault_config = CheckpointConfig {
+        dir: fault_dir.clone(),
+        resume: false,
+        crash_after_cells: None,
+    };
+    let plan =
+        FaultPlan::parse("panic@cell=999999; io_error@write=999999999").expect("bench plan parses");
+    let fault_wall = best_of(5, &|| {
+        let policy = FaultPolicy {
+            faults: std::sync::Arc::new(FaultState::new(plan.clone())),
+            strict: false,
+        };
+        let (r, _) = run_sweep_guarded(
+            &sweep,
+            SweepOptions::default(),
+            None,
+            Some(&fault_config),
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(r.cells.len(), cells);
+        assert!(!r.health.degraded());
+    });
+    std::fs::remove_dir_all(&fault_dir).ok();
+    let fault_cells_per_sec = cells as f64 / fault_wall;
+    let fault_overhead_pct = (fault_wall / ckpt_wall - 1.0) * 100.0;
+
     // The same grid in streaming-metrics mode versus its full-mode twin,
     // both at `sample = "all"` (streaming requires the pass-through
     // filter settings, and the twin keeps the comparison apples-to-
@@ -466,6 +504,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     // persist a breach.)
     for (leg, overhead_pct, bar_pct) in [
         ("checkpointed", ckpt_overhead_pct, 5.0),
+        ("fault_layer", fault_overhead_pct, 5.0),
         ("streaming", stream_overhead_pct, 5.0),
     ] {
         assert!(
@@ -498,7 +537,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let (base_wall, base_hazard_wall) = (0.5651f64, 0.488f64);
     let base_rate = cells as f64 / base_wall;
     let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"checkpointed\": {{\n    \"wall_s\": {ckpt_wall:.4},\n    \"cells_per_sec\": {ckpt_cells_per_sec:.1},\n    \"overhead_pct\": {ckpt_overhead_pct:.2},\n    \"note\": \"same grid with --checkpoint-dir persistence on (store recreated per run); bar is <= 5% cells/sec regression\"\n  }},\n  \"streaming\": {{\n    \"wall_s\": {stream_wall:.4},\n    \"cells_per_sec\": {stream_cells_per_sec:.1},\n    \"full_mode_wall_s\": {full_all_wall:.4},\n    \"overhead_pct\": {stream_overhead_pct:.2},\n    \"note\": \"same grid at metrics=streaming vs its full-mode twin, both at sample=all; sketch-backed p50/p99, bar is <= 5% cells/sec regression\"\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {{\n    \"spec\": \"specs/policy_x_ckpt_cost.toml\",\n    \"cells\": {cells},\n    \"jobs\": {grid_jobs},\n    \"seed\": {grid_seed}\n  }},\n  \"engine\": {{\n    \"wall_s\": {sweep_wall:.4},\n    \"cells_per_sec\": {cells_per_sec:.1}\n  }},\n  \"checkpointed\": {{\n    \"wall_s\": {ckpt_wall:.4},\n    \"cells_per_sec\": {ckpt_cells_per_sec:.1},\n    \"overhead_pct\": {ckpt_overhead_pct:.2},\n    \"note\": \"same grid with --checkpoint-dir persistence on (store recreated per run); bar is <= 5% cells/sec regression\"\n  }},\n  \"fault_layer\": {{\n    \"wall_s\": {fault_wall:.4},\n    \"cells_per_sec\": {fault_cells_per_sec:.1},\n    \"overhead_pct\": {fault_overhead_pct:.2},\n    \"note\": \"same checkpointed grid through run_sweep_guarded with a parsed-but-never-firing --inject plan armed (catch_unwind + fault lookups on every cell); bar is <= 5% cells/sec regression vs the checkpointed leg\"\n  }},\n  \"streaming\": {{\n    \"wall_s\": {stream_wall:.4},\n    \"cells_per_sec\": {stream_cells_per_sec:.1},\n    \"full_mode_wall_s\": {full_all_wall:.4},\n    \"overhead_pct\": {stream_overhead_pct:.2},\n    \"note\": \"same grid at metrics=streaming vs its full-mode twin, both at sample=all; sketch-backed p50/p99, bar is <= 5% cells/sec regression\"\n  }},\n  \"counters\": {{\n    \"cells_evaluated\": {},\n    \"jobs_replayed\": {},\n    \"tasks_replayed\": {},\n    \"checkpoints_written\": {},\n    \"plan_lookups\": {},\n    \"arena_hits\": {}\n  }},\n  \"baseline_pre_rewrite\": {{\n    \"wall_s\": {base_wall:.4},\n    \"cells_per_sec\": {base_rate:.1},\n    \"note\": \"fast path before the plan-arena/allocation-free-replay rewrite, same grid and machine class\"\n  }},\n  \"speedup_cells_per_sec\": {:.2},\n  \"ext_hazard_robustness\": {{\n    \"wall_s\": {hazard_wall:.4},\n    \"baseline_wall_s\": {base_hazard_wall:.4},\n    \"speedup_wall\": {:.2}\n  }}\n}}\n",
         counters.get(Counter::CellsEvaluated),
         counters.get(Counter::JobsReplayed),
         counters.get(Counter::TasksReplayed),
@@ -515,7 +554,8 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     println!(
         "sweep_throughput: {cells} cells in {sweep_wall:.4}s ({cells_per_sec:.1} cells/s; \
          {:.2}x the recorded pre-rewrite baseline); checkpointed {ckpt_wall:.4}s \
-         ({ckpt_overhead_pct:+.2}% overhead); streaming {stream_wall:.4}s \
+         ({ckpt_overhead_pct:+.2}% overhead); fault layer {fault_wall:.4}s \
+         ({fault_overhead_pct:+.2}% vs checkpointed); streaming {stream_wall:.4}s \
          ({stream_overhead_pct:+.2}% vs full at sample=all); \
          ext_hazard_robustness {hazard_wall:.4}s{}",
         cells_per_sec / base_rate,

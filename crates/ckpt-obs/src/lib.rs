@@ -99,10 +99,24 @@ pub enum Counter {
     ShardMerges,
     /// Peak length of the DES future-event heap (max-merged).
     HeapPeak,
+    /// Sweep cells quarantined after exhausting the retry budget
+    /// (exported with `Failed` status and NaN metrics).
+    CellsFailed,
+    /// Cell-evaluation retry attempts (a panic or error on a guarded
+    /// attempt that had budget left).
+    CellsRetried,
+    /// Store/export I/O retry attempts (transient errors retried with
+    /// backoff).
+    IoRetries,
+    /// Faults an injected [`FaultPlan`] actually fired
+    /// (`--inject` / `CKPT_FAULT_PLAN`; zero on clean runs).
+    ///
+    /// [`FaultPlan`]: https://docs.rs/ckpt-faults
+    FaultsInjected,
 }
 
 /// Number of counters in the catalog.
-pub const N_COUNTERS: usize = 21;
+pub const N_COUNTERS: usize = 25;
 
 /// All counters, in catalog (display/merge) order.
 pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
@@ -127,6 +141,10 @@ pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::ShardWindows,
     Counter::ShardMerges,
     Counter::HeapPeak,
+    Counter::CellsFailed,
+    Counter::CellsRetried,
+    Counter::IoRetries,
+    Counter::FaultsInjected,
 ];
 
 impl Counter {
@@ -154,6 +172,10 @@ impl Counter {
             Counter::ShardWindows => "shard_windows",
             Counter::ShardMerges => "shard_merges",
             Counter::HeapPeak => "heap_peak",
+            Counter::CellsFailed => "cells_failed",
+            Counter::CellsRetried => "cells_retried",
+            Counter::IoRetries => "io_retries",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 
@@ -362,34 +384,39 @@ impl Counters {
         Ok(())
     }
 
-    /// Check the sweep-resume accounting identities against a known grid
-    /// size (for runs that executed exactly one sweep):
+    /// Check the sweep accounting identities against a known grid size
+    /// (for runs that executed exactly one sweep):
     ///
-    /// * `cells_skipped + cells_evaluated == grid_size` — every cell was
-    ///   either loaded from the checkpoint store or evaluated;
-    /// * `cells_resumed <= cells_evaluated` — resumed cells are a subset
-    ///   of the evaluated ones;
+    /// * `cells_skipped + cells_evaluated + cells_failed == grid_size` —
+    ///   every cell was loaded from the checkpoint store, evaluated, or
+    ///   quarantined (ok + quarantined + skipped covers the grid);
+    /// * `cells_resumed <= cells_evaluated + cells_failed` — resumed
+    ///   cells are a subset of the cells this run actually attempted;
     /// * `ckpt_records_written` is `0` (no store attached) or equals
-    ///   `cells_evaluated` (every evaluated cell was persisted).
+    ///   `cells_evaluated` (every *successful* evaluation was persisted;
+    ///   quarantined cells are never written, so `--resume` retries
+    ///   them).
     ///
     /// Returns a message naming the violated identity.
     pub fn verify_sweep_invariants(&self, grid_size: u64) -> Result<(), String> {
         let g = |c: Counter| self.vals[c as usize];
-        let (skipped, evaluated, resumed, written) = (
+        let (skipped, evaluated, failed, resumed, written) = (
             g(Counter::CellsSkipped),
             g(Counter::CellsEvaluated),
+            g(Counter::CellsFailed),
             g(Counter::CellsResumed),
             g(Counter::CkptRecordsWritten),
         );
-        if skipped + evaluated != grid_size {
+        if skipped + evaluated + failed != grid_size {
             return Err(format!(
-                "cells_skipped ({skipped}) + cells_evaluated ({evaluated}) != \
-                 grid size ({grid_size})"
+                "cells_skipped ({skipped}) + cells_evaluated ({evaluated}) + \
+                 cells_failed ({failed}) != grid size ({grid_size})"
             ));
         }
-        if resumed > evaluated {
+        if resumed > evaluated + failed {
             return Err(format!(
-                "cells_resumed ({resumed}) > cells_evaluated ({evaluated})"
+                "cells_resumed ({resumed}) > cells_evaluated ({evaluated}) + \
+                 cells_failed ({failed})"
             ));
         }
         if written != 0 && written != evaluated {
@@ -780,6 +807,15 @@ mod tests {
         resumed.incr(Counter::CellsResumed, 14);
         resumed.incr(Counter::CkptRecordsWritten, 14);
         assert!(resumed.verify_sweep_invariants(24).is_ok());
+
+        // A degraded run: 23 ok + 1 quarantined still covers the grid,
+        // and only the ok cells were persisted.
+        let mut degraded = Counters::new();
+        degraded.incr(Counter::CellsEvaluated, 23);
+        degraded.incr(Counter::CellsFailed, 1);
+        degraded.incr(Counter::CellsRetried, 3);
+        degraded.incr(Counter::CkptRecordsWritten, 23);
+        assert!(degraded.verify_sweep_invariants(24).is_ok());
 
         let err = plain.verify_sweep_invariants(25).unwrap_err();
         assert!(err.contains("cells_skipped"), "{err}");

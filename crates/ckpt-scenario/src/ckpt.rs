@@ -234,10 +234,14 @@ pub fn decode_cell(index: usize, payload: &[u8]) -> Result<CellResult, String> {
             payload.len() - cur.at
         ));
     }
+    // Only successfully evaluated cells are ever persisted (quarantined
+    // cells must be re-evaluated on resume), so a decoded cell is Ok by
+    // construction.
     Ok(CellResult {
         index,
         params,
         metrics,
+        status: crate::exec::CellStatus::Ok,
     })
 }
 
@@ -303,6 +307,7 @@ mod tests {
                     },
                 ),
             ],
+            status: crate::exec::CellStatus::Ok,
         }
     }
 

@@ -19,6 +19,7 @@ use crate::agg::MetricSummary;
 use crate::ckpt::{self, CheckpointConfig, ResumeReport};
 use crate::spec::{EngineKind, MetricsChoice, SampleFilter, ScenarioSpec};
 use crate::sweep::{SweepError, SweepSpec};
+use ckpt_faults::{io_kind_name, is_transient_kind, CellFault, FaultState, RunHealth, WriteFault};
 use ckpt_obs::{Counter, Counters, Phase, Telemetry};
 use ckpt_sim::blcr::{BlcrModel, Device};
 use ckpt_sim::cluster::{ClusterSim, SimBudget};
@@ -38,7 +39,9 @@ use ckpt_trace::gen::{generate, Trace};
 use ckpt_trace::plan::FailurePlanArena;
 use ckpt_trace::stats::{failure_prone_jobs, trace_histories_from_plans, TaskRecord};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Executor options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,6 +58,56 @@ impl From<&ckpt_report::RunContext> for SweepOptions {
     }
 }
 
+/// The fault-tolerance policy a sweep runs under: the armed fault plan
+/// (empty by default — nothing injected) and the failure discipline.
+/// The default policy quarantines failing cells after retries so the
+/// rest of the grid completes; `strict` restores fail-fast.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// Armed injection plan, shared by every worker (and the store
+    /// layer) for the whole run.
+    pub faults: Arc<FaultState>,
+    /// Fail the sweep on the first cell failure instead of retrying and
+    /// quarantining (`--strict`).
+    pub strict: bool,
+}
+
+impl FaultPolicy {
+    /// The historical discipline: nothing injected, no retries, and the
+    /// first cell failure aborts the whole sweep. [`run_sweep`] and the
+    /// other legacy entry points run under this, so their error behavior
+    /// is unchanged; [`run_sweep_guarded`] takes an explicit policy.
+    pub fn fail_fast() -> Self {
+        FaultPolicy {
+            faults: Arc::default(),
+            strict: true,
+        }
+    }
+}
+
+/// How a cell's evaluation ended.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CellStatus {
+    /// Evaluated successfully (possibly after retries).
+    #[default]
+    Ok,
+    /// Quarantined: every attempt failed, the retry budget is spent, and
+    /// the cell exports NaN metrics with this reason in the `status`
+    /// column. Failed cells are never persisted to a checkpoint store,
+    /// so `--resume` re-evaluates them once the cause is fixed.
+    Failed {
+        /// What the last attempt died of (panic message or error).
+        reason: String,
+    },
+}
+
+impl CellStatus {
+    /// True for a successfully evaluated cell.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+}
+
 /// One evaluated grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
@@ -64,6 +117,8 @@ pub struct CellResult {
     pub params: Vec<(String, String)>,
     /// Named metric summaries.
     pub metrics: Vec<(&'static str, MetricSummary)>,
+    /// Ok, or quarantined with a reason.
+    pub status: CellStatus,
 }
 
 impl CellResult {
@@ -98,6 +153,9 @@ pub struct SweepResult {
     pub seed: u64,
     /// Evaluated cells, index-ordered.
     pub cells: Vec<CellResult>,
+    /// The degraded-run summary: cells ok/quarantined, retries, faults
+    /// fired. A clean run reports all-ok and zero everything.
+    pub health: RunHealth,
 }
 
 /// Prepared simulation inputs, shared by every run key over the same
@@ -150,13 +208,25 @@ struct RunCache {
     prones: Mutex<HashMap<String, Slot<std::collections::HashSet<u64>>>>,
 }
 
+/// Take a mutex, recovering from poisoning. A worker that panicked while
+/// holding one of these locks (the panic is caught and the cell
+/// quarantined upstream) must not take every other worker down with it.
+/// Recovery is sound here because the guarded data is structurally valid
+/// at every await-free lock release point: cache maps only gain entries
+/// (slot fills go through `OnceLock`, which leaves the slot empty if the
+/// initializer panics, so a retry re-runs it), and the checkpoint writer
+/// appends whole frames before updating its bookkeeping.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn get_or_init<T>(
     map: &Mutex<HashMap<String, Slot<T>>>,
     key: &str,
     f: impl FnOnce() -> Result<T, String>,
 ) -> Result<Arc<T>, String> {
     let slot = {
-        let mut slots = map.lock().expect("sweep cache poisoned");
+        let mut slots = lock_recover(map);
         slots.entry(key.to_string()).or_default().clone()
     };
     slot.get_or_init(|| f().map(Arc::new)).clone()
@@ -712,7 +782,122 @@ fn evaluate_cell(
         index: cell_index,
         params,
         metrics,
+        status: CellStatus::Ok,
     })
+}
+
+/// Render a caught panic payload into a quarantine reason.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    format!("panicked: {msg}")
+}
+
+/// This run's health tallies, shared by every worker. Kept separate from
+/// telemetry counters so [`RunHealth`] is reported even without a
+/// telemetry bundle attached.
+#[derive(Default)]
+struct HealthTally {
+    cell_retries: AtomicU64,
+    io_retries: AtomicU64,
+}
+
+/// One transient-io retry step: stderr note, counter ticks, deterministic
+/// backoff (through the policy's clock, so tests inject a fake one).
+fn io_retry_pause(
+    what: &str,
+    detail: &str,
+    retry: &mut u32,
+    policy: &FaultPolicy,
+    telemetry: Option<&Telemetry>,
+    tally: &HealthTally,
+) {
+    eprintln!(
+        "sweep: transient io failure {what} ({detail}); retry {}/{}",
+        *retry + 1,
+        ckpt_faults::MAX_ATTEMPTS - 1
+    );
+    if let Some(t) = telemetry {
+        t.counters.add(Counter::IoRetries, 1);
+    }
+    tally.io_retries.fetch_add(1, Ordering::Relaxed);
+    policy.faults.sleep_backoff(*retry);
+    *retry += 1;
+}
+
+/// [`evaluate_cell`] under the fault policy: injected cell faults fire
+/// first (before any cache fill, so counters never half-tick for an
+/// injected failure), panics unwind no further than this frame, and a
+/// failing cell is retried with backoff up to [`ckpt_faults::MAX_ATTEMPTS`]
+/// total attempts before being quarantined as [`CellStatus::Failed`] —
+/// unless the policy is strict, in which case the first failure is fatal.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_cell_guarded(
+    sweep: &SweepSpec,
+    spec: &ScenarioSpec,
+    cell_index: usize,
+    replay_threads: usize,
+    cache: &RunCache,
+    telemetry: Option<&Telemetry>,
+    policy: &FaultPolicy,
+    tally: &HealthTally,
+) -> Result<CellResult, String> {
+    let mut attempt = 1u32;
+    loop {
+        let injected = policy.faults.cell_fault(cell_index as u64);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match injected {
+            Some(CellFault::Panic) => panic!("injected fault: panic at cell {cell_index}"),
+            Some(CellFault::Budget) => Err(format!(
+                "injected fault: budget exhausted at cell {cell_index}"
+            )),
+            None => evaluate_cell(sweep, spec, cell_index, replay_threads, cache, telemetry),
+        }));
+        let reason = match outcome {
+            Ok(Ok(cell)) => return Ok(cell),
+            Ok(Err(e)) => e,
+            Err(payload) => panic_reason(payload),
+        };
+        if policy.strict {
+            return Err(reason);
+        }
+        if attempt < ckpt_faults::MAX_ATTEMPTS {
+            eprintln!(
+                "sweep: cell {cell_index} failed ({reason}); retry {attempt}/{}",
+                ckpt_faults::MAX_ATTEMPTS - 1
+            );
+            if let Some(t) = telemetry {
+                t.counters.add(Counter::CellsRetried, 1);
+            }
+            tally.cell_retries.fetch_add(1, Ordering::Relaxed);
+            policy.faults.sleep_backoff(attempt - 1);
+            attempt += 1;
+            continue;
+        }
+        // Retry budget spent: quarantine. The cell keeps its place in the
+        // grid with NaN metrics and the reason in its status; it is never
+        // persisted, so a later --resume re-evaluates it.
+        eprintln!("sweep: cell {cell_index} quarantined after {attempt} attempts: {reason}");
+        if let Some(t) = telemetry {
+            t.counters.add(Counter::CellsFailed, 1);
+            if let Some(progress) = &t.progress {
+                progress.cell_done();
+            }
+        }
+        let params = sweep
+            .cell_params(cell_index)
+            .into_iter()
+            .map(|(k, v)| (k, v.render()))
+            .collect();
+        return Ok(CellResult {
+            index: cell_index,
+            params,
+            metrics: vec![("failed", MetricSummary::from_values(&[]))],
+            status: CellStatus::Failed { reason },
+        });
+    }
 }
 
 /// Run a sweep under a shared [`ckpt_report::RunContext`]: the context's
@@ -749,7 +934,25 @@ pub fn run_sweep_telemetry(
     options: SweepOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<SweepResult, SweepError> {
-    run_sweep_inner(sweep, options, telemetry, None).map(|(result, _)| result)
+    run_sweep_inner(sweep, options, telemetry, None, &FaultPolicy::fail_fast())
+        .map(|(result, _)| result)
+}
+
+/// The fully general entry point: [`run_sweep_telemetry`] plus optional
+/// checkpointing plus an explicit [`FaultPolicy`]. Under a non-strict
+/// policy, failing cells are retried with deterministic backoff and then
+/// quarantined (NaN metrics, [`CellStatus::Failed`]) while the rest of
+/// the grid completes; transient store-I/O errors are retried the same
+/// way. With an empty fault plan and no genuine failures, results are
+/// byte-identical to the legacy entry points.
+pub fn run_sweep_guarded(
+    sweep: &SweepSpec,
+    options: SweepOptions,
+    telemetry: Option<&Telemetry>,
+    config: Option<&CheckpointConfig>,
+    policy: &FaultPolicy,
+) -> Result<(SweepResult, Option<ResumeReport>), SweepError> {
+    run_sweep_inner(sweep, options, telemetry, config, policy)
 }
 
 /// [`run_sweep_telemetry`] with cell-level checkpointing: each completed
@@ -767,7 +970,13 @@ pub fn run_sweep_checkpointed(
     telemetry: Option<&Telemetry>,
     config: &CheckpointConfig,
 ) -> Result<(SweepResult, ResumeReport), SweepError> {
-    let (result, report) = run_sweep_inner(sweep, options, telemetry, Some(config))?;
+    let (result, report) = run_sweep_inner(
+        sweep,
+        options,
+        telemetry,
+        Some(config),
+        &FaultPolicy::fail_fast(),
+    )?;
     Ok((result, report.expect("checkpointed run always reports")))
 }
 
@@ -786,39 +995,98 @@ impl CkptWriter {
     /// Append one finished cell; with the crash hook armed, abort the
     /// process once enough records landed — while still holding the lock,
     /// so exactly `crash_after` records exist on disk.
+    ///
+    /// Store faults (injected or genuine) are classified here: transient
+    /// kinds retry with backoff under a non-strict policy, torn-write
+    /// injection leaves half a frame on disk and dies like a mid-append
+    /// kill, anything else is fatal for the whole run — a store that can't
+    /// persist is not a per-cell problem.
     fn persist(
         writer: &Mutex<CkptWriter>,
         spec: &ScenarioSpec,
         cell: &CellResult,
         telemetry: Option<&Telemetry>,
+        policy: &FaultPolicy,
+        tally: &HealthTally,
     ) -> Result<(), String> {
         let record = CellRecord {
             index: cell.index as u64,
             key_digest: ckpt::cell_key_digest(&spec.run_key(), &cell.params),
             payload: ckpt::encode_cell(cell),
         };
-        let mut w = writer.lock().expect("checkpoint writer poisoned");
-        w.store
-            .append(&record)
-            .map_err(|e| format!("persisting cell {}: {e}", cell.index))?;
-        w.written += 1;
-        if let Some(t) = telemetry {
-            t.counters.add(Counter::CkptRecordsWritten, 1);
-        }
-        if let Some(limit) = w.crash_after {
-            if w.written >= limit {
-                // Simulated preemption for kill-and-resume tests: die hard
-                // (no unwinding, no final sync), like a real kill -9 —
-                // appended records are already in the file.
-                eprintln!(
-                    "ckpt crash hook: aborting after {} persisted cell{}",
-                    w.written,
-                    if w.written == 1 { "" } else { "s" }
-                );
-                std::process::exit(ckpt::CRASH_EXIT_CODE);
+        let what = format!("persisting cell {}", cell.index);
+        let mut retry = 0u32;
+        loop {
+            // Injected store faults fire once per append attempt, before
+            // the real write — the file only ever sees the final
+            // successful append (or the torn frame below).
+            match policy.faults.store_write_fault() {
+                Some(WriteFault::Torn) => {
+                    let mut w = lock_recover(writer);
+                    // Half a frame, no bookkeeping, die hard: the next
+                    // open must detect and truncate the torn tail.
+                    let _ = w.store.append_torn(&record);
+                    eprintln!(
+                        "ckpt fault: torn write persisting cell {}; aborting mid-append",
+                        cell.index
+                    );
+                    std::process::exit(ckpt::CRASH_EXIT_CODE);
+                }
+                Some(WriteFault::Io(kind)) => {
+                    if is_transient_kind(kind)
+                        && !policy.strict
+                        && retry < ckpt_faults::MAX_ATTEMPTS - 1
+                    {
+                        io_retry_pause(
+                            &what,
+                            io_kind_name(kind),
+                            &mut retry,
+                            policy,
+                            telemetry,
+                            tally,
+                        );
+                        continue;
+                    }
+                    return Err(format!(
+                        "{what}: injected io error ({})",
+                        io_kind_name(kind)
+                    ));
+                }
+                None => {}
             }
+            let mut w = lock_recover(writer);
+            match w.store.append(&record) {
+                Ok(()) => {}
+                Err(e)
+                    if e.is_transient()
+                        && !policy.strict
+                        && retry < ckpt_faults::MAX_ATTEMPTS - 1 =>
+                {
+                    drop(w);
+                    io_retry_pause(&what, &e.to_string(), &mut retry, policy, telemetry, tally);
+                    continue;
+                }
+                Err(e) => return Err(format!("{what}: {e}")),
+            }
+            w.written += 1;
+            if let Some(t) = telemetry {
+                t.counters.add(Counter::CkptRecordsWritten, 1);
+            }
+            if let Some(limit) = w.crash_after {
+                if w.written >= limit {
+                    // Simulated preemption for kill-and-resume tests: die
+                    // hard (no unwinding, no final sync), like a real
+                    // kill -9 — appended records are already in the file.
+                    eprintln!(
+                        "ckpt crash hook: aborting after {} persisted cell{}",
+                        w.written,
+                        if w.written == 1 { "" } else { "s" }
+                    );
+                    std::process::exit(ckpt::CRASH_EXIT_CODE);
+                }
+            }
+            return Ok(());
         }
-        Ok(())
     }
 }
 
@@ -829,11 +1097,56 @@ fn open_store(
     sweep: &SweepSpec,
     cells: &[ScenarioSpec],
     config: &CheckpointConfig,
+    policy: &FaultPolicy,
+    telemetry: Option<&Telemetry>,
+    tally: &HealthTally,
 ) -> Result<(SweepStore, HashMap<usize, CellResult>, ResumeReport), SweepError> {
     let fail = |e: ckpt_store::StoreError| SweepError(e.to_string());
     std::fs::create_dir_all(&config.dir)
         .map_err(|e| SweepError(format!("checkpoint dir {}: {e}", config.dir.display())))?;
     let path = config.store_path(&sweep.name);
+    // Injected open faults and genuinely transient open errors retry with
+    // backoff (non-strict policy); everything else is fatal.
+    let open_guarded = |what: &str,
+                        f: &mut dyn FnMut() -> Result<
+        (SweepStore, Vec<CellRecord>, ckpt_store::OpenReport),
+        ckpt_store::StoreError,
+    >| {
+        let mut retry = 0u32;
+        loop {
+            if let Some(kind) = policy.faults.store_open_fault() {
+                if is_transient_kind(kind)
+                    && !policy.strict
+                    && retry < ckpt_faults::MAX_ATTEMPTS - 1
+                {
+                    io_retry_pause(
+                        what,
+                        io_kind_name(kind),
+                        &mut retry,
+                        policy,
+                        telemetry,
+                        tally,
+                    );
+                    continue;
+                }
+                return Err(SweepError(format!(
+                    "{what}: injected io error ({})",
+                    io_kind_name(kind)
+                )));
+            }
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e)
+                    if e.is_transient()
+                        && !policy.strict
+                        && retry < ckpt_faults::MAX_ATTEMPTS - 1 =>
+                {
+                    io_retry_pause(what, &e.to_string(), &mut retry, policy, telemetry, tally);
+                }
+                Err(e) => return Err(fail(e)),
+            }
+        }
+    };
     let header = StoreHeader {
         spec_digest: ckpt::sweep_digest(sweep),
         seed: sweep.base.seed,
@@ -846,7 +1159,10 @@ fn open_store(
     };
     let mut loaded = HashMap::new();
     let store = if config.resume && ckpt::store_exists(&path) {
-        let (store, records, open) = SweepStore::open(&path).map_err(fail)?;
+        let (store, records, open) =
+            open_guarded(&format!("opening {}", path.display()), &mut || {
+                SweepStore::open(&path)
+            })?;
         store.header().validate_against(&header).map_err(fail)?;
         report.recovered = open.warning;
         for record in records {
@@ -871,7 +1187,11 @@ fn open_store(
         store
     } else {
         report.fresh_start = config.resume;
-        SweepStore::create(&path, header).map_err(fail)?
+        let (store, _, _) = open_guarded(&format!("creating {}", path.display()), &mut || {
+            SweepStore::create(&path, header)
+                .map(|s| (s, Vec::new(), ckpt_store::OpenReport::default()))
+        })?;
+        store
     };
     report.loaded = loaded.len();
     Ok((store, loaded, report))
@@ -882,21 +1202,26 @@ fn run_sweep_inner(
     options: SweepOptions,
     telemetry: Option<&Telemetry>,
     config: Option<&CheckpointConfig>,
+    policy: &FaultPolicy,
 ) -> Result<(SweepResult, Option<ResumeReport>), SweepError> {
     let n = sweep.grid_size();
     let cells = timed(telemetry, Phase::Plan, || sweep.cells())?;
     let cache = RunCache::default();
+    let tally = HealthTally::default();
 
     // Checkpointing: open/create the store and split the grid into cells
     // already on disk and cells still to evaluate. Without a config this
     // collapses to "everything is missing" and zero extra work.
     let (writer, loaded, mut report) = match config {
         Some(cfg) => {
-            let (store, loaded, report) = open_store(sweep, &cells, cfg)?;
+            let (store, loaded, report) =
+                open_store(sweep, &cells, cfg, policy, telemetry, &tally)?;
             let writer = Mutex::new(CkptWriter {
                 store,
                 written: 0,
-                crash_after: cfg.crash_after_cells,
+                // The env-var hook and a `crash@cells=N` plan directive
+                // feed the same counter; the explicit config wins.
+                crash_after: cfg.crash_after_cells.or(policy.faults.crash_after_cells()),
             });
             (Some(writer), loaded, Some(report))
         }
@@ -955,11 +1280,24 @@ fn run_sweep_inner(
     let evaluated: Vec<Result<CellResult, String>> =
         parallel_indexed(missing.len(), options.threads, |j| {
             let i = missing[j];
-            let cell = evaluate_cell(sweep, &cells[i], i, replay_threads, &cache, telemetry)?;
+            let cell = evaluate_cell_guarded(
+                sweep,
+                &cells[i],
+                i,
+                replay_threads,
+                &cache,
+                telemetry,
+                policy,
+                &tally,
+            )?;
             if let Some(writer) = &writer {
                 // Persist at the worker's join point, after the replay is
                 // done — the store lock never contends with simulation.
-                CkptWriter::persist(writer, &cells[i], &cell, telemetry)?;
+                // Quarantined cells are never persisted: the store holds
+                // only real results, so --resume re-evaluates them.
+                if cell.status.is_ok() {
+                    CkptWriter::persist(writer, &cells[i], &cell, telemetry, policy, &tally)?;
+                }
             }
             Ok(cell)
         });
@@ -991,16 +1329,29 @@ fn run_sweep_inner(
         );
     }
     if let Some(writer) = writer {
-        let w = writer.into_inner().expect("checkpoint writer poisoned");
+        let w = writer.into_inner().unwrap_or_else(|e| e.into_inner());
         w.store
             .sync()
             .map_err(|e| SweepError(format!("syncing checkpoint store: {e}")))?;
+    }
+    let cells_ok = result_cells.iter().filter(|c| c.status.is_ok()).count() as u64;
+    let health = RunHealth {
+        cells_ok,
+        cells_quarantined: result_cells.len() as u64 - cells_ok,
+        cell_retries: tally.cell_retries.load(Ordering::Relaxed),
+        io_retries: tally.io_retries.load(Ordering::Relaxed),
+        faults_injected: policy.faults.fired_total(),
+    };
+    if let Some(t) = telemetry {
+        t.counters
+            .add(Counter::FaultsInjected, health.faults_injected);
     }
     Ok((
         SweepResult {
             name: sweep.name.clone(),
             seed: sweep.base.seed,
             cells: result_cells,
+            health,
         },
         report,
     ))
@@ -1021,6 +1372,168 @@ mod tests {
         policy = ["formula3", "none"]
         ckpt_cost_scale = { from = 0.5, to = 2.0, steps = 2 }
     "#;
+
+    /// A policy with the given plan text and a fake clock, so tests never
+    /// actually sleep through the backoff schedule.
+    fn test_policy(plan: &str, strict: bool) -> FaultPolicy {
+        let plan = ckpt_faults::FaultPlan::parse(plan).unwrap();
+        FaultPolicy {
+            faults: Arc::new(ckpt_faults::FaultState::with_clock(
+                plan,
+                Box::new(ckpt_faults::TestClock::default()),
+            )),
+            strict,
+        }
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_cell_and_completes_the_grid() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let policy = test_policy("panic@cell=2", false);
+        let (result, _) =
+            run_sweep_guarded(&sweep, SweepOptions { threads: 2 }, None, None, &policy).unwrap();
+        assert_eq!(result.cells.len(), 4);
+        for (i, c) in result.cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+            if i == 2 {
+                let CellStatus::Failed { reason } = &c.status else {
+                    panic!("cell 2 should be quarantined");
+                };
+                assert!(
+                    reason.contains("injected fault: panic at cell 2"),
+                    "{reason}"
+                );
+                // NaN metrics, still exportable.
+                assert_eq!(c.metrics.len(), 1);
+                assert!(c.metrics[0].1.mean.is_nan());
+            } else {
+                assert!(c.status.is_ok(), "cell {i} should be healthy");
+            }
+        }
+        assert!(result.health.degraded());
+        assert_eq!(result.health.cells_ok, 3);
+        assert_eq!(result.health.cells_quarantined, 1);
+        // A sticky panic burns the full retry budget: MAX_ATTEMPTS fires,
+        // MAX_ATTEMPTS - 1 retries.
+        assert_eq!(
+            result.health.cell_retries,
+            ckpt_faults::MAX_ATTEMPTS as u64 - 1
+        );
+        assert_eq!(
+            result.health.faults_injected,
+            ckpt_faults::MAX_ATTEMPTS as u64
+        );
+    }
+
+    #[test]
+    fn transient_cell_fault_retries_to_a_byte_identical_result() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let clean = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        // times=2 < MAX_ATTEMPTS: the third attempt succeeds.
+        let policy = test_policy("budget@cell=1:times=2", false);
+        let (faulted, _) =
+            run_sweep_guarded(&sweep, SweepOptions { threads: 2 }, None, None, &policy).unwrap();
+        assert_eq!(clean.cells, faulted.cells);
+        assert!(!faulted.health.degraded());
+        assert_eq!(faulted.health.cell_retries, 2);
+        assert_eq!(faulted.health.faults_injected, 2);
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_the_first_injected_fault() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let policy = test_policy("panic@cell=1", true);
+        let err = run_sweep_guarded(&sweep, SweepOptions { threads: 1 }, None, None, &policy)
+            .unwrap_err();
+        assert!(err.0.contains("cell 1"), "{err}");
+        assert!(err.0.contains("panic"), "{err}");
+    }
+
+    #[test]
+    fn default_policy_matches_legacy_entry_points_byte_for_byte() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let legacy = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        let (guarded, report) = run_sweep_guarded(
+            &sweep,
+            SweepOptions { threads: 2 },
+            None,
+            None,
+            &FaultPolicy::default(),
+        )
+        .unwrap();
+        assert!(report.is_none());
+        assert_eq!(legacy.cells, guarded.cells);
+        assert!(!guarded.health.degraded());
+        assert_eq!(
+            guarded.health.summary(),
+            "4 cells ok, 0 quarantined, 0 cell retries, 0 io retries, 0 faults injected"
+        );
+    }
+
+    #[test]
+    fn a_worker_panic_does_not_poison_the_caches_for_other_cells() {
+        // Regression for the lock-poisoning expect()s this module used to
+        // carry: a panicking cell (caught and quarantined) must leave the
+        // shared caches usable — other cells sharing the same prep/run
+        // key still evaluate. All four SMALL cells share one prep key, so
+        // a panic in one cell's first attempts exercises exactly that.
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let policy = test_policy("panic@cell=0:times=2", false);
+        let (result, _) =
+            run_sweep_guarded(&sweep, SweepOptions { threads: 4 }, None, None, &policy).unwrap();
+        let clean = run_sweep(&sweep, SweepOptions { threads: 4 }).unwrap();
+        assert_eq!(result.cells, clean.cells, "retried run must converge");
+    }
+
+    #[test]
+    fn transient_store_io_faults_retry_and_quarantined_cells_are_not_persisted() {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let dir = std::env::temp_dir().join(format!("ckpt_exec_faults_{}", std::process::id()));
+        let config = CheckpointConfig {
+            dir: dir.clone(),
+            resume: false,
+            crash_after_cells: None,
+        };
+        // Two transient write errors (retried away) plus a sticky panic on
+        // cell 3 (quarantined).
+        let policy = test_policy(
+            "io_error@write=1:kind=interrupted:times=2; panic@cell=3",
+            false,
+        );
+        let (result, report) = run_sweep_guarded(
+            &sweep,
+            SweepOptions { threads: 2 },
+            None,
+            Some(&config),
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(result.health.io_retries, 2);
+        assert_eq!(result.health.cells_quarantined, 1);
+        // Only the three healthy cells are persisted: a resume with the
+        // fault gone re-evaluates cell 3 and lands on the clean result.
+        let (store, records, _) = SweepStore::open(config.store_path(&sweep.name)).unwrap();
+        drop(store);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.index != 3));
+        let resume = CheckpointConfig {
+            resume: true,
+            ..config.clone()
+        };
+        let (resumed, _) = run_sweep_guarded(
+            &sweep,
+            SweepOptions { threads: 2 },
+            None,
+            Some(&resume),
+            &FaultPolicy::default(),
+        )
+        .unwrap();
+        let clean = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        assert_eq!(resumed.cells, clean.cells);
+        assert!(!resumed.health.degraded());
+        assert_eq!(report.unwrap().evaluated, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn sweep_runs_and_orders_cells() {

@@ -5,19 +5,43 @@
 //! standalone experiment share a single export path, byte-identical
 //! across runs and thread counts.
 
-use crate::exec::SweepResult;
+use crate::exec::{CellStatus, SweepResult};
 use crate::sweep::SweepSpec;
 use ckpt_report::{Frame, Value};
 use std::path::{Path, PathBuf};
 
+/// A quarantine reason as a single CSV-safe cell: commas, quotes, and
+/// newlines (which would break the line-oriented CSV writer) collapse to
+/// spaces/semicolons.
+fn sanitize_reason(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| match c {
+            ',' => ';',
+            '"' => '\'',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect()
+}
+
 /// Build the long-format cells frame: one row per `(cell, metric)` with
 /// the axis assignments as leading columns, plus sweep identity metadata
 /// (engine, seed, grid size, axes).
+///
+/// A degraded run (at least one quarantined cell) appends a `status`
+/// column — `ok` for healthy rows, `failed: <reason>` for quarantined
+/// ones. A fully healthy run emits exactly the historical columns, so
+/// fault tolerance never perturbs clean-run bytes.
 pub fn to_frame(spec: &SweepSpec, result: &SweepResult) -> Frame {
+    let degraded = result.cells.iter().any(|c| !c.status.is_ok());
     let mut columns: Vec<String> = vec!["cell".to_string()];
     columns.extend(spec.axes.iter().map(|a| a.param.clone()));
     for metric_col in ["metric", "count", "mean", "p50", "p99", "min", "max"] {
         columns.push(metric_col.to_string());
+    }
+    if degraded {
+        columns.push("status".to_string());
     }
     let axes: Vec<String> = spec
         .axes
@@ -44,6 +68,14 @@ pub fn to_frame(spec: &SweepSpec, result: &SweepResult) -> Frame {
             row.push(Value::from(s.count));
             for v in [s.mean, s.p50, s.p99, s.min, s.max] {
                 row.push(Value::Num(v));
+            }
+            if degraded {
+                row.push(Value::from(match &cell.status {
+                    CellStatus::Ok => "ok".to_string(),
+                    CellStatus::Failed { reason } => {
+                        format!("failed: {}", sanitize_reason(reason))
+                    }
+                }));
             }
             frame.push_row(row);
         }
@@ -134,6 +166,52 @@ mod tests {
         let b = run_sweep(&sweep, SweepOptions { threads: 4 }).unwrap();
         assert_eq!(csv_string(&sweep, &a), csv_string(&sweep, &b));
         assert_eq!(json_string(&sweep, &a), json_string(&sweep, &b));
+    }
+
+    #[test]
+    fn status_column_appears_only_on_degraded_runs() {
+        let sweep = SweepSpec::from_str(SPEC).unwrap();
+        let mut result = run_sweep(&sweep, SweepOptions::default()).unwrap();
+        let clean_header = "cell,device,n_checkpoints,metric,count,mean,p50,p99,min,max";
+        assert_eq!(
+            csv_string(&sweep, &result).lines().next().unwrap(),
+            clean_header
+        );
+
+        // Quarantine one cell by hand: the column appears, healthy rows
+        // say "ok", and the failed cell exports exactly one NaN row with
+        // a CSV-safe reason.
+        let params = result.cells[2].params.clone();
+        result.cells[2] = crate::exec::CellResult {
+            index: 2,
+            params,
+            metrics: vec![("failed", crate::agg::MetricSummary::from_values(&[]))],
+            status: CellStatus::Failed {
+                reason: "panicked: injected, with\nnewline".into(),
+            },
+        };
+        let csv = csv_string(&sweep, &result);
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "cell,device,n_checkpoints,metric,count,mean,p50,p99,min,max,status"
+        );
+        let failed: Vec<&str> = csv.lines().filter(|l| l.contains("failed")).collect();
+        assert_eq!(failed.len(), 1, "one metric row per quarantined cell");
+        assert!(
+            failed[0]
+                .ends_with("failed,0,NaN,NaN,NaN,NaN,NaN,failed: panicked: injected; with newline"),
+            "unexpected failed row: {}",
+            failed[0]
+        );
+        // Every other data row carries the ok marker.
+        assert_eq!(
+            csv.lines().skip(1).filter(|l| l.ends_with(",ok")).count(),
+            6
+        );
+        // JSON mirrors the same gating: NaN metrics render as null.
+        let json = json_string(&sweep, &result);
+        assert!(json.contains("failed: panicked: injected; with newline"));
+        assert!(json.contains("null"));
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub mod sweep;
 pub use agg::MetricSummary;
 pub use ckpt::{CheckpointConfig, ResumeReport, CRASH_EXIT_CODE};
 pub use exec::{
-    run_sweep, run_sweep_checkpointed, run_sweep_ctx, run_sweep_telemetry, CellResult,
-    SweepOptions, SweepResult,
+    run_sweep, run_sweep_checkpointed, run_sweep_ctx, run_sweep_guarded, run_sweep_telemetry,
+    CellResult, CellStatus, FaultPolicy, SweepOptions, SweepResult,
 };
 pub use export::{csv_string, json_string, to_frame, write_outputs};
 pub use spec::{EngineKind, SampleFilter, ScenarioSpec, WorkloadTweaks};

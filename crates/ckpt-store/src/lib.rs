@@ -77,9 +77,27 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+impl StoreError {
+    /// True when the underlying failure was a transient I/O condition —
+    /// the "try again" family ([`ckpt_faults::is_transient_kind`]) — so
+    /// the caller may retry the operation with backoff instead of
+    /// aborting the run. Classification happens where the `io::Error` is
+    /// converted (the kind is known there); everything else is fatal.
+    pub fn is_transient(&self) -> bool {
+        self.0.starts_with("transient io")
+    }
+}
+
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
-        StoreError(format!("io: {e}"))
+        if ckpt_faults::is_transient_kind(e.kind()) {
+            StoreError(format!(
+                "transient io ({}): {e}",
+                ckpt_faults::io_kind_name(e.kind())
+            ))
+        } else {
+            StoreError(format!("io: {e}"))
+        }
     }
 }
 
@@ -333,6 +351,31 @@ impl SweepStore {
     /// valid end, so a crash mid-call can only tear the tail — which the
     /// next [`SweepStore::open`] truncates away.
     pub fn append(&mut self, record: &CellRecord) -> Result<(), StoreError> {
+        let frame = self.frame_bytes(record)?;
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&frame)?;
+        self.end += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Fault-injection support (`torn_write@record=N`): build the
+    /// record's frame but write only its first half, simulating a
+    /// process killed mid-`write_all`. The store's valid end does *not*
+    /// advance — the file now carries a torn tail that the next
+    /// [`SweepStore::open`] truncates away. The caller must abort the
+    /// process after this; appending past a torn tail would corrupt the
+    /// log mid-file, which open treats as a hard error.
+    pub fn append_torn(&mut self, record: &CellRecord) -> Result<(), StoreError> {
+        let frame = self.frame_bytes(record)?;
+        let half = frame.len() / 2;
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&frame[..half])?;
+        Ok(())
+    }
+
+    /// Frame a record for the on-disk log: `len | fnv1a(blob) | blob`.
+    fn frame_bytes(&self, record: &CellRecord) -> Result<Vec<u8>, StoreError> {
         if record.index >= self.header.grid_size {
             return Err(StoreError(format!(
                 "record index {} out of range (grid size {})",
@@ -351,11 +394,7 @@ impl SweepStore {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&fnv1a(&blob).to_le_bytes());
         frame.extend_from_slice(&blob);
-        self.file.seek(SeekFrom::Start(self.end))?;
-        self.file.write_all(&frame)?;
-        self.end += frame.len() as u64;
-        self.records += 1;
-        Ok(())
+        Ok(frame)
     }
 
     /// Force everything appended so far to stable storage (power-loss
@@ -473,6 +512,45 @@ mod tests {
         assert_eq!(records.len(), 3);
         assert!(report.warning.is_none());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_append_is_recovered_on_the_next_open() {
+        let path = tmp("torn_append");
+        let mut store = SweepStore::create(&path, header()).unwrap();
+        store.append(&record(0)).unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        store.append_torn(&record(1)).unwrap();
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > clean_len,
+            "the torn half-frame reached the file"
+        );
+        drop(store);
+
+        let (mut store, records, report) = SweepStore::open(&path).unwrap();
+        assert_eq!(records, vec![record(0)], "the torn record is dropped");
+        assert!(report.truncated_bytes > 0);
+        assert!(report.warning.as_deref().unwrap().contains("corrupt tail"));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // The log is append-clean again: the re-evaluated cell lands.
+        store.append(&record(1)).unwrap();
+        drop(store);
+        let (_, records, report) = SweepStore::open(&path).unwrap();
+        assert_eq!(records, vec![record(0), record(1)]);
+        assert!(report.warning.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_io_errors_are_classified() {
+        let transient: StoreError =
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "blip").into();
+        assert!(transient.is_transient(), "{transient}");
+        assert!(transient.0.contains("interrupted"), "{transient}");
+        let fatal: StoreError =
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "locked").into();
+        assert!(!fatal.is_transient(), "{fatal}");
+        assert!(!StoreError("header checksum mismatch".into()).is_transient());
     }
 
     #[test]

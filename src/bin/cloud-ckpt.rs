@@ -15,14 +15,14 @@
 //! flags are hard errors instead of inert map entries.
 
 use cloud_ckpt::bench::registry;
+use cloud_ckpt::faults::{self, FaultPlan, FaultState};
 use cloud_ckpt::obs::{Phase, Telemetry};
 use cloud_ckpt::policy::daly::daly_interval_count;
 use cloud_ckpt::policy::optimal::{expected_wall_clock, optimal_interval_count};
 use cloud_ckpt::policy::young::{young_interval, young_interval_count};
 use cloud_ckpt::report::{row, write_telemetry, ExpOutput, Format, Frame, RunContext, Scale, Sink};
 use cloud_ckpt::scenario::{
-    ckpt, run_sweep_checkpointed, run_sweep_telemetry, write_outputs, CheckpointConfig,
-    SweepOptions, SweepSpec,
+    ckpt, run_sweep_guarded, write_outputs, CheckpointConfig, FaultPolicy, SweepOptions, SweepSpec,
 };
 use cloud_ckpt::sim::metrics::{mean_wpr, with_structure, wpr_ecdf};
 use cloud_ckpt::sim::policy::{Estimates, EstimatorKind, PolicyConfig};
@@ -53,7 +53,8 @@ USAGE:
 
   cloud-ckpt sweep --spec <file.toml> [--threads <n>] [--shards <n>] [--out <dir>] \\
                    [--checkpoint-dir <dir>] [--resume] \\
-                   [--telemetry <dir>] [--progress]
+                   [--telemetry <dir>] [--progress] \\
+                   [--inject <plan>] [--strict]
       Expand a declarative sweep spec into a scenario grid, evaluate every
       cell in parallel, and write per-cell CSV + JSON summaries.
       --checkpoint-dir persists each cell to an append-only store as it
@@ -67,6 +68,12 @@ USAGE:
       shards that advance in parallel through conservative time windows.
       Results depend on the shard count (it is replay identity), never on
       the thread count; --shards 1 is the exact legacy single-engine path.
+      --inject arms a deterministic fault plan (or set CKPT_FAULT_PLAN;
+      the flag wins), e.g. \"panic@cell=7; io_error@write=3:times=2\".
+      Failing cells retry with backoff, then quarantine with NaN metrics
+      and a `status` column while the rest of the grid completes; a run
+      health summary goes to stderr. --strict restores fail-fast (first
+      failure aborts, no retries).
 
   cloud-ckpt exp list [--format table|csv|json]
       List every registered experiment (id, paper figure/table, claim).
@@ -123,8 +130,9 @@ const SWEEP_FLAGS: FlagSpec = FlagSpec {
         "out",
         "telemetry",
         "checkpoint-dir",
+        "inject",
     ],
-    boolean: &["progress", "resume"],
+    boolean: &["progress", "resume", "strict"],
 };
 const EXP_LIST_FLAGS: FlagSpec = FlagSpec {
     value: &["format"],
@@ -433,6 +441,26 @@ fn checkpoint_flags(flags: &HashMap<String, String>) -> Result<Option<Checkpoint
     }))
 }
 
+/// Build the [`FaultPolicy`] from `--inject` / `--strict` and the
+/// `CKPT_FAULT_PLAN` environment knob. The flag wins over the
+/// environment; with neither, the policy carries an empty plan (nothing
+/// injected) and cells still quarantine on genuine failures unless
+/// `--strict` asks for the historical fail-fast discipline.
+fn fault_flags(flags: &HashMap<String, String>) -> Result<FaultPolicy, String> {
+    let plan_text = match flags.get("inject") {
+        Some(text) => Some(text.clone()),
+        None => std::env::var("CKPT_FAULT_PLAN").ok(),
+    };
+    let plan = match plan_text {
+        Some(text) => FaultPlan::parse(&text).map_err(|e| format!("flag --inject: {e}"))?,
+        None => FaultPlan::default(),
+    };
+    Ok(FaultPolicy {
+        faults: std::sync::Arc::new(FaultState::new(plan)),
+        strict: flags.contains_key("strict"),
+    })
+}
+
 /// Parse a `--shards` value: a positive shard count (the per-shard
 /// host-count upper bound is checked at execution time, where the final
 /// fleet size is known).
@@ -450,6 +478,14 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     let spec_path: String = need(&flags, "spec")?;
     let out_dir: String = opt(&flags, "out", "results".to_string())?;
     let checkpoint = checkpoint_flags(&flags)?;
+    let policy = fault_flags(&flags)?;
+    if policy.faults.crash_after_cells().is_some() && checkpoint.is_none() {
+        return Err(
+            "the fault plan has a crash@cells directive but --checkpoint-dir is not set; \
+             the crash hook only makes sense for a checkpointed sweep"
+                .into(),
+        );
+    }
     let (telemetry, telemetry_dir) = telemetry_flags(&flags);
     let parse_spec = || -> Result<SweepSpec, String> {
         let text = std::fs::read_to_string(&spec_path)
@@ -485,32 +521,76 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let result = match &checkpoint {
-        Some(cfg) => {
-            let (result, report) =
-                run_sweep_checkpointed(&sweep, SweepOptions { threads }, telemetry.as_deref(), cfg)
-                    .map_err(|e| e.to_string())?;
-            let mut lines = Vec::new();
-            ckpt::report_lines(&report, &mut lines);
-            for line in lines {
-                eprintln!("checkpoint: {line}");
-            }
-            println!(
-                "checkpoint: {} ({} loaded, {} evaluated)",
-                report.store_path.display(),
-                report.loaded,
-                report.evaluated,
-            );
-            result
+    let (result, report) = run_sweep_guarded(
+        &sweep,
+        SweepOptions { threads },
+        telemetry.as_deref(),
+        checkpoint.as_ref(),
+        &policy,
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(report) = &report {
+        let mut lines = Vec::new();
+        ckpt::report_lines(report, &mut lines);
+        for line in lines {
+            eprintln!("checkpoint: {line}");
         }
-        None => run_sweep_telemetry(&sweep, SweepOptions { threads }, telemetry.as_deref())
-            .map_err(|e| e.to_string())?,
-    };
+        println!(
+            "checkpoint: {} ({} loaded, {} evaluated)",
+            report.store_path.display(),
+            report.loaded,
+            report.evaluated,
+        );
+    }
     let elapsed = start.elapsed();
+    // Degraded-run reporting goes to stderr, never stdout: a clean run's
+    // stdout must stay byte-identical whether or not a plan was armed.
+    if result.health.degraded() || !policy.faults.is_empty() {
+        eprintln!("health: {}", result.health.summary());
+    }
 
     // Persist before printing the report: the exports must land even if
-    // stdout goes away mid-print (e.g. piped through `head`).
-    let write = || write_outputs(&sweep, &result, &out_dir).map_err(|e| e.to_string());
+    // stdout goes away mid-print (e.g. piped through `head`). Injected
+    // export faults and transient write errors retry with backoff like
+    // any other store I/O.
+    let write = || -> Result<_, String> {
+        let mut retry = 0u32;
+        loop {
+            let injected = policy.faults.export_fault();
+            let transient = match injected {
+                Some(kind) => {
+                    if !faults::is_transient_kind(kind) {
+                        return Err(format!(
+                            "writing outputs: injected io error ({})",
+                            faults::io_kind_name(kind)
+                        ));
+                    }
+                    Some(faults::io_kind_name(kind).to_string())
+                }
+                None => match write_outputs(&sweep, &result, &out_dir) {
+                    Ok(paths) => return Ok(paths),
+                    Err(e) if faults::is_transient_kind(e.kind()) && !policy.strict => {
+                        Some(e.to_string())
+                    }
+                    Err(e) => return Err(e.to_string()),
+                },
+            };
+            let detail = transient.expect("non-transient outcomes returned above");
+            if policy.strict || retry >= faults::MAX_ATTEMPTS - 1 {
+                return Err(format!("writing outputs: io error ({detail})"));
+            }
+            eprintln!(
+                "sweep: transient io failure writing outputs ({detail}); retry {}/{}",
+                retry + 1,
+                faults::MAX_ATTEMPTS - 1
+            );
+            if let Some(t) = &telemetry {
+                t.counters.add(cloud_ckpt::obs::Counter::IoRetries, 1);
+            }
+            policy.faults.sleep_backoff(retry);
+            retry += 1;
+        }
+    };
     let (csv, json) = match &telemetry {
         Some(t) => t.timers.time(Phase::Export, write)?,
         None => write()?,

@@ -20,6 +20,9 @@
 //! * [`store`] — the append-only, crash-safe checkpoint store behind
 //!   `sweep --checkpoint-dir` / `--resume` (the paper's own mechanism,
 //!   applied to the sweep executor itself).
+//! * [`faults`] — deterministic fault injection (`sweep --inject`) and
+//!   the retry/backoff policy the executor quarantines failing cells
+//!   under.
 //! * [`bench`](mod@bench) — the typed experiment registry behind
 //!   `cloud-ckpt exp list|run|all` (every paper figure/table as a
 //!   library [`bench::Experiment`]).
@@ -36,6 +39,7 @@
 //! ```
 
 pub use ckpt_bench as bench;
+pub use ckpt_faults as faults;
 pub use ckpt_obs as obs;
 pub use ckpt_policy as policy;
 pub use ckpt_report as report;

@@ -1,0 +1,125 @@
+//! Property-based tests of the fault-injection layer: any plan whose
+//! faults are *eventually transient* (every directive stops firing before
+//! the retry budget runs out) must be invisible in the deterministic
+//! outputs — CSV and JSON byte-identical to a clean run at 1, 4, and 8
+//! threads, with no quarantined cells — because retries re-run the exact
+//! same deterministic cell evaluation.
+
+use cloud_ckpt::faults::{FaultPlan, FaultState, TestClock};
+use cloud_ckpt::scenario::{
+    csv_string, json_string, run_sweep, run_sweep_guarded, CheckpointConfig, FaultPolicy,
+    SweepOptions, SweepSpec,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const SMALL: &str = r#"
+    [sweep]
+    name = "prop_faults"
+    engine = "fast"
+    seed = 9
+    jobs = 60
+
+    [axes]
+    policy = ["formula3", "none"]
+    ckpt_cost_scale = { from = 0.5, to = 2.0, steps = 2 }
+"#;
+
+const TRANSIENT_KINDS: [&str; 3] = ["interrupted", "would_block", "timed_out"];
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// Decode the generated integers into `--inject` syntax, so the proptest
+/// also exercises the parser on every case.
+///
+/// Per cell (codes 0..7): 0 = no fault, otherwise panic/budget with
+/// `times` in 1..=3 — always below the retry budget of `MAX_ATTEMPTS`.
+/// At most one `io_error` directive per op (codes decode ordinal, kind,
+/// and times): two directives on the same injection point would fire
+/// back to back and could exceed one retry chain's budget even though
+/// each is individually transient.
+fn plan_text(cell_codes: &[u32], write_code: u32, open_code: u32) -> String {
+    let mut directives = Vec::new();
+    for (cell, code) in cell_codes.iter().enumerate() {
+        if *code > 0 {
+            let c = code - 1; // 0..6
+            let kind = if c % 2 == 0 { "panic" } else { "budget" };
+            let times = c / 2 + 1; // 1..=3
+            directives.push(format!("{kind}@cell={cell}:times={times}"));
+        }
+    }
+    if write_code > 0 {
+        let c = write_code - 1; // 0..45
+        let at = c % 5 + 1; // write ordinal 1..=5
+        let kind = TRANSIENT_KINDS[(c / 5 % 3) as usize];
+        let times = c / 15 + 1; // 1..=3
+        directives.push(format!("io_error@write={at}:kind={kind}:times={times}"));
+    }
+    if open_code > 0 {
+        let c = open_code - 1; // 0..9
+        let kind = TRANSIENT_KINDS[(c % 3) as usize];
+        let times = c / 3 + 1; // 1..=3
+        directives.push(format!("io_error@open=1:kind={kind}:times={times}"));
+    }
+    directives.join("; ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn eventually_transient_plans_are_invisible_in_exported_bytes(
+        cell_codes in proptest::collection::vec(0u32..7, 4..5),
+        write_code in 0u32..46,
+        open_code in 0u32..10,
+    ) {
+        let sweep = SweepSpec::from_str(SMALL).unwrap();
+        let clean = run_sweep(&sweep, SweepOptions { threads: 2 }).unwrap();
+        let clean_csv = csv_string(&sweep, &clean);
+        let clean_json = json_string(&sweep, &clean);
+
+        let text = plan_text(&cell_codes, write_code, open_code);
+        let plan = FaultPlan::parse(&text).unwrap();
+        prop_assert!(plan.eventually_transient(), "generator bug: {text}");
+
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        for threads in [1usize, 4, 8] {
+            // Fresh armed state per run: fired counts are consumed.
+            let policy = FaultPolicy {
+                faults: Arc::new(FaultState::with_clock(
+                    plan.clone(),
+                    Box::new(TestClock::default()),
+                )),
+                strict: false,
+            };
+            // A store gives the write/open faults something to fire on;
+            // results are checkpoint-invariant regardless.
+            let dir = std::env::temp_dir().join(format!(
+                "ckpt_prop_faults_{}_{case}_{threads}",
+                std::process::id()
+            ));
+            let config = CheckpointConfig {
+                dir: dir.clone(),
+                resume: false,
+                crash_after_cells: None,
+            };
+            let (result, _) = run_sweep_guarded(
+                &sweep,
+                SweepOptions { threads },
+                None,
+                Some(&config),
+                &policy,
+            )
+            .unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert!(
+                !result.health.degraded(),
+                "plan {text:?} at {threads} threads: {}",
+                result.health.summary()
+            );
+            prop_assert_eq!(&csv_string(&sweep, &result), &clean_csv);
+            prop_assert_eq!(&json_string(&sweep, &result), &clean_json);
+        }
+    }
+}

@@ -164,6 +164,7 @@ proptest! {
                 ("wpr", MetricSummary::from_stream(&stream)),
                 ("queue_wait_s", MetricSummary::from_stream(&stream)),
             ],
+            status: ckpt_scenario::CellStatus::Ok,
         };
         let decoded = decode_cell(index, &encode_cell(&cell)).expect("payload decodes");
         prop_assert_eq!(&decoded, &cell);

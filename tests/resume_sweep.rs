@@ -449,6 +449,321 @@ fn torn_store_tail_is_recovered_on_resume() {
     std::fs::remove_file(&spec).ok();
 }
 
+/// Drop the wall-clock throughput line — the only nondeterministic line
+/// a sweep prints to stdout.
+fn strip_wallclock(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.contains(" cells/s, "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn injected_panic_quarantines_one_cell_and_resume_reproduces_the_clean_run() {
+    let spec = write_spec("quarantine_spec", SMALL);
+    let clean_dir = tmp("quarantine_clean");
+    let out = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&clean_dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let (clean_csv, clean_json) = read_outputs(&clean_dir, "small");
+
+    // The faulted run: a sticky panic on cell 2. The sweep must complete
+    // (exit 0) with the other three cells healthy.
+    let ckpt_dir = tmp("quarantine_ckpt");
+    let out_dir = tmp("quarantine_out");
+    let tel_dir = tmp("quarantine_tel");
+    let faulted = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--telemetry")
+        .arg(&tel_dir)
+        .args(["--inject", "panic@cell=2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        faulted.status.success(),
+        "a quarantined cell must not fail the run\n{}",
+        String::from_utf8_lossy(&faulted.stderr)
+    );
+    let err = String::from_utf8_lossy(&faulted.stderr);
+    assert!(err.contains("cell 2 quarantined"), "{err}");
+    assert!(
+        err.contains(
+            "health: 3 cells ok, 1 quarantined, 3 cell retries, 0 io retries, 4 faults injected"
+        ),
+        "{err}"
+    );
+
+    // Exactly one Failed status row; healthy rows carry the ok marker.
+    let (csv, _) = read_outputs(&out_dir, "small");
+    let csv_text = String::from_utf8_lossy(&csv);
+    assert!(csv_text.lines().next().unwrap().ends_with(",status"));
+    let failed: Vec<&str> = csv_text.lines().filter(|l| l.contains("failed")).collect();
+    assert_eq!(failed.len(), 1, "{csv_text}");
+    assert!(failed[0].starts_with("2,"), "{}", failed[0]);
+    assert!(
+        failed[0].contains("failed: panicked: injected fault: panic at cell 2"),
+        "{}",
+        failed[0]
+    );
+
+    // Degraded-run counters, and the quarantined cell is not persisted.
+    assert_eq!(counter_value(&tel_dir, "cells_failed"), 1);
+    assert_eq!(counter_value(&tel_dir, "cells_retried"), 3);
+    assert_eq!(counter_value(&tel_dir, "cells_evaluated"), 3);
+    assert_eq!(counter_value(&tel_dir, "ckpt_records_written"), 3);
+    assert_eq!(counter_value(&tel_dir, "faults_injected"), 4);
+
+    // Resume with the fault removed: only cell 2 is re-evaluated, and the
+    // outputs are byte-identical to the clean run.
+    let resume = cli()
+        .args(["sweep", "--threads", "1", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    assert!(
+        resume.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&resume.stdout).contains("(3 loaded, 1 evaluated)"),
+        "quarantined cells must be re-evaluated on resume"
+    );
+    assert_eq!(read_outputs(&out_dir, "small"), (clean_csv, clean_json));
+
+    for d in [&clean_dir, &ckpt_dir, &out_dir, &tel_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn eventually_transient_faults_leave_stdout_and_outputs_byte_identical() {
+    let spec = write_spec("transient_spec", SMALL);
+    let out_dir = tmp("transient_out");
+
+    let clean = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .output()
+        .expect("binary runs");
+    assert!(clean.status.success());
+    let clean_outputs = read_outputs(&out_dir, "small");
+    let clean_stdout = strip_wallclock(&clean.stdout);
+
+    // Same run with a transient cell fault and a transient export fault:
+    // retries happen (stderr), results and stdout don't move.
+    let faulted = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .args([
+            "--inject",
+            "budget@cell=1:times=2; io_error@export=1:times=1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        faulted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&faulted.stderr)
+    );
+    let err = String::from_utf8_lossy(&faulted.stderr);
+    assert!(err.contains("cell 1 failed"), "{err}");
+    assert!(err.contains("writing outputs"), "{err}");
+    assert!(err.contains("health: 4 cells ok, 0 quarantined"), "{err}");
+    assert_eq!(read_outputs(&out_dir, "small"), clean_outputs);
+    assert_eq!(
+        strip_wallclock(&faulted.stdout),
+        clean_stdout,
+        "retry noise must never reach stdout"
+    );
+
+    // The env knob arms the same machinery; the flag wins when both are
+    // present (an empty flag plan disarms the env plan).
+    let via_env = cli()
+        .args(["sweep", "--threads", "2", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .env("CKPT_FAULT_PLAN", "budget@cell=0:times=1")
+        .output()
+        .expect("binary runs");
+    assert!(via_env.status.success());
+    assert!(
+        String::from_utf8_lossy(&via_env.stderr).contains("cell 0 failed"),
+        "CKPT_FAULT_PLAN must arm the plan"
+    );
+    assert_eq!(read_outputs(&out_dir, "small"), clean_outputs);
+
+    std::fs::remove_dir_all(&out_dir).ok();
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn torn_write_injection_kills_the_run_and_resume_recovers_the_tail() {
+    let spec = write_spec("tornfault_spec", SMALL);
+    let clean_dir = tmp("tornfault_clean");
+    let out = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&clean_dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let clean_outputs = read_outputs(&clean_dir, "small");
+
+    // The second persisted record is torn mid-append and the process dies
+    // with the crash exit code, like a kill -9 during write().
+    let ckpt_dir = tmp("tornfault_ckpt");
+    let out_dir = tmp("tornfault_out");
+    let torn = cli()
+        .args(["sweep", "--threads", "1", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .args(["--inject", "torn_write@record=2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        torn.status.code(),
+        Some(CRASH_CODE),
+        "{}",
+        String::from_utf8_lossy(&torn.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&torn.stderr).contains("torn write"),
+        "{}",
+        String::from_utf8_lossy(&torn.stderr)
+    );
+
+    // Resume without the fault: the torn tail is truncated away (named on
+    // stderr) and the finished outputs are byte-identical to clean.
+    let resume = cli()
+        .args(["sweep", "--threads", "4", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    assert!(
+        resume.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    let err = String::from_utf8_lossy(&resume.stderr);
+    assert!(
+        err.contains("recovered") && err.contains("corrupt tail"),
+        "the torn-tail warning belongs on stderr: {err}"
+    );
+    assert_eq!(read_outputs(&out_dir, "small"), clean_outputs);
+
+    for d in [&clean_dir, &ckpt_dir, &out_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn strict_mode_and_bad_plans_are_named_errors() {
+    let spec = write_spec("strictfault_spec", SMALL);
+
+    // --strict restores fail-fast: the run dies on the first failure
+    // instead of quarantining.
+    let strict = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(tmp("strictfault_out"))
+        .args(["--inject", "panic@cell=1", "--strict"])
+        .output()
+        .expect("binary runs");
+    assert!(!strict.status.success());
+    let err = String::from_utf8_lossy(&strict.stderr);
+    assert!(err.contains("cell 1") && err.contains("panic"), "{err}");
+
+    // A malformed plan is rejected up front, naming the directive.
+    let bad = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .args(["--inject", "meteor@cell=1"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("--inject"),
+        "plan errors must name the flag"
+    );
+
+    // A crash directive without a checkpoint store is as meaningless as
+    // the env knob without one.
+    let orphan = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .args(["--inject", "crash@cells=2"])
+        .output()
+        .expect("binary runs");
+    assert!(!orphan.status.success());
+    assert!(
+        String::from_utf8_lossy(&orphan.stderr).contains("--checkpoint-dir"),
+        "{}",
+        String::from_utf8_lossy(&orphan.stderr)
+    );
+
+    // With a store, crash@cells behaves exactly like the env knob.
+    let ckpt_dir = tmp("strictfault_ckpt");
+    let crash = cli()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(tmp("strictfault_out"))
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .args(["--inject", "crash@cells=2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        crash.status.code(),
+        Some(CRASH_CODE),
+        "{}",
+        String::from_utf8_lossy(&crash.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&crash.stderr).contains("aborting after 2 persisted cells"),
+        "{}",
+        String::from_utf8_lossy(&crash.stderr)
+    );
+
+    std::fs::remove_dir_all(tmp("strictfault_out")).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    std::fs::remove_file(&spec).ok();
+}
+
 #[test]
 fn resume_without_checkpoint_dir_is_a_named_error() {
     let spec = write_spec("orphan_spec", SMALL);
